@@ -1,0 +1,153 @@
+/// Benchmark for the §8 aggregates extension: monitoring a rule whose
+/// condition compares a per-group SUM against a per-group limit
+/// (over-limit desks), incremental vs. naive.
+///
+/// The incremental aggregate differential re-aggregates only the groups
+/// touched by the transaction (two point aggregations per touched group),
+/// so its cost scales with the group size and the number of touched
+/// groups — not with the total number of trades. Naive monitoring
+/// recomputes every group's aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+namespace deltamon {
+namespace {
+
+using objectlog::AggregateDef;
+using objectlog::Clause;
+using objectlog::CompareOp;
+using objectlog::Literal;
+using objectlog::Term;
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+
+constexpr int64_t kTradesPerDesk = 20;
+
+struct Setup {
+  std::unique_ptr<Engine> engine;
+  RelationId trades = kInvalidRelationId;
+  RelationId limit = kInvalidRelationId;
+  size_t fired = 0;
+};
+
+Result<std::unique_ptr<Setup>> MakeSetup(int64_t desks,
+                                         rules::MonitorMode mode) {
+  auto setup = std::make_unique<Setup>();
+  setup->engine = std::make_unique<Engine>();
+  Engine& engine = *setup->engine;
+  engine.rules.SetMode(mode);
+  Catalog& cat = engine.db.catalog();
+  DELTAMON_ASSIGN_OR_RETURN(
+      setup->trades, cat.CreateStoredFunction(
+                         "trades", FunctionSignature{{IntCol(), IntCol()},
+                                                     {IntCol()}}));
+  DELTAMON_ASSIGN_OR_RETURN(
+      setup->limit, cat.CreateStoredFunction(
+                        "desk_limit", FunctionSignature{{IntCol()},
+                                                        {IntCol()}}));
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId total,
+      cat.CreateDerivedFunction("total_position",
+                                FunctionSignature{{}, {IntCol(), IntCol()}}));
+  AggregateDef def;
+  def.source = setup->trades;
+  def.group_by = {0};
+  def.value_column = 2;
+  def.func = AggregateDef::Func::kSum;
+  DELTAMON_RETURN_IF_ERROR(
+      engine.registry.DefineAggregate(total, std::move(def), cat));
+
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId cond,
+      cat.CreateDerivedFunction("cnd_over_limit",
+                                FunctionSignature{{}, {IntCol()}}));
+  Clause c;
+  c.head_relation = cond;
+  c.num_vars = 3;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(total, {Term::Var(0), Term::Var(1)}),
+            Literal::Relation(setup->limit, {Term::Var(0), Term::Var(2)}),
+            Literal::Compare(CompareOp::kGt, Term::Var(1), Term::Var(2))};
+  DELTAMON_RETURN_IF_ERROR(engine.registry.Define(cond, std::move(c), cat));
+
+  Setup* raw = setup.get();
+  DELTAMON_ASSIGN_OR_RETURN(
+      rules::RuleId rule,
+      engine.rules.CreateRule(
+          "over_limit", cond,
+          [raw](Database&, const Tuple&, const std::vector<Tuple>& rows) {
+            raw->fired += rows.size();
+            return Status::OK();
+          }));
+  DELTAMON_RETURN_IF_ERROR(engine.rules.Activate(rule));
+
+  // Population: `desks` desks × kTradesPerDesk trades; generous limits so
+  // monitoring stays quiet.
+  for (int64_t d = 0; d < desks; ++d) {
+    DELTAMON_RETURN_IF_ERROR(engine.db.Set(
+        setup->limit, Tuple{Value(d)},
+        Tuple{Value(kTradesPerDesk * 100)}));
+    for (int64_t t = 0; t < kTradesPerDesk; ++t) {
+      DELTAMON_RETURN_IF_ERROR(engine.db.Insert(
+          setup->trades, Tuple{Value(d), Value(t), Value(int64_t{10})}));
+    }
+  }
+  DELTAMON_RETURN_IF_ERROR(engine.db.Commit());
+  return setup;
+}
+
+/// One transaction: re-book one trade on one desk (a Set on one group).
+void RunTransaction(Setup& setup, int64_t desks, int64_t& round) {
+  int64_t desk = round % desks;
+  int64_t trade = (round / desks) % kTradesPerDesk;
+  if (!setup.engine->db
+           .Set(setup.trades, Tuple{Value(desk), Value(trade)},
+                Tuple{Value(10 + (round % 7))})
+           .ok()) {
+    std::abort();
+  }
+  if (!setup.engine->db.Commit().ok()) std::abort();
+  ++round;
+}
+
+template <rules::MonitorMode kMode>
+void BM_AggregateMonitor(benchmark::State& state) {
+  auto setup = MakeSetup(state.range(0), kMode);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  int64_t round = 0;
+  // Warm-up: first transaction pays one-time lazy index construction.
+  RunTransaction(**setup, state.range(0), round);
+  for (auto _ : state) {
+    RunTransaction(**setup, state.range(0), round);
+  }
+  state.counters["desks"] = static_cast<double>(state.range(0));
+  state.counters["trades"] =
+      static_cast<double>(state.range(0) * kTradesPerDesk);
+}
+
+void BM_Aggregate_Incremental(benchmark::State& state) {
+  BM_AggregateMonitor<rules::MonitorMode::kIncremental>(state);
+}
+void BM_Aggregate_Naive(benchmark::State& state) {
+  BM_AggregateMonitor<rules::MonitorMode::kNaive>(state);
+}
+
+}  // namespace
+}  // namespace deltamon
+
+BENCHMARK(deltamon::BM_Aggregate_Incremental)
+    ->RangeMultiplier(10)
+    ->Range(10, 10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(deltamon::BM_Aggregate_Naive)
+    ->RangeMultiplier(10)
+    ->Range(10, 10000)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

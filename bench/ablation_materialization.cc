@@ -1,0 +1,127 @@
+/// Ablation for the paper's §2 contrast with the PF-algorithm: wave-front
+/// Δ-sets + logical rollback (deltamon's default) versus permanently
+/// materialized intermediate views (PF-style), on a bushy network where
+/// the shared threshold view is an intermediate node.
+///
+/// Two workload shapes:
+///  - quantity updates: the condition differential joins against the
+///    threshold view — materialization makes that an indexed probe on a
+///    stored extent, re-derivation computes it from base relations.
+///  - min_stock updates: the threshold node's own differentials fire and
+///    the view must be maintained.
+///
+/// The space side of the trade-off is the `resident_tuples` counter:
+/// PF-style keeps |threshold| + |cnd| tuples resident forever; the
+/// wave-front approach keeps only `peak_wavefront` during propagation and
+/// zero between transactions (the paper's space optimization).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util/inventory.h"
+
+namespace deltamon {
+namespace {
+
+using rules::RuleOptions;
+using rules::Semantics;
+using workload::BuildInventory;
+using workload::InventoryConfig;
+using workload::InventorySchema;
+using workload::SetFn;
+
+struct Setup {
+  std::unique_ptr<Engine> engine;
+  InventorySchema schema;
+  size_t fired = 0;
+};
+
+Result<std::unique_ptr<Setup>> MakeSetup(size_t num_items, bool materialize) {
+  auto setup = std::make_unique<Setup>();
+  setup->engine = std::make_unique<Engine>();
+  InventoryConfig config;
+  config.num_items = num_items;
+  DELTAMON_ASSIGN_OR_RETURN(setup->schema,
+                            BuildInventory(*setup->engine, config));
+  core::BuildOptions options;
+  options.keep.insert(setup->schema.threshold);  // bushy network
+  setup->engine->rules.SetNetworkOptions(options);
+  setup->engine->rules.SetMaterializeIntermediates(materialize);
+  Setup* raw = setup.get();
+  RuleOptions rule_options;
+  rule_options.semantics = Semantics::kStrict;
+  DELTAMON_ASSIGN_OR_RETURN(
+      rules::RuleId rule,
+      setup->engine->rules.CreateRule(
+          "monitor_items", setup->schema.cnd_monitor_items,
+          [raw](Database&, const Tuple&, const std::vector<Tuple>& items) {
+            raw->fired += items.size();
+            return Status::OK();
+          },
+          rule_options));
+  DELTAMON_RETURN_IF_ERROR(setup->engine->rules.Activate(rule));
+  return setup;
+}
+
+/// Transaction: a handful of quantity updates plus one threshold-side
+/// (min_stock) update.
+void RunTransaction(Setup& setup, int64_t& round) {
+  const auto& items = setup.schema.items;
+  for (int u = 0; u < 4; ++u, ++round) {
+    size_t idx = static_cast<size_t>(round) % items.size();
+    if (!SetFn(*setup.engine, setup.schema.quantity, items[idx],
+               900 + (round % 89))
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!SetFn(*setup.engine, setup.schema.min_stock,
+             items[static_cast<size_t>(round) % items.size()],
+             100 + (round % 5))
+           .ok()) {
+    std::abort();
+  }
+  if (!setup.engine->db.Commit().ok()) std::abort();
+}
+
+template <bool kMaterialize>
+void BM_Materialization(benchmark::State& state) {
+  auto setup = MakeSetup(static_cast<size_t>(state.range(0)), kMaterialize);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  int64_t round = 0;
+  // Warm-up: the first wave pays the one-time view initialization (a full
+  // evaluation of every materialized node); keep it out of the timing.
+  RunTransaction(**setup, round);
+  for (auto _ : state) {
+    RunTransaction(**setup, round);
+  }
+  const auto& prop = (*setup)->engine->rules.last_check().propagation;
+  state.counters["items"] = static_cast<double>(state.range(0));
+  state.counters["resident_tuples"] =
+      static_cast<double>(prop.materialized_resident_tuples);
+  state.counters["peak_wavefront"] =
+      static_cast<double>(prop.peak_wavefront_tuples);
+}
+
+void BM_WaveFront_Rollback(benchmark::State& state) {
+  BM_Materialization<false>(state);
+}
+void BM_PFStyle_MaterializedViews(benchmark::State& state) {
+  BM_Materialization<true>(state);
+}
+
+}  // namespace
+}  // namespace deltamon
+
+BENCHMARK(deltamon::BM_WaveFront_Rollback)
+    ->RangeMultiplier(10)
+    ->Range(100, 10000)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(deltamon::BM_PFStyle_MaterializedViews)
+    ->RangeMultiplier(10)
+    ->Range(100, 10000)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,150 @@
+/// Ablation for §7.1 (optimizations and node sharing): monitoring two rules
+/// that both depend on the threshold view, with
+///   - the paper's default full expansion (flat network, fig. 2): each
+///     rule's condition embeds the whole threshold body, so threshold-side
+///     updates re-derive it once per rule, and
+///   - node sharing (bushy network, fig. 1): threshold kept as a shared
+///     intermediate node whose Δ-set is computed once and consumed by both
+///     conditions.
+///
+/// The trade-off the paper describes: expansion gives the optimizer more
+/// freedom (good for quantity-only updates), sharing avoids recomputing
+/// shared sub-conditions (good when the shared node's influents change and
+/// several rules consume it).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util/inventory.h"
+
+namespace deltamon {
+namespace {
+
+using rules::RuleOptions;
+using rules::Semantics;
+using workload::BuildInventory;
+using workload::InventoryConfig;
+using workload::InventorySchema;
+using workload::SetFn;
+
+struct SharingSetup {
+  std::unique_ptr<Engine> engine;
+  InventorySchema schema;
+  size_t fired = 0;
+};
+
+/// Builds the inventory plus TWO rules over cnd_monitor_items-style
+/// conditions (one low-stock, one high-threshold watchdog), both referring
+/// to the threshold view.
+Result<std::unique_ptr<SharingSetup>> MakeSetup(size_t num_items,
+                                                bool share_threshold) {
+  auto setup = std::make_unique<SharingSetup>();
+  setup->engine = std::make_unique<Engine>();
+  InventoryConfig config;
+  config.num_items = num_items;
+  DELTAMON_ASSIGN_OR_RETURN(setup->schema,
+                            BuildInventory(*setup->engine, config));
+  Engine& engine = *setup->engine;
+  const InventorySchema& s = setup->schema;
+
+  // Second condition over the same threshold view: items whose threshold
+  // exceeds a watermark (an "expensive to restock" watchdog).
+  ColumnType item_col{ValueKind::kObject, s.item};
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId high,
+      engine.db.catalog().CreateDerivedFunction(
+          "cnd_high_threshold", FunctionSignature{{}, {item_col}}));
+  {
+    objectlog::Clause c;
+    c.head_relation = high;
+    c.num_vars = 2;
+    c.var_names = {"I", "T"};
+    c.head_args = {objectlog::Term::Var(0)};
+    c.body = {
+        objectlog::Literal::Relation(
+            s.threshold, {objectlog::Term::Var(0), objectlog::Term::Var(1)}),
+        objectlog::Literal::Compare(objectlog::CompareOp::kGt,
+                                    objectlog::Term::Var(1),
+                                    objectlog::Term::Const(Value(100000))),
+    };
+    DELTAMON_RETURN_IF_ERROR(
+        engine.registry.Define(high, std::move(c), engine.db.catalog()));
+  }
+
+  if (share_threshold) {
+    core::BuildOptions options;
+    options.keep.insert(s.threshold);
+    engine.rules.SetNetworkOptions(options);
+  }
+  SharingSetup* raw = setup.get();
+  auto count = [raw](Database&, const Tuple&,
+                     const std::vector<Tuple>& items) {
+    raw->fired += items.size();
+    return Status::OK();
+  };
+  RuleOptions options;
+  options.semantics = Semantics::kNervous;
+  options.propagate_deletions = false;
+  DELTAMON_ASSIGN_OR_RETURN(
+      rules::RuleId r1,
+      engine.rules.CreateRule("low_stock", s.cnd_monitor_items, count,
+                              options));
+  DELTAMON_ASSIGN_OR_RETURN(
+      rules::RuleId r2,
+      engine.rules.CreateRule("high_threshold", high, count, options));
+  DELTAMON_RETURN_IF_ERROR(engine.rules.Activate(r1));
+  DELTAMON_RETURN_IF_ERROR(engine.rules.Activate(r2));
+  return setup;
+}
+
+/// One transaction changing min_stock of 1% of the items — a threshold-side
+/// update consumed by both rules.
+void RunThresholdUpdates(SharingSetup& setup, int64_t& round) {
+  size_t n = setup.schema.items.size();
+  size_t changes = std::max<size_t>(1, n / 100);
+  for (size_t c = 0; c < changes; ++c, ++round) {
+    size_t idx = static_cast<size_t>(round) % n;
+    if (!workload::SetFn(*setup.engine, setup.schema.min_stock,
+                         setup.schema.items[idx], 100 + (round % 7))
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!setup.engine->db.Commit().ok()) std::abort();
+}
+
+template <bool kShare>
+void BM_NodeSharing(benchmark::State& state) {
+  auto setup = MakeSetup(static_cast<size_t>(state.range(0)), kShare);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  int64_t round = 0;
+  for (auto _ : state) {
+    RunThresholdUpdates(**setup, round);
+  }
+  state.counters["items"] = static_cast<double>(state.range(0));
+  state.counters["diffs_run"] = static_cast<double>(
+      (*setup)->engine->rules.last_check().propagation.differentials_executed);
+}
+
+void BM_Flat_FullExpansion(benchmark::State& state) {
+  BM_NodeSharing<false>(state);
+}
+void BM_Bushy_SharedThreshold(benchmark::State& state) {
+  BM_NodeSharing<true>(state);
+}
+
+}  // namespace
+}  // namespace deltamon
+
+BENCHMARK(deltamon::BM_Flat_FullExpansion)
+    ->RangeMultiplier(10)
+    ->Range(100, 10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(deltamon::BM_Bushy_SharedThreshold)
+    ->RangeMultiplier(10)
+    ->Range(100, 10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

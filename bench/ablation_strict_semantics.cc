@@ -1,0 +1,91 @@
+/// Ablation for §7.2: the cost of strict rule semantics. Strict monitoring
+/// adds (a) negative differentials up to the root and (b) the old-state
+/// filter on Δ+ of the condition, so each candidate insertion costs one
+/// point query against the rolled-back state. Nervous insertions-only
+/// monitoring skips both.
+///
+/// The workload drives items across the threshold so the filters actually
+/// run; updates per transaction are swept to show the per-candidate cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util/inventory.h"
+
+namespace deltamon {
+namespace {
+
+using rules::MonitorMode;
+using rules::Semantics;
+using workload::MonitorSetup;
+using workload::SetFn;
+using workload::SetupMonitorItems;
+
+constexpr size_t kItems = 2000;
+
+/// One transaction moving `changes` items below the threshold (condition
+/// turns true) and the previously moved batch back above it.
+void RunCrossingTransaction(MonitorSetup& setup, int64_t changes,
+                            int64_t& round) {
+  const auto& items = setup.schema.items;
+  for (int64_t c = 0; c < changes; ++c, ++round) {
+    size_t down = static_cast<size_t>(round) % items.size();
+    size_t up = static_cast<size_t>(round + changes) % items.size();
+    if (!SetFn(*setup.engine, setup.schema.quantity, items[down],
+               100 + (round % 7))
+             .ok() ||
+        !SetFn(*setup.engine, setup.schema.quantity, items[up],
+               1000 + (round % 7))
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!setup.engine->db.Commit().ok()) std::abort();
+}
+
+template <Semantics kSemantics, bool kDeletions>
+void BM_Semantics(benchmark::State& state) {
+  auto setup = SetupMonitorItems(kItems, MonitorMode::kIncremental,
+                                 kSemantics, kDeletions);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  int64_t round = 0;
+  for (auto _ : state) {
+    RunCrossingTransaction(**setup, state.range(0), round);
+  }
+  state.counters["updates_per_tx"] = static_cast<double>(2 * state.range(0));
+  state.counters["filtered_plus"] = static_cast<double>(
+      (*setup)->engine->rules.last_check().propagation.filtered_plus);
+  state.counters["filtered_minus"] = static_cast<double>(
+      (*setup)->engine->rules.last_check().propagation.filtered_minus);
+  state.counters["fired"] = static_cast<double>((*setup)->fired);
+}
+
+void BM_Nervous_InsertionsOnly(benchmark::State& state) {
+  BM_Semantics<Semantics::kNervous, false>(state);
+}
+void BM_Nervous_WithDeletions(benchmark::State& state) {
+  BM_Semantics<Semantics::kNervous, true>(state);
+}
+void BM_Strict_Full(benchmark::State& state) {
+  BM_Semantics<Semantics::kStrict, true>(state);
+}
+
+}  // namespace
+}  // namespace deltamon
+
+BENCHMARK(deltamon::BM_Nervous_InsertionsOnly)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(deltamon::BM_Nervous_WithDeletions)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(deltamon::BM_Strict_Full)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,213 @@
+/// Reproduces the fig. 4 table operationally: for every relational
+/// operator, compares computing the net change ΔP *incrementally* from the
+/// partial differentials of fig. 4 against *recomputing* P in both states
+/// and diffing. Relations hold `size` tuples; the transaction changes a
+/// small constant number of input tuples — the paper's normal case.
+///
+/// Expected shape: incremental cost is governed by |ΔQ|,|ΔR| (plus the
+/// correction point-checks), recomputation by |Q|,|R| — so the incremental
+/// columns stay flat while recompute grows with size.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "relalg/relalg.h"
+
+namespace deltamon::relalg {
+namespace {
+
+constexpr int64_t kDomainFactor = 4;
+constexpr size_t kChanges = 4;
+
+struct Inputs {
+  TupleSet q_new, r_new;
+  DeltaSet dq, dr;
+};
+
+Inputs MakeInputs(size_t size, size_t arity, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int64_t> v(
+      0, static_cast<int64_t>(size) * kDomainFactor);
+  auto tuple = [&] {
+    std::vector<Value> vals;
+    for (size_t a = 0; a < arity; ++a) vals.emplace_back(v(rng));
+    return Tuple(std::move(vals));
+  };
+  Inputs in;
+  while (in.q_new.size() < size) in.q_new.insert(tuple());
+  while (in.r_new.size() < size) in.r_new.insert(tuple());
+  for (size_t c = 0; c < kChanges; ++c) {
+    Tuple t = tuple();
+    if (in.q_new.insert(t).second) in.dq.ApplyInsert(t);
+    Tuple u = *in.q_new.begin();
+    in.q_new.erase(u);
+    in.dq.ApplyDelete(u);
+    Tuple t2 = tuple();
+    if (in.r_new.insert(t2).second) in.dr.ApplyInsert(t2);
+  }
+  return in;
+}
+
+Predicate EvenPredicate() {
+  return [](const Tuple& t) { return t[0].AsInt() % 2 == 0; };
+}
+
+/// --- One benchmark pair (incremental vs recompute) per operator ---------
+
+void BM_Select_Incremental(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 42);
+  Predicate cond = EvenPredicate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaSelect(in.q_new, in.dq, cond));
+  }
+}
+
+void BM_Select_Recompute(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 42);
+  Predicate cond = EvenPredicate();
+  TupleSet q_old = RollbackToOldState(in.q_new, in.dq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiffStates(Select(q_old, cond), Select(in.q_new, cond)));
+  }
+}
+
+void BM_Project_Incremental(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 2, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaProject(in.q_new, in.dq, {0}));
+  }
+}
+
+void BM_Project_Recompute(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 2, 43);
+  TupleSet q_old = RollbackToOldState(in.q_new, in.dq);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiffStates(Project(q_old, {0}), Project(in.q_new, {0})));
+  }
+}
+
+void BM_Union_Incremental(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 44);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaUnionOp(in.q_new, in.r_new, in.dq, in.dr));
+  }
+}
+
+void BM_Union_Recompute(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 44);
+  TupleSet q_old = RollbackToOldState(in.q_new, in.dq);
+  TupleSet r_old = RollbackToOldState(in.r_new, in.dr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiffStates(Union(q_old, r_old), Union(in.q_new, in.r_new)));
+  }
+}
+
+void BM_Difference_Incremental(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DeltaDifference(in.q_new, in.r_new, in.dq, in.dr));
+  }
+}
+
+void BM_Difference_Recompute(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 45);
+  TupleSet q_old = RollbackToOldState(in.q_new, in.dq);
+  TupleSet r_old = RollbackToOldState(in.r_new, in.dr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiffStates(Difference(q_old, r_old),
+                                        Difference(in.q_new, in.r_new)));
+  }
+}
+
+void BM_Intersect_Incremental(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 46);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DeltaIntersect(in.q_new, in.r_new, in.dq, in.dr));
+  }
+}
+
+void BM_Intersect_Recompute(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 46);
+  TupleSet q_old = RollbackToOldState(in.q_new, in.dq);
+  TupleSet r_old = RollbackToOldState(in.r_new, in.dr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiffStates(Intersect(q_old, r_old), Intersect(in.q_new, in.r_new)));
+  }
+}
+
+void BM_Join_Incremental(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 2, 47);
+  JoinColumns on = {{1, 0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaJoin(in.q_new, in.r_new, on, in.dq, in.dr));
+  }
+}
+
+void BM_Join_Recompute(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 2, 47);
+  TupleSet q_old = RollbackToOldState(in.q_new, in.dq);
+  TupleSet r_old = RollbackToOldState(in.r_new, in.dr);
+  JoinColumns on = {{1, 0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiffStates(Join(q_old, r_old, on), Join(in.q_new, in.r_new, on)));
+  }
+}
+
+// Product output is quadratic; keep sizes modest.
+void BM_Product_Incremental(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 48);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaProduct(in.q_new, in.r_new, in.dq, in.dr));
+  }
+}
+
+void BM_Product_Recompute(benchmark::State& state) {
+  Inputs in = MakeInputs(static_cast<size_t>(state.range(0)), 1, 48);
+  TupleSet q_old = RollbackToOldState(in.q_new, in.dq);
+  TupleSet r_old = RollbackToOldState(in.r_new, in.dr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DiffStates(Product(q_old, r_old), Product(in.q_new, in.r_new)));
+  }
+}
+
+}  // namespace
+}  // namespace deltamon::relalg
+
+#define DELTAMON_FIG4_BENCH(name)                 \
+  BENCHMARK(deltamon::relalg::name)               \
+      ->RangeMultiplier(8)                        \
+      ->Range(64, 32768)                          \
+      ->Unit(benchmark::kMicrosecond)
+
+DELTAMON_FIG4_BENCH(BM_Select_Incremental);
+DELTAMON_FIG4_BENCH(BM_Select_Recompute);
+DELTAMON_FIG4_BENCH(BM_Project_Incremental);
+DELTAMON_FIG4_BENCH(BM_Project_Recompute);
+DELTAMON_FIG4_BENCH(BM_Union_Incremental);
+DELTAMON_FIG4_BENCH(BM_Union_Recompute);
+DELTAMON_FIG4_BENCH(BM_Difference_Incremental);
+DELTAMON_FIG4_BENCH(BM_Difference_Recompute);
+DELTAMON_FIG4_BENCH(BM_Intersect_Incremental);
+DELTAMON_FIG4_BENCH(BM_Intersect_Recompute);
+DELTAMON_FIG4_BENCH(BM_Join_Incremental);
+DELTAMON_FIG4_BENCH(BM_Join_Recompute);
+
+BENCHMARK(deltamon::relalg::BM_Product_Incremental)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(deltamon::relalg::BM_Product_Recompute)
+    ->RangeMultiplier(4)
+    ->Range(16, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

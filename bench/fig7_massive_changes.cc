@@ -1,0 +1,88 @@
+/// Reproduces fig. 7 of the paper: one transaction that changes the
+/// quantity, the delivery time, and the consume frequency of ALL n items,
+/// affecting three of the five partial differentials at once.
+///
+/// Expected shape (paper §6.2): here naive monitoring wins — the three
+/// differentials overlap in the work they redo — but only by a roughly
+/// constant factor over the database size (the paper measured ~1.6×).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util/inventory.h"
+
+namespace deltamon {
+namespace {
+
+using rules::MonitorMode;
+using workload::MonitorSetup;
+using workload::SetupMonitorItems;
+
+/// One fig. 7 transaction: 3n updates touching quantity, delivery_time and
+/// consume_freq of every item (values stay on the quiet side of the
+/// threshold so we time monitoring, not rule firing).
+void RunMassiveTransaction(MonitorSetup& setup, int64_t round) {
+  Engine& engine = *setup.engine;
+  const auto& schema = setup.schema;
+  for (size_t i = 0; i < schema.items.size(); ++i) {
+    if (!engine.db
+             .Set(schema.quantity, Tuple{Value(schema.items[i])},
+                  Tuple{Value(900 + round)})
+             .ok() ||
+        !engine.db
+             .Set(schema.delivery_time,
+                  Tuple{Value(schema.items[i]), Value(schema.suppliers[i])},
+                  Tuple{Value(2 + (round % 2))})
+             .ok() ||
+        !engine.db
+             .Set(schema.consume_freq, Tuple{Value(schema.items[i])},
+                  Tuple{Value(20 + (round % 2))})
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!engine.db.Commit().ok()) std::abort();
+}
+
+template <MonitorMode kMode>
+void BM_Fig7(benchmark::State& state) {
+  auto setup = SetupMonitorItems(static_cast<size_t>(state.range(0)), kMode);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  int64_t round = 0;
+  for (auto _ : state) {
+    RunMassiveTransaction(**setup, round++);
+  }
+  state.counters["items"] = static_cast<double>(state.range(0));
+  state.counters["updates_per_tx"] = static_cast<double>(3 * state.range(0));
+}
+
+void BM_Fig7_Incremental(benchmark::State& state) {
+  BM_Fig7<MonitorMode::kIncremental>(state);
+}
+void BM_Fig7_Naive(benchmark::State& state) {
+  BM_Fig7<MonitorMode::kNaive>(state);
+}
+void BM_Fig7_Hybrid(benchmark::State& state) {
+  // §8 extension: the hybrid monitor should pick the naive path here.
+  BM_Fig7<MonitorMode::kHybrid>(state);
+}
+
+}  // namespace
+}  // namespace deltamon
+
+BENCHMARK(deltamon::BM_Fig7_Incremental)
+    ->RangeMultiplier(10)
+    ->Range(10, 10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(deltamon::BM_Fig7_Naive)
+    ->RangeMultiplier(10)
+    ->Range(10, 10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(deltamon::BM_Fig7_Hybrid)
+    ->RangeMultiplier(10)
+    ->Range(10, 10000)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

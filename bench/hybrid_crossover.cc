@@ -1,0 +1,75 @@
+/// Extension benchmark for §8 ("Further research is needed on detecting
+/// situations where naive evaluation should be chosen and how to mix naive
+/// and incremental evaluation ... into a hybrid evaluation method"):
+/// sweeps the number of updates per transaction on a fixed database and
+/// shows where naive overtakes incremental, and that the hybrid monitor
+/// tracks the better of the two on both sides of the crossover.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util/inventory.h"
+
+namespace deltamon {
+namespace {
+
+using rules::MonitorMode;
+using workload::MonitorSetup;
+using workload::SetFn;
+using workload::SetupMonitorItems;
+
+constexpr size_t kItems = 2000;
+
+/// One transaction updating `changes` distinct items' quantities (staying
+/// above the threshold: pure monitoring cost).
+void RunTransaction(MonitorSetup& setup, int64_t changes, int64_t& round) {
+  const auto& items = setup.schema.items;
+  for (int64_t c = 0; c < changes; ++c, ++round) {
+    size_t idx = static_cast<size_t>(round) % items.size();
+    if (!SetFn(*setup.engine, setup.schema.quantity, items[idx],
+               900 + (round % 89))
+             .ok()) {
+      std::abort();
+    }
+  }
+  if (!setup.engine->db.Commit().ok()) std::abort();
+}
+
+template <MonitorMode kMode>
+void BM_Crossover(benchmark::State& state) {
+  auto setup = SetupMonitorItems(kItems, kMode);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  int64_t round = 0;
+  for (auto _ : state) {
+    RunTransaction(**setup, state.range(0), round);
+  }
+  state.counters["updates_per_tx"] = static_cast<double>(state.range(0));
+  state.counters["items"] = kItems;
+}
+
+void BM_Crossover_Incremental(benchmark::State& state) {
+  BM_Crossover<MonitorMode::kIncremental>(state);
+}
+void BM_Crossover_Naive(benchmark::State& state) {
+  BM_Crossover<MonitorMode::kNaive>(state);
+}
+void BM_Crossover_Hybrid(benchmark::State& state) {
+  BM_Crossover<MonitorMode::kHybrid>(state);
+}
+
+}  // namespace
+}  // namespace deltamon
+
+#define DELTAMON_CROSSOVER_BENCH(name)            \
+  BENCHMARK(deltamon::name)                       \
+      ->RangeMultiplier(4)                        \
+      ->Range(1, 2048)                            \
+      ->Unit(benchmark::kMicrosecond)
+
+DELTAMON_CROSSOVER_BENCH(BM_Crossover_Incremental);
+DELTAMON_CROSSOVER_BENCH(BM_Crossover_Naive);
+DELTAMON_CROSSOVER_BENCH(BM_Crossover_Hybrid);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/// Micro-benchmarks for the Δ-set machinery of §4.1: folding physical
+/// events into logical Δ-sets (with insert/delete cancellation), the ∪Δ
+/// delta-union operator, and the no-net-effect fast path the paper's
+/// min_stock example relies on.
+
+#include <benchmark/benchmark.h>
+
+#include "delta/delta_set.h"
+
+namespace deltamon {
+namespace {
+
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+/// Folding n distinct insertions.
+void BM_FoldInsertions(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    DeltaSet d;
+    for (int64_t i = 0; i < n; ++i) d.ApplyInsert(T(i, i));
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+/// The §4.1 pattern: every update is later reverted — the Δ-set must end
+/// empty and never grow beyond one entry per live key.
+void BM_FoldNoNetEffect(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    DeltaSet d;
+    for (int64_t i = 0; i < n; ++i) {
+      d.ApplyDelete(T(i, 100));   // -(f, i, 100)
+      d.ApplyInsert(T(i, 150));   // +(f, i, 150)
+      d.ApplyDelete(T(i, 150));   // -(f, i, 150)
+      d.ApplyInsert(T(i, 100));   // +(f, i, 100)
+    }
+    if (!d.empty()) std::abort();
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 4);
+}
+
+/// ∪Δ of two Δ-sets with 50% overlap (cancellation work).
+void BM_DeltaUnion(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  DeltaSet a, b;
+  for (int64_t i = 0; i < n; ++i) {
+    a.ApplyInsert(T(i, 0));
+    if (i % 2 == 0) {
+      b.ApplyDelete(T(i, 0));  // cancels half of a's insertions
+    } else {
+      b.ApplyInsert(T(i + n, 0));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaUnion(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+
+/// Logical rollback: reconstructing the old state from new + Δ (fig. 3).
+void BM_RollbackOldState(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  TupleSet s;
+  DeltaSet d;
+  for (int64_t i = 0; i < n; ++i) s.insert(T(i, 0));
+  for (int64_t i = 0; i < n / 10 + 1; ++i) {
+    d.ApplyInsert(T(i, 0));
+    d.ApplyDelete(T(i + n, 0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RollbackToOldState(s, d));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+/// DiffStates — what the naive monitor pays to find changes.
+void BM_DiffStates(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  TupleSet old_state, new_state;
+  for (int64_t i = 0; i < n; ++i) {
+    old_state.insert(T(i, 0));
+    new_state.insert(T(i + n / 20, 0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiffStates(old_state, new_state));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+
+}  // namespace
+}  // namespace deltamon
+
+BENCHMARK(deltamon::BM_FoldInsertions)->Range(64, 65536);
+BENCHMARK(deltamon::BM_FoldNoNetEffect)->Range(64, 65536);
+BENCHMARK(deltamon::BM_DeltaUnion)->Range(64, 65536);
+BENCHMARK(deltamon::BM_RollbackOldState)->Range(64, 65536);
+BENCHMARK(deltamon::BM_DiffStates)->Range(64, 65536);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,129 @@
+// Interactive AMOSQL shell: type statements terminated by ';', see query
+// results and rule firings immediately. Meta commands:
+//   \net     print the current propagation network
+//   \stats   print last check-phase statistics
+//   \mode incremental|naive|hybrid
+//   \quit
+//
+//   $ ./amosql_shell
+//   amosql> create type item;
+//   amosql> ...
+//
+// A `print(...)` procedure is pre-registered for rule actions.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "amosql/session.h"
+
+using namespace deltamon;
+
+namespace {
+
+void PrintStats(const rules::CheckStats& s) {
+  std::printf(
+      "rounds=%zu firings=%zu waves=%zu naive_recomputes=%zu\n"
+      "differentials: executed=%zu skipped=%zu tuples=%zu\n"
+      "filters: plus=%zu minus=%zu  peak_wavefront=%zu resident=%zu\n",
+      s.rounds, s.rule_firings, s.incremental_waves, s.naive_recomputations,
+      s.propagation.differentials_executed,
+      s.propagation.differentials_skipped, s.propagation.tuples_propagated,
+      s.propagation.filtered_plus, s.propagation.filtered_minus,
+      s.propagation.peak_wavefront_tuples,
+      s.propagation.materialized_resident_tuples);
+}
+
+bool HandleMeta(const std::string& line, Engine& engine) {
+  if (line == "\\quit" || line == "\\q") std::exit(0);
+  if (line == "\\stats") {
+    PrintStats(engine.rules.last_check());
+    return true;
+  }
+  if (line == "\\net") {
+    auto net = engine.rules.network();
+    if (!net.ok()) {
+      std::printf("error: %s\n", net.status().ToString().c_str());
+    } else if (*net == nullptr) {
+      std::printf("(no activated rules)\n");
+    } else {
+      std::printf("%s", (*net)->ToString(engine.db.catalog()).c_str());
+    }
+    return true;
+  }
+  if (line.rfind("\\mode ", 0) == 0) {
+    std::string mode = line.substr(6);
+    if (mode == "incremental") {
+      engine.rules.SetMode(rules::MonitorMode::kIncremental);
+    } else if (mode == "naive") {
+      engine.rules.SetMode(rules::MonitorMode::kNaive);
+    } else if (mode == "hybrid") {
+      engine.rules.SetMode(rules::MonitorMode::kHybrid);
+    } else {
+      std::printf("unknown mode '%s'\n", mode.c_str());
+      return true;
+    }
+    std::printf("monitoring mode: %s\n", mode.c_str());
+    return true;
+  }
+  if (line == "\\help" || line == "\\h") {
+    std::printf(
+        "statements: create type/function/rule, create <type> instances,\n"
+        "  set/add/remove f(args) = value, select ..., activate/deactivate,\n"
+        "  commit, rollback   (terminate with ';')\n"
+        "meta: \\net \\stats \\mode <m> \\quit\n");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  Engine engine;
+  amosql::Session session(engine);
+  session.RegisterProcedure("print",
+                            [](Database&, const std::vector<Value>& args) {
+                              std::printf("  print:");
+                              for (const Value& v : args) {
+                                std::printf(" %s", v.ToString().c_str());
+                              }
+                              std::printf("\n");
+                              return Status::OK();
+                            });
+
+  std::printf("deltamon AMOSQL shell — \\help for help, \\quit to exit\n");
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "amosql> " : "   ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Meta commands only at statement start.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (HandleMeta(line, engine)) continue;
+      std::printf("unknown meta command (\\help)\n");
+      continue;
+    }
+    buffer += line;
+    buffer += "\n";
+    // Execute once the buffer ends with ';' (outside this toy heuristic,
+    // strings containing ';' at end of line would also trigger).
+    std::string trimmed = buffer;
+    while (!trimmed.empty() && std::isspace((unsigned char)trimmed.back())) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    auto result = session.Execute(buffer);
+    buffer.clear();
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->rows.empty()) {
+      std::printf("%s(%zu rows)\n", result->ToString().c_str(),
+                  result->rows.size());
+    }
+  }
+  return 0;
+}

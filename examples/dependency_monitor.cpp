@@ -1,0 +1,155 @@
+// Dependency-graph monitoring with a recursive condition (the linear
+// recursion extension, paper §5 footnote): services depend on each other;
+// a rule pages whenever a *critical* service becomes transitively
+// dependent on a service marked unstable — including through newly added
+// dependency edges, and it stands down when a re-route removes the path.
+//
+//   $ ./dependency_monitor
+
+#include <cstdio>
+
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+using namespace deltamon;
+using objectlog::Clause;
+using objectlog::Literal;
+using objectlog::Term;
+
+namespace {
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+
+constexpr const char* kNames[] = {"web", "api", "auth", "cache", "db",
+                                  "queue"};
+
+Status Run() {
+  Engine engine;
+  Catalog& cat = engine.db.catalog();
+
+  // depends_on(service, service); unstable(service); critical(service).
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId depends,
+      cat.CreateStoredFunction("depends_on",
+                               FunctionSignature{{IntCol()}, {IntCol()}}));
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId unstable,
+      cat.CreateStoredFunction("unstable", FunctionSignature{{IntCol()}, {}}));
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId critical,
+      cat.CreateStoredFunction("critical", FunctionSignature{{IntCol()}, {}}));
+
+  // reaches(x,y): transitive dependency (recursive view).
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId reaches,
+      cat.CreateDerivedFunction("reaches",
+                                FunctionSignature{{}, {IntCol(), IntCol()}}));
+  {
+    Clause base;
+    base.head_relation = reaches;
+    base.num_vars = 2;
+    base.head_args = {Term::Var(0), Term::Var(1)};
+    base.body = {Literal::Relation(depends, {Term::Var(0), Term::Var(1)})};
+    DELTAMON_RETURN_IF_ERROR(engine.registry.Define(reaches, std::move(base),
+                                                    cat));
+    Clause step;
+    step.head_relation = reaches;
+    step.num_vars = 3;
+    step.head_args = {Term::Var(0), Term::Var(2)};
+    step.body = {Literal::Relation(depends, {Term::Var(0), Term::Var(1)}),
+                 Literal::Relation(reaches, {Term::Var(1), Term::Var(2)})};
+    DELTAMON_RETURN_IF_ERROR(engine.registry.Define(reaches, std::move(step),
+                                                    cat));
+  }
+
+  // at_risk(c, u): critical c transitively depends on unstable u.
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId at_risk,
+      cat.CreateDerivedFunction("cnd_at_risk",
+                                FunctionSignature{{}, {IntCol(), IntCol()}}));
+  {
+    Clause c;
+    c.head_relation = at_risk;
+    c.num_vars = 2;
+    c.head_args = {Term::Var(0), Term::Var(1)};
+    c.body = {Literal::Relation(critical, {Term::Var(0)}),
+              Literal::Relation(reaches, {Term::Var(0), Term::Var(1)}),
+              Literal::Relation(unstable, {Term::Var(1)})};
+    DELTAMON_RETURN_IF_ERROR(engine.registry.Define(at_risk, std::move(c),
+                                                    cat));
+  }
+
+  DELTAMON_ASSIGN_OR_RETURN(
+      rules::RuleId rule,
+      engine.rules.CreateRule(
+          "page_at_risk", at_risk,
+          [](Database&, const Tuple&, const std::vector<Tuple>& pairs) {
+            for (const Tuple& p : pairs) {
+              std::printf("  >> PAGE: critical '%s' now depends on unstable "
+                          "'%s'\n",
+                          kNames[p[0].AsInt()], kNames[p[1].AsInt()]);
+            }
+            return Status::OK();
+          }));
+  DELTAMON_RETURN_IF_ERROR(engine.rules.Activate(rule));
+
+  enum { kWeb, kApi, kAuth, kCache, kDb, kQueue };
+  auto edge = [&](int a, int b) {
+    return engine.db.Insert(depends, Tuple{Value(a), Value(b)});
+  };
+  auto drop_edge = [&](int a, int b) {
+    return engine.db.Delete(depends, Tuple{Value(a), Value(b)});
+  };
+
+  std::printf("bootstrapping the service graph (web->api->auth, api->cache)"
+              "...\n");
+  DELTAMON_RETURN_IF_ERROR(engine.db.Insert(critical, Tuple{Value(kWeb)}));
+  DELTAMON_RETURN_IF_ERROR(edge(kWeb, kApi));
+  DELTAMON_RETURN_IF_ERROR(edge(kApi, kAuth));
+  DELTAMON_RETURN_IF_ERROR(edge(kApi, kCache));
+  DELTAMON_RETURN_IF_ERROR(engine.db.Commit());
+
+  std::printf("\n'db' flagged unstable (nothing critical reaches it yet):\n");
+  DELTAMON_RETURN_IF_ERROR(engine.db.Insert(unstable, Tuple{Value(kDb)}));
+  DELTAMON_RETURN_IF_ERROR(engine.db.Commit());
+
+  std::printf("\n'cache' starts using 'db' — web is now at risk through the "
+              "chain web->api->cache->db:\n");
+  DELTAMON_RETURN_IF_ERROR(edge(kCache, kDb));
+  DELTAMON_RETURN_IF_ERROR(engine.db.Commit());
+
+  std::printf("\nre-routing 'cache' to 'queue' removes the risky path:\n");
+  DELTAMON_RETURN_IF_ERROR(edge(kCache, kQueue));
+  DELTAMON_RETURN_IF_ERROR(drop_edge(kCache, kDb));
+  DELTAMON_RETURN_IF_ERROR(engine.db.Commit());
+  std::printf("  (no page: path gone, strict rule quiet)\n");
+
+  std::printf("\n'auth' also picks up 'db' — paged again (condition was "
+              "false in between):\n");
+  DELTAMON_RETURN_IF_ERROR(edge(kAuth, kDb));
+  DELTAMON_RETURN_IF_ERROR(engine.db.Commit());
+
+  // Show the closure for reference.
+  objectlog::Evaluator ev(engine.db, engine.registry,
+                          objectlog::StateContext{});
+  TupleSet closure;
+  DELTAMON_RETURN_IF_ERROR(
+      ev.Evaluate(reaches, objectlog::EvalState::kNew, &closure));
+  std::printf("\ntransitive dependencies of 'web': ");
+  for (const Tuple& t : SortedTuples(closure)) {
+    if (t[0].AsInt() == kWeb) std::printf("%s ", kNames[t[1].AsInt()]);
+  }
+  std::printf("\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status s = Run();
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

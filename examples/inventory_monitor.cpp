@@ -1,0 +1,138 @@
+// Inventory monitoring through the C++ API (no AMOSQL): builds the paper's
+// schema programmatically, activates a self-refilling monitor_items rule,
+// drives a stream of consumption transactions, and prints monitoring
+// statistics for the incremental, naive, and hybrid monitors side by side.
+//
+//   $ ./inventory_monitor [num_items] [num_transactions]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "bench_util/inventory.h"
+
+using namespace deltamon;
+using workload::BuildInventory;
+using workload::GetFn;
+using workload::InventoryConfig;
+using workload::InventorySchema;
+using workload::SetFn;
+
+namespace {
+
+struct RunResult {
+  size_t orders = 0;
+  size_t differentials_executed = 0;
+  size_t differentials_skipped = 0;
+  size_t naive_recomputations = 0;
+  double millis = 0;
+};
+
+Result<RunResult> Run(rules::MonitorMode mode, size_t num_items,
+                      int num_transactions) {
+  Engine engine;
+  engine.rules.SetMode(mode);
+  InventoryConfig config;
+  config.num_items = num_items;
+  DELTAMON_ASSIGN_OR_RETURN(InventorySchema schema,
+                            BuildInventory(engine, config));
+
+  RunResult result;
+  // monitor_items with a refilling action: order back up to max_stock.
+  rules::RuleOptions options;
+  options.semantics = rules::Semantics::kStrict;
+  DELTAMON_ASSIGN_OR_RETURN(
+      rules::RuleId rule,
+      engine.rules.CreateRule(
+          "monitor_items", schema.cnd_monitor_items,
+          [&result, &schema](Database& db, const Tuple&,
+                             const std::vector<Tuple>& items) -> Status {
+            for (const Tuple& item : items) {
+              ++result.orders;
+              // Refill to max_stock (the paper's order()).
+              const BaseRelation* max_rel =
+                  db.catalog().GetBaseRelation(schema.max_stock);
+              ScanPattern p(max_rel->arity());
+              p[0] = item[0];
+              int64_t max_stock = 0;
+              max_rel->Scan(p, [&max_stock](const Tuple& t) {
+                max_stock = t[1].AsInt();
+                return false;
+              });
+              DELTAMON_RETURN_IF_ERROR(db.Set(schema.quantity, Tuple{item[0]},
+                                              Tuple{Value(max_stock)}));
+            }
+            return Status::OK();
+          },
+          options));
+  DELTAMON_RETURN_IF_ERROR(engine.rules.Activate(rule));
+
+  // Consumption stream: each transaction decrements a random item's
+  // quantity by a random bite; occasionally demand spikes (consume_freq).
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<size_t> pick(0, num_items - 1);
+  std::uniform_int_distribution<int64_t> bite(50, 400);
+  auto start = std::chrono::steady_clock::now();
+  for (int tx = 0; tx < num_transactions; ++tx) {
+    size_t i = pick(rng);
+    DELTAMON_ASSIGN_OR_RETURN(int64_t q,
+                              GetFn(engine, schema.quantity, schema.items[i]));
+    DELTAMON_RETURN_IF_ERROR(SetFn(engine, schema.quantity, schema.items[i],
+                                   std::max<int64_t>(0, q - bite(rng))));
+    if (tx % 25 == 0) {
+      DELTAMON_RETURN_IF_ERROR(SetFn(engine, schema.consume_freq,
+                                     schema.items[pick(rng)],
+                                     20 + (tx % 15)));
+    }
+    DELTAMON_RETURN_IF_ERROR(engine.db.Commit());
+    result.differentials_executed +=
+        engine.rules.last_check().propagation.differentials_executed;
+    result.differentials_skipped +=
+        engine.rules.last_check().propagation.differentials_skipped;
+    result.naive_recomputations +=
+        engine.rules.last_check().naive_recomputations;
+  }
+  auto end = std::chrono::steady_clock::now();
+  result.millis =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_items = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+  int num_transactions = argc > 2 ? std::atoi(argv[2]) : 400;
+
+  std::printf("inventory monitor: %zu items, %d transactions\n\n", num_items,
+              num_transactions);
+  std::printf("%-12s %8s %10s %12s %12s %10s\n", "monitor", "orders",
+              "time(ms)", "diffs run", "diffs skip", "recomputes");
+  struct {
+    const char* name;
+    rules::MonitorMode mode;
+  } modes[] = {
+      {"incremental", rules::MonitorMode::kIncremental},
+      {"naive", rules::MonitorMode::kNaive},
+      {"hybrid", rules::MonitorMode::kHybrid},
+  };
+  for (const auto& m : modes) {
+    auto r = Run(m.mode, num_items, num_transactions);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", m.name,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s %8zu %10.2f %12zu %12zu %10zu\n", m.name, r->orders,
+                r->millis, r->differentials_executed,
+                r->differentials_skipped, r->naive_recomputations);
+  }
+  std::printf(
+      "\nAll monitors must place the same orders (strict semantics); the\n"
+      "incremental monitor executes only the affected partial\n"
+      "differentials per transaction, the naive monitor recomputes the\n"
+      "whole condition.\n");
+  return 0;
+}

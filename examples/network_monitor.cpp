@@ -1,0 +1,108 @@
+// Network monitoring: rules whose conditions use negation and disjunction,
+// exercising the negative partial differentials (§4.4) — deleting a link
+// makes a "node isolated" condition TRUE, so the rule is driven by Δ− of
+// the link relation through the Δ(~Q) = <Δ−Q, Δ+Q> sign swap.
+//
+//   $ ./network_monitor
+
+#include <cstdio>
+
+#include "amosql/session.h"
+
+using deltamon::Database;
+using deltamon::Engine;
+using deltamon::Status;
+using deltamon::Value;
+using deltamon::amosql::Session;
+
+int main() {
+  Engine engine;
+  Session session(engine);
+
+  session.RegisterProcedure(
+      "page_oncall", [](Database&, const std::vector<Value>& args) {
+        std::printf("  >> PAGE: node %s is isolated (no links left)\n",
+                    args[0].ToString().c_str());
+        return Status::OK();
+      });
+  session.RegisterProcedure(
+      "alarm", [](Database&, const std::vector<Value>& args) {
+        std::printf("  >> ALARM: node %s unhealthy (cpu=%s temp=%s)\n",
+                    args[0].ToString().c_str(), args[1].ToString().c_str(),
+                    args[2].ToString().c_str());
+        return Status::OK();
+      });
+
+  auto exec = [&session](const char* what, const std::string& sql) {
+    std::printf("%s\n", what);
+    auto r = session.Execute(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  exec("setting up the network schema and rules...", R"sql(
+    create type node;
+    create function monitored(node) -> boolean;
+    create function link(node) -> node;        -- multi-valued: peers
+    create function cpu(node) -> integer;
+    create function temp(node) -> integer;
+
+    -- Negation: a monitored node with NO remaining links is isolated.
+    create rule isolated_node() as
+      when for each node n where monitored(n) and not link(n)
+      do page_oncall(n);
+
+    -- Disjunction: unhealthy if CPU or temperature exceeds its limit.
+    create rule unhealthy_node() as
+      when for each node n where monitored(n) and
+           (cpu(n) > 90 or temp(n) > 80)
+      do alarm(n, cpu(n), temp(n));
+
+    create node instances :a, :b, :c;
+    set monitored(:a) = true;
+    set monitored(:b) = true;
+    set monitored(:c) = true;
+    add link(:a) = :b;
+    add link(:a) = :c;
+    add link(:b) = :a;
+    add link(:c) = :a;
+    set cpu(:a) = 35; set temp(:a) = 60;
+    set cpu(:b) = 40; set temp(:b) = 58;
+    set cpu(:c) = 22; set temp(:c) = 55;
+
+    activate isolated_node();
+    activate unhealthy_node();
+    commit;
+  )sql");
+
+  exec("\nlink b->a flaps but comes back (no net change, no page):",
+       "remove link(:b) = :a; add link(:b) = :a; commit;");
+
+  exec("\nnode b loses its last link (deletion-driven trigger):",
+       "remove link(:b) = :a; commit;");
+
+  exec("\nnode c overheats (disjunction, temp side):",
+       "set temp(:c) = 95; commit;");
+
+  exec("\nnode a spikes on cpu (disjunction, cpu side):",
+       "set cpu(:a) = 97; commit;");
+
+  // Strict semantics: c stays hot — no second alarm for the same episode.
+  exec("\nnode c gets hotter while already alarmed (strict: no re-alarm):",
+       "set temp(:c) = 99; commit;");
+
+  // Restoring a link while inserting it for an unmonitored node is quiet.
+  exec("\nnode b regains a link; node c cools down:",
+       "add link(:b) = :c; set temp(:c) = 50; commit;");
+
+  exec("\nand isolating b again re-pages (condition went false in between):",
+       "remove link(:b) = :c; commit;");
+
+  std::printf("\ncurrent unhealthy set: ");
+  auto rows = session.Execute(
+      "select n for each node n where cpu(n) > 90 or temp(n) > 80;");
+  std::printf("%zu node(s)\n", rows->rows.size());
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Trade surveillance: multi-join rule conditions over a normalized schema,
+// parameterized rule activation per desk, rule priorities (conflict
+// resolution), and explainability — a realistic deferred-monitoring
+// deployment where compliance checks run once per transaction commit.
+//
+//   $ ./trade_surveillance
+
+#include <cstdio>
+
+#include "amosql/session.h"
+
+using deltamon::Database;
+using deltamon::Engine;
+using deltamon::Status;
+using deltamon::Value;
+using deltamon::amosql::Session;
+
+int main() {
+  Engine engine;
+  Session session(engine);
+
+  int freezes = 0;
+  session.RegisterProcedure(
+      "freeze_trader", [&freezes](Database&, const std::vector<Value>& args) {
+        ++freezes;
+        std::printf("  >> FREEZE trader %s: position %s over limit %s\n",
+                    args[0].ToString().c_str(), args[1].ToString().c_str(),
+                    args[2].ToString().c_str());
+        return Status::OK();
+      });
+  session.RegisterProcedure(
+      "notify_compliance", [](Database&, const std::vector<Value>& args) {
+        std::printf("  >> notify compliance: desk event for trader %s\n",
+                    args[0].ToString().c_str());
+        return Status::OK();
+      });
+
+  auto exec = [&session](const char* what, const std::string& sql) {
+    std::printf("%s\n", what);
+    auto r = session.Execute(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      std::exit(1);
+    }
+  };
+
+  exec("creating the trading schema...", R"sql(
+    create type trader;
+    create type desk;
+    create function works_on(trader) -> desk;
+    create function position(trader) -> integer;     -- net exposure
+    create function seniority(trader) -> integer;    -- years
+    create function desk_limit(desk) -> integer;
+
+    -- A trader's personal limit scales with seniority but is capped by
+    -- the desk limit: limit = min-ish modelled as desk_limit/10*seniority.
+    create function trader_limit(trader t) -> integer as
+      select desk_limit(d) / 10 * seniority(t)
+      for each desk d where works_on(t) = d;
+
+    -- Over-limit positions freeze the trader (per-desk activation).
+    create rule over_limit(desk d) as
+      when for each trader t
+      where works_on(t) = d and position(t) > trader_limit(t)
+      do freeze_trader(t, position(t), trader_limit(t));
+
+    -- Lower-priority notification rule over the same condition shape.
+    create rule desk_watch(desk d) as
+      when for each trader t
+      where works_on(t) = d and position(t) > trader_limit(t)
+      do notify_compliance(t);
+
+    -- Aggregate monitoring (§8 extension): individual bookings per trader,
+    -- with the desk's gross booked amount = SUM over all bookings.
+    create function booking(trader) -> integer;
+    create function gross_booked(trader t) -> integer as sum booking(t);
+
+    create desk instances :rates, :fx;
+    set desk_limit(:rates) = 1000;
+    set desk_limit(:fx) = 500;
+
+    create trader instances :alice, :bob, :carol;
+    set works_on(:alice) = :rates;  set seniority(:alice) = 8;
+    set works_on(:bob)   = :rates;  set seniority(:bob) = 2;
+    set works_on(:carol) = :fx;     set seniority(:carol) = 5;
+    set position(:alice) = 100;
+    set position(:bob) = 100;
+    set position(:carol) = 100;
+
+    -- Watch the rates desk only.
+    activate over_limit(:rates);
+    activate desk_watch(:rates);
+    commit;
+  )sql");
+
+  // alice's limit: 1000/10*8 = 800; bob's: 1000/10*2 = 200;
+  // carol's: 500/10*5 = 250 (but the fx desk is not watched).
+  std::printf("\nlimits: %s", session.Execute(
+      "select t, trader_limit(t) for each trader t;")->ToString().c_str());
+
+  exec("\nbob takes a 300 position (over his 200 limit):",
+       "set position(:bob) = 300; commit;");
+
+  exec("\ncarol takes a 400 position (fx desk is not watched; silent):",
+       "set position(:carol) = 400; commit;");
+
+  exec("\na desk-limit cut drops alice's limit below her position:",
+       "set position(:alice) = 700; commit;  -- still under 800, quiet\n"
+       "set desk_limit(:rates) = 800; commit;  -- limit now 640: freeze");
+
+  // Which influent triggered? The desk_limit update, through the
+  // trader_limit join — partial differencing traces it (paper §1).
+  auto rule = engine.rules.FindRule("cnd_over_limit").ok()
+                  ? engine.rules.FindRule("cnd_over_limit")
+                  : engine.rules.FindRule("over_limit");
+  if (rule.ok()) {
+    for (const std::string& why : engine.rules.ExplainLastTrigger(*rule)) {
+      std::printf("  (trigger cause: %s)\n", why.c_str());
+    }
+  }
+
+  exec("\nbob unwinds (condition false) and re-breaches (fires again):",
+       "set position(:bob) = 100; commit;"
+       "set position(:bob) = 500; commit;");
+
+  // Aggregate rule: alert when a trader's gross booked amount (SUM of all
+  // bookings) exceeds 1000, monitored incrementally per affected group.
+  exec("\nactivating the gross-booking rule and booking trades:",
+       "create rule gross_watch() as"
+       "  when for each trader t where gross_booked(t) > 1000"
+       "  do notify_compliance(t);"
+       "activate gross_watch(); commit;"
+       "add booking(:alice) = 400; commit;   -- sum 400, quiet\n"
+       "add booking(:alice) = 500; commit;   -- sum 900, quiet\n"
+       "add booking(:alice) = 200; commit;   -- sum 1100: alert");
+
+  std::printf("\ntotal freezes: %d\n", freezes);
+  return 0;
+}

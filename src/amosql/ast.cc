@@ -1,0 +1,94 @@
+#include "amosql/ast.h"
+
+namespace deltamon::amosql {
+
+ExprPtr Expr::Literal(Value v, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::Variable(std::string name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kVariable;
+  e->name = std::move(name);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::Interface(std::string name, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kInterfaceVar;
+  e->name = std::move(name);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::Call(std::string name, std::vector<ExprPtr> args, int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCall;
+  e->name = std::move(name);
+  e->args = std::move(args);
+  e->line = line;
+  return e;
+}
+
+ExprPtr Expr::Arith(objectlog::ArithOp op, ExprPtr lhs, ExprPtr rhs,
+                    int line) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kArith;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  e->line = line;
+  return e;
+}
+
+PredicatePtr Predicate::Compare(objectlog::CompareOp op, ExprPtr lhs,
+                                ExprPtr rhs, int line) {
+  auto p = std::make_unique<Predicate>();
+  p->kind = Kind::kCompare;
+  p->cmp = op;
+  p->lhs = std::move(lhs);
+  p->rhs = std::move(rhs);
+  p->line = line;
+  return p;
+}
+
+PredicatePtr Predicate::And(PredicatePtr l, PredicatePtr r, int line) {
+  auto p = std::make_unique<Predicate>();
+  p->kind = Kind::kAnd;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  p->line = line;
+  return p;
+}
+
+PredicatePtr Predicate::Or(PredicatePtr l, PredicatePtr r, int line) {
+  auto p = std::make_unique<Predicate>();
+  p->kind = Kind::kOr;
+  p->left = std::move(l);
+  p->right = std::move(r);
+  p->line = line;
+  return p;
+}
+
+PredicatePtr Predicate::Not(PredicatePtr c, int line) {
+  auto p = std::make_unique<Predicate>();
+  p->kind = Kind::kNot;
+  p->child = std::move(c);
+  p->line = line;
+  return p;
+}
+
+PredicatePtr Predicate::Atom(ExprPtr call, int line) {
+  auto p = std::make_unique<Predicate>();
+  p->kind = Kind::kAtom;
+  p->atom = std::move(call);
+  p->line = line;
+  return p;
+}
+
+}  // namespace deltamon::amosql

@@ -1,0 +1,184 @@
+#ifndef DELTAMON_AMOSQL_AST_H_
+#define DELTAMON_AMOSQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "objectlog/ast.h"
+
+namespace deltamon::amosql {
+
+/// --- Expressions ----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An AMOSQL expression: literal, variable reference, interface variable,
+/// function call, or arithmetic.
+struct Expr {
+  enum class Kind {
+    kLiteral,       // 5000, 2.5, "abc"
+    kVariable,      // i, s (query variable)
+    kInterfaceVar,  // :item1 (session environment)
+    kCall,          // quantity(i)
+    kArith,         // a * b
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;                       // kLiteral
+  std::string name;                    // kVariable / kInterfaceVar / kCall
+  std::vector<ExprPtr> args;           // kCall
+  objectlog::ArithOp op = objectlog::ArithOp::kAdd;  // kArith
+  ExprPtr lhs, rhs;                    // kArith
+  int line = 1;
+
+  static ExprPtr Literal(Value v, int line);
+  static ExprPtr Variable(std::string name, int line);
+  static ExprPtr Interface(std::string name, int line);
+  static ExprPtr Call(std::string name, std::vector<ExprPtr> args, int line);
+  static ExprPtr Arith(objectlog::ArithOp op, ExprPtr lhs, ExprPtr rhs,
+                       int line);
+};
+
+/// --- Predicates -------------------------------------------------------------
+
+struct Predicate;
+using PredicatePtr = std::unique_ptr<Predicate>;
+
+/// A boolean condition tree: comparisons over expressions combined with
+/// and / or / not. A bare function call used as a predicate (boolean
+/// function) is represented as kAtom.
+struct Predicate {
+  enum class Kind { kCompare, kAnd, kOr, kNot, kAtom };
+
+  Kind kind = Kind::kCompare;
+  objectlog::CompareOp cmp = objectlog::CompareOp::kEq;  // kCompare
+  ExprPtr lhs, rhs;                                      // kCompare
+  PredicatePtr left, right;                              // kAnd / kOr
+  PredicatePtr child;                                    // kNot
+  ExprPtr atom;                                          // kAtom (a kCall)
+  int line = 1;
+
+  static PredicatePtr Compare(objectlog::CompareOp op, ExprPtr lhs,
+                              ExprPtr rhs, int line);
+  static PredicatePtr And(PredicatePtr l, PredicatePtr r, int line);
+  static PredicatePtr Or(PredicatePtr l, PredicatePtr r, int line);
+  static PredicatePtr Not(PredicatePtr c, int line);
+  static PredicatePtr Atom(ExprPtr call, int line);
+};
+
+/// --- Queries ----------------------------------------------------------------
+
+/// `TYPE NAME` declaration in a for-each clause.
+struct VarDecl {
+  std::string type_name;
+  std::string var_name;
+  int line = 1;
+};
+
+/// `select <exprs> for each <decls> where <pred>`; both the for-each list
+/// and the where clause are optional.
+struct SelectQuery {
+  std::vector<ExprPtr> results;
+  std::vector<VarDecl> for_each;
+  PredicatePtr where;  // may be null
+  int line = 1;
+};
+
+/// --- Statements -------------------------------------------------------------
+
+struct CreateTypeStmt {
+  std::string name;
+};
+
+/// Parameter of a function or rule: type name plus optional variable name.
+struct ParamDecl {
+  std::string type_name;
+  std::string var_name;  // may be empty for stored-function signatures
+  int line = 1;
+};
+
+/// `as count|sum|min|max source(param, ...)`: an aggregate view grouped by
+/// the function's parameters (§8 extension).
+struct AggregateBody {
+  std::string func;    // "count" | "sum" | "min" | "max"
+  std::string source;  // the aggregated function
+  std::vector<std::string> args;  // must be the parameter names, in order
+  int line = 1;
+};
+
+struct CreateFunctionStmt {
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::vector<std::string> result_types;
+  /// Engaged for derived functions ("as select ...").
+  std::optional<SelectQuery> body;
+  /// Engaged for aggregate views ("as sum f(x)").
+  std::optional<AggregateBody> aggregate;
+};
+
+/// Rule action: a procedure call `order(i, ...)` or an update
+/// `set f(args) = expr`.
+struct RuleActionStmt {
+  enum class Kind { kProcedureCall, kSet };
+  Kind kind = Kind::kProcedureCall;
+  ExprPtr call;           // kProcedureCall: a kCall expr
+  ExprPtr set_target;     // kSet: a kCall expr (function being set)
+  ExprPtr set_value;      // kSet
+  int line = 1;
+};
+
+struct CreateRuleStmt {
+  std::string name;
+  std::vector<ParamDecl> params;
+  /// Either a for-each clause with declared variables + predicate, or just
+  /// a predicate over the rule parameters.
+  std::vector<VarDecl> for_each;
+  PredicatePtr condition;
+  RuleActionStmt action;
+  /// `as strict` / `as nervous` modifier (extension; default strict).
+  bool nervous = false;
+};
+
+struct CreateInstancesStmt {
+  std::string type_name;
+  std::vector<std::string> interface_vars;  // names without ':'
+};
+
+/// set / add / remove f(args) = value.
+struct UpdateStmt {
+  enum class Kind { kSet, kAdd, kRemove };
+  Kind kind = Kind::kSet;
+  ExprPtr target;  // kCall expr
+  ExprPtr value;
+  int line = 1;
+};
+
+struct ActivateStmt {
+  std::string rule_name;
+  std::vector<ExprPtr> args;
+  bool deactivate = false;
+};
+
+struct SelectStmt {
+  SelectQuery query;
+};
+
+struct CommitStmt {};
+struct RollbackStmt {};
+
+/// A parsed statement (tagged union via variant).
+struct Statement {
+  std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
+               CreateInstancesStmt, UpdateStmt, ActivateStmt, SelectStmt,
+               CommitStmt, RollbackStmt>
+      node;
+  int line = 1;
+};
+
+}  // namespace deltamon::amosql
+
+#endif  // DELTAMON_AMOSQL_AST_H_

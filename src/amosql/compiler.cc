@@ -1,0 +1,332 @@
+#include "amosql/compiler.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace deltamon::amosql {
+
+using objectlog::Clause;
+using objectlog::CompareOp;
+using objectlog::Literal;
+using objectlog::Term;
+
+Result<ColumnType> ResolveTypeName(const Catalog& catalog,
+                                   const std::string& name, int line) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "integer" || lower == "int") {
+    return ColumnType{ValueKind::kInt, kInvalidTypeId};
+  }
+  if (lower == "real" || lower == "double") {
+    return ColumnType{ValueKind::kDouble, kInvalidTypeId};
+  }
+  if (lower == "charstring" || lower == "string") {
+    return ColumnType{ValueKind::kString, kInvalidTypeId};
+  }
+  if (lower == "boolean" || lower == "bool") {
+    return ColumnType{ValueKind::kBool, kInvalidTypeId};
+  }
+  auto type = catalog.FindType(name);
+  if (!type.ok()) {
+    return Status::TypeError("unknown type '" + name + "' at line " +
+                             std::to_string(line));
+  }
+  return ColumnType{ValueKind::kObject, *type};
+}
+
+namespace {
+
+CompareOp Complement(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+using Leaf = std::pair<const Predicate*, bool>;  // (leaf, negated)
+using Conjunct = std::vector<Leaf>;
+
+/// Rewrites a predicate tree to disjunctive normal form with negation
+/// pushed to the leaves (De Morgan). Each conjunct becomes one ObjectLog
+/// clause (the paper's ObjectLog keeps disjunction in bodies; DNF clauses
+/// are the equivalent form the differencer consumes).
+std::vector<Conjunct> ToDnf(const Predicate* p, bool negated) {
+  switch (p->kind) {
+    case Predicate::Kind::kNot:
+      return ToDnf(p->child.get(), !negated);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      bool is_and = (p->kind == Predicate::Kind::kAnd) != negated;
+      std::vector<Conjunct> left = ToDnf(p->left.get(), negated);
+      std::vector<Conjunct> right = ToDnf(p->right.get(), negated);
+      if (!is_and) {
+        // Disjunction: concatenate the conjunct lists.
+        for (Conjunct& c : right) left.push_back(std::move(c));
+        return left;
+      }
+      // Conjunction: cross product.
+      std::vector<Conjunct> out;
+      out.reserve(left.size() * right.size());
+      for (const Conjunct& l : left) {
+        for (const Conjunct& r : right) {
+          Conjunct merged = l;
+          merged.insert(merged.end(), r.begin(), r.end());
+          out.push_back(std::move(merged));
+        }
+      }
+      return out;
+    }
+    case Predicate::Kind::kCompare:
+    case Predicate::Kind::kAtom:
+      return {{{p, negated}}};
+  }
+  return {};
+}
+
+}  // namespace
+
+struct Compiler::Scope {
+  Clause clause;
+  std::unordered_map<std::string, int> vars;
+  int NewTemp(const std::string& hint) { return clause.NewVar(hint); }
+};
+
+Result<Term> Compiler::CompileExpr(const Expr& expr, Scope& scope) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return Term::Const(expr.literal);
+    case Expr::Kind::kInterfaceVar: {
+      auto it = env_.find(expr.name);
+      if (it == env_.end()) {
+        return Status::NotFound("undefined interface variable :" + expr.name +
+                                " at line " + std::to_string(expr.line));
+      }
+      return Term::Const(it->second);
+    }
+    case Expr::Kind::kVariable: {
+      auto it = scope.vars.find(expr.name);
+      if (it == scope.vars.end()) {
+        return Status::InvalidArgument("undeclared variable '" + expr.name +
+                                       "' at line " +
+                                       std::to_string(expr.line));
+      }
+      return Term::Var(it->second);
+    }
+    case Expr::Kind::kArith: {
+      DELTAMON_ASSIGN_OR_RETURN(Term lhs, CompileExpr(*expr.lhs, scope));
+      DELTAMON_ASSIGN_OR_RETURN(Term rhs, CompileExpr(*expr.rhs, scope));
+      int out = scope.NewTemp("_G" + std::to_string(scope.clause.num_vars));
+      scope.clause.body.push_back(
+          Literal::Arith(expr.op, Term::Var(out), lhs, rhs));
+      return Term::Var(out);
+    }
+    case Expr::Kind::kCall: {
+      auto rel = engine_.db.catalog().FindRelation(expr.name);
+      if (!rel.ok()) {
+        return Status::NotFound("unknown function '" + expr.name +
+                                "' at line " + std::to_string(expr.line));
+      }
+      const FunctionSignature* sig = engine_.db.catalog().GetSignature(*rel);
+      if (sig == nullptr) {
+        return Status::Internal("missing signature for " + expr.name);
+      }
+      if (expr.args.size() != sig->argument_types.size()) {
+        return Status::InvalidArgument(
+            "function '" + expr.name + "' expects " +
+            std::to_string(sig->argument_types.size()) + " arguments, got " +
+            std::to_string(expr.args.size()) + " at line " +
+            std::to_string(expr.line));
+      }
+      if (sig->result_types.size() != 1) {
+        return Status::InvalidArgument(
+            "function '" + expr.name + "' cannot be used as a value (it has " +
+            std::to_string(sig->result_types.size()) + " results) at line " +
+            std::to_string(expr.line));
+      }
+      std::vector<Term> args;
+      for (const ExprPtr& a : expr.args) {
+        DELTAMON_ASSIGN_OR_RETURN(Term t, CompileExpr(*a, scope));
+        args.push_back(std::move(t));
+      }
+      int out = scope.NewTemp("_G" + std::to_string(scope.clause.num_vars));
+      args.push_back(Term::Var(out));
+      scope.clause.body.push_back(Literal::Relation(*rel, std::move(args)));
+      return Term::Var(out);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Status Compiler::CompileConjunct(const std::vector<Leaf>& leaves,
+                                 Scope& scope) {
+  for (const auto& [leaf, negated] : leaves) {
+    if (leaf->kind == Predicate::Kind::kCompare) {
+      DELTAMON_ASSIGN_OR_RETURN(Term lhs, CompileExpr(*leaf->lhs, scope));
+      DELTAMON_ASSIGN_OR_RETURN(Term rhs, CompileExpr(*leaf->rhs, scope));
+      CompareOp op = negated ? Complement(leaf->cmp) : leaf->cmp;
+      scope.clause.body.push_back(Literal::Compare(op, lhs, rhs));
+      continue;
+    }
+    // Atom: a (possibly negated) function-call predicate.
+    const Expr& call = *leaf->atom;
+    auto rel = engine_.db.catalog().FindRelation(call.name);
+    if (!rel.ok()) {
+      return Status::NotFound("unknown function '" + call.name +
+                              "' at line " + std::to_string(call.line));
+    }
+    const FunctionSignature* sig = engine_.db.catalog().GetSignature(*rel);
+    if (call.args.size() != sig->argument_types.size()) {
+      return Status::InvalidArgument(
+          "function '" + call.name + "' expects " +
+          std::to_string(sig->argument_types.size()) + " arguments at line " +
+          std::to_string(call.line));
+    }
+    std::vector<Term> args;
+    for (const ExprPtr& a : call.args) {
+      DELTAMON_ASSIGN_OR_RETURN(Term t, CompileExpr(*a, scope));
+      args.push_back(std::move(t));
+    }
+    // A boolean-valued atom tests `= true`; other result columns are
+    // existential (wildcards under negation): a non-empty result is true.
+    for (const ColumnType& rt : sig->result_types) {
+      if (sig->result_types.size() == 1 && rt.kind == ValueKind::kBool) {
+        args.push_back(Term::Const(Value(true)));
+      } else {
+        args.push_back(Term::Var(
+            scope.NewTemp("_G" + std::to_string(scope.clause.num_vars))));
+      }
+    }
+    scope.clause.body.push_back(
+        Literal::Relation(*rel, std::move(args), negated));
+  }
+  return Status::OK();
+}
+
+Result<CompiledQuery> Compiler::CompileQuery(
+    RelationId head_relation, const std::vector<ParamDecl>& params,
+    const std::vector<VarDecl>& for_each, bool include_for_each_in_head,
+    const std::vector<ExprPtr>& results, const Predicate* where) {
+  // Build the DNF; an absent predicate is the single empty conjunct.
+  std::vector<Conjunct> conjuncts =
+      where != nullptr ? ToDnf(where, false) : std::vector<Conjunct>{{}};
+
+  CompiledQuery out;
+  out.num_params = params.size();
+
+  for (const Conjunct& conjunct : conjuncts) {
+    Scope scope;
+    scope.clause.head_relation = head_relation;
+    // Fixed variable layout: params, then for-each variables.
+    std::vector<std::pair<int, ColumnType>> named_types;
+    for (const ParamDecl& p : params) {
+      if (p.var_name.empty()) {
+        return Status::InvalidArgument("parameter of type '" + p.type_name +
+                                       "' needs a variable name at line " +
+                                       std::to_string(p.line));
+      }
+      DELTAMON_ASSIGN_OR_RETURN(
+          ColumnType type,
+          ResolveTypeName(engine_.db.catalog(), p.type_name, p.line));
+      int id = scope.clause.NewVar(p.var_name);
+      scope.vars[p.var_name] = id;
+      named_types.emplace_back(id, type);
+    }
+    for (const VarDecl& d : for_each) {
+      DELTAMON_ASSIGN_OR_RETURN(
+          ColumnType type,
+          ResolveTypeName(engine_.db.catalog(), d.type_name, d.line));
+      if (scope.vars.contains(d.var_name)) {
+        return Status::InvalidArgument("duplicate variable '" + d.var_name +
+                                       "' at line " + std::to_string(d.line));
+      }
+      int id = scope.clause.NewVar(d.var_name);
+      scope.vars[d.var_name] = id;
+      named_types.emplace_back(id, type);
+    }
+    if (out.named_vars.empty()) {
+      // Record layout in declaration order.
+      for (const ParamDecl& p : params) {
+        out.named_vars.emplace_back(p.var_name, scope.vars.at(p.var_name));
+      }
+      for (const VarDecl& d : for_each) {
+        out.named_vars.emplace_back(d.var_name, scope.vars.at(d.var_name));
+      }
+    }
+
+    DELTAMON_RETURN_IF_ERROR(CompileConjunct(conjunct, scope));
+
+    // Head: params ++ (for-each) ++ result expressions.
+    for (const ParamDecl& p : params) {
+      scope.clause.head_args.push_back(Term::Var(scope.vars.at(p.var_name)));
+    }
+    if (include_for_each_in_head) {
+      for (const VarDecl& d : for_each) {
+        scope.clause.head_args.push_back(
+            Term::Var(scope.vars.at(d.var_name)));
+      }
+    }
+    for (const ExprPtr& e : results) {
+      DELTAMON_ASSIGN_OR_RETURN(Term t, CompileExpr(*e, scope));
+      scope.clause.head_args.push_back(std::move(t));
+    }
+
+    // Range restriction for declared variables: a variable not bound by any
+    // positive literal ranges over its type extent (object types) or is an
+    // error (scalars).
+    std::vector<bool> bound(scope.clause.num_vars, false);
+    for (const Literal& l : scope.clause.body) {
+      if (l.kind == Literal::Kind::kRelation && !l.negated) {
+        for (const Term& t : l.args) {
+          if (t.is_var()) bound[t.var] = true;
+        }
+      }
+    }
+    for (const auto& [id, type] : named_types) {
+      if (bound[id]) continue;
+      if (type.kind != ValueKind::kObject) {
+        return Status::InvalidArgument(
+            "variable '" + scope.clause.var_names[id] +
+            "' of a scalar type is not bound by any positive predicate");
+      }
+      DELTAMON_ASSIGN_OR_RETURN(RelationId extent,
+                                extents_.ExtentRelation(type.object_type));
+      scope.clause.body.insert(
+          scope.clause.body.begin(),
+          Literal::Relation(extent, {Term::Var(id)}));
+    }
+    out.clauses.push_back(std::move(scope.clause));
+  }
+  return out;
+}
+
+Result<Clause> Compiler::CompileScalarExprs(
+    const std::vector<const Expr*>& exprs,
+    const std::vector<std::pair<std::string, int>>& prebound,
+    int num_prebound_vars) {
+  Scope scope;
+  scope.clause.num_vars = num_prebound_vars;
+  scope.clause.var_names.resize(num_prebound_vars);
+  for (const auto& [name, id] : prebound) {
+    scope.vars[name] = id;
+    if (id >= 0 && id < num_prebound_vars) scope.clause.var_names[id] = name;
+  }
+  for (const Expr* e : exprs) {
+    DELTAMON_ASSIGN_OR_RETURN(Term t, CompileExpr(*e, scope));
+    scope.clause.head_args.push_back(std::move(t));
+  }
+  return scope.clause;
+}
+
+}  // namespace deltamon::amosql

@@ -1,0 +1,86 @@
+#ifndef DELTAMON_AMOSQL_COMPILER_H_
+#define DELTAMON_AMOSQL_COMPILER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "amosql/ast.h"
+#include "rules/engine.h"
+
+namespace deltamon::amosql {
+
+/// Resolves a type name to a column type: "integer", "real", "charstring",
+/// "boolean", or a user-defined object type registered in the catalog.
+Result<ColumnType> ResolveTypeName(const Catalog& catalog,
+                                   const std::string& name, int line);
+
+/// Supplies per-object-type extent relations ("for each item i" needs the
+/// set of item objects when nothing else binds i). The Session implements
+/// this and creates extent relations lazily.
+class ExtentProvider {
+ public:
+  virtual ~ExtentProvider() = default;
+  virtual Result<RelationId> ExtentRelation(TypeId type) = 0;
+};
+
+/// Output of query compilation: one ObjectLog clause per DNF conjunct, plus
+/// the variable layout needed to compile rule actions against the same
+/// name space.
+struct CompiledQuery {
+  std::vector<objectlog::Clause> clauses;
+  /// Leading head columns that are parameters.
+  size_t num_params = 0;
+  /// Variable ids of params and for-each variables: params first, then
+  /// for-each, matching every clause (the layout is identical across
+  /// conjuncts).
+  std::vector<std::pair<std::string, int>> named_vars;
+};
+
+/// Compiles AMOSQL queries and expressions into ObjectLog. Borrows the
+/// engine, the session environment (interface variables), and the extent
+/// provider.
+class Compiler {
+ public:
+  Compiler(Engine& engine, const std::unordered_map<std::string, Value>& env,
+           ExtentProvider& extents)
+      : engine_(engine), env_(env), extents_(extents) {}
+
+  /// Compiles a query into clauses for `head_relation`.
+  ///   head = [param vars] ++ [for-each vars if include_for_each_in_head]
+  ///        ++ [result expressions].
+  /// Object-typed params / for-each vars not bound by a positive literal
+  /// get an extent literal; scalar ones are rejected as unsafe.
+  Result<CompiledQuery> CompileQuery(RelationId head_relation,
+                                     const std::vector<ParamDecl>& params,
+                                     const std::vector<VarDecl>& for_each,
+                                     bool include_for_each_in_head,
+                                     const std::vector<ExprPtr>& results,
+                                     const Predicate* where);
+
+  /// Compiles a single expression over pre-declared variables into a clause
+  ///   head(V) <- <bindings>
+  /// whose head is the expression value; `prebound` variables are expected
+  /// to be supplied at evaluation time via EvaluateClauseWithBindings.
+  /// Used for rule action arguments and ground expressions.
+  Result<objectlog::Clause> CompileScalarExprs(
+      const std::vector<const Expr*>& exprs,
+      const std::vector<std::pair<std::string, int>>& prebound,
+      int num_prebound_vars);
+
+ private:
+  struct Scope;
+
+  Result<objectlog::Term> CompileExpr(const Expr& expr, Scope& scope);
+  Status CompileConjunct(
+      const std::vector<std::pair<const Predicate*, bool>>& leaves,
+      Scope& scope);
+
+  Engine& engine_;
+  const std::unordered_map<std::string, Value>& env_;
+  ExtentProvider& extents_;
+};
+
+}  // namespace deltamon::amosql
+
+#endif  // DELTAMON_AMOSQL_COMPILER_H_

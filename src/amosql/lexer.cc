@@ -1,0 +1,265 @@
+#include "amosql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace deltamon::amosql {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kInterfaceVar:
+      return "interface variable";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kReal:
+      return "real";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kArrow:
+      return "'->'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+bool Token::IsKeyword(const std::string& keyword) const {
+  if (kind != TokenKind::kIdentifier) return false;
+  if (text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(text[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&tokens, &line](TokenKind kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && source[i + 1] == '-') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      size_t start_line = line;
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::ParseError("unterminated block comment starting at "
+                                  "line " +
+                                  std::to_string(start_line));
+      }
+      i += 2;
+      continue;
+    }
+    // Identifiers and interface variables.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+      bool interface_var = c == ':';
+      size_t start = interface_var ? i + 1 : i;
+      size_t j = start;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(source[j])) ||
+                       source[j] == '_')) {
+        ++j;
+      }
+      if (j == start) {
+        return Status::ParseError("stray ':' at line " + std::to_string(line));
+      }
+      push(interface_var ? TokenKind::kInterfaceVar : TokenKind::kIdentifier,
+           source.substr(start, j - start));
+      i = j;
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_real = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      if (j < n && source[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(source[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j]))) {
+          ++j;
+        }
+      }
+      std::string text = source.substr(i, j - i);
+      Token t;
+      t.line = line;
+      t.text = text;
+      if (is_real) {
+        t.kind = TokenKind::kReal;
+        t.real_value = std::stod(text);
+      } else {
+        t.kind = TokenKind::kInteger;
+        errno = 0;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::ParseError("integer literal out of range at line " +
+                                    std::to_string(line));
+        }
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Strings.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string value;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\n') ++line;
+        value.push_back(source[j]);
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string at line " +
+                                  std::to_string(line));
+      }
+      push(TokenKind::kString, std::move(value));
+      i = j + 1;
+      continue;
+    }
+    // Operators and punctuation.
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen);
+        ++i;
+        break;
+      case ')':
+        push(TokenKind::kRParen);
+        ++i;
+        break;
+      case ',':
+        push(TokenKind::kComma);
+        ++i;
+        break;
+      case ';':
+        push(TokenKind::kSemicolon);
+        ++i;
+        break;
+      case '+':
+        push(TokenKind::kPlus);
+        ++i;
+        break;
+      case '*':
+        push(TokenKind::kStar);
+        ++i;
+        break;
+      case '/':
+        push(TokenKind::kSlash);
+        ++i;
+        break;
+      case '-':
+        if (i + 1 < n && source[i + 1] == '>') {
+          push(TokenKind::kArrow);
+          i += 2;
+        } else {
+          push(TokenKind::kMinus);
+          ++i;
+        }
+        break;
+      case '=':
+        push(TokenKind::kEq);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kNe);
+          i += 2;
+        } else {
+          return Status::ParseError("stray '!' at line " +
+                                    std::to_string(line));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kLe);
+          i += 2;
+        } else if (i + 1 < n && source[i + 1] == '>') {
+          push(TokenKind::kNe);
+          i += 2;
+        } else {
+          push(TokenKind::kLt);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && source[i + 1] == '=') {
+          push(TokenKind::kGe);
+          i += 2;
+        } else {
+          push(TokenKind::kGt);
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+  }
+  push(TokenKind::kEnd);
+  return tokens;
+}
+
+}  // namespace deltamon::amosql

@@ -1,0 +1,59 @@
+#ifndef DELTAMON_AMOSQL_LEXER_H_
+#define DELTAMON_AMOSQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deltamon::amosql {
+
+enum class TokenKind {
+  kIdentifier,     // item, quantity, monitor_items
+  kInterfaceVar,   // :item1 (session-scope variable, not stored)
+  kInteger,        // 5000
+  kReal,           // 2.5
+  kString,         // "abc" or 'abc'
+  kLParen,         // (
+  kRParen,         // )
+  kComma,          // ,
+  kSemicolon,      // ;
+  kArrow,          // ->
+  kEq,             // =
+  kNe,             // != or <>
+  kLt,             // <
+  kLe,             // <=
+  kGt,             // >
+  kGe,             // >=
+  kPlus,           // +
+  kMinus,          // -
+  kStar,           // *
+  kSlash,          // /
+  kEnd,            // end of input
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// Identifier/interface-var name (lowercased for keywords matching) or
+  /// string payload.
+  std::string text;
+  int64_t int_value = 0;
+  double real_value = 0.0;
+  /// 1-based source line, for error messages.
+  int line = 1;
+
+  /// Case-insensitive keyword test against an identifier token.
+  bool IsKeyword(const std::string& keyword) const;
+};
+
+/// Tokenizes AMOSQL source. Supports `--` line comments and `/* */` block
+/// comments. Identifiers are case-preserved; keyword matching is
+/// case-insensitive.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace deltamon::amosql
+
+#endif  // DELTAMON_AMOSQL_LEXER_H_

@@ -1,0 +1,34 @@
+#ifndef DELTAMON_AMOSQL_PARSER_H_
+#define DELTAMON_AMOSQL_PARSER_H_
+
+#include <vector>
+
+#include "amosql/ast.h"
+#include "amosql/lexer.h"
+
+namespace deltamon::amosql {
+
+/// Parses a sequence of AMOSQL statements (the §3.1 subset plus a few
+/// conveniences):
+///
+///   create type <name>;
+///   create function <name>(<type> [<var>], ...) -> <type>[, <type>...]
+///       [as select <exprs> [for each <type> <var>, ... [where <pred>]]];
+///   create rule <name>(<type> <var>, ...) [nervous] as
+///       when [for each <type> <var>, ... where] <pred>
+///       do <proc>(<exprs>) | set <fn>(<exprs>) = <expr>;
+///   create <type> instances :<name>, ...;
+///   set|add|remove <fn>(<exprs>) = <expr>;
+///   select <exprs> [for each <type> <var>, ... [where <pred>]];
+///   activate|deactivate <rule>([<exprs>]);
+///   commit; rollback;
+///
+/// `--` and `/* */` comments are supported; keywords are case-insensitive.
+Result<std::vector<Statement>> Parse(const std::string& source);
+
+/// Parses an already tokenized stream (for tests).
+Result<std::vector<Statement>> ParseTokens(std::vector<Token> tokens);
+
+}  // namespace deltamon::amosql
+
+#endif  // DELTAMON_AMOSQL_PARSER_H_

@@ -1,0 +1,400 @@
+#include "amosql/session.h"
+
+#include <memory>
+
+#include "objectlog/eval.h"
+
+namespace deltamon::amosql {
+
+using objectlog::Clause;
+using objectlog::EvalState;
+using objectlog::Evaluator;
+using objectlog::StateContext;
+
+std::string QueryResult::ToString() const {
+  std::string out;
+  for (const Tuple& t : rows) {
+    out += t.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Result<Value> Session::GetInterfaceVar(const std::string& name) const {
+  auto it = env_.find(name);
+  if (it == env_.end()) {
+    return Status::NotFound("undefined interface variable :" + name);
+  }
+  return it->second;
+}
+
+Result<RelationId> Session::ExtentRelation(TypeId type) {
+  auto it = extents_.find(type);
+  if (it != extents_.end()) return it->second;
+  const ObjectType* meta = engine_.db.catalog().GetType(type);
+  if (meta == nullptr) {
+    return Status::NotFound("unknown type id " + std::to_string(type));
+  }
+  FunctionSignature sig;
+  sig.argument_types.push_back(ColumnType{ValueKind::kObject, type});
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId rel, engine_.db.catalog().CreateStoredFunction(
+                          "_extent_" + meta->name, std::move(sig)));
+  extents_[type] = rel;
+  return rel;
+}
+
+Result<QueryResult> Session::Execute(const std::string& source) {
+  DELTAMON_ASSIGN_OR_RETURN(std::vector<Statement> program, Parse(source));
+  QueryResult last;
+  for (const Statement& stmt : program) {
+    DELTAMON_RETURN_IF_ERROR(ExecStatement(stmt, &last));
+  }
+  return last;
+}
+
+Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
+  return std::visit(
+      [this, last](const auto& node) -> Status {
+        using T = std::decay_t<decltype(node)>;
+        if constexpr (std::is_same_v<T, CreateTypeStmt>) {
+          return engine_.db.catalog().CreateType(node.name).status();
+        } else if constexpr (std::is_same_v<T, CreateFunctionStmt>) {
+          return ExecCreateFunction(node);
+        } else if constexpr (std::is_same_v<T, CreateRuleStmt>) {
+          return ExecCreateRule(node);
+        } else if constexpr (std::is_same_v<T, CreateInstancesStmt>) {
+          return ExecCreateInstances(node);
+        } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          return ExecUpdate(node);
+        } else if constexpr (std::is_same_v<T, ActivateStmt>) {
+          return ExecActivate(node);
+        } else if constexpr (std::is_same_v<T, SelectStmt>) {
+          return ExecSelect(node, last);
+        } else if constexpr (std::is_same_v<T, CommitStmt>) {
+          return engine_.db.Commit();
+        } else {
+          static_assert(std::is_same_v<T, RollbackStmt>);
+          return engine_.db.Rollback();
+        }
+      },
+      stmt.node);
+}
+
+Status Session::ExecCreateFunction(const CreateFunctionStmt& stmt) {
+  Catalog& catalog = engine_.db.catalog();
+  FunctionSignature sig;
+  for (const ParamDecl& p : stmt.params) {
+    DELTAMON_ASSIGN_OR_RETURN(ColumnType type,
+                              ResolveTypeName(catalog, p.type_name, p.line));
+    sig.argument_types.push_back(type);
+  }
+  for (const std::string& r : stmt.result_types) {
+    DELTAMON_ASSIGN_OR_RETURN(ColumnType type,
+                              ResolveTypeName(catalog, r, 0));
+    sig.result_types.push_back(type);
+  }
+  if (stmt.aggregate.has_value()) {
+    const AggregateBody& agg = *stmt.aggregate;
+    // Group columns are the function's parameters: `sum trades(d)` groups
+    // the trades relation by its argument columns and aggregates its
+    // (single) result column.
+    if (agg.args.size() != stmt.params.size()) {
+      return Status::InvalidArgument(
+          "aggregate over '" + agg.source + "' must be applied to the " +
+          "function parameters, at line " + std::to_string(agg.line));
+    }
+    for (size_t i = 0; i < agg.args.size(); ++i) {
+      if (agg.args[i] != stmt.params[i].var_name) {
+        return Status::InvalidArgument(
+            "aggregate argument '" + agg.args[i] +
+            "' must be parameter '" + stmt.params[i].var_name +
+            "', at line " + std::to_string(agg.line));
+      }
+    }
+    DELTAMON_ASSIGN_OR_RETURN(RelationId source,
+                              catalog.FindRelation(agg.source));
+    const FunctionSignature* src_sig = catalog.GetSignature(source);
+    if (src_sig->argument_types.size() != agg.args.size()) {
+      return Status::InvalidArgument(
+          "'" + agg.source + "' takes " +
+          std::to_string(src_sig->argument_types.size()) +
+          " arguments, aggregate groups by " +
+          std::to_string(agg.args.size()));
+    }
+    objectlog::AggregateDef def;
+    def.source = source;
+    for (size_t i = 0; i < agg.args.size(); ++i) def.group_by.push_back(i);
+    def.value_column = src_sig->argument_types.size();
+    if (agg.func == "count") {
+      def.func = objectlog::AggregateDef::Func::kCount;
+      def.value_column = 0;
+    } else if (agg.func == "sum") {
+      def.func = objectlog::AggregateDef::Func::kSum;
+    } else if (agg.func == "min") {
+      def.func = objectlog::AggregateDef::Func::kMin;
+    } else {
+      def.func = objectlog::AggregateDef::Func::kMax;
+    }
+    if (def.func != objectlog::AggregateDef::Func::kCount &&
+        src_sig->result_types.size() != 1) {
+      return Status::InvalidArgument(
+          "'" + agg.source + "' must have exactly one result column to be "
+          "aggregated, at line " + std::to_string(agg.line));
+    }
+    DELTAMON_ASSIGN_OR_RETURN(
+        RelationId rel, catalog.CreateDerivedFunction(stmt.name,
+                                                      std::move(sig)));
+    return engine_.registry.DefineAggregate(rel, std::move(def), catalog);
+  }
+  if (!stmt.body.has_value()) {
+    return catalog.CreateStoredFunction(stmt.name, std::move(sig)).status();
+  }
+  // Derived function: head = params ++ select results.
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId rel, catalog.CreateDerivedFunction(stmt.name,
+                                                    std::move(sig)));
+  if (stmt.body->results.size() != stmt.result_types.size()) {
+    return Status::InvalidArgument(
+        "derived function '" + stmt.name + "' declares " +
+        std::to_string(stmt.result_types.size()) + " results but selects " +
+        std::to_string(stmt.body->results.size()));
+  }
+  Compiler compiler(engine_, env_, *this);
+  DELTAMON_ASSIGN_OR_RETURN(
+      CompiledQuery query,
+      compiler.CompileQuery(rel, stmt.params, stmt.body->for_each,
+                            /*include_for_each_in_head=*/false,
+                            stmt.body->results, stmt.body->where.get()));
+  for (Clause& clause : query.clauses) {
+    DELTAMON_RETURN_IF_ERROR(
+        engine_.registry.Define(rel, std::move(clause), catalog));
+  }
+  return Status::OK();
+}
+
+Status Session::ExecCreateRule(const CreateRuleStmt& stmt) {
+  Catalog& catalog = engine_.db.catalog();
+  // Condition function cnd_<rule>(params) -> (for-each vars), as the rule
+  // compiler of paper §3.2.
+  FunctionSignature sig;
+  for (const ParamDecl& p : stmt.params) {
+    DELTAMON_ASSIGN_OR_RETURN(ColumnType type,
+                              ResolveTypeName(catalog, p.type_name, p.line));
+    sig.argument_types.push_back(type);
+  }
+  for (const VarDecl& d : stmt.for_each) {
+    DELTAMON_ASSIGN_OR_RETURN(ColumnType type,
+                              ResolveTypeName(catalog, d.type_name, d.line));
+    sig.result_types.push_back(type);
+  }
+  DELTAMON_ASSIGN_OR_RETURN(
+      RelationId cond, catalog.CreateDerivedFunction("cnd_" + stmt.name,
+                                                     std::move(sig)));
+  Compiler compiler(engine_, env_, *this);
+  DELTAMON_ASSIGN_OR_RETURN(
+      CompiledQuery query,
+      compiler.CompileQuery(cond, stmt.params, stmt.for_each,
+                            /*include_for_each_in_head=*/true,
+                            /*results=*/{}, stmt.condition.get()));
+  for (Clause& clause : query.clauses) {
+    DELTAMON_RETURN_IF_ERROR(
+        engine_.registry.Define(cond, std::move(clause), catalog));
+  }
+
+  // Action: compile the argument expressions against the same variable
+  // layout; instances and activation parameters are bound at fire time.
+  const size_t num_params = stmt.params.size();
+  const size_t num_instance_vars = stmt.for_each.size();
+  const int num_named = static_cast<int>(num_params + num_instance_vars);
+
+  std::vector<const Expr*> exprs;
+  RelationId set_relation = kInvalidRelationId;
+  size_t set_num_args = 0;
+  std::string proc_name;
+  if (stmt.action.kind == RuleActionStmt::Kind::kProcedureCall) {
+    proc_name = stmt.action.call->name;
+    for (const ExprPtr& a : stmt.action.call->args) exprs.push_back(a.get());
+  } else {
+    const Expr& target = *stmt.action.set_target;
+    DELTAMON_ASSIGN_OR_RETURN(set_relation,
+                              catalog.FindRelation(target.name));
+    if (catalog.GetBaseRelation(set_relation) == nullptr) {
+      return Status::InvalidArgument("set action target '" + target.name +
+                                     "' is not a stored function");
+    }
+    set_num_args = target.args.size();
+    for (const ExprPtr& a : target.args) exprs.push_back(a.get());
+    exprs.push_back(stmt.action.set_value.get());
+  }
+  DELTAMON_ASSIGN_OR_RETURN(
+      Clause action_clause,
+      compiler.CompileScalarExprs(exprs, query.named_vars, num_named));
+
+  auto shared_clause = std::make_shared<Clause>(std::move(action_clause));
+  Session* session = this;
+  rules::RuleAction action =
+      [session, shared_clause, num_params, num_instance_vars, set_relation,
+       set_num_args, proc_name,
+       kind = stmt.action.kind](Database& db, const Tuple& params,
+                                const std::vector<Tuple>& instances)
+      -> Status {
+    Evaluator evaluator(db, session->engine_.registry, StateContext{});
+    for (const Tuple& instance : instances) {
+      std::vector<std::pair<int, Value>> bindings;
+      for (size_t i = 0; i < num_params; ++i) {
+        bindings.emplace_back(static_cast<int>(i), params[i]);
+      }
+      for (size_t j = 0; j < num_instance_vars; ++j) {
+        bindings.emplace_back(static_cast<int>(num_params + j), instance[j]);
+      }
+      TupleSet values;
+      DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClauseWithBindings(
+          *shared_clause, bindings, &values));
+      if (values.empty()) {
+        return Status::FailedPrecondition(
+            "rule action expression is undefined for instance " +
+            instance.ToString());
+      }
+      for (const Tuple& row : SortedTuples(values)) {
+        if (kind == RuleActionStmt::Kind::kSet) {
+          std::vector<Value> args(row.values().begin(),
+                                  row.values().begin() +
+                                      static_cast<long>(set_num_args));
+          std::vector<Value> results(row.values().begin() +
+                                         static_cast<long>(set_num_args),
+                                     row.values().end());
+          DELTAMON_RETURN_IF_ERROR(db.Set(set_relation,
+                                          Tuple(std::move(args)),
+                                          Tuple(std::move(results))));
+        } else {
+          auto proc = session->procedures_.find(proc_name);
+          if (proc == session->procedures_.end()) {
+            return Status::NotFound("procedure '" + proc_name +
+                                    "' is not registered");
+          }
+          DELTAMON_RETURN_IF_ERROR(proc->second(db, row.values()));
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  rules::RuleOptions options;
+  options.semantics = stmt.nervous ? rules::Semantics::kNervous
+                                   : rules::Semantics::kStrict;
+  options.num_params = num_params;
+  return engine_.rules.CreateRule(stmt.name, cond, std::move(action), options)
+      .status();
+}
+
+Status Session::ExecCreateInstances(const CreateInstancesStmt& stmt) {
+  Catalog& catalog = engine_.db.catalog();
+  DELTAMON_ASSIGN_OR_RETURN(TypeId type, catalog.FindType(stmt.type_name));
+  DELTAMON_ASSIGN_OR_RETURN(RelationId extent, ExtentRelation(type));
+  for (const std::string& name : stmt.interface_vars) {
+    DELTAMON_ASSIGN_OR_RETURN(Oid oid, catalog.CreateObject(type));
+    env_[name] = Value(oid);
+    DELTAMON_RETURN_IF_ERROR(engine_.db.Insert(extent, Tuple{Value(oid)}));
+  }
+  return Status::OK();
+}
+
+Result<Value> Session::EvalGroundExpr(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kLiteral) return expr.literal;
+  if (expr.kind == Expr::Kind::kInterfaceVar) {
+    return GetInterfaceVar(expr.name);
+  }
+  if (expr.kind == Expr::Kind::kVariable) {
+    return Status::InvalidArgument("query variable '" + expr.name +
+                                   "' is not allowed here (line " +
+                                   std::to_string(expr.line) + ")");
+  }
+  Compiler compiler(engine_, env_, *this);
+  DELTAMON_ASSIGN_OR_RETURN(Clause clause,
+                            compiler.CompileScalarExprs({&expr}, {}, 0));
+  Evaluator evaluator(engine_.db, engine_.registry, StateContext{});
+  TupleSet out;
+  DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(clause, &out));
+  if (out.empty()) {
+    return Status::NotFound("expression at line " + std::to_string(expr.line) +
+                            " has no value");
+  }
+  if (out.size() > 1) {
+    return Status::FailedPrecondition("expression at line " +
+                                      std::to_string(expr.line) +
+                                      " is multi-valued; expected one value");
+  }
+  return (*out.begin())[0];
+}
+
+Result<std::vector<Value>> Session::EvalGroundExprs(
+    const std::vector<ExprPtr>& es) {
+  std::vector<Value> out;
+  out.reserve(es.size());
+  for (const ExprPtr& e : es) {
+    DELTAMON_ASSIGN_OR_RETURN(Value v, EvalGroundExpr(*e));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Status Session::ExecUpdate(const UpdateStmt& stmt) {
+  Catalog& catalog = engine_.db.catalog();
+  const Expr& target = *stmt.target;
+  DELTAMON_ASSIGN_OR_RETURN(RelationId rel, catalog.FindRelation(target.name));
+  if (catalog.GetBaseRelation(rel) == nullptr) {
+    return Status::InvalidArgument("'" + target.name +
+                                   "' is not a stored function");
+  }
+  const FunctionSignature* sig = catalog.GetSignature(rel);
+  if (target.args.size() != sig->argument_types.size()) {
+    return Status::InvalidArgument(
+        "'" + target.name + "' expects " +
+        std::to_string(sig->argument_types.size()) + " arguments");
+  }
+  DELTAMON_ASSIGN_OR_RETURN(std::vector<Value> args,
+                            EvalGroundExprs(target.args));
+  DELTAMON_ASSIGN_OR_RETURN(Value value, EvalGroundExpr(*stmt.value));
+  Tuple arg_tuple{std::move(args)};
+  switch (stmt.kind) {
+    case UpdateStmt::Kind::kSet:
+      return engine_.db.Set(rel, arg_tuple, Tuple{std::move(value)});
+    case UpdateStmt::Kind::kAdd:
+      return engine_.db.Insert(rel,
+                               arg_tuple.Concat(Tuple{std::move(value)}));
+    case UpdateStmt::Kind::kRemove:
+      return engine_.db.Delete(rel,
+                               arg_tuple.Concat(Tuple{std::move(value)}));
+  }
+  return Status::Internal("unknown update kind");
+}
+
+Status Session::ExecActivate(const ActivateStmt& stmt) {
+  DELTAMON_ASSIGN_OR_RETURN(rules::RuleId rule,
+                            engine_.rules.FindRule(stmt.rule_name));
+  DELTAMON_ASSIGN_OR_RETURN(std::vector<Value> args,
+                            EvalGroundExprs(stmt.args));
+  Tuple params{std::move(args)};
+  return stmt.deactivate ? engine_.rules.Deactivate(rule, params)
+                         : engine_.rules.Activate(rule, params);
+}
+
+Status Session::ExecSelect(const SelectStmt& stmt, QueryResult* out) {
+  Compiler compiler(engine_, env_, *this);
+  DELTAMON_ASSIGN_OR_RETURN(
+      CompiledQuery query,
+      compiler.CompileQuery(kInvalidRelationId, /*params=*/{},
+                            stmt.query.for_each,
+                            /*include_for_each_in_head=*/false,
+                            stmt.query.results, stmt.query.where.get()));
+  Evaluator evaluator(engine_.db, engine_.registry, StateContext{});
+  TupleSet rows;
+  for (const Clause& clause : query.clauses) {
+    DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(clause, &rows));
+  }
+  out->rows = SortedTuples(rows);
+  return Status::OK();
+}
+
+}  // namespace deltamon::amosql

@@ -1,0 +1,93 @@
+#ifndef DELTAMON_AMOSQL_SESSION_H_
+#define DELTAMON_AMOSQL_SESSION_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "amosql/compiler.h"
+#include "amosql/parser.h"
+#include "rules/engine.h"
+
+namespace deltamon::amosql {
+
+/// Result of executing AMOSQL source: the rows of the last `select`
+/// statement (empty for pure DDL/DML input).
+struct QueryResult {
+  std::vector<Tuple> rows;  // deterministically sorted
+
+  std::string ToString() const;
+};
+
+/// An AMOSQL session over an Engine: parses and executes statements,
+/// maintains interface variables (:item1) and registered foreign
+/// procedures, and creates per-type extent relations on demand.
+///
+///   Engine engine;
+///   Session session(engine);
+///   session.RegisterProcedure("order", ...);
+///   auto r = session.Execute(R"(
+///     create type item;
+///     create function quantity(item) -> integer;
+///     ...
+///     activate monitor_items();
+///     set quantity(:item1) = 120;
+///     commit;
+///   )");
+class Session : public ExtentProvider {
+ public:
+  /// A foreign procedure (paper §3: "foreign functions written in Lisp or
+  /// C"), callable from rule actions: order(i, max_stock(i) - quantity(i)).
+  using Procedure =
+      std::function<Status(Database& db, const std::vector<Value>& args)>;
+
+  explicit Session(Engine& engine) : engine_(engine) {}
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  Engine& engine() { return engine_; }
+
+  void RegisterProcedure(const std::string& name, Procedure proc) {
+    procedures_[name] = std::move(proc);
+  }
+
+  /// Parses and executes every statement in `source`; fails fast on the
+  /// first error. Returns the last select's rows.
+  Result<QueryResult> Execute(const std::string& source);
+
+  /// Session environment (interface variables, without the ':').
+  Result<Value> GetInterfaceVar(const std::string& name) const;
+  void SetInterfaceVar(const std::string& name, Value value) {
+    env_[name] = std::move(value);
+  }
+
+  /// ExtentProvider: the stored relation holding all objects of `type`
+  /// created through this session (created lazily, named
+  /// "_extent_<typename>").
+  Result<RelationId> ExtentRelation(TypeId type) override;
+
+ private:
+  Status ExecStatement(const Statement& stmt, QueryResult* last_select);
+  Status ExecCreateFunction(const CreateFunctionStmt& stmt);
+  Status ExecCreateRule(const CreateRuleStmt& stmt);
+  Status ExecCreateInstances(const CreateInstancesStmt& stmt);
+  Status ExecUpdate(const UpdateStmt& stmt);
+  Status ExecActivate(const ActivateStmt& stmt);
+  Status ExecSelect(const SelectStmt& stmt, QueryResult* out);
+
+  /// Evaluates a ground expression (no query variables) to a single Value.
+  Result<Value> EvalGroundExpr(const Expr& expr);
+  /// Evaluates several ground expressions.
+  Result<std::vector<Value>> EvalGroundExprs(const std::vector<ExprPtr>& es);
+
+  Engine& engine_;
+  std::unordered_map<std::string, Value> env_;
+  std::unordered_map<std::string, Procedure> procedures_;
+  std::unordered_map<TypeId, RelationId> extents_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace deltamon::amosql
+
+#endif  // DELTAMON_AMOSQL_SESSION_H_

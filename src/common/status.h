@@ -1,0 +1,151 @@
+#ifndef DELTAMON_COMMON_STATUS_H_
+#define DELTAMON_COMMON_STATUS_H_
+
+#include <cassert>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace deltamon {
+
+/// Error codes for all fallible deltamon operations. The library never
+/// throws; every operation that can fail returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kTypeError,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus, when not OK, a message describing
+/// what went wrong. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Streams s.ToString() (also makes gtest failures readable).
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Either a value of type T or an error Status. Analogous to
+/// absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a (non-OK) Status keeps call
+  /// sites readable: `return value;` / `return Status::NotFound(...);`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define DELTAMON_RETURN_IF_ERROR(expr)                    \
+  do {                                                    \
+    ::deltamon::Status _status = (expr);                  \
+    if (!_status.ok()) return _status;                    \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on error returns the status, otherwise
+/// moves the value into `lhs`.
+#define DELTAMON_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto DELTAMON_CONCAT_(_result_, __LINE__) = (expr);     \
+  if (!DELTAMON_CONCAT_(_result_, __LINE__).ok())         \
+    return DELTAMON_CONCAT_(_result_, __LINE__).status(); \
+  lhs = std::move(DELTAMON_CONCAT_(_result_, __LINE__)).value()
+
+#define DELTAMON_CONCAT_IMPL_(a, b) a##b
+#define DELTAMON_CONCAT_(a, b) DELTAMON_CONCAT_IMPL_(a, b)
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+#include "common/tuple.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace deltamon {
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out;
+  out.reserve(values_.size() + other.values_.size());
+  out.insert(out.end(), values_.begin(), values_.end());
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& columns) const {
+  std::vector<Value> out;
+  out.reserve(columns.size());
+  for (size_t c : columns) out.push_back(values_[c]);
+  return Tuple(std::move(out));
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  return std::lexicographical_compare(values_.begin(), values_.end(),
+                                      other.values_.begin(),
+                                      other.values_.end());
+}
+
+size_t Tuple::Hash() const {
+  size_t seed = values_.size();
+  for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
+  return seed;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::vector<Tuple> SortedTuples(const TupleSet& set) {
+  std::vector<Tuple> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string TupleSetToString(const TupleSet& set) {
+  std::string out = "{";
+  bool first = true;
+  for (const Tuple& t : SortedTuples(set)) {
+    if (!first) out += ", ";
+    first = false;
+    out += t.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace deltamon

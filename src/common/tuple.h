@@ -1,0 +1,68 @@
+#ifndef DELTAMON_COMMON_TUPLE_H_
+#define DELTAMON_COMMON_TUPLE_H_
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/value.h"
+
+namespace deltamon {
+
+/// An immutable-by-convention row of Values: the unit stored in base
+/// relations, flowing through Δ-sets, and produced by derived relations.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t arity() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// Concatenation (used by cartesian product / join in relalg).
+  Tuple Concat(const Tuple& other) const;
+
+  /// Projection onto the given column indexes (duplicates allowed).
+  Tuple Project(const std::vector<size_t>& columns) const;
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+  /// "(v1, v2, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+/// The canonical set-of-tuples container used across the library. Set
+/// semantics per the paper (§7.2): no duplicates.
+using TupleSet = std::unordered_set<Tuple, TupleHash>;
+
+/// Deterministically ordered copy of `set`, for stable iteration in tests,
+/// traces, and output.
+std::vector<Tuple> SortedTuples(const TupleSet& set);
+
+/// "{(..), (..)}" with tuples in sorted order.
+std::string TupleSetToString(const TupleSet& set);
+
+/// Streams t.ToString() (also makes gtest failures readable).
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_COMMON_TUPLE_H_

@@ -1,0 +1,186 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace deltamon {
+
+const char* ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+int Value::Compare(const Value& other) const {
+  // Numeric promotion: int and double compare on the number line.
+  if (is_numeric() && other.is_numeric()) {
+    if (is_int() && other.is_int()) {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    double a = NumericAsDouble(), b = other.NumericAsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (kind() != other.kind()) {
+    return kind() < other.kind() ? -1 : 1;
+  }
+  switch (kind()) {
+    case ValueKind::kNull:
+      return 0;
+    case ValueKind::kBool:
+      return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+    case ValueKind::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueKind::kObject: {
+      Oid a = AsObject(), b = other.AsObject();
+      return a.id < b.id ? -1 : (a.id > b.id ? 1 : 0);
+    }
+    default:
+      return 0;  // unreachable: numeric kinds handled above
+  }
+}
+
+bool Value::operator<(const Value& other) const {
+  // Ordering consistent with operator== (no numeric promotion), used for
+  // deterministic sorting of tuples: kind first, then payload.
+  if (kind() != other.kind()) return kind() < other.kind();
+  return Compare(other) < 0;
+}
+
+size_t Value::Hash() const {
+  size_t seed = static_cast<size_t>(kind());
+  switch (kind()) {
+    case ValueKind::kNull:
+      break;
+    case ValueKind::kBool:
+      seed = HashCombine(seed, std::hash<bool>{}(AsBool()));
+      break;
+    case ValueKind::kInt:
+      seed = HashCombine(seed, std::hash<int64_t>{}(AsInt()));
+      break;
+    case ValueKind::kDouble:
+      seed = HashCombine(seed, std::hash<double>{}(AsDouble()));
+      break;
+    case ValueKind::kString:
+      seed = HashCombine(seed, std::hash<std::string>{}(AsString()));
+      break;
+    case ValueKind::kObject:
+      seed = HashCombine(seed, std::hash<uint64_t>{}(AsObject().id));
+      break;
+  }
+  return seed;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kBool:
+      return AsBool() ? "true" : "false";
+    case ValueKind::kInt:
+      return std::to_string(AsInt());
+    case ValueKind::kDouble: {
+      std::string s = std::to_string(AsDouble());
+      // Trim trailing zeros but keep one digit after the point.
+      size_t dot = s.find('.');
+      if (dot != std::string::npos) {
+        size_t last = s.find_last_not_of('0');
+        s.erase(std::max(last, dot + 1) + 1);
+      }
+      return s;
+    }
+    case ValueKind::kString:
+      return "\"" + AsString() + "\"";
+    case ValueKind::kObject: {
+      Oid o = AsObject();
+      return "t" + std::to_string(o.type) + "#" + std::to_string(o.id);
+    }
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+namespace {
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+Result<Value> Arith(ArithOp op, const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::TypeError("arithmetic requires numeric operands, got " +
+                             std::string(ValueKindName(a.kind())) + " and " +
+                             std::string(ValueKindName(b.kind())));
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt(), y = b.AsInt(), r = 0;
+    bool overflow = false;
+    switch (op) {
+      case ArithOp::kAdd:
+        overflow = __builtin_add_overflow(x, y, &r);
+        break;
+      case ArithOp::kSub:
+        overflow = __builtin_sub_overflow(x, y, &r);
+        break;
+      case ArithOp::kMul:
+        overflow = __builtin_mul_overflow(x, y, &r);
+        break;
+      case ArithOp::kDiv:
+        if (y == 0) return Status::InvalidArgument("integer division by zero");
+        if (x == std::numeric_limits<int64_t>::min() && y == -1) {
+          overflow = true;
+        } else {
+          r = x / y;
+        }
+        break;
+    }
+    if (overflow) return Status::OutOfRange("integer overflow in arithmetic");
+    return Value(r);
+  }
+  double x = a.NumericAsDouble(), y = b.NumericAsDouble();
+  switch (op) {
+    case ArithOp::kAdd:
+      return Value(x + y);
+    case ArithOp::kSub:
+      return Value(x - y);
+    case ArithOp::kMul:
+      return Value(x * y);
+    case ArithOp::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(x / y);
+  }
+  return Status::Internal("unreachable arithmetic op");
+}
+
+}  // namespace
+
+Result<Value> Add(const Value& a, const Value& b) {
+  return Arith(ArithOp::kAdd, a, b);
+}
+Result<Value> Subtract(const Value& a, const Value& b) {
+  return Arith(ArithOp::kSub, a, b);
+}
+Result<Value> Multiply(const Value& a, const Value& b) {
+  return Arith(ArithOp::kMul, a, b);
+}
+Result<Value> Divide(const Value& a, const Value& b) {
+  return Arith(ArithOp::kDiv, a, b);
+}
+
+}  // namespace deltamon

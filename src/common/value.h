@@ -1,0 +1,122 @@
+#ifndef DELTAMON_COMMON_VALUE_H_
+#define DELTAMON_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace deltamon {
+
+/// Identifier of a user-defined object type ("item", "supplier", ...)
+/// registered in the catalog.
+using TypeId = uint32_t;
+inline constexpr TypeId kInvalidTypeId = 0;
+
+/// A surrogate object identifier. Every object created in the database
+/// carries the TypeId it was created with, mirroring the AMOS data model
+/// where all objects are classified by type.
+struct Oid {
+  uint64_t id = 0;
+  TypeId type = kInvalidTypeId;
+
+  bool operator==(const Oid& other) const { return id == other.id; }
+  auto operator<=>(const Oid& other) const { return id <=> other.id; }
+};
+
+/// The kind of a Value. Order matters: cross-kind comparison of Values
+/// orders by kind index first, making Value totally ordered.
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kDouble,
+  kString,
+  kObject,
+};
+
+const char* ValueKindName(ValueKind kind);
+
+/// A dynamically typed database value: the domain of tuple fields in both
+/// stored and derived functions. Values are immutable, totally ordered,
+/// hashable, and cheap to copy except for strings.
+class Value {
+ public:
+  /// Null (absent) value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool b) : data_(b) {}
+  explicit Value(int64_t i) : data_(i) {}
+  explicit Value(int i) : data_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : data_(d) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+  explicit Value(Oid oid) : data_(oid) {}
+
+  ValueKind kind() const { return static_cast<ValueKind>(data_.index()); }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+  bool is_bool() const { return kind() == ValueKind::kBool; }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_double() const { return kind() == ValueKind::kDouble; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_object() const { return kind() == ValueKind::kObject; }
+  /// True for kInt or kDouble.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Unchecked accessors; the caller must have verified the kind.
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  Oid AsObject() const { return std::get<Oid>(data_); }
+
+  /// Numeric value widened to double; requires is_numeric().
+  double NumericAsDouble() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Equality: same kind and same payload (1 != 1.0; use Compare for
+  /// numeric-promoting comparison).
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator<(const Value& other) const;
+
+  /// Three-way comparison with numeric promotion (int vs double compares
+  /// numerically); values of different non-numeric kinds order by kind.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  size_t Hash() const;
+
+  /// Display form: "null", "true", "42", "3.5", quoted string, or
+  /// "<typeid>#<oid>".
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string, Oid> data_;
+};
+
+/// Arithmetic over numeric Values; int op int stays int (except division by
+/// zero and overflow, which yield errors), any double operand promotes to
+/// double.
+Result<Value> Add(const Value& a, const Value& b);
+Result<Value> Subtract(const Value& a, const Value& b);
+Result<Value> Multiply(const Value& a, const Value& b);
+Result<Value> Divide(const Value& a, const Value& b);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Streams v.ToString() (also makes gtest failures readable).
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Combines a hash into a running seed (boost::hash_combine recipe).
+inline size_t HashCombine(size_t seed, size_t h) {
+  return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_COMMON_VALUE_H_

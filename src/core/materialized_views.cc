@@ -1,0 +1,54 @@
+#include "core/materialized_views.h"
+
+#include "objectlog/eval.h"
+
+namespace deltamon::core {
+
+Status MaterializedViewStore::Initialize(
+    const PropagationNetwork& network, const Database& db,
+    const objectlog::DerivedRegistry& registry,
+    const std::unordered_map<RelationId, DeltaSet>* pending_deltas) {
+  views_.clear();
+  objectlog::EvalCache cache;
+  objectlog::StateContext ctx;
+  ctx.deltas = pending_deltas;
+  objectlog::EvalState state = (pending_deltas != nullptr)
+                                   ? objectlog::EvalState::kOld
+                                   : objectlog::EvalState::kNew;
+  objectlog::Evaluator evaluator(db, registry, ctx, &cache);
+  for (const auto& [rel, node] : network.nodes()) {
+    if (node.is_base) continue;
+    const FunctionSignature* sig = db.catalog().GetSignature(rel);
+    if (sig == nullptr) {
+      return Status::Internal("derived node without signature");
+    }
+    auto view = std::make_unique<BaseRelation>(rel, db.catalog().RelationName(rel),
+                                               sig->ToSchema());
+    TupleSet extent;
+    DELTAMON_RETURN_IF_ERROR(evaluator.Evaluate(rel, state, &extent));
+    for (const Tuple& t : extent) view->Insert(t);
+    views_.emplace(rel, std::move(view));
+  }
+  return Status::OK();
+}
+
+const BaseRelation* MaterializedViewStore::Get(RelationId rel) const {
+  auto it = views_.find(rel);
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+Status MaterializedViewStore::Apply(RelationId rel, const DeltaSet& delta) {
+  auto it = views_.find(rel);
+  if (it == views_.end()) return Status::OK();
+  for (const Tuple& t : delta.plus()) it->second->Insert(t);
+  for (const Tuple& t : delta.minus()) it->second->Delete(t);
+  return Status::OK();
+}
+
+size_t MaterializedViewStore::ResidentTuples() const {
+  size_t total = 0;
+  for (const auto& [rel, view] : views_) total += view->size();
+  return total;
+}
+
+}  // namespace deltamon::core

@@ -1,0 +1,67 @@
+#ifndef DELTAMON_CORE_MATERIALIZED_VIEWS_H_
+#define DELTAMON_CORE_MATERIALIZED_VIEWS_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "core/network.h"
+#include "delta/delta_set.h"
+#include "objectlog/registry.h"
+#include "storage/database.h"
+
+namespace deltamon::core {
+
+/// Materialized extents of the derived nodes of a propagation network —
+/// the strategy of the PF-algorithm the paper contrasts against (§2): keep
+/// every intermediate view resident (indexed, incrementally maintained by
+/// applying each wave's node Δ-sets) so differentials read stored tuples
+/// instead of re-deriving sub-conditions.
+///
+/// deltamon's default is the opposite (wave-front Δ-sets only, old states
+/// by logical rollback); this store exists to make the paper's space/time
+/// trade-off measurable (bench/ablation_materialization) and as a
+/// production option for deep, bushy networks.
+///
+/// Correctness requires every maintained node to receive exact deltas,
+/// i.e. deletions must be propagated through the whole network — the rule
+/// manager forces needs_minus when materialization is enabled.
+class MaterializedViewStore {
+ public:
+  MaterializedViewStore() = default;
+  MaterializedViewStore(const MaterializedViewStore&) = delete;
+  MaterializedViewStore& operator=(const MaterializedViewStore&) = delete;
+
+  /// Creates and populates an extent for every derived node of `network`
+  /// (full evaluation; paid once per network build). When `pending_deltas`
+  /// is non-null the extents are evaluated in the OLD state reconstructed
+  /// by logical rollback — required when initialization happens after a
+  /// transaction's updates have already been applied to the base relations
+  /// (the rule manager's lazy first round), since the extents must
+  /// represent the state as of the last completed maintenance.
+  Status Initialize(
+      const PropagationNetwork& network, const Database& db,
+      const objectlog::DerivedRegistry& registry,
+      const std::unordered_map<RelationId, DeltaSet>* pending_deltas =
+          nullptr);
+
+  /// The maintained extent of `rel`, or null if not materialized.
+  const BaseRelation* Get(RelationId rel) const;
+
+  /// Applies a node's wave Δ-set to its extent (insertions then
+  /// deletions are irrelevant in order: Δ-sets are disjoint).
+  Status Apply(RelationId rel, const DeltaSet& delta);
+
+  /// Total tuples resident across all maintained extents — the space cost
+  /// the paper's algorithm avoids.
+  size_t ResidentTuples() const;
+
+  bool empty() const { return views_.empty(); }
+  void Clear() { views_.clear(); }
+
+ private:
+  std::unordered_map<RelationId, std::unique_ptr<BaseRelation>> views_;
+};
+
+}  // namespace deltamon::core
+
+#endif  // DELTAMON_CORE_MATERIALIZED_VIEWS_H_

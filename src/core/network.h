@@ -1,0 +1,132 @@
+#ifndef DELTAMON_CORE_NETWORK_H_
+#define DELTAMON_CORE_NETWORK_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "objectlog/ast.h"
+#include "objectlog/registry.h"
+#include "storage/catalog.h"
+
+namespace deltamon::core {
+
+/// One generated partial differential ΔP/Δ±X (paper §4.3–4.4): a clause in
+/// which one occurrence of the influent X has been replaced by a Δ-role
+/// literal, and every other relation literal is annotated with the state it
+/// must be evaluated in (NEW for differentials producing insertions, OLD
+/// for differentials producing deletions).
+struct PartialDifferential {
+  RelationId target = kInvalidRelationId;    ///< the affected relation P
+  RelationId influent = kInvalidRelationId;  ///< the changed relation X
+  /// Aggregate edge (§8 extension): consumes both sides of ΔX and
+  /// re-aggregates the affected groups in the old and new states; `clause`
+  /// is unused.
+  bool aggregate = false;
+  /// Which side of X's Δ-set this differential consumes.
+  bool reads_plus = true;
+  /// Whether the produced tuples are insertions into P (Δ+P) or deletions
+  /// (Δ−P).
+  bool produces_plus = true;
+  /// The occurrence this differential substitutes (for explainability).
+  size_t clause_index = 0;
+  size_t literal_index = 0;
+  objectlog::Clause clause;
+
+  /// e.g. "Δcnd/Δ+quantity" or "Δcnd/Δ-supplies [negated occurrence]".
+  std::string Name(const Catalog& catalog) const;
+};
+
+/// A node of the propagation network: a base relation (leaf) or a derived
+/// relation (the monitored condition itself, or an intermediate shared node
+/// under the §7.1 node-sharing policy).
+struct NetworkNode {
+  RelationId relation = kInvalidRelationId;
+  bool is_base = false;
+  /// 0 for base relations; 1 + max(children) otherwise (longest path), so a
+  /// node is processed only after all its influents' Δ-sets are complete —
+  /// the breadth-first bottom-up ordering the calculus requires (§4, §5).
+  int level = 0;
+  /// Clauses used for this node's differentials (expanded per policy).
+  std::vector<objectlog::Clause> clauses;
+  /// Aggregate views (§8 extension) have a definition instead of clauses.
+  const objectlog::AggregateDef* aggregate = nullptr;
+  /// Whether insertions / deletions into this node must be computed.
+  bool needs_plus = false;
+  bool needs_minus = false;
+  /// Indexes into PropagationNetwork::differentials() whose target is this
+  /// node, in (clause, literal) order.
+  std::vector<size_t> in_edges;
+  /// Distinct parent nodes reading this node's Δ-set (for wave-front
+  /// discarding).
+  std::vector<RelationId> parents;
+};
+
+/// Per-root monitoring requirements.
+struct RootSpec {
+  RelationId relation = kInvalidRelationId;
+  /// Propagate deletions up to this root (needed for strict semantics, for
+  /// multi-round rule processing, and whenever the consumer must see net
+  /// negative changes). With false and no negation below, the network is
+  /// insertions-only — the paper's common case (§4.4).
+  bool needs_minus = true;
+  /// Apply the §7.2 strict filter to the root's Δ+ (drop tuples already
+  /// derivable in the old state).
+  bool strict = true;
+};
+
+/// Options controlling network construction.
+struct BuildOptions {
+  /// Derived relations NOT to expand: they become intermediate nodes shared
+  /// between conditions (paper §7.1 node sharing). Everything else is
+  /// flattened into its parents (the paper's default "full expansion").
+  std::unordered_set<RelationId> keep;
+};
+
+/// The propagation network (paper fig. 2): the dependency network of the
+/// monitored conditions augmented with the generated partial differentials
+/// on its edges. Immutable once built.
+class PropagationNetwork {
+ public:
+  /// Builds the network for the given condition relations. `roots` entries
+  /// must be derived relations with clauses in `registry`.
+  static Result<PropagationNetwork> Build(const std::vector<RootSpec>& roots,
+                                          const objectlog::DerivedRegistry& registry,
+                                          const Catalog& catalog,
+                                          const BuildOptions& options = {});
+
+  const std::vector<PartialDifferential>& differentials() const {
+    return differentials_;
+  }
+  const std::unordered_map<RelationId, NetworkNode>& nodes() const {
+    return nodes_;
+  }
+  const NetworkNode* node(RelationId rel) const {
+    auto it = nodes_.find(rel);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+  const std::vector<RootSpec>& roots() const { return roots_; }
+
+  /// Node ids grouped by level; levels_[0] are the base influents.
+  const std::vector<std::vector<RelationId>>& levels() const { return levels_; }
+
+  /// The base relations the monitored conditions depend on — exactly the
+  /// relations the database must accumulate Δ-sets for.
+  std::vector<RelationId> BaseInfluents() const;
+
+  /// Human-readable dump (nodes by level, then differentials).
+  std::string ToString(const Catalog& catalog) const;
+
+ private:
+  PropagationNetwork() = default;
+
+  std::vector<RootSpec> roots_;
+  std::vector<PartialDifferential> differentials_;
+  std::unordered_map<RelationId, NetworkNode> nodes_;
+  std::vector<std::vector<RelationId>> levels_;
+};
+
+}  // namespace deltamon::core
+
+#endif  // DELTAMON_CORE_NETWORK_H_

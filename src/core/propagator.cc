@@ -1,0 +1,321 @@
+#include "core/propagator.h"
+
+#include <algorithm>
+
+namespace deltamon::core {
+
+std::string TraceEntry::ToString(const Catalog& catalog) const {
+  std::string out = "Δ";
+  out += produces_plus ? "+" : "-";
+  out += catalog.RelationName(target);
+  out += "/Δ";
+  out += reads_plus ? "+" : "-";
+  out += catalog.RelationName(influent);
+  out += ": " + std::to_string(tuples_consumed) + " -> " +
+         std::to_string(tuples_produced) + " tuples";
+  return out;
+}
+
+std::vector<TraceEntry> PropagationResult::Explain(RelationId root) const {
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& e : trace) {
+    if (e.target == root && e.tuples_produced > 0) out.push_back(e);
+  }
+  return out;
+}
+
+Result<PropagationResult> Propagator::Propagate(
+    const std::unordered_map<RelationId, DeltaSet>& base_deltas) const {
+  PropagationResult result;
+  for (const RootSpec& root : network_.roots()) {
+    result.root_deltas.emplace(root.relation, DeltaSet());
+  }
+
+  // Seed the wave with the Δ-sets of base influents.
+  std::unordered_map<RelationId, DeltaSet> wave;
+  for (const auto& [rel, delta] : base_deltas) {
+    const NetworkNode* node = network_.node(rel);
+    if (node != nullptr && node->is_base && !delta.empty()) {
+      wave.emplace(rel, delta);
+    }
+  }
+  if (wave.empty()) return result;
+
+  objectlog::EvalCache cache;
+  objectlog::StateContext ctx;
+  ctx.deltas = &wave;
+  // PF-style mode: expose the maintained extents of derived nodes to the
+  // evaluator. Extents are applied as each node completes, so parents read
+  // NEW state directly and OLD state by rollback over the wave Δ-sets.
+  std::unordered_map<RelationId, const BaseRelation*> view_map;
+  if (views_ != nullptr && !views_->empty()) {
+    for (const auto& [rel, node] : network_.nodes()) {
+      const BaseRelation* view = views_->Get(rel);
+      if (view != nullptr) view_map.emplace(rel, view);
+    }
+    ctx.views = &view_map;
+  }
+  objectlog::Evaluator evaluator(db_, registry_, ctx, &cache);
+
+  // Remaining parents per node, for wave-front discarding.
+  std::unordered_map<RelationId, size_t> pending_parents;
+  for (const auto& [rel, node] : network_.nodes()) {
+    pending_parents[rel] = node.parents.size();
+  }
+
+  size_t wavefront = 0;  // tuples held in intermediate (derived) Δ-sets
+  auto bump_peak = [&result, &wavefront]() {
+    result.stats.peak_wavefront_tuples =
+        std::max(result.stats.peak_wavefront_tuples, wavefront);
+  };
+
+  const auto& levels = network_.levels();
+  for (size_t lvl = 1; lvl < levels.size(); ++lvl) {
+    for (RelationId rel : levels[lvl]) {
+      const NetworkNode& node = network_.nodes().at(rel);
+      // While this node is being computed, point queries against it (the
+      // §7.2 filters) must evaluate its *definition*, not its stale
+      // pre-wave extent: hide its own view for the duration.
+      auto self_view = view_map.extract(rel);
+      DeltaSet acc;
+      // Self-edges (linear recursion, paper §5 footnote) are iterated to a
+      // fixpoint after the external contributions are known.
+      std::vector<size_t> self_edges;
+      for (size_t edge : node.in_edges) {
+        const PartialDifferential& diff = network_.differentials()[edge];
+        if (diff.influent == rel) {
+          self_edges.push_back(edge);
+          continue;
+        }
+        auto src = wave.find(diff.influent);
+
+        // Aggregate edge (§8 extension): re-aggregate every group touched
+        // by the source Δ-set in the old and new states and diff — exact
+        // nets, so no §7.2 filtering is needed.
+        if (diff.aggregate) {
+          if (src == wave.end() || src->second.empty()) {
+            ++result.stats.differentials_skipped;
+            continue;
+          }
+          const objectlog::AggregateDef& def = *node.aggregate;
+          TupleSet keys;
+          for (const TupleSet* delta_side :
+               {&src->second.plus(), &src->second.minus()}) {
+            for (const Tuple& t : *delta_side) {
+              keys.insert(t.Project(def.group_by));
+            }
+          }
+          size_t produced_total = 0;
+          for (const Tuple& key : keys) {
+            ScanPattern pattern(def.group_by.size() + 1);
+            for (size_t i = 0; i < key.arity(); ++i) pattern[i] = key[i];
+            TupleSet old_rows;
+            TupleSet new_rows;
+            DELTAMON_RETURN_IF_ERROR(evaluator.Probe(
+                rel, objectlog::EvalState::kOld, pattern, &old_rows));
+            DELTAMON_RETURN_IF_ERROR(evaluator.Probe(
+                rel, objectlog::EvalState::kNew, pattern, &new_rows));
+            DeltaSet group_delta = DiffStates(old_rows, new_rows);
+            produced_total += group_delta.size();
+            acc.DeltaUnion(group_delta);
+          }
+          ++result.stats.differentials_executed;
+          result.stats.tuples_propagated += produced_total;
+          result.trace.push_back(TraceEntry{diff.target, diff.influent, true,
+                                            true, src->second.size(),
+                                            produced_total});
+          continue;
+        }
+
+        const TupleSet* side =
+            src == wave.end()
+                ? nullptr
+                : (diff.reads_plus ? &src->second.plus() : &src->second.minus());
+        if (side == nullptr || side->empty()) {
+          ++result.stats.differentials_skipped;
+          continue;
+        }
+        TupleSet produced;
+        DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(diff.clause,
+                                                          &produced));
+        ++result.stats.differentials_executed;
+        result.stats.tuples_propagated += produced.size();
+        result.trace.push_back(TraceEntry{diff.target, diff.influent,
+                                          diff.reads_plus, diff.produces_plus,
+                                          side->size(), produced.size()});
+
+        if (!diff.produces_plus) {
+          // §7.2: a candidate deletion still derivable in the new state
+          // must not be propagated — otherwise ∪Δ could cancel a genuine
+          // insertion and the rule would under-react, which is
+          // unacceptable. (The dual over-approximation on the plus side is
+          // harmless here and handled at strict roots below.)
+          for (auto it = produced.begin(); it != produced.end();) {
+            DELTAMON_ASSIGN_OR_RETURN(
+                bool still_there,
+                evaluator.Derivable(rel, objectlog::EvalState::kNew, *it));
+            if (still_there) {
+              ++result.stats.filtered_minus;
+              it = produced.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        DeltaSet contribution =
+            diff.produces_plus ? DeltaSet(std::move(produced), TupleSet{})
+                               : DeltaSet(TupleSet{}, std::move(produced));
+        acc.DeltaUnion(contribution);
+      }
+
+      // Fixpoint iteration over the self-edges: the frontier of fresh
+      // changes is re-exposed as this node's Δ-set and the recursive
+      // differentials re-run until nothing new is derived (insertions:
+      // semi-naive; deletions: DRed-style, with the §7.2 rederivability
+      // filter pruning tuples still derivable through surviving paths).
+      if (!self_edges.empty() && !acc.empty()) {
+        DeltaSet frontier = acc;
+        TupleSet total_plus = acc.plus();
+        TupleSet total_minus = acc.minus();
+        constexpr int kMaxFixpointRounds = 100000;
+        int round = 0;
+        for (; round < kMaxFixpointRounds && !frontier.empty(); ++round) {
+          wave[rel] = frontier;
+          TupleSet fresh_plus;
+          TupleSet fresh_minus;
+          for (size_t edge : self_edges) {
+            const PartialDifferential& diff = network_.differentials()[edge];
+            const TupleSet& side = diff.reads_plus
+                                       ? wave[rel].plus()
+                                       : wave[rel].minus();
+            if (side.empty()) {
+              ++result.stats.differentials_skipped;
+              continue;
+            }
+            TupleSet produced;
+            DELTAMON_RETURN_IF_ERROR(
+                evaluator.EvaluateClause(diff.clause, &produced));
+            ++result.stats.differentials_executed;
+            result.stats.tuples_propagated += produced.size();
+            result.trace.push_back(
+                TraceEntry{diff.target, diff.influent, diff.reads_plus,
+                           diff.produces_plus, side.size(), produced.size()});
+            for (const Tuple& t : produced) {
+              if (diff.produces_plus) {
+                if (!total_plus.contains(t)) fresh_plus.insert(t);
+              } else {
+                if (total_minus.contains(t)) continue;
+                DELTAMON_ASSIGN_OR_RETURN(
+                    bool still_there,
+                    evaluator.Derivable(rel, objectlog::EvalState::kNew, t));
+                if (still_there) {
+                  ++result.stats.filtered_minus;
+                } else {
+                  fresh_minus.insert(t);
+                }
+              }
+            }
+          }
+          total_plus.insert(fresh_plus.begin(), fresh_plus.end());
+          total_minus.insert(fresh_minus.begin(), fresh_minus.end());
+          frontier = DeltaSet(std::move(fresh_plus), std::move(fresh_minus));
+        }
+        wave.erase(rel);
+        if (round >= kMaxFixpointRounds) {
+          return Status::Internal("recursive propagation did not converge");
+        }
+        acc = DeltaSet(std::move(total_plus), std::move(total_minus));
+      }
+
+      // Materialized mode: node Δ-sets must be exact nets, because the
+      // extent is maintained by applying them and parents reconstruct this
+      // node's OLD state by rolling its Δ back — an over-approximated Δ+
+      // entry (a tuple that was already derivable) would wrongly vanish
+      // from the reconstructed old state. The node's own extent has not
+      // been applied yet, so it IS the old state: one hash probe filters
+      // each candidate. (Without views this filter is unnecessary: old
+      // states of derived nodes are re-evaluated from base relations.)
+      if (!self_view.empty() && !acc.plus().empty()) {
+        const BaseRelation* old_extent = self_view.mapped();
+        TupleSet kept;
+        for (const Tuple& t : acc.plus()) {
+          if (old_extent->Contains(t)) {
+            ++result.stats.filtered_plus;
+          } else {
+            kept.insert(t);
+          }
+        }
+        acc = DeltaSet(std::move(kept), acc.minus());
+      }
+
+      // Strict-semantics filter at monitored roots (§7.2): drop insertions
+      // whose condition instance was already true in the old state.
+      const RootSpec* root_spec = nullptr;
+      for (const RootSpec& root : network_.roots()) {
+        if (root.relation == rel) {
+          root_spec = &root;
+          break;
+        }
+      }
+      if (root_spec != nullptr && root_spec->strict && !acc.plus().empty()) {
+        TupleSet kept;
+        for (const Tuple& t : acc.plus()) {
+          DELTAMON_ASSIGN_OR_RETURN(
+              bool was_true,
+              evaluator.Derivable(rel, objectlog::EvalState::kOld, t));
+          if (was_true) {
+            ++result.stats.filtered_plus;
+          } else {
+            kept.insert(t);
+          }
+        }
+        acc = DeltaSet(std::move(kept), acc.minus());
+      }
+
+      if (views_ != nullptr && !acc.empty()) {
+        DELTAMON_RETURN_IF_ERROR(views_->Apply(rel, acc));
+      }
+      if (!self_view.empty()) view_map.insert(std::move(self_view));
+      if (!acc.empty()) {
+        wavefront += acc.size();
+        wave[rel] = std::move(acc);
+        bump_peak();
+      }
+
+      // Wave-front discard: this node has consumed its children; a derived
+      // child whose last parent is done can release its Δ-set (base Δ-sets
+      // stay: OLD-state rollback reads them for the rest of the wave).
+      std::vector<RelationId> children;
+      for (size_t edge : node.in_edges) {
+        RelationId child = network_.differentials()[edge].influent;
+        if (std::find(children.begin(), children.end(), child) ==
+            children.end()) {
+          children.push_back(child);
+        }
+      }
+      for (RelationId child : children) {
+        size_t& remaining = pending_parents.at(child);
+        if (remaining > 0) --remaining;
+        if (remaining != 0) continue;
+        const NetworkNode& child_node = network_.nodes().at(child);
+        if (child_node.is_base || result.root_deltas.contains(child)) continue;
+        auto it = wave.find(child);
+        if (it != wave.end()) {
+          wavefront -= it->second.size();
+          wave.erase(it);
+        }
+      }
+    }
+  }
+
+  for (auto& [root, delta] : result.root_deltas) {
+    auto it = wave.find(root);
+    if (it != wave.end()) delta = std::move(it->second);
+  }
+  if (views_ != nullptr) {
+    result.stats.materialized_resident_tuples = views_->ResidentTuples();
+  }
+  return result;
+}
+
+}  // namespace deltamon::core

@@ -1,0 +1,101 @@
+#ifndef DELTAMON_CORE_PROPAGATOR_H_
+#define DELTAMON_CORE_PROPAGATOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/materialized_views.h"
+#include "core/network.h"
+#include "delta/delta_set.h"
+#include "objectlog/eval.h"
+#include "storage/database.h"
+
+namespace deltamon::core {
+
+/// One executed partial differential, recorded for explainability (paper
+/// §1, §8: "one can easily determine which influents actually caused a rule
+/// to trigger and if it was triggered by an insertion or a deletion").
+struct TraceEntry {
+  RelationId target = kInvalidRelationId;
+  RelationId influent = kInvalidRelationId;
+  bool reads_plus = true;
+  bool produces_plus = true;
+  size_t tuples_consumed = 0;
+  size_t tuples_produced = 0;
+
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Result of one propagation wave.
+struct PropagationResult {
+  /// Net Δ-sets of the monitored condition relations (the network roots),
+  /// after the §7.2 corrections.
+  std::unordered_map<RelationId, DeltaSet> root_deltas;
+  /// Executed differentials, in execution order.
+  std::vector<TraceEntry> trace;
+
+  struct Stats {
+    size_t differentials_executed = 0;
+    /// Differentials skipped because their influent side was empty — the
+    /// payoff of partial differencing in small transactions (paper §1).
+    size_t differentials_skipped = 0;
+    size_t tuples_propagated = 0;
+    /// Peak number of tuples simultaneously held in intermediate
+    /// ("wave-front") Δ-sets, measuring the space optimization of §5.
+    size_t peak_wavefront_tuples = 0;
+    /// Tuples removed by the strict / presence filters (§7.2).
+    size_t filtered_plus = 0;
+    size_t filtered_minus = 0;
+    /// Tuples resident in materialized intermediate views after the wave
+    /// (0 when running without a MaterializedViewStore).
+    size_t materialized_resident_tuples = 0;
+  };
+  Stats stats;
+
+  /// Influents (with polarity) whose differentials produced tuples for
+  /// `root` — the "why did this rule trigger" answer.
+  std::vector<TraceEntry> Explain(RelationId root) const;
+};
+
+/// Executes the breadth-first bottom-up propagation algorithm (paper §5)
+/// over a PropagationNetwork:
+///
+///   for each level (starting with the lowest)
+///     for each changed node (non-empty Δ-set)
+///       for each edge to an above node
+///         execute the partial differential(s) and accumulate the result
+///         in the Δ-set of the node above using ∪Δ
+///
+/// Δ-sets of intermediate nodes are discarded as soon as every parent has
+/// been processed (the "wave-front" materialization of §5); base Δ-sets
+/// stay live for the whole wave because OLD-state reconstruction by logical
+/// rollback needs them.
+class Propagator {
+ public:
+  /// `views`, when non-null, switches to PF-style evaluation: derived
+  /// nodes' extents are read from (and maintained in) the store instead of
+  /// re-derived, trading residency for evaluation work (paper §2 contrast;
+  /// see MaterializedViewStore). The store must have been initialized for
+  /// this network and requires deletions to be propagated everywhere.
+  Propagator(const Database& db, const objectlog::DerivedRegistry& registry,
+             const PropagationNetwork& network,
+             MaterializedViewStore* views = nullptr)
+      : db_(db), registry_(registry), network_(network), views_(views) {}
+
+  /// Runs one wave from the given base-relation Δ-sets (typically
+  /// Database::TakePendingDeltas()). Entries for relations outside the
+  /// network are ignored.
+  Result<PropagationResult> Propagate(
+      const std::unordered_map<RelationId, DeltaSet>& base_deltas) const;
+
+ private:
+  const Database& db_;
+  const objectlog::DerivedRegistry& registry_;
+  const PropagationNetwork& network_;
+  MaterializedViewStore* views_ = nullptr;
+};
+
+}  // namespace deltamon::core
+
+#endif  // DELTAMON_CORE_PROPAGATOR_H_

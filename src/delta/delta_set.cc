@@ -1,0 +1,76 @@
+#include "delta/delta_set.h"
+
+#include <ostream>
+
+namespace deltamon {
+
+void DeltaSet::ApplyInsert(const Tuple& t) {
+  if (minus_.erase(t) == 0) plus_.insert(t);
+}
+
+void DeltaSet::ApplyDelete(const Tuple& t) {
+  if (plus_.erase(t) == 0) minus_.insert(t);
+}
+
+void DeltaSet::DeltaUnion(const DeltaSet& other) {
+  *this = deltamon::DeltaUnion(*this, other);
+}
+
+DeltaSet DeltaUnion(const DeltaSet& a, const DeltaSet& b) {
+  TupleSet plus;
+  TupleSet minus;
+  // (Δ+1 − Δ−2) ∪ (Δ+2 − Δ−1)
+  for (const Tuple& t : a.plus()) {
+    if (!b.minus().contains(t)) plus.insert(t);
+  }
+  for (const Tuple& t : b.plus()) {
+    if (!a.minus().contains(t)) plus.insert(t);
+  }
+  // (Δ−1 − Δ+2) ∪ (Δ−2 − Δ+1)
+  for (const Tuple& t : a.minus()) {
+    if (!b.plus().contains(t)) minus.insert(t);
+  }
+  for (const Tuple& t : b.minus()) {
+    if (!a.plus().contains(t)) minus.insert(t);
+  }
+  // Disjointness of the result follows from disjointness of the inputs:
+  // if t lands in `plus` via Δ+1 then t ∉ Δ−1, which blocks both minus
+  // clauses, and symmetrically for Δ+2.
+  return DeltaSet(std::move(plus), std::move(minus));
+}
+
+std::string DeltaSet::ToString() const {
+  return "<" + TupleSetToString(plus_) + ", " + TupleSetToString(minus_) + ">";
+}
+
+TupleSet RollbackToOldState(const TupleSet& new_state, const DeltaSet& delta) {
+  TupleSet old_state = new_state;
+  for (const Tuple& t : delta.minus()) old_state.insert(t);
+  for (const Tuple& t : delta.plus()) old_state.erase(t);
+  return old_state;
+}
+
+TupleSet ApplyDelta(const TupleSet& old_state, const DeltaSet& delta) {
+  TupleSet new_state = old_state;
+  for (const Tuple& t : delta.plus()) new_state.insert(t);
+  for (const Tuple& t : delta.minus()) new_state.erase(t);
+  return new_state;
+}
+
+DeltaSet DiffStates(const TupleSet& old_state, const TupleSet& new_state) {
+  TupleSet plus;
+  TupleSet minus;
+  for (const Tuple& t : new_state) {
+    if (!old_state.contains(t)) plus.insert(t);
+  }
+  for (const Tuple& t : old_state) {
+    if (!new_state.contains(t)) minus.insert(t);
+  }
+  return DeltaSet(std::move(plus), std::move(minus));
+}
+
+std::ostream& operator<<(std::ostream& os, const DeltaSet& d) {
+  return os << d.ToString();
+}
+
+}  // namespace deltamon

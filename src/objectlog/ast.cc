@@ -1,0 +1,233 @@
+#include "objectlog/ast.h"
+
+namespace deltamon::objectlog {
+
+std::string Term::ToString(const std::vector<std::string>& var_names) const {
+  if (is_const()) return constant.ToString();
+  if (var >= 0 && static_cast<size_t>(var) < var_names.size() &&
+      !var_names[var].empty()) {
+    return var_names[var];
+  }
+  return "V" + std::to_string(var);
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, const Value& a, const Value& b) {
+  int c = a.Compare(b);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+Literal Literal::Relation(RelationId rel, std::vector<Term> args,
+                          bool negated) {
+  Literal l;
+  l.kind = Kind::kRelation;
+  l.relation = rel;
+  l.args = std::move(args);
+  l.negated = negated;
+  return l;
+}
+
+Literal Literal::Compare(CompareOp op, Term lhs, Term rhs) {
+  Literal l;
+  l.kind = Kind::kCompare;
+  l.cmp = op;
+  l.args = {std::move(lhs), std::move(rhs)};
+  return l;
+}
+
+Literal Literal::Arith(ArithOp op, Term result, Term lhs, Term rhs) {
+  Literal l;
+  l.kind = Kind::kArith;
+  l.arith = op;
+  l.args = {std::move(result), std::move(lhs), std::move(rhs)};
+  return l;
+}
+
+std::string Literal::ToString(const Catalog& catalog,
+                              const std::vector<std::string>& var_names) const {
+  switch (kind) {
+    case Kind::kRelation: {
+      std::string out;
+      if (negated) out += "~";
+      switch (role) {
+        case RelationRole::kExtent:
+          break;
+        case RelationRole::kDeltaPlus:
+          out += "Δ+";
+          break;
+        case RelationRole::kDeltaMinus:
+          out += "Δ-";
+          break;
+      }
+      out += catalog.RelationName(relation);
+      if (state == EvalState::kOld && role == RelationRole::kExtent) {
+        out += "_old";
+      }
+      out += "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i].ToString(var_names);
+      }
+      return out + ")";
+    }
+    case Kind::kCompare:
+      return args[0].ToString(var_names) + " " + CompareOpName(cmp) + " " +
+             args[1].ToString(var_names);
+    case Kind::kArith:
+      return args[0].ToString(var_names) + " = " +
+             args[1].ToString(var_names) + " " + ArithOpName(arith) + " " +
+             args[2].ToString(var_names);
+  }
+  return "?";
+}
+
+int Clause::NewVar(const std::string& name_hint) {
+  int id = num_vars++;
+  if (!var_names.empty() || !name_hint.empty()) {
+    var_names.resize(num_vars);
+    var_names[id] = name_hint.empty() ? "V" + std::to_string(id) : name_hint;
+  }
+  return id;
+}
+
+std::string Clause::ToString(const Catalog& catalog) const {
+  std::string out = catalog.RelationName(head_relation) + "(";
+  for (size_t i = 0; i < head_args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head_args[i].ToString(var_names);
+  }
+  out += ") <- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += body[i].ToString(catalog, var_names);
+  }
+  return out;
+}
+
+Status ValidateClause(const Clause& clause, const Catalog& catalog) {
+  std::vector<bool> bound(clause.num_vars, false);
+  auto term_bound = [&bound](const Term& t) {
+    return t.is_const() || (t.var >= 0 && bound[t.var]);
+  };
+
+  // Positive relation literals are generators: they bind all their
+  // variables. Arithmetic and `=` comparisons can bind one variable once
+  // their inputs are bound; iterate to a fixpoint.
+  for (const Literal& l : clause.body) {
+    if (l.kind == Literal::Kind::kRelation && !l.negated) {
+      for (const Term& t : l.args) {
+        if (t.is_var()) bound[t.var] = true;
+      }
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& l : clause.body) {
+      if (l.kind == Literal::Kind::kArith) {
+        if (term_bound(l.args[1]) && term_bound(l.args[2]) &&
+            l.args[0].is_var() && !bound[l.args[0].var]) {
+          bound[l.args[0].var] = true;
+          changed = true;
+        }
+      } else if (l.kind == Literal::Kind::kCompare && l.cmp == CompareOp::kEq) {
+        if (term_bound(l.args[0]) && l.args[1].is_var() &&
+            !bound[l.args[1].var]) {
+          bound[l.args[1].var] = true;
+          changed = true;
+        } else if (term_bound(l.args[1]) && l.args[0].is_var() &&
+                   !bound[l.args[0].var]) {
+          bound[l.args[0].var] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  auto require_bound = [&](const Term& t, const std::string& where) -> Status {
+    if (!term_bound(t)) {
+      return Status::InvalidArgument(
+          "unsafe clause for " + catalog.RelationName(clause.head_relation) +
+          ": variable " + t.ToString(clause.var_names) + " in " + where +
+          " is not bound by any positive literal");
+    }
+    return Status::OK();
+  };
+
+  for (const Term& t : clause.head_args) {
+    DELTAMON_RETURN_IF_ERROR(require_bound(t, "head"));
+  }
+  // Count body occurrences per variable: a variable of a negated literal
+  // may stay unbound only as a *wildcard* — occurring in that literal alone
+  // (negation-as-absence over a partial match pattern).
+  std::vector<int> occurrences(clause.num_vars, 0);
+  for (const Literal& l : clause.body) {
+    for (const Term& t : l.args) {
+      if (t.is_var()) ++occurrences[t.var];
+    }
+  }
+  for (const Literal& l : clause.body) {
+    if (l.kind == Literal::Kind::kRelation && l.negated) {
+      for (const Term& t : l.args) {
+        if (t.is_var() && !bound[t.var] && occurrences[t.var] == 1) {
+          continue;  // wildcard
+        }
+        DELTAMON_RETURN_IF_ERROR(require_bound(t, "negated literal"));
+      }
+    } else if (l.kind == Literal::Kind::kCompare) {
+      DELTAMON_RETURN_IF_ERROR(require_bound(l.args[0], "comparison"));
+      DELTAMON_RETURN_IF_ERROR(require_bound(l.args[1], "comparison"));
+    } else if (l.kind == Literal::Kind::kArith) {
+      DELTAMON_RETURN_IF_ERROR(require_bound(l.args[1], "arithmetic"));
+      DELTAMON_RETURN_IF_ERROR(require_bound(l.args[2], "arithmetic"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace deltamon::objectlog

@@ -1,0 +1,124 @@
+#ifndef DELTAMON_OBJECTLOG_AST_H_
+#define DELTAMON_OBJECTLOG_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/catalog.h"
+
+namespace deltamon::objectlog {
+
+/// A term of an ObjectLog literal: a variable (non-negative id local to its
+/// clause) or a constant Value.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  Kind kind = Kind::kConstant;
+  int var = -1;
+  Value constant;
+
+  static Term Var(int id) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = id;
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+  bool is_const() const { return kind == Kind::kConstant; }
+
+  bool operator==(const Term& other) const {
+    if (kind != other.kind) return false;
+    return is_var() ? var == other.var : constant == other.constant;
+  }
+
+  std::string ToString(const std::vector<std::string>& var_names) const;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+const char* CompareOpName(CompareOp op);
+/// Applies `op` to the three-way comparison result a.Compare(b).
+bool EvalCompare(CompareOp op, const Value& a, const Value& b);
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+const char* ArithOpName(ArithOp op);
+
+/// The database state in which a relation literal is evaluated. Ordinary
+/// clause definitions use kNew everywhere; the differencer annotates the
+/// literals of generated partial differentials (paper §4.3–4.4: positive
+/// differentials read the new state, negative differentials read the old
+/// state of the other influents).
+enum class EvalState { kNew, kOld };
+
+/// The role a relation literal plays in a (possibly differenced) clause
+/// body: an ordinary reference to the relation's extent, or a reference to
+/// one side of the relation's Δ-set (the substituted occurrence in a
+/// partial differential, paper §4.3).
+enum class RelationRole { kExtent, kDeltaPlus, kDeltaMinus };
+
+/// One body literal: a (possibly negated) relation reference, a comparison,
+/// or an arithmetic binding `result = lhs op rhs`.
+struct Literal {
+  enum class Kind { kRelation, kCompare, kArith };
+
+  Kind kind = Kind::kRelation;
+
+  // --- kRelation ---
+  RelationId relation = kInvalidRelationId;
+  std::vector<Term> args;
+  bool negated = false;
+  EvalState state = EvalState::kNew;
+  RelationRole role = RelationRole::kExtent;
+
+  // --- kCompare --- (operands in args[0], args[1])
+  CompareOp cmp = CompareOp::kEq;
+
+  // --- kArith --- (args[0] = args[1] op args[2])
+  ArithOp arith = ArithOp::kAdd;
+
+  static Literal Relation(RelationId rel, std::vector<Term> args,
+                          bool negated = false);
+  static Literal Compare(CompareOp op, Term lhs, Term rhs);
+  static Literal Arith(ArithOp op, Term result, Term lhs, Term rhs);
+
+  std::string ToString(const Catalog& catalog,
+                       const std::vector<std::string>& var_names) const;
+};
+
+/// A Horn clause: head(args) <- body. A derived relation may have several
+/// clauses; multiple clauses implement body disjunction (the paper's
+/// ObjectLog keeps disjunctions in bodies; splitting into clauses is the
+/// equivalent DNF form and is what our differencer consumes).
+struct Clause {
+  RelationId head_relation = kInvalidRelationId;
+  std::vector<Term> head_args;
+  std::vector<Literal> body;
+  /// Variables are numbered 0..num_vars-1 within the clause.
+  int num_vars = 0;
+  /// Optional debug names per variable id (e.g. "I", "_G1"). May be empty.
+  std::vector<std::string> var_names;
+
+  /// Allocates a fresh variable (extends var_names when in use).
+  int NewVar(const std::string& name_hint = "");
+
+  std::string ToString(const Catalog& catalog) const;
+};
+
+/// Checks clause safety (range restriction): every head variable and every
+/// variable of a negated literal, comparison, or arithmetic input must be
+/// bound by some positive, non-negated relation literal or arithmetic
+/// output; arithmetic outputs must be derivable in some evaluation order.
+/// Returns InvalidArgument describing the first violation.
+Status ValidateClause(const Clause& clause, const Catalog& catalog);
+
+}  // namespace deltamon::objectlog
+
+#endif  // DELTAMON_OBJECTLOG_AST_H_

@@ -1,0 +1,826 @@
+#include "objectlog/eval.h"
+
+#include <limits>
+
+namespace deltamon::objectlog {
+
+TupleSet* EvalCache::Find(RelationId rel, EvalState state) {
+  auto it = extents_.find({rel, static_cast<int>(state)});
+  return it == extents_.end() ? nullptr : &it->second;
+}
+
+TupleSet* EvalCache::Insert(RelationId rel, EvalState state, TupleSet extent) {
+  auto [it, _] =
+      extents_.insert_or_assign({rel, static_cast<int>(state)}, std::move(extent));
+  return &it->second;
+}
+
+BaseRelation* EvalCache::FindIndexed(RelationId rel, EvalState state) {
+  auto it = indexed_.find({rel, static_cast<int>(state)});
+  return it == indexed_.end() ? nullptr : it->second.get();
+}
+
+BaseRelation* EvalCache::InsertIndexed(RelationId rel, EvalState state,
+                                       std::unique_ptr<BaseRelation> extent) {
+  auto [it, _] = indexed_.insert_or_assign({rel, static_cast<int>(state)},
+                                           std::move(extent));
+  return it->second.get();
+}
+
+Evaluator::Evaluator(const Database& db, const DerivedRegistry& registry,
+                     StateContext ctx, EvalCache* cache)
+    : db_(db),
+      registry_(registry),
+      ctx_(ctx),
+      cache_(cache != nullptr ? cache : &own_cache_) {}
+
+Result<Value> Evaluator::TermValue(const Term& term, const Env& env) const {
+  if (term.is_const()) return term.constant;
+  if (term.var >= 0 && static_cast<size_t>(term.var) < env.size() &&
+      env[term.var].has_value()) {
+    return *env[term.var];
+  }
+  return Status::Internal("unbound variable V" + std::to_string(term.var) +
+                          " evaluated too early");
+}
+
+std::vector<size_t> Evaluator::OrderBody(const std::vector<Literal>& body,
+                                         int num_vars) {
+  return OrderBody(body, num_vars, std::vector<bool>(std::max(num_vars, 0)));
+}
+
+std::vector<size_t> Evaluator::OrderBody(
+    const std::vector<Literal>& body, int num_vars,
+    const std::vector<bool>& initial_bound) {
+  std::vector<bool> bound = initial_bound;
+  bound.resize(static_cast<size_t>(std::max(num_vars, 0)), false);
+  std::vector<bool> placed(body.size(), false);
+  std::vector<size_t> order;
+  order.reserve(body.size());
+
+  auto term_bound = [&bound](const Term& t) {
+    return t.is_const() || (t.var >= 0 && bound[t.var]);
+  };
+  auto bind_vars = [&bound](const Literal& l) {
+    for (const Term& t : l.args) {
+      if (t.is_var()) bound[t.var] = true;
+    }
+  };
+
+  // Δ-role literals are the wave-front generators of a partial
+  // differential: always execute them first (the optimizer "assumes few
+  // changes to a single influent", paper §1).
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i].kind == Literal::Kind::kRelation &&
+        body[i].role != RelationRole::kExtent) {
+      order.push_back(i);
+      placed[i] = true;
+      bind_vars(body[i]);
+    }
+  }
+
+  while (order.size() < body.size()) {
+    constexpr int kNotEvaluable = std::numeric_limits<int>::min();
+    int best = -1;
+    int best_score = kNotEvaluable;
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (placed[i]) continue;
+      const Literal& l = body[i];
+      int score = kNotEvaluable;
+      switch (l.kind) {
+        case Literal::Kind::kCompare:
+          if (term_bound(l.args[0]) && term_bound(l.args[1])) {
+            score = 100;  // pure filter
+          } else if (l.cmp == CompareOp::kEq &&
+                     (term_bound(l.args[0]) || term_bound(l.args[1]))) {
+            score = 90;  // equality binder
+          }
+          break;
+        case Literal::Kind::kArith:
+          if (term_bound(l.args[1]) && term_bound(l.args[2])) score = 95;
+          break;
+        case Literal::Kind::kRelation: {
+          size_t nbound = 0;
+          for (const Term& t : l.args) {
+            if (term_bound(t)) ++nbound;
+          }
+          if (l.negated) {
+            // Evaluable once every shared variable is bound; variables
+            // occurring only in this literal are wildcards (validated by
+            // ValidateClause).
+            bool ready = true;
+            for (const Term& t : l.args) {
+              if (term_bound(t)) continue;
+              int uses = 0;
+              for (const Literal& other : body) {
+                for (const Term& ot : other.args) {
+                  if (ot.is_var() && ot.var == t.var) ++uses;
+                }
+              }
+              if (uses > 1) {
+                ready = false;
+                break;
+              }
+            }
+            if (ready) score = 85;  // absence filter
+          } else if (nbound == l.args.size()) {
+            score = 80;  // fully bound probe
+          } else if (nbound > 0) {
+            score = 40 + static_cast<int>(nbound);  // indexed probe
+          } else {
+            score = 0;  // full scan, last resort
+          }
+          break;
+        }
+      }
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0 || best_score == kNotEvaluable) {
+      // Unsafe clause (should have been rejected by ValidateClause); fall
+      // back to textual order for the remainder.
+      for (size_t i = 0; i < body.size(); ++i) {
+        if (!placed[i]) {
+          order.push_back(i);
+          placed[i] = true;
+        }
+      }
+      break;
+    }
+    placed[best] = true;
+    order.push_back(best);
+    const Literal& l = body[best];
+    if (l.kind == Literal::Kind::kRelation && !l.negated) {
+      bind_vars(l);
+    } else if (l.kind == Literal::Kind::kArith) {
+      if (l.args[0].is_var()) bound[l.args[0].var] = true;
+    } else if (l.kind == Literal::Kind::kCompare && l.cmp == CompareOp::kEq) {
+      bind_vars(l);
+    }
+  }
+  return order;
+}
+
+Status Evaluator::ScanRelation(RelationId rel, EvalState state,
+                               const ScanPattern& pattern,
+                               const std::function<bool(const Tuple&)>& fn) {
+  ++stats_.literal_probes;
+  const BaseRelation* base = db_.catalog().GetBaseRelation(rel);
+  if (base == nullptr) base = ctx_.ViewFor(rel);  // materialized view
+  if (base != nullptr) {
+    if (state == EvalState::kNew) {
+      base->Scan(pattern, [&](const Tuple& t) {
+        ++stats_.tuples_examined;
+        return fn(t);
+      });
+      return Status::OK();
+    }
+    // OLD state by logical rollback: new tuples minus Δ+, plus Δ−.
+    const DeltaSet* delta = ctx_.DeltaFor(rel);
+    if (delta == nullptr || delta->empty()) {
+      base->Scan(pattern, [&](const Tuple& t) {
+        ++stats_.tuples_examined;
+        return fn(t);
+      });
+      return Status::OK();
+    }
+    bool keep_going = true;
+    base->Scan(pattern, [&](const Tuple& t) {
+      if (delta->plus().contains(t)) return true;  // not present in OLD
+      ++stats_.tuples_examined;
+      keep_going = fn(t);
+      return keep_going;
+    });
+    if (keep_going) {
+      for (const Tuple& t : delta->minus()) {
+        bool match = true;
+        for (size_t i = 0; i < pattern.size(); ++i) {
+          if (pattern[i].has_value() && !(t[i] == *pattern[i])) {
+            match = false;
+            break;
+          }
+        }
+        if (!match) continue;
+        ++stats_.tuples_examined;
+        if (!fn(t)) break;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Foreign functions (paper §3, [15]): extent from the registered C++
+  // implementation; OLD state by rolling back the user-injected Δ-set,
+  // exactly as for stored relations.
+  if (const ForeignImpl* impl = registry_.GetForeign(rel)) {
+    auto matches = [&pattern](const Tuple& t) {
+      for (size_t i = 0; i < pattern.size(); ++i) {
+        if (pattern[i].has_value() && !(t[i] == *pattern[i])) return false;
+      }
+      return true;
+    };
+    const DeltaSet* delta =
+        state == EvalState::kOld ? ctx_.DeltaFor(rel) : nullptr;
+    bool keep_going = true;
+    DELTAMON_RETURN_IF_ERROR((*impl)(pattern, [&](const Tuple& t) {
+      if (!matches(t)) return true;  // impl may ignore the pattern
+      if (delta != nullptr && delta->plus().contains(t)) return true;
+      ++stats_.tuples_examined;
+      keep_going = fn(t);
+      return keep_going;
+    }));
+    if (delta != nullptr && keep_going) {
+      for (const Tuple& t : delta->minus()) {
+        if (!matches(t)) continue;
+        ++stats_.tuples_examined;
+        if (!fn(t)) break;
+      }
+    }
+    return Status::OK();
+  }
+
+  // Aggregate views (§8 extension).
+  if (const AggregateDef* agg = registry_.GetAggregate(rel)) {
+    return ScanAggregate(rel, *agg, state, pattern, fn);
+  }
+  // Derived relation.
+  if (!registry_.IsDefined(rel)) {
+    return Status::NotFound("relation id " + std::to_string(rel) +
+                            " ('" + db_.catalog().RelationName(rel) +
+                            "') has neither storage nor clauses");
+  }
+  // Recursive relations (linear recursion extension): always evaluated by
+  // fixpoint materialization — the probe path would recurse through the
+  // self-reference without a growing extent to terminate on.
+  if (registry_.IsRecursive(rel)) {
+    DELTAMON_ASSIGN_OR_RETURN(const BaseRelation* extent,
+                              FixpointMaterialize(rel, state));
+    extent->Scan(pattern, [&](const Tuple& t) {
+      ++stats_.tuples_examined;
+      return fn(t);
+    });
+    return Status::OK();
+  }
+
+  // Probe path: with bound pattern positions, push the bindings into the
+  // definition instead of materializing the whole view — a point/range
+  // query over the (indexed) base relations. Without this, probing a view
+  // once per outer tuple would cost O(|view|) each time.
+  bool has_bound = false;
+  for (const auto& p : pattern) {
+    if (p.has_value()) {
+      has_bound = true;
+      break;
+    }
+  }
+  TupleSet* extent = has_bound ? nullptr : cache_->Find(rel, state);
+  if (has_bound && cache_->Find(rel, state) != nullptr) {
+    // Already materialized earlier in this wave: cheaper to reuse it than
+    // to re-derive (fall through to the filtering loop below).
+    extent = cache_->Find(rel, state);
+  } else if (has_bound) {
+    const std::vector<Clause>* clauses = registry_.GetClauses(rel);
+    std::optional<EvalState> override_state;
+    if (state == EvalState::kOld) override_state = EvalState::kOld;
+    TupleSet results;  // dedup across clauses and witnesses
+    for (const Clause& clause : *clauses) {
+      ++stats_.clause_evals;
+      Env env(clause.num_vars);
+      bool feasible = true;
+      for (size_t i = 0; i < clause.head_args.size() && feasible; ++i) {
+        if (!pattern[i].has_value()) continue;
+        const Term& h = clause.head_args[i];
+        if (h.is_const()) {
+          feasible = h.constant == *pattern[i];
+        } else if (env[h.var].has_value()) {
+          feasible = *env[h.var] == *pattern[i];
+        } else {
+          env[h.var] = *pattern[i];
+        }
+      }
+      if (!feasible) continue;
+      std::vector<bool> prebound(clause.num_vars, false);
+      for (int v = 0; v < clause.num_vars; ++v) {
+        prebound[v] = env[v].has_value();
+      }
+      std::vector<size_t> order =
+          OrderBody(clause.body, clause.num_vars, prebound);
+      bool stop = false;
+      auto emit = [&](const Env& e) -> Status {
+        std::vector<Value> vals;
+        vals.reserve(clause.head_args.size());
+        for (const Term& t : clause.head_args) {
+          DELTAMON_ASSIGN_OR_RETURN(Value v, TermValue(t, e));
+          vals.push_back(std::move(v));
+        }
+        Tuple t(std::move(vals));
+        // Unbound-head positions of this clause could still mismatch a
+        // repeated pattern value; the final filter below handles that.
+        results.insert(std::move(t));
+        return Status::OK();
+      };
+      DELTAMON_RETURN_IF_ERROR(
+          EvalBody(clause, order, 0, env, override_state, emit, &stop));
+    }
+    for (const Tuple& t : results) {
+      bool match = true;
+      for (size_t i = 0; i < pattern.size(); ++i) {
+        if (pattern[i].has_value() && !(t[i] == *pattern[i])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      ++stats_.tuples_examined;
+      if (!fn(t)) break;
+    }
+    return Status::OK();
+  }
+  if (extent == nullptr) {
+    TupleSet materialized;
+    DELTAMON_RETURN_IF_ERROR(Evaluate(rel, state, &materialized));
+    extent = cache_->Insert(rel, state, std::move(materialized));
+  }
+  for (const Tuple& t : *extent) {
+    bool match = true;
+    for (size_t i = 0; i < pattern.size(); ++i) {
+      if (pattern[i].has_value() && !(t[i] == *pattern[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++stats_.tuples_examined;
+    if (!fn(t)) break;
+  }
+  return Status::OK();
+}
+
+Result<bool> Evaluator::Contains(RelationId rel, EvalState state,
+                                 const Tuple& t) {
+  const BaseRelation* base = db_.catalog().GetBaseRelation(rel);
+  if (base == nullptr) base = ctx_.ViewFor(rel);
+  if (base != nullptr) {
+    if (state == EvalState::kNew) return base->Contains(t);
+    const DeltaSet* delta = ctx_.DeltaFor(rel);
+    if (delta == nullptr || delta->empty()) return base->Contains(t);
+    if (delta->minus().contains(t)) return true;
+    return base->Contains(t) && !delta->plus().contains(t);
+  }
+  // Derived: use the memoized extent when available, otherwise run a point
+  // query without materializing.
+  TupleSet* extent = cache_->Find(rel, state);
+  if (extent != nullptr) return extent->contains(t);
+  return Derivable(rel, state, t);
+}
+
+Status Evaluator::EvalBody(const Clause& clause,
+                           const std::vector<size_t>& order, size_t step,
+                           Env& env, std::optional<EvalState> state_override,
+                           const std::function<Status(const Env&)>& emit,
+                           bool* stop) {
+  if (*stop) return Status::OK();
+  if (step == order.size()) return emit(env);
+  const Literal& l = clause.body[order[step]];
+
+  switch (l.kind) {
+    case Literal::Kind::kCompare: {
+      bool b0 = l.args[0].is_const() || env[l.args[0].var].has_value();
+      bool b1 = l.args[1].is_const() || env[l.args[1].var].has_value();
+      if (l.cmp == CompareOp::kEq && b0 != b1) {
+        // Equality binder: bind the unbound side.
+        const Term& src = b0 ? l.args[0] : l.args[1];
+        const Term& dst = b0 ? l.args[1] : l.args[0];
+        DELTAMON_ASSIGN_OR_RETURN(Value v, TermValue(src, env));
+        env[dst.var] = std::move(v);
+        Status s = EvalBody(clause, order, step + 1, env, state_override, emit,
+                            stop);
+        env[dst.var].reset();
+        return s;
+      }
+      DELTAMON_ASSIGN_OR_RETURN(Value a, TermValue(l.args[0], env));
+      DELTAMON_ASSIGN_OR_RETURN(Value b, TermValue(l.args[1], env));
+      if (!EvalCompare(l.cmp, a, b)) return Status::OK();
+      return EvalBody(clause, order, step + 1, env, state_override, emit,
+                      stop);
+    }
+
+    case Literal::Kind::kArith: {
+      DELTAMON_ASSIGN_OR_RETURN(Value a, TermValue(l.args[1], env));
+      DELTAMON_ASSIGN_OR_RETURN(Value b, TermValue(l.args[2], env));
+      Result<Value> r = [&]() {
+        switch (l.arith) {
+          case ArithOp::kAdd:
+            return Add(a, b);
+          case ArithOp::kSub:
+            return Subtract(a, b);
+          case ArithOp::kMul:
+            return Multiply(a, b);
+          case ArithOp::kDiv:
+            return Divide(a, b);
+        }
+        return Result<Value>(Status::Internal("bad arith op"));
+      }();
+      // Arithmetic failure (division by zero, overflow, type error) makes
+      // the branch underivable rather than aborting the query.
+      if (!r.ok()) return Status::OK();
+      const Term& out = l.args[0];
+      if (out.is_const() || env[out.var].has_value()) {
+        DELTAMON_ASSIGN_OR_RETURN(Value cur, TermValue(out, env));
+        if (cur.Compare(*r) != 0) return Status::OK();
+        return EvalBody(clause, order, step + 1, env, state_override, emit,
+                        stop);
+      }
+      env[out.var] = std::move(*r);
+      Status s =
+          EvalBody(clause, order, step + 1, env, state_override, emit, stop);
+      env[out.var].reset();
+      return s;
+    }
+
+    case Literal::Kind::kRelation: {
+      EvalState state = state_override.value_or(l.state);
+
+      // Δ-role literal: generate from one side of the influent's Δ-set.
+      if (l.role != RelationRole::kExtent) {
+        const DeltaSet* delta = ctx_.DeltaFor(l.relation);
+        if (delta == nullptr) return Status::OK();
+        const TupleSet& side = l.role == RelationRole::kDeltaPlus
+                                   ? delta->plus()
+                                   : delta->minus();
+        Status status = Status::OK();
+        for (const Tuple& t : side) {
+          ++stats_.tuples_examined;
+          // Unify args against t.
+          std::vector<int> bound_here;
+          bool match = true;
+          for (size_t i = 0; i < l.args.size() && match; ++i) {
+            const Term& a = l.args[i];
+            if (a.is_const()) {
+              match = a.constant == t[i];
+            } else if (env[a.var].has_value()) {
+              match = *env[a.var] == t[i];
+            } else {
+              env[a.var] = t[i];
+              bound_here.push_back(a.var);
+            }
+          }
+          if (match) {
+            status =
+                EvalBody(clause, order, step + 1, env, state_override, emit,
+                         stop);
+          }
+          for (int v : bound_here) env[v].reset();
+          if (!status.ok() || *stop) break;
+        }
+        return status;
+      }
+
+      // Negated extent literal: negation-as-absence. Bound positions form
+      // the match pattern; unbound (wildcard) positions match anything.
+      if (l.negated) {
+        ScanPattern pattern(l.args.size());
+        for (size_t i = 0; i < l.args.size(); ++i) {
+          if (l.args[i].is_const()) {
+            pattern[i] = l.args[i].constant;
+          } else if (env[l.args[i].var].has_value()) {
+            pattern[i] = *env[l.args[i].var];
+          }
+        }
+        bool exists = false;
+        DELTAMON_RETURN_IF_ERROR(
+            ScanRelation(l.relation, state, pattern, [&exists](const Tuple&) {
+              exists = true;
+              return false;  // stop at the first witness
+            }));
+        if (exists) return Status::OK();
+        return EvalBody(clause, order, step + 1, env, state_override, emit,
+                        stop);
+      }
+
+      // Positive extent literal: scan with the bound positions as pattern.
+      ScanPattern pattern(l.args.size());
+      for (size_t i = 0; i < l.args.size(); ++i) {
+        if (l.args[i].is_const()) {
+          pattern[i] = l.args[i].constant;
+        } else if (env[l.args[i].var].has_value()) {
+          pattern[i] = *env[l.args[i].var];
+        }
+      }
+      Status status = Status::OK();
+      DELTAMON_RETURN_IF_ERROR(ScanRelation(
+          l.relation, state, pattern, [&](const Tuple& t) {
+            std::vector<int> bound_here;
+            bool match = true;
+            for (size_t i = 0; i < l.args.size() && match; ++i) {
+              const Term& a = l.args[i];
+              if (a.is_const()) continue;  // filtered by the pattern
+              if (env[a.var].has_value()) {
+                // Either filtered by the pattern, or a repeated variable
+                // bound earlier within this same literal (q(X, X)).
+                match = *env[a.var] == t[i];
+              } else {
+                env[a.var] = t[i];
+                bound_here.push_back(a.var);
+              }
+            }
+            if (match) {
+              status = EvalBody(clause, order, step + 1, env, state_override,
+                                emit, stop);
+            }
+            for (int v : bound_here) env[v].reset();
+            return status.ok() && !*stop;
+          }));
+      return status;
+    }
+  }
+  return Status::Internal("unknown literal kind");
+}
+
+Status Evaluator::EvaluateClause(const Clause& clause, TupleSet* out) {
+  return EvaluateClauseWithBindings(clause, {}, out);
+}
+
+Status Evaluator::EvaluateClauseWithBindings(
+    const Clause& clause, const std::vector<std::pair<int, Value>>& bindings,
+    TupleSet* out) {
+  ++stats_.clause_evals;
+  std::vector<size_t> order = OrderBody(clause.body, clause.num_vars);
+  Env env(clause.num_vars);
+  for (const auto& [var, value] : bindings) {
+    if (var < 0 || var >= clause.num_vars) {
+      return Status::InvalidArgument("binding for unknown variable");
+    }
+    env[var] = value;
+  }
+  if (!bindings.empty()) {
+    std::vector<bool> prebound(clause.num_vars, false);
+    for (const auto& [var, value] : bindings) prebound[var] = true;
+    order = OrderBody(clause.body, clause.num_vars, prebound);
+  }
+  bool stop = false;
+  auto emit = [&](const Env& e) -> Status {
+    std::vector<Value> vals;
+    vals.reserve(clause.head_args.size());
+    for (const Term& t : clause.head_args) {
+      DELTAMON_ASSIGN_OR_RETURN(Value v, TermValue(t, e));
+      vals.push_back(std::move(v));
+    }
+    out->insert(Tuple(std::move(vals)));
+    return Status::OK();
+  };
+  return EvalBody(clause, order, 0, env, std::nullopt, emit, &stop);
+}
+
+Status Evaluator::Evaluate(RelationId rel, EvalState state, TupleSet* out) {
+  if (db_.catalog().GetBaseRelation(rel) != nullptr ||
+      ctx_.ViewFor(rel) != nullptr ||
+      registry_.GetAggregate(rel) != nullptr ||
+      registry_.GetForeign(rel) != nullptr ||
+      registry_.IsRecursive(rel)) {
+    return ScanRelation(rel, state, ScanPattern{}, [out](const Tuple& t) {
+      out->insert(t);
+      return true;
+    });
+  }
+  const std::vector<Clause>* clauses = registry_.GetClauses(rel);
+  if (clauses == nullptr) {
+    return Status::NotFound("relation id " + std::to_string(rel) +
+                            " has neither storage nor clauses");
+  }
+  std::optional<EvalState> override_state;
+  if (state == EvalState::kOld) override_state = EvalState::kOld;
+  for (const Clause& clause : *clauses) {
+    ++stats_.clause_evals;
+    std::vector<size_t> order = OrderBody(clause.body, clause.num_vars);
+    Env env(clause.num_vars);
+    bool stop = false;
+    auto emit = [&](const Env& e) -> Status {
+      std::vector<Value> vals;
+      vals.reserve(clause.head_args.size());
+      for (const Term& t : clause.head_args) {
+        DELTAMON_ASSIGN_OR_RETURN(Value v, TermValue(t, e));
+        vals.push_back(std::move(v));
+      }
+      out->insert(Tuple(std::move(vals)));
+      return Status::OK();
+    };
+    DELTAMON_RETURN_IF_ERROR(
+        EvalBody(clause, order, 0, env, override_state, emit, &stop));
+  }
+  return Status::OK();
+}
+
+Result<bool> Evaluator::Derivable(RelationId rel, EvalState state,
+                                  const Tuple& t) {
+  if (db_.catalog().GetBaseRelation(rel) != nullptr ||
+      ctx_.ViewFor(rel) != nullptr) {
+    return Contains(rel, state, t);
+  }
+  if (registry_.GetAggregate(rel) != nullptr ||
+      registry_.GetForeign(rel) != nullptr || registry_.IsRecursive(rel)) {
+    ScanPattern pattern(t.arity());
+    for (size_t i = 0; i < t.arity(); ++i) pattern[i] = t[i];
+    bool found = false;
+    DELTAMON_RETURN_IF_ERROR(
+        ScanRelation(rel, state, pattern, [&found](const Tuple&) {
+          found = true;
+          return false;
+        }));
+    return found;
+  }
+  const std::vector<Clause>* clauses = registry_.GetClauses(rel);
+  if (clauses == nullptr) {
+    return Status::NotFound("relation id " + std::to_string(rel) +
+                            " has neither storage nor clauses");
+  }
+  std::optional<EvalState> override_state;
+  if (state == EvalState::kOld) override_state = EvalState::kOld;
+  for (const Clause& clause : *clauses) {
+    if (clause.head_args.size() != t.arity()) {
+      return Status::InvalidArgument("point query arity mismatch");
+    }
+    ++stats_.clause_evals;
+    Env env(clause.num_vars);
+    bool feasible = true;
+    for (size_t i = 0; i < clause.head_args.size() && feasible; ++i) {
+      const Term& h = clause.head_args[i];
+      if (h.is_const()) {
+        feasible = h.constant == t[i];
+      } else if (env[h.var].has_value()) {
+        feasible = *env[h.var] == t[i];
+      } else {
+        env[h.var] = t[i];
+      }
+    }
+    if (!feasible) continue;
+    std::vector<bool> prebound(clause.num_vars, false);
+    for (int v = 0; v < clause.num_vars; ++v) prebound[v] = env[v].has_value();
+    std::vector<size_t> order =
+        OrderBody(clause.body, clause.num_vars, prebound);
+    bool stop = false;
+    bool found = false;
+    auto emit = [&](const Env&) -> Status {
+      found = true;
+      stop = true;
+      return Status::OK();
+    };
+    DELTAMON_RETURN_IF_ERROR(
+        EvalBody(clause, order, 0, env, override_state, emit, &stop));
+    if (found) return true;
+  }
+  return false;
+}
+
+Result<const BaseRelation*> Evaluator::FixpointMaterialize(RelationId rel,
+                                                           EvalState state) {
+  if (BaseRelation* cached = cache_->FindIndexed(rel, state)) return cached;
+  const std::vector<Clause>* clauses = registry_.GetClauses(rel);
+  if (clauses == nullptr) {
+    return Status::NotFound("recursive relation id " + std::to_string(rel) +
+                            " has no clauses");
+  }
+  const FunctionSignature* sig = db_.catalog().GetSignature(rel);
+  if (sig == nullptr) {
+    return Status::Internal("recursive relation without signature");
+  }
+  // Stratification: recursion through negation has no monotone fixpoint.
+  for (const Clause& clause : *clauses) {
+    for (const Literal& lit : clause.body) {
+      if (lit.kind == Literal::Kind::kRelation && lit.negated &&
+          (lit.relation == rel || registry_.IsRecursive(lit.relation))) {
+        return Status::Unimplemented(
+            "recursion through negation is not stratifiable");
+      }
+    }
+  }
+  // Seed an empty extent so self-references read the previous rounds'
+  // tuples; grow until no clause derives anything new (naive iteration —
+  // monotone, hence terminating on finite domains). The extent is indexed
+  // so the self-probes inside each round stay cheap.
+  BaseRelation* extent = cache_->InsertIndexed(
+      rel, state,
+      std::make_unique<BaseRelation>(rel, db_.catalog().RelationName(rel),
+                                     sig->ToSchema()));
+  std::optional<EvalState> override_state;
+  if (state == EvalState::kOld) override_state = EvalState::kOld;
+  constexpr int kMaxRounds = 100000;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    TupleSet fresh;
+    for (const Clause& clause : *clauses) {
+      ++stats_.clause_evals;
+      std::vector<size_t> order = OrderBody(clause.body, clause.num_vars);
+      Env env(clause.num_vars);
+      bool stop = false;
+      auto emit = [&](const Env& e) -> Status {
+        std::vector<Value> vals;
+        vals.reserve(clause.head_args.size());
+        for (const Term& t : clause.head_args) {
+          DELTAMON_ASSIGN_OR_RETURN(Value v, TermValue(t, e));
+          vals.push_back(std::move(v));
+        }
+        Tuple t(std::move(vals));
+        if (!extent->Contains(t)) fresh.insert(std::move(t));
+        return Status::OK();
+      };
+      DELTAMON_RETURN_IF_ERROR(
+          EvalBody(clause, order, 0, env, override_state, emit, &stop));
+    }
+    if (fresh.empty()) return extent;
+    for (const Tuple& t : fresh) extent->Insert(t);
+  }
+  return Status::Internal("recursive fixpoint did not converge");
+}
+
+Status Evaluator::Probe(RelationId rel, EvalState state,
+                        const ScanPattern& pattern, TupleSet* out) {
+  return ScanRelation(rel, state, pattern, [out](const Tuple& t) {
+    out->insert(t);
+    return true;
+  });
+}
+
+Status Evaluator::ScanAggregate(RelationId /*rel*/, const AggregateDef& def,
+                                EvalState state, const ScanPattern& pattern,
+                                const std::function<bool(const Tuple&)>& fn) {
+  const FunctionSignature* src_sig = db_.catalog().GetSignature(def.source);
+  if (src_sig == nullptr) {
+    return Status::NotFound("aggregate source relation not found");
+  }
+  // Push bound group columns down into the source scan.
+  ScanPattern source_pattern(src_sig->arity());
+  for (size_t i = 0; i < def.group_by.size(); ++i) {
+    if (i < pattern.size() && pattern[i].has_value()) {
+      source_pattern[def.group_by[i]] = pattern[i];
+    }
+  }
+  struct Accum {
+    int64_t count = 0;
+    Value value;  // running sum / min / max
+  };
+  std::unordered_map<Tuple, Accum, TupleHash> groups;
+  Status fold_status = Status::OK();
+  DELTAMON_RETURN_IF_ERROR(ScanRelation(
+      def.source, state, source_pattern, [&](const Tuple& t) {
+        Accum& acc = groups[t.Project(def.group_by)];
+        ++acc.count;
+        switch (def.func) {
+          case AggregateDef::Func::kCount:
+            break;
+          case AggregateDef::Func::kSum: {
+            if (acc.count == 1) {
+              acc.value = t[def.value_column];
+            } else {
+              Result<Value> sum = Add(acc.value, t[def.value_column]);
+              if (!sum.ok()) {
+                fold_status = sum.status();
+                return false;
+              }
+              acc.value = std::move(*sum);
+            }
+            break;
+          }
+          case AggregateDef::Func::kMin:
+            if (acc.count == 1 ||
+                t[def.value_column].Compare(acc.value) < 0) {
+              acc.value = t[def.value_column];
+            }
+            break;
+          case AggregateDef::Func::kMax:
+            if (acc.count == 1 ||
+                t[def.value_column].Compare(acc.value) > 0) {
+              acc.value = t[def.value_column];
+            }
+            break;
+        }
+        return true;
+      }));
+  DELTAMON_RETURN_IF_ERROR(fold_status);
+
+  // A global COUNT over an empty source is 0, not absent (so conditions
+  // like "count = 0" are expressible).
+  if (groups.empty() && def.func == AggregateDef::Func::kCount &&
+      def.group_by.empty()) {
+    groups.emplace(Tuple{}, Accum{});
+  }
+
+  for (const auto& [key, acc] : groups) {
+    Tuple row = key.Concat(
+        Tuple{def.func == AggregateDef::Func::kCount ? Value(acc.count)
+                                                     : acc.value});
+    bool match = true;
+    for (size_t i = 0; i < pattern.size() && i < row.arity(); ++i) {
+      if (pattern[i].has_value() && !(row[i] == *pattern[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    ++stats_.tuples_examined;
+    if (!fn(row)) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace deltamon::objectlog

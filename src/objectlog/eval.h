@@ -1,0 +1,169 @@
+#ifndef DELTAMON_OBJECTLOG_EVAL_H_
+#define DELTAMON_OBJECTLOG_EVAL_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "delta/delta_set.h"
+#include "objectlog/ast.h"
+#include "objectlog/registry.h"
+#include "storage/database.h"
+
+namespace deltamon::objectlog {
+
+/// The evaluation context tying a clause evaluation to database states:
+///  - `deltas` supplies, per relation, the Δ-set accumulated so far. It is
+///    read by Δ-role literals of partial differentials, and used to
+///    reconstruct the OLD state of base relations via logical rollback
+///    (paper fig. 3: S_old = (S_new ∪ Δ−S) − Δ+S).
+/// Relations without an entry are treated as unchanged (OLD == NEW).
+struct StateContext {
+  const std::unordered_map<RelationId, DeltaSet>* deltas = nullptr;
+  /// Materialized extents of derived relations (e.g. from a
+  /// core::MaterializedViewStore). When a derived relation has an entry it
+  /// is scanned like a stored relation — indexed, with OLD state by
+  /// rollback over `deltas` — instead of being re-derived from its
+  /// definition.
+  const std::unordered_map<RelationId, const BaseRelation*>* views = nullptr;
+
+  const DeltaSet* DeltaFor(RelationId rel) const {
+    if (deltas == nullptr) return nullptr;
+    auto it = deltas->find(rel);
+    return it == deltas->end() ? nullptr : &it->second;
+  }
+
+  const BaseRelation* ViewFor(RelationId rel) const {
+    if (views == nullptr) return nullptr;
+    auto it = views->find(rel);
+    return it == views->end() ? nullptr : it->second;
+  }
+};
+
+/// Memoizes fully materialized extents of derived relations per
+/// (relation, state) during one evaluation wave, so bushy networks and
+/// repeated sub-queries don't recompute views.
+class EvalCache {
+ public:
+  TupleSet* Find(RelationId rel, EvalState state);
+  TupleSet* Insert(RelationId rel, EvalState state, TupleSet extent);
+
+  /// Indexed extents (used for recursive relations, whose materializations
+  /// are probed many times with bound columns during fixpoint evaluation).
+  BaseRelation* FindIndexed(RelationId rel, EvalState state);
+  BaseRelation* InsertIndexed(RelationId rel, EvalState state,
+                              std::unique_ptr<BaseRelation> extent);
+
+  void Clear() {
+    extents_.clear();
+    indexed_.clear();
+  }
+
+ private:
+  std::map<std::pair<RelationId, int>, TupleSet> extents_;
+  std::map<std::pair<RelationId, int>, std::unique_ptr<BaseRelation>>
+      indexed_;
+};
+
+/// Evaluates ObjectLog clauses against a database, honoring per-literal
+/// state (NEW/OLD) and Δ-role annotations produced by the differencer.
+/// Single-threaded; borrows all its inputs.
+class Evaluator {
+ public:
+  struct Stats {
+    uint64_t clause_evals = 0;
+    uint64_t literal_probes = 0;   // relation literal evaluations started
+    uint64_t tuples_examined = 0;  // tuples produced by scans/probes
+  };
+
+  /// `cache` may be null; a private cache is then used per call.
+  Evaluator(const Database& db, const DerivedRegistry& registry,
+            StateContext ctx, EvalCache* cache = nullptr);
+
+  /// Appends to `out` every head tuple derivable from `clause`. Δ-role
+  /// literals read ctx.deltas; kOld literals read the rolled-back state.
+  Status EvaluateClause(const Clause& clause, TupleSet* out);
+
+  /// Like EvaluateClause, with some variables pre-bound (e.g. binding a
+  /// rule's condition instance while evaluating its action arguments).
+  Status EvaluateClauseWithBindings(
+      const Clause& clause,
+      const std::vector<std::pair<int, Value>>& bindings, TupleSet* out);
+
+  /// Materializes the full extent of `rel` (base or derived) in `state`.
+  /// For derived relations in kOld, every transitive base literal is
+  /// evaluated in the old state.
+  Status Evaluate(RelationId rel, EvalState state, TupleSet* out);
+
+  /// Point query: is `t` in the extent of `rel` in `state`? Implemented
+  /// without materializing the extent (binds the head and checks
+  /// satisfiability). Used by the §7.2 strict-semantics filters.
+  Result<bool> Derivable(RelationId rel, EvalState state, const Tuple& t);
+
+  /// Collects the tuples of `rel` in `state` matching `pattern` (bound
+  /// positions are pushed down: indexed for base relations, head bindings
+  /// for derived ones, group restriction for aggregates).
+  Status Probe(RelationId rel, EvalState state, const ScanPattern& pattern,
+               TupleSet* out);
+
+  const Stats& stats() const { return stats_; }
+
+  /// Chooses an execution order for `body` (indexes into it): the Δ-role
+  /// generator first, then greedily by boundness — filters and binders as
+  /// soon as evaluable, then indexed probes (most bound args first), then
+  /// scans. Exposed for tests.
+  static std::vector<size_t> OrderBody(const std::vector<Literal>& body,
+                                       int num_vars);
+
+  /// Overload with pre-bound variables (e.g. a probed view's head bindings
+  /// or EvaluateClauseWithBindings' initial environment).
+  static std::vector<size_t> OrderBody(const std::vector<Literal>& body,
+                                       int num_vars,
+                                       const std::vector<bool>& initial_bound);
+
+ private:
+  using Env = std::vector<std::optional<Value>>;
+
+  /// Forces every extent-role literal into `state` when state_override is
+  /// engaged (used to evaluate a whole relation in the old state).
+  Status EvalBody(const Clause& clause, const std::vector<size_t>& order,
+                  size_t step, Env& env,
+                  std::optional<EvalState> state_override,
+                  const std::function<Status(const Env&)>& emit, bool* stop);
+
+  /// Scans the extent of `rel` in `state` matching `pattern`.
+  Status ScanRelation(RelationId rel, EvalState state,
+                      const ScanPattern& pattern,
+                      const std::function<bool(const Tuple&)>& fn);
+
+  /// Scans an aggregate view (§8 extension): folds the (possibly
+  /// group-restricted) source extent and emits (group..., value) tuples.
+  Status ScanAggregate(RelationId rel, const AggregateDef& def,
+                       EvalState state, const ScanPattern& pattern,
+                       const std::function<bool(const Tuple&)>& fn);
+
+  /// Materializes a recursive relation's extent by naive fixpoint
+  /// iteration (paper §5 footnote: "fixed point techniques") into the
+  /// cache as an indexed relation; self-references inside the definition
+  /// read the previous rounds' partial extent. Returns the cached extent.
+  Result<const BaseRelation*> FixpointMaterialize(RelationId rel,
+                                                  EvalState state);
+
+  /// Membership of `t` in `rel`'s extent in `state`.
+  Result<bool> Contains(RelationId rel, EvalState state, const Tuple& t);
+
+  Result<Value> TermValue(const Term& term, const Env& env) const;
+
+  const Database& db_;
+  const DerivedRegistry& registry_;
+  StateContext ctx_;
+  EvalCache* cache_;
+  EvalCache own_cache_;
+  Stats stats_;
+};
+
+}  // namespace deltamon::objectlog
+
+#endif  // DELTAMON_OBJECTLOG_EVAL_H_

@@ -1,0 +1,429 @@
+#include "relalg/relalg.h"
+
+namespace deltamon::relalg {
+
+namespace {
+
+TupleSet SetMinus(const TupleSet& a, const TupleSet& b) {
+  TupleSet out;
+  for (const Tuple& t : a) {
+    if (!b.contains(t)) out.insert(t);
+  }
+  return out;
+}
+
+TupleSet SetAnd(const TupleSet& a, const TupleSet& b) {
+  const TupleSet& small = a.size() <= b.size() ? a : b;
+  const TupleSet& large = a.size() <= b.size() ? b : a;
+  TupleSet out;
+  for (const Tuple& t : small) {
+    if (large.contains(t)) out.insert(t);
+  }
+  return out;
+}
+
+bool JoinMatches(const Tuple& q, const Tuple& r, const JoinColumns& on) {
+  for (const auto& [qc, rc] : on) {
+    if (!(q[qc] == r[rc])) return false;
+  }
+  return true;
+}
+
+using TupleIndex = std::unordered_multimap<Value, const Tuple*, ValueHash>;
+
+TupleIndex IndexBy(const TupleSet& rel, size_t column) {
+  TupleIndex index;
+  index.reserve(rel.size());
+  for (const Tuple& t : rel) index.emplace(t[column], &t);
+  return index;
+}
+
+/// Join where the (small) left side is materialized and the right side is
+/// an OldStateView: index the left side, stream the view once.
+TupleSet JoinDeltaWithOld(const TupleSet& left, const OldStateView& right,
+                          const JoinColumns& on) {
+  TupleSet out;
+  if (left.empty()) return out;
+  if (on.empty()) {
+    for (const Tuple& a : left) {
+      right.ForEach([&](const Tuple& b) {
+        out.insert(a.Concat(b));
+        return true;
+      });
+    }
+    return out;
+  }
+  TupleIndex index = IndexBy(left, on[0].first);
+  right.ForEach([&](const Tuple& b) {
+    auto range = index.equal_range(b[on[0].second]);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (JoinMatches(*it->second, b, on)) out.insert(it->second->Concat(b));
+    }
+    return true;
+  });
+  return out;
+}
+
+/// Mirror image: old-state view on the left, small delta on the right.
+TupleSet JoinOldWithDelta(const OldStateView& left, const TupleSet& right,
+                          const JoinColumns& on) {
+  TupleSet out;
+  if (right.empty()) return out;
+  if (on.empty()) {
+    for (const Tuple& b : right) {
+      left.ForEach([&](const Tuple& a) {
+        out.insert(a.Concat(b));
+        return true;
+      });
+    }
+    return out;
+  }
+  TupleIndex index = IndexBy(right, on[0].second);
+  left.ForEach([&](const Tuple& a) {
+    auto range = index.equal_range(a[on[0].first]);
+    for (auto it = range.first; it != range.second; ++it) {
+      if (JoinMatches(a, *it->second, on)) out.insert(a.Concat(*it->second));
+    }
+    return true;
+  });
+  return out;
+}
+
+/// Corrects a combined raw delta per §7.2: a candidate insertion is real
+/// only if it was not already derivable in the old state; a candidate
+/// deletion only if it is no longer derivable in the new state.
+DeltaSet Correct(const PartialDifferentials& partials,
+                 const std::function<bool(const Tuple&)>& in_old,
+                 const std::function<bool(const Tuple&)>& in_new) {
+  TupleSet plus;
+  TupleSet minus;
+  for (const TupleSet* side : {&partials.plus_from_q, &partials.plus_from_r}) {
+    for (const Tuple& t : *side) {
+      if (!in_old(t)) plus.insert(t);
+    }
+  }
+  for (const TupleSet* side :
+       {&partials.minus_from_q, &partials.minus_from_r}) {
+    for (const Tuple& t : *side) {
+      if (!in_new(t)) minus.insert(t);
+    }
+  }
+  return DeltaSet(std::move(plus), std::move(minus));
+}
+
+}  // namespace
+
+TupleSet Select(const TupleSet& q, const Predicate& cond) {
+  TupleSet out;
+  for (const Tuple& t : q) {
+    if (cond(t)) out.insert(t);
+  }
+  return out;
+}
+
+TupleSet Project(const TupleSet& q, const std::vector<size_t>& cols) {
+  TupleSet out;
+  for (const Tuple& t : q) out.insert(t.Project(cols));
+  return out;
+}
+
+TupleSet Union(const TupleSet& q, const TupleSet& r) {
+  TupleSet out = q;
+  out.insert(r.begin(), r.end());
+  return out;
+}
+
+TupleSet Difference(const TupleSet& q, const TupleSet& r) {
+  return SetMinus(q, r);
+}
+
+TupleSet Intersect(const TupleSet& q, const TupleSet& r) {
+  return SetAnd(q, r);
+}
+
+TupleSet Product(const TupleSet& q, const TupleSet& r) {
+  TupleSet out;
+  for (const Tuple& a : q) {
+    for (const Tuple& b : r) out.insert(a.Concat(b));
+  }
+  return out;
+}
+
+TupleSet Join(const TupleSet& q, const TupleSet& r, const JoinColumns& on) {
+  if (on.empty()) return Product(q, r);
+  // Hash join, indexing the smaller input.
+  TupleSet out;
+  if (q.size() <= r.size()) {
+    TupleIndex index = IndexBy(q, on[0].first);
+    for (const Tuple& b : r) {
+      auto range = index.equal_range(b[on[0].second]);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (JoinMatches(*it->second, b, on)) {
+          out.insert(it->second->Concat(b));
+        }
+      }
+    }
+  } else {
+    TupleIndex index = IndexBy(r, on[0].second);
+    for (const Tuple& a : q) {
+      auto range = index.equal_range(a[on[0].first]);
+      for (auto it = range.first; it != range.second; ++it) {
+        if (JoinMatches(a, *it->second, on)) {
+          out.insert(a.Concat(*it->second));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+DeltaSet PartialDifferentials::Combined() const {
+  return DeltaSet(Union(plus_from_q, plus_from_r),
+                  Union(minus_from_q, minus_from_r));
+}
+
+PartialDifferentials PartialsSelect(const TupleSet& /*q_new*/,
+                                    const DeltaSet& dq,
+                                    const Predicate& cond) {
+  PartialDifferentials p;
+  p.plus_from_q = Select(dq.plus(), cond);
+  p.minus_from_q = Select(dq.minus(), cond);
+  return p;
+}
+
+PartialDifferentials PartialsProject(const TupleSet& /*q_new*/,
+                                     const DeltaSet& dq,
+                                     const std::vector<size_t>& cols) {
+  PartialDifferentials p;
+  p.plus_from_q = Project(dq.plus(), cols);
+  p.minus_from_q = Project(dq.minus(), cols);
+  return p;
+}
+
+PartialDifferentials PartialsUnion(const TupleSet& q_new, const TupleSet& r_new,
+                                   const DeltaSet& dq, const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p;
+  for (const Tuple& t : dq.plus()) {          // Δ+Q − R_old
+    if (!r_old.contains(t)) p.plus_from_q.insert(t);
+  }
+  for (const Tuple& t : dr.plus()) {          // Δ+R − Q_old
+    if (!q_old.contains(t)) p.plus_from_r.insert(t);
+  }
+  for (const Tuple& t : dq.minus()) {         // Δ−Q − R
+    if (!r_new.contains(t)) p.minus_from_q.insert(t);
+  }
+  for (const Tuple& t : dr.minus()) {         // Δ−R − Q
+    if (!q_new.contains(t)) p.minus_from_r.insert(t);
+  }
+  return p;
+}
+
+PartialDifferentials PartialsDifference(const TupleSet& q_new,
+                                        const TupleSet& r_new,
+                                        const DeltaSet& dq,
+                                        const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p;
+  for (const Tuple& t : dq.plus()) {          // Δ+Q − R
+    if (!r_new.contains(t)) p.plus_from_q.insert(t);
+  }
+  for (const Tuple& t : dr.minus()) {         // Q ∩ Δ−R
+    if (q_new.contains(t)) p.plus_from_r.insert(t);
+  }
+  for (const Tuple& t : dq.minus()) {         // Δ−Q − R_old
+    if (!r_old.contains(t)) p.minus_from_q.insert(t);
+  }
+  for (const Tuple& t : dr.plus()) {          // Q_old ∩ Δ+R
+    if (q_old.contains(t)) p.minus_from_r.insert(t);
+  }
+  return p;
+}
+
+PartialDifferentials PartialsProduct(const TupleSet& q_new,
+                                     const TupleSet& r_new, const DeltaSet& dq,
+                                     const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p;
+  p.plus_from_q = Product(dq.plus(), r_new);  // Δ+Q × R
+  p.plus_from_r = Product(q_new, dr.plus());  // Q × Δ+R
+  for (const Tuple& a : dq.minus()) {         // Δ−Q × R_old
+    r_old.ForEach([&](const Tuple& b) {
+      p.minus_from_q.insert(a.Concat(b));
+      return true;
+    });
+  }
+  for (const Tuple& b : dr.minus()) {         // Q_old × Δ−R
+    q_old.ForEach([&](const Tuple& a) {
+      p.minus_from_r.insert(a.Concat(b));
+      return true;
+    });
+  }
+  return p;
+}
+
+PartialDifferentials PartialsJoin(const TupleSet& q_new, const TupleSet& r_new,
+                                  const JoinColumns& on, const DeltaSet& dq,
+                                  const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p;
+  p.plus_from_q = Join(dq.plus(), r_new, on);              // Δ+Q ⋈ R
+  p.plus_from_r = Join(q_new, dr.plus(), on);              // Q ⋈ Δ+R
+  p.minus_from_q = JoinDeltaWithOld(dq.minus(), r_old, on);  // Δ−Q ⋈ R_old
+  p.minus_from_r = JoinOldWithDelta(q_old, dr.minus(), on);  // Q_old ⋈ Δ−R
+  return p;
+}
+
+PartialDifferentials PartialsIntersect(const TupleSet& q_new,
+                                       const TupleSet& r_new,
+                                       const DeltaSet& dq, const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p;
+  for (const Tuple& t : dq.plus()) {          // Δ+Q ∩ R
+    if (r_new.contains(t)) p.plus_from_q.insert(t);
+  }
+  for (const Tuple& t : dr.plus()) {          // Q ∩ Δ+R
+    if (q_new.contains(t)) p.plus_from_r.insert(t);
+  }
+  for (const Tuple& t : dq.minus()) {         // Δ−Q ∩ R_old
+    if (r_old.contains(t)) p.minus_from_q.insert(t);
+  }
+  for (const Tuple& t : dr.minus()) {         // Q_old ∩ Δ−R
+    if (q_old.contains(t)) p.minus_from_r.insert(t);
+  }
+  return p;
+}
+
+DeltaSet DeltaSelect(const TupleSet& q_new, const DeltaSet& dq,
+                     const Predicate& cond) {
+  // σ over net input deltas is already exact: Δ-sets are disjoint and a
+  // tuple's selection status depends on nothing else.
+  PartialDifferentials p = PartialsSelect(q_new, dq, cond);
+  return DeltaSet(std::move(p.plus_from_q), std::move(p.minus_from_q));
+}
+
+DeltaSet DeltaProject(const TupleSet& q_new, const DeltaSet& dq,
+                      const std::vector<size_t>& cols) {
+  OldStateView q_old(q_new, dq);
+  PartialDifferentials p = PartialsProject(q_new, dq, cols);
+  // Projection needs the §7.2 correction: another witness tuple may still
+  // (or may already) project to the same result.
+  auto in_old = [&](const Tuple& t) {
+    bool found = false;
+    q_old.ForEach([&](const Tuple& s) {
+      found = s.Project(cols) == t;
+      return !found;
+    });
+    return found;
+  };
+  auto in_new = [&](const Tuple& t) {
+    for (const Tuple& s : q_new) {
+      if (s.Project(cols) == t) return true;
+    }
+    return false;
+  };
+  return Correct(p, in_old, in_new);
+}
+
+DeltaSet DeltaUnionOp(const TupleSet& q_new, const TupleSet& r_new,
+                      const DeltaSet& dq, const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p = PartialsUnion(q_new, r_new, dq, dr);
+  auto in_old = [&](const Tuple& t) {
+    return q_old.contains(t) || r_old.contains(t);
+  };
+  auto in_new = [&](const Tuple& t) {
+    return q_new.contains(t) || r_new.contains(t);
+  };
+  return Correct(p, in_old, in_new);
+}
+
+DeltaSet DeltaDifference(const TupleSet& q_new, const TupleSet& r_new,
+                         const DeltaSet& dq, const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p = PartialsDifference(q_new, r_new, dq, dr);
+  auto in_old = [&](const Tuple& t) {
+    return q_old.contains(t) && !r_old.contains(t);
+  };
+  auto in_new = [&](const Tuple& t) {
+    return q_new.contains(t) && !r_new.contains(t);
+  };
+  return Correct(p, in_old, in_new);
+}
+
+namespace {
+
+/// Membership of a concatenated tuple in Q×R given membership views.
+template <typename QSide, typename RSide>
+bool SplitMember(const QSide& qs, const RSide& rs, size_t q_arity,
+                 const Tuple& t) {
+  std::vector<Value> left(t.values().begin(),
+                          t.values().begin() + static_cast<long>(q_arity));
+  std::vector<Value> right(t.values().begin() + static_cast<long>(q_arity),
+                           t.values().end());
+  return qs.contains(Tuple(std::move(left))) &&
+         rs.contains(Tuple(std::move(right)));
+}
+
+size_t ArityOf(const TupleSet& s, const DeltaSet& d) {
+  if (!s.empty()) return s.begin()->arity();
+  if (!d.plus().empty()) return d.plus().begin()->arity();
+  if (!d.minus().empty()) return d.minus().begin()->arity();
+  return 0;
+}
+
+}  // namespace
+
+DeltaSet DeltaProduct(const TupleSet& q_new, const TupleSet& r_new,
+                      const DeltaSet& dq, const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p = PartialsProduct(q_new, r_new, dq, dr);
+  size_t q_arity = ArityOf(q_new, dq);
+  auto in_old = [&](const Tuple& t) {
+    return SplitMember(q_old, r_old, q_arity, t);
+  };
+  auto in_new = [&](const Tuple& t) {
+    return SplitMember(q_new, r_new, q_arity, t);
+  };
+  return Correct(p, in_old, in_new);
+}
+
+DeltaSet DeltaJoin(const TupleSet& q_new, const TupleSet& r_new,
+                   const JoinColumns& on, const DeltaSet& dq,
+                   const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p = PartialsJoin(q_new, r_new, on, dq, dr);
+  size_t q_arity = ArityOf(q_new, dq);
+  auto in_old = [&](const Tuple& t) {
+    return SplitMember(q_old, r_old, q_arity, t);
+  };
+  auto in_new = [&](const Tuple& t) {
+    return SplitMember(q_new, r_new, q_arity, t);
+  };
+  return Correct(p, in_old, in_new);
+}
+
+DeltaSet DeltaIntersect(const TupleSet& q_new, const TupleSet& r_new,
+                        const DeltaSet& dq, const DeltaSet& dr) {
+  OldStateView q_old(q_new, dq);
+  OldStateView r_old(r_new, dr);
+  PartialDifferentials p = PartialsIntersect(q_new, r_new, dq, dr);
+  auto in_old = [&](const Tuple& t) {
+    return q_old.contains(t) && r_old.contains(t);
+  };
+  auto in_new = [&](const Tuple& t) {
+    return q_new.contains(t) && r_new.contains(t);
+  };
+  return Correct(p, in_old, in_new);
+}
+
+}  // namespace deltamon::relalg

@@ -1,0 +1,32 @@
+#ifndef DELTAMON_RULES_ENGINE_H_
+#define DELTAMON_RULES_ENGINE_H_
+
+#include "objectlog/registry.h"
+#include "rules/rule_manager.h"
+#include "storage/database.h"
+
+namespace deltamon {
+
+/// Convenience aggregate wiring a database, the derived-relation registry,
+/// and the rule manager together — the full active-DBMS stack. Most
+/// programs (and the AMOSQL session) build on this.
+///
+///   Engine engine;
+///   engine.db.catalog().CreateType("item");
+///   ... define functions and clauses ...
+///   engine.rules.CreateRule(...); engine.rules.Activate(...);
+///   ... updates ...
+///   engine.db.Commit();   // deferred check phase runs here
+struct Engine {
+  Engine() : rules(db, registry) {}
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Database db;
+  objectlog::DerivedRegistry registry;
+  rules::RuleManager rules;
+};
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_RULES_ENGINE_H_

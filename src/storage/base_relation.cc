@@ -1,0 +1,148 @@
+#include "storage/base_relation.h"
+
+#include <memory>
+
+namespace deltamon {
+
+bool ColumnType::Admits(const Value& v) const {
+  if (kind == ValueKind::kNull) return true;  // "any"
+  if (v.kind() != kind) {
+    // Ints are acceptable where doubles are declared (numeric widening).
+    if (kind == ValueKind::kDouble && v.is_int()) return true;
+    return false;
+  }
+  if (kind == ValueKind::kObject && object_type != kInvalidTypeId) {
+    return v.AsObject().type == object_type;
+  }
+  return true;
+}
+
+std::string ColumnType::ToString() const {
+  if (kind == ValueKind::kObject && object_type != kInvalidTypeId) {
+    return "object<" + std::to_string(object_type) + ">";
+  }
+  return ValueKindName(kind);
+}
+
+Status Schema::TypeCheck(const Tuple& t) const {
+  if (t.arity() != arity()) {
+    return Status::TypeError("tuple arity " + std::to_string(t.arity()) +
+                             " does not match schema arity " +
+                             std::to_string(arity()));
+  }
+  for (size_t i = 0; i < arity(); ++i) {
+    if (!columns_[i].Admits(t[i])) {
+      return Status::TypeError("column " + std::to_string(i) + " expects " +
+                               columns_[i].ToString() + ", got " +
+                               t[i].ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].ToString();
+  }
+  return out + ")";
+}
+
+BaseRelation::BaseRelation(RelationId id, std::string name, Schema schema)
+    : id_(id), name_(std::move(name)), schema_(std::move(schema)) {
+  indexes_.resize(schema_.arity());
+}
+
+bool BaseRelation::Insert(const Tuple& t) {
+  auto [it, inserted] = rows_.insert(t);
+  if (!inserted) return false;
+  const Tuple* stored = &*it;
+  for (size_t c = 0; c < indexes_.size(); ++c) {
+    if (indexes_[c] != nullptr) indexes_[c]->emplace((*stored)[c], stored);
+  }
+  return true;
+}
+
+bool BaseRelation::Delete(const Tuple& t) {
+  auto it = rows_.find(t);
+  if (it == rows_.end()) return false;
+  const Tuple* stored = &*it;
+  for (size_t c = 0; c < indexes_.size(); ++c) {
+    if (indexes_[c] == nullptr) continue;
+    auto range = indexes_[c]->equal_range((*stored)[c]);
+    for (auto e = range.first; e != range.second; ++e) {
+      if (e->second == stored) {
+        indexes_[c]->erase(e);
+        break;
+      }
+    }
+  }
+  rows_.erase(it);
+  return true;
+}
+
+bool BaseRelation::Matches(const Tuple& t, const ScanPattern& pattern) {
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (pattern[i].has_value() && !(t[i] == *pattern[i])) return false;
+  }
+  return true;
+}
+
+void BaseRelation::EnsureIndex(size_t column) const {
+  if (column >= indexes_.size() || indexes_[column] != nullptr) return;
+  auto index = std::make_unique<ColumnIndex>();
+  index->reserve(rows_.size());
+  for (const Tuple& t : rows_) index->emplace(t[column], &t);
+  indexes_[column] = std::move(index);
+}
+
+void BaseRelation::Scan(const ScanPattern& pattern,
+                        const std::function<bool(const Tuple&)>& fn) const {
+  // Fast path: exact-match pattern on all columns.
+  if (!pattern.empty() && pattern.size() == arity()) {
+    bool all_bound = true;
+    for (const auto& p : pattern) {
+      if (!p.has_value()) {
+        all_bound = false;
+        break;
+      }
+    }
+    if (all_bound) {
+      std::vector<Value> vals;
+      vals.reserve(arity());
+      for (const auto& p : pattern) vals.push_back(*p);
+      Tuple probe(std::move(vals));
+      if (rows_.contains(probe)) fn(probe);
+      return;
+    }
+  }
+  // Indexed path: use the first bound column.
+  for (size_t c = 0; c < pattern.size(); ++c) {
+    if (!pattern[c].has_value()) continue;
+    EnsureIndex(c);
+    auto range = indexes_[c]->equal_range(*pattern[c]);
+    for (auto it = range.first; it != range.second; ++it) {
+      const Tuple& t = *it->second;
+      if (Matches(t, pattern)) {
+        if (!fn(t)) return;
+      }
+    }
+    return;
+  }
+  // Full scan.
+  for (const Tuple& t : rows_) {
+    if (!fn(t)) return;
+  }
+}
+
+size_t BaseRelation::Count(const ScanPattern& pattern) const {
+  size_t n = 0;
+  Scan(pattern, [&n](const Tuple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+}  // namespace deltamon

@@ -1,0 +1,125 @@
+#ifndef DELTAMON_STORAGE_BASE_RELATION_H_
+#define DELTAMON_STORAGE_BASE_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace deltamon {
+
+/// Identifier of a relation (stored or derived) in a database. Base
+/// relations and derived relations share one id space so that dependency
+/// edges and Δ-set maps can be keyed uniformly.
+using RelationId = uint32_t;
+inline constexpr RelationId kInvalidRelationId = 0;
+
+/// Declared type of one column of a relation. kNull means "any".
+struct ColumnType {
+  ValueKind kind = ValueKind::kNull;
+  /// For kind == kObject: the required object type, or kInvalidTypeId for
+  /// any object.
+  TypeId object_type = kInvalidTypeId;
+
+  /// Whether `v` conforms to this column type.
+  bool Admits(const Value& v) const;
+  std::string ToString() const;
+};
+
+/// Column types of a relation. A stored function f(a1,...,an) -> (r1,...,rm)
+/// is stored as a relation of arity n+m with the argument columns first.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnType> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t arity() const { return columns_.size(); }
+  const ColumnType& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnType>& columns() const { return columns_; }
+
+  /// Verifies arity and per-column type conformance of `t`.
+  Status TypeCheck(const Tuple& t) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnType> columns_;
+};
+
+/// A partial-match pattern for scanning: one optional Value per column;
+/// engaged entries must match exactly.
+using ScanPattern = std::vector<std::optional<Value>>;
+
+/// A stored base relation (an AMOS "stored function"): a set of typed
+/// tuples with lazily built per-column hash indexes.
+///
+/// Not thread-safe; deltamon databases are single-threaded by design (the
+/// paper's algorithm runs inside one transaction's check phase).
+class BaseRelation {
+ public:
+  BaseRelation(RelationId id, std::string name, Schema schema);
+
+  BaseRelation(const BaseRelation&) = delete;
+  BaseRelation& operator=(const BaseRelation&) = delete;
+
+  RelationId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t arity() const { return schema_.arity(); }
+  size_t size() const { return rows_.size(); }
+
+  /// Adds `t` (must already be type-checked by the database layer).
+  /// Returns true iff the relation changed (set semantics: duplicate
+  /// inserts are physical no-ops and generate no event).
+  bool Insert(const Tuple& t);
+
+  /// Removes `t`; returns true iff it was present.
+  bool Delete(const Tuple& t);
+
+  bool Contains(const Tuple& t) const { return rows_.contains(t); }
+
+  const TupleSet& rows() const { return rows_; }
+
+  /// Invokes `fn` for every tuple matching `pattern` (empty pattern = full
+  /// scan); `fn` returning false stops the scan early. Uses a hash index
+  /// when some pattern column is bound, building it on first use.
+  void Scan(const ScanPattern& pattern,
+            const std::function<bool(const Tuple&)>& fn) const;
+
+  /// Number of tuples matching `pattern` (for tests and cost estimation).
+  size_t Count(const ScanPattern& pattern) const;
+
+  /// Forces creation of the hash index on `column` (otherwise built lazily
+  /// on the first indexed scan that binds it).
+  void EnsureIndex(size_t column) const;
+
+  /// True if an index on `column` has been built.
+  bool HasIndex(size_t column) const {
+    return column < indexes_.size() && indexes_[column] != nullptr;
+  }
+
+ private:
+  using ColumnIndex = std::unordered_multimap<Value, const Tuple*, ValueHash>;
+
+  static bool Matches(const Tuple& t, const ScanPattern& pattern);
+
+  RelationId id_;
+  std::string name_;
+  Schema schema_;
+  TupleSet rows_;
+  /// indexes_[c] maps column-c values to tuples; entries point into rows_
+  /// (stable: unordered_set nodes don't move). Built lazily, hence mutable.
+  mutable std::vector<std::unique_ptr<ColumnIndex>> indexes_;
+};
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_STORAGE_BASE_RELATION_H_

@@ -1,0 +1,152 @@
+#include "storage/catalog.h"
+
+namespace deltamon {
+
+Schema FunctionSignature::ToSchema() const {
+  std::vector<ColumnType> cols = argument_types;
+  cols.insert(cols.end(), result_types.begin(), result_types.end());
+  return Schema(std::move(cols));
+}
+
+std::string FunctionSignature::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < argument_types.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += argument_types[i].ToString();
+  }
+  out += ") -> (";
+  for (size_t i = 0; i < result_types.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += result_types[i].ToString();
+  }
+  return out + ")";
+}
+
+Result<TypeId> Catalog::CreateType(const std::string& name) {
+  if (type_by_name_.contains(name)) {
+    return Status::AlreadyExists("type '" + name + "' already exists");
+  }
+  TypeId id = next_type_id_++;
+  type_by_name_[name] = id;
+  types_[id] = ObjectType{id, name};
+  objects_by_type_[id];  // materialize empty vector
+  return id;
+}
+
+Result<TypeId> Catalog::FindType(const std::string& name) const {
+  auto it = type_by_name_.find(name);
+  if (it == type_by_name_.end()) {
+    return Status::NotFound("type '" + name + "' not found");
+  }
+  return it->second;
+}
+
+const ObjectType* Catalog::GetType(TypeId id) const {
+  auto it = types_.find(id);
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+Result<Oid> Catalog::CreateObject(TypeId type) {
+  if (!types_.contains(type)) {
+    return Status::NotFound("unknown type id " + std::to_string(type));
+  }
+  Oid oid{next_oid_++, type};
+  objects_by_type_[type].push_back(oid);
+  return oid;
+}
+
+const std::vector<Oid>& Catalog::ObjectsOfType(TypeId type) const {
+  static const std::vector<Oid> kEmpty;
+  auto it = objects_by_type_.find(type);
+  return it == objects_by_type_.end() ? kEmpty : it->second;
+}
+
+Result<RelationId> Catalog::CreateStoredFunction(const std::string& name,
+                                                 FunctionSignature signature) {
+  if (relation_by_name_.contains(name)) {
+    return Status::AlreadyExists("function '" + name + "' already exists");
+  }
+  RelationId id = next_relation_id_++;
+  relation_by_name_[name] = id;
+  Schema schema = signature.ToSchema();
+  relations_[id] = RelationEntry{
+      name, std::move(signature), RelationEntry::Kind::kStored,
+      std::make_unique<BaseRelation>(id, name, std::move(schema))};
+  return id;
+}
+
+Result<RelationId> Catalog::CreateDerivedFunction(const std::string& name,
+                                                  FunctionSignature signature) {
+  if (relation_by_name_.contains(name)) {
+    return Status::AlreadyExists("function '" + name + "' already exists");
+  }
+  RelationId id = next_relation_id_++;
+  relation_by_name_[name] = id;
+  relations_[id] = RelationEntry{name, std::move(signature),
+                                 RelationEntry::Kind::kDerived, nullptr};
+  return id;
+}
+
+Result<RelationId> Catalog::CreateForeignFunction(const std::string& name,
+                                                  FunctionSignature signature) {
+  if (relation_by_name_.contains(name)) {
+    return Status::AlreadyExists("function '" + name + "' already exists");
+  }
+  RelationId id = next_relation_id_++;
+  relation_by_name_[name] = id;
+  relations_[id] = RelationEntry{name, std::move(signature),
+                                 RelationEntry::Kind::kForeign, nullptr};
+  return id;
+}
+
+Result<RelationId> Catalog::FindRelation(const std::string& name) const {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("function '" + name + "' not found");
+  }
+  return it->second;
+}
+
+BaseRelation* Catalog::GetBaseRelation(RelationId id) {
+  auto it = relations_.find(id);
+  return it == relations_.end() ? nullptr : it->second.base.get();
+}
+
+const BaseRelation* Catalog::GetBaseRelation(RelationId id) const {
+  auto it = relations_.find(id);
+  return it == relations_.end() ? nullptr : it->second.base.get();
+}
+
+bool Catalog::IsDerived(RelationId id) const {
+  auto it = relations_.find(id);
+  return it != relations_.end() &&
+         it->second.kind == RelationEntry::Kind::kDerived;
+}
+
+bool Catalog::IsForeign(RelationId id) const {
+  auto it = relations_.find(id);
+  return it != relations_.end() &&
+         it->second.kind == RelationEntry::Kind::kForeign;
+}
+
+const std::string& Catalog::RelationName(RelationId id) const {
+  static const std::string kUnknown = "?";
+  auto it = relations_.find(id);
+  return it == relations_.end() ? kUnknown : it->second.name;
+}
+
+const FunctionSignature* Catalog::GetSignature(RelationId id) const {
+  auto it = relations_.find(id);
+  return it == relations_.end() ? nullptr : &it->second.signature;
+}
+
+std::vector<RelationId> Catalog::AllRelationIds() const {
+  std::vector<RelationId> out;
+  out.reserve(relations_.size());
+  for (RelationId id = 1; id < next_relation_id_; ++id) {
+    if (relations_.contains(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace deltamon

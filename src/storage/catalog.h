@@ -1,0 +1,111 @@
+#ifndef DELTAMON_STORAGE_CATALOG_H_
+#define DELTAMON_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/base_relation.h"
+
+namespace deltamon {
+
+/// Metadata for a user-defined object type ("item", "supplier", ...).
+struct ObjectType {
+  TypeId id = kInvalidTypeId;
+  std::string name;
+};
+
+/// Signature of a function (stored or derived) in the AMOS-style functional
+/// data model: f(arg_types) -> result_types, stored/evaluated as a relation
+/// over (args..., results...).
+struct FunctionSignature {
+  std::vector<ColumnType> argument_types;
+  std::vector<ColumnType> result_types;
+
+  size_t arity() const { return argument_types.size() + result_types.size(); }
+  /// Relation schema: argument columns followed by result columns.
+  Schema ToSchema() const;
+  std::string ToString() const;
+};
+
+/// The database catalog: object types, object id allocation, and stored
+/// functions (base relations). Derived functions are registered by name
+/// with their ids here but defined in the ObjectLog layer.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// --- Object types ---------------------------------------------------
+
+  /// Registers a new object type; fails with AlreadyExists on name reuse.
+  Result<TypeId> CreateType(const std::string& name);
+  Result<TypeId> FindType(const std::string& name) const;
+  const ObjectType* GetType(TypeId id) const;
+
+  /// Allocates a fresh object of the given type.
+  Result<Oid> CreateObject(TypeId type);
+
+  /// All objects created with the given type, in creation order.
+  const std::vector<Oid>& ObjectsOfType(TypeId type) const;
+
+  /// --- Stored functions (base relations) ------------------------------
+
+  /// Registers a stored function; its extent is an empty base relation.
+  Result<RelationId> CreateStoredFunction(const std::string& name,
+                                          FunctionSignature signature);
+
+  /// Reserves a relation id and name for a derived function; the clauses
+  /// live in the ObjectLog layer. Shares the id/name space with stored
+  /// functions so dependency networks can reference both uniformly.
+  Result<RelationId> CreateDerivedFunction(const std::string& name,
+                                           FunctionSignature signature);
+
+  /// Reserves a relation id for a foreign function (paper §3: functions
+  /// written in a procedural language; [15]): its extent is produced by a
+  /// C++ implementation registered in the ObjectLog layer, and changes are
+  /// injected by the user (the paper's §8 "user defined differentials").
+  Result<RelationId> CreateForeignFunction(const std::string& name,
+                                           FunctionSignature signature);
+
+  Result<RelationId> FindRelation(const std::string& name) const;
+  /// Null if `id` is unknown or names a derived function.
+  BaseRelation* GetBaseRelation(RelationId id);
+  const BaseRelation* GetBaseRelation(RelationId id) const;
+  bool IsDerived(RelationId id) const;
+  bool IsForeign(RelationId id) const;
+  /// Name of any registered relation; "?" if unknown.
+  const std::string& RelationName(RelationId id) const;
+  const FunctionSignature* GetSignature(RelationId id) const;
+
+  /// Ids of all registered relations (stored and derived).
+  std::vector<RelationId> AllRelationIds() const;
+
+ private:
+  struct RelationEntry {
+    enum class Kind { kStored, kDerived, kForeign };
+    std::string name;
+    FunctionSignature signature;
+    Kind kind = Kind::kStored;
+    std::unique_ptr<BaseRelation> base;  // non-null only for kStored
+  };
+
+  TypeId next_type_id_ = 1;
+  uint64_t next_oid_ = 1;
+  RelationId next_relation_id_ = 1;
+
+  std::unordered_map<std::string, TypeId> type_by_name_;
+  std::unordered_map<TypeId, ObjectType> types_;
+  std::unordered_map<TypeId, std::vector<Oid>> objects_by_type_;
+
+  std::unordered_map<std::string, RelationId> relation_by_name_;
+  std::unordered_map<RelationId, RelationEntry> relations_;
+};
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_STORAGE_CATALOG_H_

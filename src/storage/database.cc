@@ -1,0 +1,159 @@
+#include "storage/database.h"
+
+namespace deltamon {
+
+std::string UpdateEvent::ToString(const Catalog& catalog) const {
+  std::string out = op == Op::kInsert ? "+(" : "-(";
+  out += catalog.RelationName(relation);
+  out += ", ";
+  out += tuple.ToString();
+  return out + ")";
+}
+
+Status Database::ApplyAndLog(RelationId rel, UpdateEvent::Op op,
+                             const Tuple& t) {
+  BaseRelation* base = catalog_.GetBaseRelation(rel);
+  if (base == nullptr) {
+    return Status::InvalidArgument("relation id " + std::to_string(rel) +
+                                   " is not a stored function");
+  }
+  DELTAMON_RETURN_IF_ERROR(base->schema().TypeCheck(t));
+  bool changed = op == UpdateEvent::Op::kInsert ? base->Insert(t)
+                                                : base->Delete(t);
+  if (!changed) return Status::OK();  // physical no-op: no event
+  undo_log_.push_back(UpdateEvent{rel, op, t});
+  ++stats_.events_logged;
+  if (IsMonitored(rel)) {
+    DeltaSet& delta = pending_deltas_[rel];
+    if (op == UpdateEvent::Op::kInsert) {
+      delta.ApplyInsert(t);
+    } else {
+      delta.ApplyDelete(t);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::MaybeImmediateCheck() {
+  // Immediate rule processing runs the check phase per *statement* (never
+  // per physical event: a Set()'s internal delete+insert pair must not
+  // expose its transient state), and never re-enters from rule actions.
+  if (!immediate_ || in_check_phase_ || check_phase_ == nullptr) {
+    return Status::OK();
+  }
+  if (!HasPendingChanges()) return Status::OK();
+  in_check_phase_ = true;
+  Status s = check_phase_(*this);
+  in_check_phase_ = false;
+  return s;
+}
+
+Status Database::Insert(RelationId rel, const Tuple& t) {
+  DELTAMON_RETURN_IF_ERROR(ApplyAndLog(rel, UpdateEvent::Op::kInsert, t));
+  return MaybeImmediateCheck();
+}
+
+Status Database::Delete(RelationId rel, const Tuple& t) {
+  DELTAMON_RETURN_IF_ERROR(ApplyAndLog(rel, UpdateEvent::Op::kDelete, t));
+  return MaybeImmediateCheck();
+}
+
+Status Database::Set(RelationId rel, const Tuple& args, const Tuple& results) {
+  BaseRelation* base = catalog_.GetBaseRelation(rel);
+  if (base == nullptr) {
+    return Status::InvalidArgument("relation id " + std::to_string(rel) +
+                                   " is not a stored function");
+  }
+  if (args.arity() + results.arity() != base->arity()) {
+    return Status::TypeError("set " + base->name() + ": arity mismatch");
+  }
+  // Collect existing tuples with this argument prefix, then delete them.
+  ScanPattern pattern(base->arity());
+  for (size_t i = 0; i < args.arity(); ++i) pattern[i] = args[i];
+  std::vector<Tuple> old_tuples;
+  base->Scan(pattern, [&old_tuples](const Tuple& t) {
+    old_tuples.push_back(t);
+    return true;
+  });
+  for (const Tuple& t : old_tuples) {
+    DELTAMON_RETURN_IF_ERROR(ApplyAndLog(rel, UpdateEvent::Op::kDelete, t));
+  }
+  DELTAMON_RETURN_IF_ERROR(
+      ApplyAndLog(rel, UpdateEvent::Op::kInsert, args.Concat(results)));
+  return MaybeImmediateCheck();
+}
+
+Status Database::InjectForeignDelta(RelationId rel, const DeltaSet& delta) {
+  if (!catalog_.IsForeign(rel)) {
+    return Status::InvalidArgument("relation '" + catalog_.RelationName(rel) +
+                                   "' is not a foreign function");
+  }
+  if (IsMonitored(rel)) {
+    pending_deltas_[rel].DeltaUnion(delta);
+    DELTAMON_RETURN_IF_ERROR(MaybeImmediateCheck());
+  }
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (check_phase_ != nullptr && !in_check_phase_) {
+    in_check_phase_ = true;
+    Status s = check_phase_(*this);
+    in_check_phase_ = false;
+    if (!s.ok()) return s;
+  }
+  undo_log_.clear();
+  pending_deltas_.clear();
+  ++stats_.commits;
+  return Status::OK();
+}
+
+Status Database::Rollback() {
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    BaseRelation* base = catalog_.GetBaseRelation(it->relation);
+    if (base == nullptr) {
+      return Status::Internal("undo log references unknown relation");
+    }
+    // Invert the logged operation; these compensating updates are not
+    // themselves logged or monitored.
+    if (it->op == UpdateEvent::Op::kInsert) {
+      base->Delete(it->tuple);
+    } else {
+      base->Insert(it->tuple);
+    }
+  }
+  undo_log_.clear();
+  pending_deltas_.clear();
+  ++stats_.rollbacks;
+  return Status::OK();
+}
+
+void Database::MarkMonitored(RelationId rel) { ++monitor_counts_[rel]; }
+
+void Database::UnmarkMonitored(RelationId rel) {
+  auto it = monitor_counts_.find(rel);
+  if (it == monitor_counts_.end()) return;
+  if (--it->second <= 0) {
+    monitor_counts_.erase(it);
+    pending_deltas_.erase(rel);
+  }
+}
+
+bool Database::HasPendingChanges() const {
+  for (const auto& [rel, delta] : pending_deltas_) {
+    if (!delta.empty()) return true;
+  }
+  return false;
+}
+
+std::unordered_map<RelationId, DeltaSet> Database::TakePendingDeltas() {
+  std::unordered_map<RelationId, DeltaSet> out;
+  out.swap(pending_deltas_);
+  // Drop empty Δ-sets (fully cancelled updates trigger nothing).
+  for (auto it = out.begin(); it != out.end();) {
+    it = it->second.empty() ? out.erase(it) : std::next(it);
+  }
+  return out;
+}
+
+}  // namespace deltamon

@@ -1,0 +1,210 @@
+/// Clause-level tests of the AMOSQL-to-ObjectLog compiler: DNF rewriting
+/// with negation pushed to leaves, expression unnesting, extent injection
+/// for unbound object variables, and error reporting.
+
+#include "amosql/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "amosql/parser.h"
+#include "amosql/session.h"
+#include "objectlog/eval.h"
+
+namespace deltamon::amosql {
+namespace {
+
+using objectlog::Clause;
+using objectlog::Literal;
+
+/// Compiles `select ...;` source and returns the clauses.
+class CompilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(session_.Execute("create type item;"
+                                 "create function price(item) -> integer;"
+                                 "create function tag(item) -> charstring;"
+                                 "create function linked(item) -> item;"
+                                 "create item instances :a, :b;")
+                    .ok());
+  }
+
+  Result<CompiledQuery> Compile(const std::string& select_source) {
+    auto program = Parse(select_source);
+    if (!program.ok()) return program.status();
+    const auto& sel = std::get<SelectStmt>((*program)[0].node);
+    Compiler compiler(engine_, env_, session_);
+    return compiler.CompileQuery(kInvalidRelationId, {}, sel.query.for_each,
+                                 false, sel.query.results,
+                                 sel.query.where.get());
+  }
+
+  size_t CountKind(const Clause& c, Literal::Kind kind, bool negated = false) {
+    size_t n = 0;
+    for (const Literal& l : c.body) {
+      if (l.kind == kind && (kind != Literal::Kind::kRelation ||
+                             l.negated == negated)) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  Engine engine_;
+  Session session_{engine_};
+  std::unordered_map<std::string, Value> env_;
+};
+
+TEST_F(CompilerTest, ConjunctionIsOneClause) {
+  auto q = Compile("select i for each item i "
+                   "where price(i) > 1 and price(i) < 9;");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->clauses.size(), 1u);
+}
+
+TEST_F(CompilerTest, DisjunctionSplitsIntoClauses) {
+  auto q = Compile("select i for each item i "
+                   "where price(i) > 9 or price(i) < 1;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses.size(), 2u);
+}
+
+TEST_F(CompilerTest, DistributionOverConjunction) {
+  // (a or b) and (c or d) -> 4 conjuncts.
+  auto q = Compile(
+      "select i for each item i where "
+      "(price(i) > 9 or price(i) < 1) and (price(i) > 7 or price(i) < 3);");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses.size(), 4u);
+}
+
+TEST_F(CompilerTest, DeMorganPushesNegationToLeaves) {
+  // not (a or b) -> one clause with both complements.
+  auto q = Compile("select i for each item i "
+                   "where not (price(i) > 9 or price(i) < 1);");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->clauses.size(), 1u);
+  // not (a and b) -> two clauses.
+  q = Compile("select i for each item i "
+              "where not (price(i) > 9 and price(i) < 1);");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->clauses.size(), 2u);
+}
+
+TEST_F(CompilerTest, DoubleNegationCancels) {
+  auto q = Compile("select i for each item i where not not price(i) > 5;");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->clauses.size(), 1u);
+  EXPECT_EQ(CountKind(q->clauses[0], Literal::Kind::kCompare), 1u);
+}
+
+TEST_F(CompilerTest, NegatedComparisonBecomesComplementOp) {
+  auto q = Compile("select i for each item i where not price(i) < 5;");
+  ASSERT_TRUE(q.ok());
+  bool found_ge = false;
+  for (const Literal& l : q->clauses[0].body) {
+    if (l.kind == Literal::Kind::kCompare &&
+        l.cmp == objectlog::CompareOp::kGe) {
+      found_ge = true;
+    }
+  }
+  EXPECT_TRUE(found_ge);
+}
+
+TEST_F(CompilerTest, NegatedAtomBecomesNegatedLiteral) {
+  auto q = Compile("select i for each item i where not price(i);");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(CountKind(q->clauses[0], Literal::Kind::kRelation,
+                      /*negated=*/true),
+            1u);
+}
+
+TEST_F(CompilerTest, UnboundObjectVariableGetsExtent) {
+  // i is only constrained by a negated literal: the extent generates it.
+  auto q = Compile("select i for each item i where not price(i);");
+  ASSERT_TRUE(q.ok());
+  // Two relation literals: the extent (positive) and ~price.
+  EXPECT_EQ(CountKind(q->clauses[0], Literal::Kind::kRelation, false), 1u);
+  EXPECT_EQ(CountKind(q->clauses[0], Literal::Kind::kRelation, true), 1u);
+}
+
+TEST_F(CompilerTest, BoundObjectVariableGetsNoExtent) {
+  auto q = Compile("select i for each item i where price(i) > 1;");
+  ASSERT_TRUE(q.ok());
+  // Only the price literal; no extent scan needed.
+  EXPECT_EQ(CountKind(q->clauses[0], Literal::Kind::kRelation, false), 1u);
+}
+
+TEST_F(CompilerTest, NestedCallsUnnestIntoJoins) {
+  // price(linked(i)): two relation literals chained through a temp var.
+  auto q = Compile("select i for each item i "
+                   "where price(linked(i)) > 5;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(CountKind(q->clauses[0], Literal::Kind::kRelation, false), 2u);
+}
+
+TEST_F(CompilerTest, ArithmeticUnnestsIntoArithLiterals) {
+  auto q = Compile("select price(i) * 2 + 1 for each item i;");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(CountKind(q->clauses[0], Literal::Kind::kArith), 2u);
+}
+
+TEST_F(CompilerTest, ScalarForEachWithoutBindingIsRejected) {
+  auto q = Compile("select x for each integer x;");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(CompilerTest, UndeclaredVariableRejected) {
+  auto q = Compile("select ghost for each item i where price(i) > 1;");
+  EXPECT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("ghost"), std::string::npos);
+}
+
+TEST_F(CompilerTest, UnknownFunctionRejected) {
+  auto q = Compile("select nope(i) for each item i;");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CompilerTest, WrongArityRejected) {
+  auto q = Compile("select price(i, i) for each item i;");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(CompilerTest, MultiResultFunctionNotAValue) {
+  ASSERT_TRUE(session_
+                  .Execute("create function pos(item) -> "
+                           "(integer x, integer y);")
+                  .ok());
+  auto q = Compile("select pos(i) for each item i;");
+  EXPECT_FALSE(q.ok());
+}
+
+TEST_F(CompilerTest, UndefinedInterfaceVariableRejected) {
+  auto q = Compile("select price(:ghost);");
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CompilerTest, ResolveTypeNames) {
+  Catalog& cat = engine_.db.catalog();
+  EXPECT_EQ(ResolveTypeName(cat, "integer", 1)->kind, ValueKind::kInt);
+  EXPECT_EQ(ResolveTypeName(cat, "INTEGER", 1)->kind, ValueKind::kInt);
+  EXPECT_EQ(ResolveTypeName(cat, "real", 1)->kind, ValueKind::kDouble);
+  EXPECT_EQ(ResolveTypeName(cat, "charstring", 1)->kind, ValueKind::kString);
+  EXPECT_EQ(ResolveTypeName(cat, "boolean", 1)->kind, ValueKind::kBool);
+  auto item = ResolveTypeName(cat, "item", 1);
+  ASSERT_TRUE(item.ok());
+  EXPECT_EQ(item->kind, ValueKind::kObject);
+  EXPECT_FALSE(ResolveTypeName(cat, "ghost_type", 1).ok());
+}
+
+TEST_F(CompilerTest, DisjunctsEvaluateIndependently) {
+  ASSERT_TRUE(session_
+                  .Execute("set price(:a) = 5; set tag(:b) = \"hot\";")
+                  .ok());
+  auto rows = session_.Execute(
+      "select i for each item i where price(i) < 10 or tag(i) = \"hot\";");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace deltamon::amosql

@@ -1,0 +1,96 @@
+#include "amosql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace deltamon::amosql {
+namespace {
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Tokenize("");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 1u);
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto tokens = Tokenize("create TYPE Item_2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[0].IsKeyword("create"));
+  EXPECT_TRUE((*tokens)[1].IsKeyword("type"));  // case-insensitive
+  EXPECT_EQ((*tokens)[2].text, "Item_2");       // case-preserved
+  EXPECT_FALSE((*tokens)[2].IsKeyword("item_2x"));
+}
+
+TEST(LexerTest, InterfaceVariables) {
+  auto tokens = Tokenize(":item1, :sup2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInterfaceVar);
+  EXPECT_EQ((*tokens)[0].text, "item1");
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kComma);
+  EXPECT_EQ((*tokens)[2].text, "sup2");
+}
+
+TEST(LexerTest, Numbers) {
+  auto tokens = Tokenize("5000 2.5 0");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kInteger);
+  EXPECT_EQ((*tokens)[0].int_value, 5000);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kReal);
+  EXPECT_DOUBLE_EQ((*tokens)[1].real_value, 2.5);
+  EXPECT_EQ((*tokens)[2].int_value, 0);
+}
+
+TEST(LexerTest, Strings) {
+  auto tokens = Tokenize("\"hello\" 'world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "hello");
+  EXPECT_EQ((*tokens)[1].text, "world");
+}
+
+TEST(LexerTest, OperatorsAndArrow) {
+  auto tokens = Tokenize("-> = != <> < <= > >= + - * / ( ) , ;");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kArrow, TokenKind::kEq, TokenKind::kNe,
+                TokenKind::kNe, TokenKind::kLt, TokenKind::kLe,
+                TokenKind::kGt, TokenKind::kGe, TokenKind::kPlus,
+                TokenKind::kMinus, TokenKind::kStar, TokenKind::kSlash,
+                TokenKind::kLParen, TokenKind::kRParen, TokenKind::kComma,
+                TokenKind::kSemicolon, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Tokenize(
+      "a -- line comment\n"
+      "b /* block\n comment */ c");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // a b c END
+  EXPECT_EQ((*tokens)[0].text, "a");
+  EXPECT_EQ((*tokens)[1].text, "b");
+  EXPECT_EQ((*tokens)[2].text, "c");
+  EXPECT_EQ((*tokens)[2].line, 3);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize(": 5").ok());
+  EXPECT_FALSE(Tokenize("99999999999999999999999").ok());
+}
+
+TEST(LexerTest, LineTracking) {
+  auto tokens = Tokenize("a\nb\n\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[2].line, 4);
+}
+
+}  // namespace
+}  // namespace deltamon::amosql

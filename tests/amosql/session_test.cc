@@ -1,0 +1,322 @@
+#include "amosql/session.h"
+
+#include <gtest/gtest.h>
+
+namespace deltamon::amosql {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  Status Exec(const std::string& src) {
+    auto r = session_.Execute(src);
+    return r.status();
+  }
+
+  std::vector<Tuple> Query(const std::string& src) {
+    auto r = session_.Execute(src);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->rows : std::vector<Tuple>{};
+  }
+
+  Engine engine_;
+  Session session_{engine_};
+};
+
+TEST_F(SessionTest, CreateTypeAndInstances) {
+  ASSERT_TRUE(Exec("create type item;"
+                   "create item instances :a, :b;")
+                  .ok());
+  auto a = session_.GetInterfaceVar("a");
+  auto b = session_.GetInterfaceVar("b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->is_object());
+  EXPECT_FALSE(*a == *b);
+  // The extent relation sees both objects.
+  auto rows = Query("select i for each item i;");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(SessionTest, StoredFunctionSetAndSelect) {
+  ASSERT_TRUE(Exec("create type item;"
+                   "create function quantity(item) -> integer;"
+                   "create item instances :a;"
+                   "set quantity(:a) = 42;")
+                  .ok());
+  auto rows = Query("select quantity(:a);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(42));
+  // Overwriting replaces (function semantics).
+  ASSERT_TRUE(Exec("set quantity(:a) = 10;").ok());
+  rows = Query("select quantity(:a);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(10));
+}
+
+TEST_F(SessionTest, AddAndRemoveMultiValued) {
+  ASSERT_TRUE(Exec("create type person;"
+                   "create function knows(person) -> person;"
+                   "create person instances :p, :q, :r;"
+                   "add knows(:p) = :q;"
+                   "add knows(:p) = :r;")
+                  .ok());
+  EXPECT_EQ(Query("select knows(:p);").size(), 2u);
+  ASSERT_TRUE(Exec("remove knows(:p) = :q;").ok());
+  EXPECT_EQ(Query("select knows(:p);").size(), 1u);
+}
+
+TEST_F(SessionTest, DerivedFunctionWithArithmetic) {
+  ASSERT_TRUE(Exec("create type item;"
+                   "create function price(item) -> integer;"
+                   "create function tax(item i) -> integer as"
+                   "  select price(i) / 4;"
+                   "create item instances :a;"
+                   "set price(:a) = 100;")
+                  .ok());
+  auto rows = Query("select tax(:a);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(25));
+}
+
+TEST_F(SessionTest, SelectWithWhereAndJoin) {
+  ASSERT_TRUE(Exec("create type emp;"
+                   "create function salary(emp) -> integer;"
+                   "create function boss(emp) -> emp;"
+                   "create emp instances :e1, :e2, :e3;"
+                   "set salary(:e1) = 100; set salary(:e2) = 200;"
+                   "set salary(:e3) = 300;"
+                   "set boss(:e1) = :e2; set boss(:e2) = :e3;")
+                  .ok());
+  // Employees earning more than their boss: none here...
+  EXPECT_EQ(Query("select e for each emp e "
+                  "where salary(e) > salary(boss(e));")
+                .size(),
+            0u);
+  ASSERT_TRUE(Exec("set salary(:e1) = 250;").ok());
+  EXPECT_EQ(Query("select e for each emp e "
+                  "where salary(e) > salary(boss(e));")
+                .size(),
+            1u);
+}
+
+TEST_F(SessionTest, DisjunctionAndNegation) {
+  ASSERT_TRUE(Exec("create type item;"
+                   "create function cheap(item) -> boolean;"
+                   "create function price(item) -> integer;"
+                   "create item instances :a, :b, :c;"
+                   "set price(:a) = 5; set price(:b) = 50;"
+                   "set cheap(:c) = true;")
+                  .ok());
+  // a matches by price, c by the boolean flag, b by neither.
+  auto rows = Query("select i for each item i "
+                    "where price(i) < 10 or cheap(i);");
+  EXPECT_EQ(rows.size(), 2u);
+  // Negated atom: items with no price at all.
+  rows = Query("select i for each item i where not price(i);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], *session_.GetInterfaceVar("c"));
+}
+
+TEST_F(SessionTest, InterfaceVarErrors) {
+  ASSERT_TRUE(Exec("create type item;"
+                   "create function f(item) -> integer;")
+                  .ok());
+  EXPECT_EQ(Exec("set f(:ghost) = 1;").code(), StatusCode::kNotFound);
+}
+
+TEST_F(SessionTest, GroundExprErrors) {
+  ASSERT_TRUE(Exec("create type item;"
+                   "create function f(item) -> integer;"
+                   "create item instances :a;")
+                  .ok());
+  // Unset function has no value.
+  EXPECT_EQ(Exec("set f(:a) = f(:a) + 1;").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(Exec("set f(:a) = 1;").ok());
+  ASSERT_TRUE(Exec("set f(:a) = f(:a) + 1;").ok());
+  auto rows = Query("select f(:a);");
+  EXPECT_EQ(rows[0][0], Value(2));
+}
+
+TEST_F(SessionTest, RuleWithProcedureAction) {
+  std::vector<std::vector<Value>> calls;
+  session_.RegisterProcedure(
+      "notify", [&calls](Database&, const std::vector<Value>& args) {
+        calls.push_back(args);
+        return Status::OK();
+      });
+  ASSERT_TRUE(Exec("create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create rule low_level() as"
+                   "  when for each tank t where level(t) < 10"
+                   "  do notify(t, level(t));"
+                   "create tank instances :t1, :t2;"
+                   "set level(:t1) = 50; set level(:t2) = 60;"
+                   "activate low_level();"
+                   "commit;")
+                  .ok());
+  EXPECT_TRUE(calls.empty());
+  ASSERT_TRUE(Exec("set level(:t1) = 3; commit;").ok());
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0][0], *session_.GetInterfaceVar("t1"));
+  EXPECT_EQ(calls[0][1], Value(3));
+}
+
+TEST_F(SessionTest, RuleWithSetActionSelfStabilizes) {
+  ASSERT_TRUE(Exec("create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create function refill_to(tank) -> integer;"
+                   "create rule auto_refill() as"
+                   "  when for each tank t where level(t) < 10"
+                   "  do set level(t) = refill_to(t);"
+                   "create tank instances :t1;"
+                   "set level(:t1) = 50; set refill_to(:t1) = 90;"
+                   "activate auto_refill();"
+                   "commit;"
+                   "set level(:t1) = 5; commit;")
+                  .ok());
+  auto rows = Query("select level(:t1);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(90));
+}
+
+TEST_F(SessionTest, UnregisteredProcedureFailsAtFireTime) {
+  ASSERT_TRUE(Exec("create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create rule r() as when for each tank t "
+                   "where level(t) < 10 do missing(t);"
+                   "create tank instances :t1;"
+                   "activate r();"
+                   "set level(:t1) = 1;")
+                  .ok());
+  EXPECT_EQ(Exec("commit;").code(), StatusCode::kNotFound);
+  ASSERT_TRUE(Exec("rollback;").ok());
+}
+
+TEST_F(SessionTest, DeactivateViaStatement) {
+  int fires = 0;
+  session_.RegisterProcedure("ping",
+                             [&fires](Database&, const std::vector<Value>&) {
+                               ++fires;
+                               return Status::OK();
+                             });
+  ASSERT_TRUE(Exec("create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create rule r() as when for each tank t "
+                   "where level(t) < 10 do ping(t);"
+                   "create tank instances :t1;"
+                   "set level(:t1) = 50;"
+                   "activate r(); commit;"
+                   "deactivate r();"
+                   "set level(:t1) = 1; commit;")
+                  .ok());
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_F(SessionTest, NervousRuleModifier) {
+  int fires = 0;
+  session_.RegisterProcedure("ping",
+                             [&fires](Database&, const std::vector<Value>&) {
+                               ++fires;
+                               return Status::OK();
+                             });
+  ASSERT_TRUE(Exec("create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create rule r() nervous as when for each tank t "
+                   "where level(t) < 10 do ping(t);"
+                   "create tank instances :t1;"
+                   "activate r();"
+                   "set level(:t1) = 5; commit;")
+                  .ok());
+  EXPECT_EQ(fires, 1);
+  // Condition stays true; nervous semantics re-fires on the new update.
+  ASSERT_TRUE(Exec("set level(:t1) = 4; commit;").ok());
+  EXPECT_EQ(fires, 2);
+}
+
+TEST_F(SessionTest, ParameterizedRuleActivation) {
+  std::vector<Value> notified;
+  session_.RegisterProcedure(
+      "notify", [&notified](Database&, const std::vector<Value>& args) {
+        notified.push_back(args[0]);
+        return Status::OK();
+      });
+  ASSERT_TRUE(Exec("create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create rule watch(tank t) as when level(t) < 10 "
+                   "do notify(t);"
+                   "create tank instances :t1, :t2;"
+                   "set level(:t1) = 50; set level(:t2) = 50;"
+                   "activate watch(:t1);"
+                   "commit;"
+                   "set level(:t1) = 5; set level(:t2) = 5; commit;")
+                  .ok());
+  // Only :t1 is watched.
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0], *session_.GetInterfaceVar("t1"));
+}
+
+TEST_F(SessionTest, AggregateFunctionSyntax) {
+  ASSERT_TRUE(Exec("create type desk;"
+                   "create function trade(desk) -> integer;"
+                   "create function total(desk d) -> integer as sum trade(d);"
+                   "create function ntrades(desk d) -> integer"
+                   "  as count trade(d);"
+                   "create desk instances :d1, :d2;"
+                   "add trade(:d1) = 10;"
+                   "add trade(:d1) = 30;"
+                   "add trade(:d2) = 5;")
+                  .ok());
+  auto rows = Query("select total(:d1);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(40));
+  rows = Query("select ntrades(:d2);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(1));
+}
+
+TEST_F(SessionTest, RuleOverAggregateCondition) {
+  std::vector<Value> alerted;
+  session_.RegisterProcedure(
+      "alert", [&alerted](Database&, const std::vector<Value>& args) {
+        alerted.push_back(args[0]);
+        return Status::OK();
+      });
+  ASSERT_TRUE(Exec("create type desk;"
+                   "create function trade(desk) -> integer;"
+                   "create function desk_limit(desk) -> integer;"
+                   "create function total(desk d) -> integer as sum trade(d);"
+                   "create rule over_limit() as"
+                   "  when for each desk d where total(d) > desk_limit(d)"
+                   "  do alert(d, total(d));"
+                   "create desk instances :d1;"
+                   "set desk_limit(:d1) = 100;"
+                   "activate over_limit();"
+                   "commit;")
+                  .ok());
+  ASSERT_TRUE(Exec("add trade(:d1) = 60; commit;").ok());
+  EXPECT_TRUE(alerted.empty());
+  ASSERT_TRUE(Exec("add trade(:d1) = 70; commit;").ok());
+  ASSERT_EQ(alerted.size(), 1u);
+  EXPECT_EQ(alerted[0], *session_.GetInterfaceVar("d1"));
+  // Unwinding below the limit and breaching again re-fires (strict).
+  ASSERT_TRUE(Exec("remove trade(:d1) = 70; commit;"
+                   "add trade(:d1) = 50; commit;")
+                  .ok());
+  EXPECT_EQ(alerted.size(), 2u);
+}
+
+TEST_F(SessionTest, AggregateSyntaxErrors) {
+  ASSERT_TRUE(Exec("create type desk;"
+                   "create function trade(desk) -> integer;")
+                  .ok());
+  // Wrong argument name.
+  EXPECT_FALSE(Exec("create function t(desk d) -> integer as sum trade(x);")
+                   .ok());
+  // Unknown source.
+  EXPECT_FALSE(Exec("create function u(desk d) -> integer as sum ghost(d);")
+                   .ok());
+  // Arity mismatch.
+  EXPECT_FALSE(Exec("create function v() -> integer as sum trade();").ok());
+}
+
+}  // namespace
+}  // namespace deltamon::amosql

@@ -1,0 +1,63 @@
+#include "common/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace deltamon {
+namespace {
+
+TEST(TupleTest, ArityAndAccess) {
+  Tuple t{Value(1), Value("a")};
+  EXPECT_EQ(t.arity(), 2u);
+  EXPECT_EQ(t[0], Value(1));
+  EXPECT_EQ(t[1], Value("a"));
+}
+
+TEST(TupleTest, Concat) {
+  Tuple a{Value(1)};
+  Tuple b{Value(2), Value(3)};
+  EXPECT_EQ(a.Concat(b), (Tuple{Value(1), Value(2), Value(3)}));
+}
+
+TEST(TupleTest, ProjectWithDuplicates) {
+  Tuple t{Value(10), Value(20), Value(30)};
+  EXPECT_EQ(t.Project({2, 0, 2}), (Tuple{Value(30), Value(10), Value(30)}));
+}
+
+TEST(TupleTest, LexicographicOrder) {
+  EXPECT_LT(Tuple{Value(1)}, (Tuple{Value(2)}));
+  EXPECT_LT((Tuple{Value(1), Value(1)}), (Tuple{Value(1), Value(2)}));
+  EXPECT_LT(Tuple{Value(1)}, (Tuple{Value(1), Value(0)}));  // prefix first
+}
+
+TEST(TupleTest, HashEqualForEqualTuples) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("x")};
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TupleTest, TupleSetDeduplicates) {
+  TupleSet s;
+  s.insert(Tuple{Value(1)});
+  s.insert(Tuple{Value(1)});
+  s.insert(Tuple{Value(2)});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(TupleTest, SortedTuplesDeterministic) {
+  TupleSet s = {Tuple{Value(3)}, Tuple{Value(1)}, Tuple{Value(2)}};
+  std::vector<Tuple> sorted = SortedTuples(s);
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], Tuple{Value(1)});
+  EXPECT_EQ(sorted[2], Tuple{Value(3)});
+}
+
+TEST(TupleTest, ToStringForms) {
+  EXPECT_EQ((Tuple{Value(1), Value(2)}).ToString(), "(1, 2)");
+  EXPECT_EQ(Tuple{}.ToString(), "()");
+  TupleSet s = {Tuple{Value(2)}, Tuple{Value(1)}};
+  EXPECT_EQ(TupleSetToString(s), "{(1), (2)}");
+}
+
+}  // namespace
+}  // namespace deltamon

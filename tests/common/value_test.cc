@@ -1,0 +1,106 @@
+#include "common/value.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace deltamon {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.kind(), ValueKind::kNull);
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(true).AsBool());
+  EXPECT_EQ(Value(int64_t{42}).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  Oid o{7, 2};
+  EXPECT_EQ(Value(o).AsObject().id, 7u);
+  EXPECT_EQ(Value(o).AsObject().type, 2u);
+}
+
+TEST(ValueTest, EqualityIsExactKind) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value(1.0));  // int vs double differ under ==
+  EXPECT_FALSE(Value(1) == Value(true));
+}
+
+TEST(ValueTest, CompareWithNumericPromotion) {
+  EXPECT_EQ(Value(1).Compare(Value(1.0)), 0);
+  EXPECT_LT(Value(1).Compare(Value(1.5)), 0);
+  EXPECT_GT(Value(2).Compare(Value(1.5)), 0);
+  EXPECT_LT(Value(int64_t{-3}).Compare(Value(int64_t{5})), 0);
+}
+
+TEST(ValueTest, CompareAcrossKindsOrdersByKind) {
+  // kNull < kBool < kInt/kDouble < kString < kObject.
+  EXPECT_LT(Value().Compare(Value(false)), 0);
+  EXPECT_LT(Value(true).Compare(Value(0)), 0);
+  EXPECT_LT(Value(99).Compare(Value("a")), 0);
+  EXPECT_LT(Value("zzz").Compare(Value(Oid{1, 1})), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(5).Hash(), Value(5).Hash());
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  // Different kinds for the "same" number hash independently — equality is
+  // exact-kind, so this is consistent.
+  EXPECT_EQ(Value(Oid{3, 1}).Hash(), Value(Oid{3, 9}).Hash())
+      << "Oid hashing/equality ignores the type tag";
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value(Oid{5, 2}).ToString(), "t2#5");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueArithmeticTest, IntStaysInt) {
+  auto r = Add(Value(2), Value(3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_int());
+  EXPECT_EQ(r->AsInt(), 5);
+}
+
+TEST(ValueArithmeticTest, DoublePromotes) {
+  auto r = Multiply(Value(2), Value(1.5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_double());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 3.0);
+}
+
+TEST(ValueArithmeticTest, SubtractAndDivide) {
+  EXPECT_EQ(Subtract(Value(7), Value(9))->AsInt(), -2);
+  EXPECT_EQ(Divide(Value(7), Value(2))->AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Divide(Value(7.0), Value(2))->AsDouble(), 3.5);
+}
+
+TEST(ValueArithmeticTest, DivisionByZeroFails) {
+  EXPECT_FALSE(Divide(Value(1), Value(0)).ok());
+  EXPECT_FALSE(Divide(Value(1.0), Value(0.0)).ok());
+}
+
+TEST(ValueArithmeticTest, IntegerOverflowFails) {
+  Value big(std::numeric_limits<int64_t>::max());
+  EXPECT_FALSE(Add(big, Value(1)).ok());
+  EXPECT_FALSE(Multiply(big, Value(2)).ok());
+  EXPECT_FALSE(
+      Divide(Value(std::numeric_limits<int64_t>::min()), Value(int64_t{-1}))
+          .ok());
+}
+
+TEST(ValueArithmeticTest, NonNumericFails) {
+  EXPECT_FALSE(Add(Value("a"), Value(1)).ok());
+  EXPECT_FALSE(Multiply(Value(Oid{1, 1}), Value(2)).ok());
+}
+
+}  // namespace
+}  // namespace deltamon

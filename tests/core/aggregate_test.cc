@@ -1,0 +1,425 @@
+/// Aggregate views (the paper's §8 "extending the calculus to handle
+/// aggregates" future work, implemented as an extension): evaluation of
+/// count/sum/min/max group-bys in both states, aggregate nodes in the
+/// propagation network with per-affected-group differentials, and rules
+/// over aggregate conditions monitored equivalently in every mode.
+
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "core/propagator.h"
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+namespace deltamon {
+namespace {
+
+using objectlog::AggregateDef;
+using objectlog::Clause;
+using objectlog::CompareOp;
+using objectlog::EvalState;
+using objectlog::Literal;
+using objectlog::Term;
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+/// trades(desk, amount) with per-desk aggregates.
+class AggregateEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trades_ = *engine_.db.catalog().CreateStoredFunction(
+        "trades", FunctionSignature{{IntCol()}, {IntCol()}});
+    engine_.db.MarkMonitored(trades_);
+  }
+
+  RelationId MakeAggregate(const std::string& name, AggregateDef::Func func,
+                           std::vector<size_t> group_by = {0}) {
+    FunctionSignature sig;
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      sig.result_types.push_back(IntCol());
+    }
+    sig.result_types.push_back(IntCol());
+    RelationId rel =
+        *engine_.db.catalog().CreateDerivedFunction(name, std::move(sig));
+    AggregateDef def;
+    def.source = trades_;
+    def.group_by = std::move(group_by);
+    def.value_column = 1;
+    def.func = func;
+    EXPECT_TRUE(engine_.registry
+                    .DefineAggregate(rel, std::move(def),
+                                     engine_.db.catalog())
+                    .ok());
+    return rel;
+  }
+
+  TupleSet Eval(RelationId rel, EvalState state = EvalState::kNew) {
+    objectlog::StateContext ctx;
+    auto deltas = engine_.db.PendingDeltas();
+    ctx.deltas = &deltas;
+    objectlog::Evaluator ev(engine_.db, engine_.registry, ctx);
+    TupleSet out;
+    EXPECT_TRUE(ev.Evaluate(rel, state, &out).ok());
+    return out;
+  }
+
+  Engine engine_;
+  RelationId trades_ = kInvalidRelationId;
+};
+
+TEST_F(AggregateEvalTest, CountSumMinMaxPerGroup) {
+  for (auto [desk, amount] : {std::pair{1, 10}, {1, 30}, {2, 5}}) {
+    ASSERT_TRUE(engine_.db.Insert(trades_, T(desk, amount)).ok());
+  }
+  EXPECT_EQ(Eval(MakeAggregate("cnt", AggregateDef::Func::kCount)),
+            (TupleSet{T(1, 2), T(2, 1)}));
+  EXPECT_EQ(Eval(MakeAggregate("sum", AggregateDef::Func::kSum)),
+            (TupleSet{T(1, 40), T(2, 5)}));
+  EXPECT_EQ(Eval(MakeAggregate("min", AggregateDef::Func::kMin)),
+            (TupleSet{T(1, 10), T(2, 5)}));
+  EXPECT_EQ(Eval(MakeAggregate("max", AggregateDef::Func::kMax)),
+            (TupleSet{T(1, 30), T(2, 5)}));
+}
+
+TEST_F(AggregateEvalTest, GlobalAggregates) {
+  RelationId total =
+      MakeAggregate("total", AggregateDef::Func::kSum, /*group_by=*/{});
+  RelationId count =
+      MakeAggregate("n", AggregateDef::Func::kCount, /*group_by=*/{});
+  // Empty source: COUNT yields 0, SUM yields nothing.
+  EXPECT_EQ(Eval(count), (TupleSet{T(0)}));
+  EXPECT_TRUE(Eval(total).empty());
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(1, 10)).ok());
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(2, 32)).ok());
+  EXPECT_EQ(Eval(count), (TupleSet{T(2)}));
+  EXPECT_EQ(Eval(total), (TupleSet{T(42)}));
+}
+
+TEST_F(AggregateEvalTest, OldStateAggregation) {
+  RelationId sum = MakeAggregate("sum", AggregateDef::Func::kSum);
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(1, 10)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(1, 5)).ok());
+  EXPECT_EQ(Eval(sum, EvalState::kNew), (TupleSet{T(1, 15)}));
+  EXPECT_EQ(Eval(sum, EvalState::kOld), (TupleSet{T(1, 10)}));
+}
+
+TEST_F(AggregateEvalTest, ProbeRestrictsToGroup) {
+  RelationId sum = MakeAggregate("sum", AggregateDef::Func::kSum);
+  for (int d = 0; d < 10; ++d) {
+    ASSERT_TRUE(engine_.db.Insert(trades_, T(d, d * 10)).ok());
+  }
+  objectlog::Evaluator ev(engine_.db, engine_.registry,
+                          objectlog::StateContext{});
+  ScanPattern pattern(2);
+  pattern[0] = Value(3);
+  TupleSet out;
+  ASSERT_TRUE(ev.Probe(sum, EvalState::kNew, pattern, &out).ok());
+  EXPECT_EQ(out, (TupleSet{T(3, 30)}));
+}
+
+TEST_F(AggregateEvalTest, DefinitionValidation) {
+  Catalog& cat = engine_.db.catalog();
+  RelationId a = *cat.CreateDerivedFunction(
+      "agg_a", FunctionSignature{{}, {IntCol(), IntCol()}});
+  AggregateDef bad;
+  bad.source = trades_;
+  bad.group_by = {7};  // out of range
+  EXPECT_FALSE(
+      engine_.registry.DefineAggregate(a, bad, cat).ok());
+  bad.group_by = {0};
+  bad.value_column = 9;  // out of range
+  bad.func = AggregateDef::Func::kSum;
+  EXPECT_FALSE(engine_.registry.DefineAggregate(a, bad, cat).ok());
+  bad.value_column = 1;
+  EXPECT_TRUE(engine_.registry.DefineAggregate(a, bad, cat).ok());
+  // Double definition and clause-on-aggregate are rejected.
+  EXPECT_FALSE(engine_.registry.DefineAggregate(a, bad, cat).ok());
+  Clause c;
+  c.head_relation = a;
+  c.num_vars = 2;
+  c.head_args = {Term::Var(0), Term::Var(1)};
+  c.body = {Literal::Relation(trades_, {Term::Var(0), Term::Var(1)})};
+  EXPECT_FALSE(engine_.registry.Define(a, std::move(c), cat).ok());
+}
+
+TEST_F(AggregateEvalTest, SumTypeErrorSurfaces) {
+  RelationId strs = *engine_.db.catalog().CreateStoredFunction(
+      "strs", FunctionSignature{{IntCol()},
+                                {ColumnType{ValueKind::kString,
+                                            kInvalidTypeId}}});
+  RelationId sum = *engine_.db.catalog().CreateDerivedFunction(
+      "strsum", FunctionSignature{{}, {IntCol(), IntCol()}});
+  AggregateDef def;
+  def.source = strs;
+  def.group_by = {0};
+  def.value_column = 1;
+  def.func = AggregateDef::Func::kSum;
+  ASSERT_TRUE(engine_.registry
+                  .DefineAggregate(sum, std::move(def), engine_.db.catalog())
+                  .ok());
+  ASSERT_TRUE(engine_.db.Insert(strs, Tuple{Value(1), Value("a")}).ok());
+  ASSERT_TRUE(engine_.db.Insert(strs, Tuple{Value(1), Value("b")}).ok());
+  objectlog::Evaluator ev(engine_.db, engine_.registry,
+                          objectlog::StateContext{});
+  TupleSet out;
+  EXPECT_EQ(ev.Evaluate(sum, EvalState::kNew, &out).code(),
+            StatusCode::kTypeError);
+}
+
+/// Rule over an aggregate condition, monitored in every mode: alert when a
+/// desk's total position exceeds its limit.
+class AggregateRuleTest : public ::testing::TestWithParam<rules::MonitorMode> {
+ protected:
+  void SetUp() override {
+    engine_.rules.SetMode(GetParam());
+    Catalog& cat = engine_.db.catalog();
+    trades_ = *cat.CreateStoredFunction(
+        "trades", FunctionSignature{{IntCol()}, {IntCol()}});
+    limit_ = *cat.CreateStoredFunction(
+        "desk_limit", FunctionSignature{{IntCol()}, {IntCol()}});
+    total_ = *cat.CreateDerivedFunction(
+        "total_position", FunctionSignature{{}, {IntCol(), IntCol()}});
+    AggregateDef def;
+    def.source = trades_;
+    def.group_by = {0};
+    def.value_column = 1;
+    def.func = AggregateDef::Func::kSum;
+    ASSERT_TRUE(
+        engine_.registry.DefineAggregate(total_, std::move(def), cat).ok());
+
+    cond_ = *cat.CreateDerivedFunction(
+        "cnd_over_limit", FunctionSignature{{}, {IntCol()}});
+    Clause c;
+    c.head_relation = cond_;
+    c.num_vars = 3;
+    c.var_names = {"D", "S", "L"};
+    c.head_args = {Term::Var(0)};
+    c.body = {Literal::Relation(total_, {Term::Var(0), Term::Var(1)}),
+              Literal::Relation(limit_, {Term::Var(0), Term::Var(2)}),
+              Literal::Compare(CompareOp::kGt, Term::Var(1), Term::Var(2))};
+    ASSERT_TRUE(engine_.registry.Define(cond_, std::move(c), cat).ok());
+
+    auto rule = engine_.rules.CreateRule(
+        "over_limit", cond_,
+        [this](Database&, const Tuple&, const std::vector<Tuple>& desks) {
+          for (const Tuple& d : desks) fired_.push_back(d[0].AsInt());
+          return Status::OK();
+        });
+    ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+    ASSERT_TRUE(engine_.rules.Activate(*rule).ok());
+
+    ASSERT_TRUE(engine_.db.Set(limit_, T(1), T(100)).ok());
+    ASSERT_TRUE(engine_.db.Set(limit_, T(2), T(50)).ok());
+    ASSERT_TRUE(engine_.db.Commit().ok());
+  }
+
+  Engine engine_;
+  RelationId trades_, limit_, total_, cond_;
+  std::vector<int64_t> fired_;
+};
+
+TEST_P(AggregateRuleTest, FiresWhenSumCrossesLimit) {
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(1, 60)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_TRUE(fired_.empty());  // 60 <= 100
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(1, 70)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{1}));  // 130 > 100
+}
+
+TEST_P(AggregateRuleTest, DeletingTradeDropsBelowLimitAndBack) {
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(2, 40)).ok());
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(2, 30)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_EQ(fired_, (std::vector<int64_t>{2}));  // 70 > 50
+  // Unwind one trade: 30 <= 50, condition false.
+  ASSERT_TRUE(engine_.db.Delete(trades_, T(2, 40)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_EQ(fired_.size(), 1u);
+  // Breach again: strict semantics fires a second time.
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(2, 25)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{2, 2}));  // 55 > 50
+}
+
+TEST_P(AggregateRuleTest, UntouchedGroupsDoNotTrigger) {
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(1, 150)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{1}));
+  // Desk 2 trades below its limit: nothing more fires.
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(2, 10)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_.size(), 1u);
+}
+
+TEST_P(AggregateRuleTest, NoNetChangeIsInvisible) {
+  ASSERT_TRUE(engine_.db.Insert(trades_, T(1, 150)).ok());
+  ASSERT_TRUE(engine_.db.Delete(trades_, T(1, 150)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_TRUE(fired_.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AggregateRuleTest,
+    ::testing::Values(rules::MonitorMode::kIncremental,
+                      rules::MonitorMode::kNaive,
+                      rules::MonitorMode::kHybrid),
+    [](const ::testing::TestParamInfo<rules::MonitorMode>& info) {
+      switch (info.param) {
+        case rules::MonitorMode::kIncremental:
+          return "Incremental";
+        case rules::MonitorMode::kNaive:
+          return "Naive";
+        case rules::MonitorMode::kHybrid:
+          return "Hybrid";
+      }
+      return "Unknown";
+    });
+
+/// Network structure for aggregates: one aggregate edge, both Δ sides
+/// needed at the source.
+TEST(AggregateNetworkTest, AggregateNodeAndEdge) {
+  Engine engine;
+  Catalog& cat = engine.db.catalog();
+  RelationId src = *cat.CreateStoredFunction(
+      "src", FunctionSignature{{IntCol()}, {IntCol()}});
+  RelationId agg = *cat.CreateDerivedFunction(
+      "agg", FunctionSignature{{}, {IntCol(), IntCol()}});
+  AggregateDef def;
+  def.source = src;
+  def.group_by = {0};
+  def.value_column = 1;
+  def.func = AggregateDef::Func::kMax;
+  ASSERT_TRUE(engine.registry.DefineAggregate(agg, std::move(def), cat).ok());
+  RelationId cond = *cat.CreateDerivedFunction(
+      "cond", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = cond;
+  c.num_vars = 2;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(agg, {Term::Var(0), Term::Var(1)}),
+            Literal::Compare(CompareOp::kGt, Term::Var(1),
+                             Term::Const(Value(10)))};
+  ASSERT_TRUE(engine.registry.Define(cond, std::move(c), cat).ok());
+
+  core::RootSpec root{cond, false, false};  // even insertions-only...
+  auto net = core::PropagationNetwork::Build({root}, engine.registry, cat);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  const core::NetworkNode* agg_node = net->node(agg);
+  ASSERT_NE(agg_node, nullptr);
+  EXPECT_NE(agg_node->aggregate, nullptr);
+  EXPECT_EQ(agg_node->level, 1);
+  EXPECT_EQ(agg_node->in_edges.size(), 1u);
+  // ...forces both polarities at the aggregate's source (a deletion can
+  // lower the MAX).
+  const core::NetworkNode* src_node = net->node(src);
+  EXPECT_TRUE(src_node->needs_plus);
+  EXPECT_TRUE(src_node->needs_minus);
+  EXPECT_NE(net->ToString(cat).find("[aggregate]"), std::string::npos);
+}
+
+/// The classic hard case for incremental aggregation: deleting the current
+/// MAX must re-derive the runner-up.
+TEST(AggregateMaxDeletionTest, DeletingMaxFindsRunnerUp) {
+  Engine engine;
+  Catalog& cat = engine.db.catalog();
+  RelationId src = *cat.CreateStoredFunction(
+      "src", FunctionSignature{{IntCol()}, {IntCol()}});
+  RelationId agg = *cat.CreateDerivedFunction(
+      "maxv", FunctionSignature{{}, {IntCol(), IntCol()}});
+  AggregateDef def;
+  def.source = src;
+  def.group_by = {0};
+  def.value_column = 1;
+  def.func = AggregateDef::Func::kMax;
+  ASSERT_TRUE(engine.registry.DefineAggregate(agg, std::move(def), cat).ok());
+  RelationId cond = *cat.CreateDerivedFunction(
+      "cond", FunctionSignature{{}, {IntCol(), IntCol()}});
+  Clause c;
+  c.head_relation = cond;
+  c.num_vars = 2;
+  c.head_args = {Term::Var(0), Term::Var(1)};
+  c.body = {Literal::Relation(agg, {Term::Var(0), Term::Var(1)})};
+  ASSERT_TRUE(engine.registry.Define(cond, std::move(c), cat).ok());
+  engine.db.MarkMonitored(src);
+
+  ASSERT_TRUE(engine.db.Insert(src, T(1, 10)).ok());
+  ASSERT_TRUE(engine.db.Insert(src, T(1, 30)).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+
+  core::RootSpec root{cond, true, true};
+  auto net = core::PropagationNetwork::Build({root}, engine.registry, cat);
+  ASSERT_TRUE(net.ok());
+  ASSERT_TRUE(engine.db.Delete(src, T(1, 30)).ok());
+  core::Propagator prop(engine.db, engine.registry, *net);
+  auto result = prop.Propagate(engine.db.PendingDeltas());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // MAX drops from 30 to 10: (1,30) out, (1,10) in.
+  EXPECT_EQ(result->root_deltas.at(cond),
+            DeltaSet({T(1, 10)}, {T(1, 30)}));
+}
+
+/// Aggregates compose: a global MAX over the per-desk SUM view.
+TEST(NestedAggregateTest, MaxOfPerGroupSums) {
+  Engine engine;
+  Catalog& cat = engine.db.catalog();
+  RelationId trades = *cat.CreateStoredFunction(
+      "trades", FunctionSignature{{IntCol()}, {IntCol()}});
+  RelationId sums = *cat.CreateDerivedFunction(
+      "desk_sums", FunctionSignature{{}, {IntCol(), IntCol()}});
+  AggregateDef sum_def;
+  sum_def.source = trades;
+  sum_def.group_by = {0};
+  sum_def.value_column = 1;
+  sum_def.func = AggregateDef::Func::kSum;
+  ASSERT_TRUE(engine.registry.DefineAggregate(sums, sum_def, cat).ok());
+  RelationId peak = *cat.CreateDerivedFunction(
+      "peak_exposure", FunctionSignature{{}, {IntCol()}});
+  AggregateDef max_def;
+  max_def.source = sums;
+  max_def.group_by = {};
+  max_def.value_column = 1;
+  max_def.func = AggregateDef::Func::kMax;
+  ASSERT_TRUE(engine.registry.DefineAggregate(peak, max_def, cat).ok());
+  engine.db.MarkMonitored(trades);
+
+  ASSERT_TRUE(engine.db.Insert(trades, T(1, 100)).ok());
+  ASSERT_TRUE(engine.db.Insert(trades, T(1, 50)).ok());
+  ASSERT_TRUE(engine.db.Insert(trades, T(2, 120)).ok());
+  objectlog::Evaluator ev(engine.db, engine.registry,
+                          objectlog::StateContext{});
+  TupleSet out;
+  ASSERT_TRUE(ev.Evaluate(peak, EvalState::kNew, &out).ok());
+  EXPECT_EQ(out, (TupleSet{Tuple{Value(150)}}));  // max(150, 120)
+
+  // And it propagates: a rule over the nested aggregate.
+  RelationId cond = *cat.CreateDerivedFunction(
+      "cnd_peak", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = cond;
+  c.num_vars = 1;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(peak, {Term::Var(0)}),
+            Literal::Compare(CompareOp::kGt, Term::Var(0),
+                             Term::Const(Value(200)))};
+  ASSERT_TRUE(engine.registry.Define(cond, std::move(c), cat).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+
+  core::RootSpec root{cond, true, true};
+  auto net = core::PropagationNetwork::Build({root}, engine.registry, cat);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  // Chain: trades(0) -> desk_sums(1) -> peak_exposure(2) -> cnd_peak(3).
+  EXPECT_EQ(net->node(peak)->level, 2);
+  ASSERT_TRUE(engine.db.Insert(trades, T(2, 180)).ok());  // desk 2: 300
+  core::Propagator prop(engine.db, engine.registry, *net);
+  auto result = prop.Propagate(engine.db.PendingDeltas());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->root_deltas.at(cond),
+            DeltaSet({Tuple{Value(300)}}, {}));
+}
+
+}  // namespace
+}  // namespace deltamon

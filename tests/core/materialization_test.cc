@@ -1,0 +1,182 @@
+/// PF-style materialized intermediate views (paper §2 contrast): the
+/// propagation results must be identical with and without the
+/// MaterializedViewStore, the maintained extents must track the true
+/// derived extents across transactions, and the residency counter must
+/// reflect the space cost.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "bench_util/inventory.h"
+#include "core/materialized_views.h"
+#include "core/network.h"
+#include "core/propagator.h"
+#include "objectlog/eval.h"
+
+namespace deltamon::core {
+namespace {
+
+using workload::BuildInventory;
+using workload::InventoryConfig;
+using workload::InventorySchema;
+using workload::SetFn;
+
+class MaterializationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InventoryConfig config;
+    config.num_items = 12;
+    auto schema = BuildInventory(engine_, config);
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = *schema;
+
+    RootSpec root;
+    root.relation = schema_.cnd_monitor_items;
+    root.needs_minus = true;  // required for view maintenance
+    root.strict = true;
+    BuildOptions options;
+    options.keep.insert(schema_.threshold);  // bushy: threshold is a node
+    auto net = PropagationNetwork::Build({root}, engine_.registry,
+                                         engine_.db.catalog(), options);
+    ASSERT_TRUE(net.ok()) << net.status().ToString();
+    network_ = std::make_unique<PropagationNetwork>(std::move(*net));
+    for (RelationId rel : network_->BaseInfluents()) {
+      engine_.db.MarkMonitored(rel);
+    }
+    ASSERT_TRUE(store_.Initialize(*network_, engine_.db, engine_.registry)
+                    .ok());
+  }
+
+  /// Freshly evaluated extent of a derived relation.
+  TupleSet TrueExtent(RelationId rel) {
+    objectlog::Evaluator ev(engine_.db, engine_.registry,
+                            objectlog::StateContext{});
+    TupleSet out;
+    EXPECT_TRUE(ev.Evaluate(rel, objectlog::EvalState::kNew, &out).ok());
+    return out;
+  }
+
+  Engine engine_;
+  InventorySchema schema_;
+  std::unique_ptr<PropagationNetwork> network_;
+  MaterializedViewStore store_;
+};
+
+TEST_F(MaterializationTest, InitializePopulatesDerivedNodes) {
+  const BaseRelation* threshold = store_.Get(schema_.threshold);
+  ASSERT_NE(threshold, nullptr);
+  EXPECT_EQ(threshold->size(), 12u);  // one threshold per item
+  EXPECT_EQ(threshold->rows(), TrueExtent(schema_.threshold));
+  // The condition root is materialized too (empty: all quantities high).
+  const BaseRelation* cnd = store_.Get(schema_.cnd_monitor_items);
+  ASSERT_NE(cnd, nullptr);
+  EXPECT_EQ(cnd->size(), 0u);
+  // Base relations are not.
+  EXPECT_EQ(store_.Get(schema_.quantity), nullptr);
+  EXPECT_GE(store_.ResidentTuples(), 12u);
+}
+
+TEST_F(MaterializationTest, PropagationResultsMatchWithAndWithoutViews) {
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[2], 100).ok());
+  ASSERT_TRUE(
+      SetFn(engine_, schema_.consume_freq, schema_.items[5], 700).ok());
+  auto deltas = engine_.db.PendingDeltas();
+
+  Propagator plain(engine_.db, engine_.registry, *network_);
+  Propagator with_views(engine_.db, engine_.registry, *network_, &store_);
+  auto r1 = plain.Propagate(deltas);
+  auto r2 = with_views.Propagate(deltas);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(r1->root_deltas.at(schema_.cnd_monitor_items),
+            r2->root_deltas.at(schema_.cnd_monitor_items));
+  EXPECT_GT(r2->stats.materialized_resident_tuples, 0u);
+}
+
+TEST_F(MaterializationTest, ViewsTrackTrueExtentsAcrossWaves) {
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<size_t> pick(0, schema_.items.size() - 1);
+  std::uniform_int_distribution<int64_t> value(0, 300);
+  Propagator propagator(engine_.db, engine_.registry, *network_, &store_);
+  for (int wave = 0; wave < 20; ++wave) {
+    for (int u = 0; u < 3; ++u) {
+      RelationId fn = (u % 3 == 0)   ? schema_.quantity
+                      : (u % 3 == 1) ? schema_.consume_freq
+                                     : schema_.min_stock;
+      ASSERT_TRUE(SetFn(engine_, fn, schema_.items[pick(rng)], value(rng))
+                      .ok());
+    }
+    auto deltas = engine_.db.TakePendingDeltas();
+    ASSERT_TRUE(propagator.Propagate(deltas).ok());
+    ASSERT_TRUE(engine_.db.Commit().ok());
+    // After each wave the maintained extents equal fresh evaluation.
+    ASSERT_EQ(store_.Get(schema_.threshold)->rows(),
+              TrueExtent(schema_.threshold))
+        << "wave " << wave;
+    ASSERT_EQ(store_.Get(schema_.cnd_monitor_items)->rows(),
+              TrueExtent(schema_.cnd_monitor_items))
+        << "wave " << wave;
+  }
+}
+
+TEST_F(MaterializationTest, ApplyIsIdempotentOnDuplicates) {
+  const BaseRelation* threshold = store_.Get(schema_.threshold);
+  Tuple existing = *threshold->rows().begin();
+  DeltaSet dup({existing}, {});
+  ASSERT_TRUE(store_.Apply(schema_.threshold, dup).ok());
+  EXPECT_EQ(threshold->size(), 12u);
+  // Applying to an unmaterialized relation is a no-op.
+  EXPECT_TRUE(store_.Apply(schema_.quantity, dup).ok());
+}
+
+// Through the rule manager: SetMaterializeIntermediates must not change
+// observable rule behavior.
+TEST(RuleManagerMaterializationTest, SameFiringsWithMaterializedViews) {
+  for (bool materialize : {false, true}) {
+    Engine engine;
+    InventoryConfig config;
+    config.num_items = 15;
+    auto schema = BuildInventory(engine, config);
+    ASSERT_TRUE(schema.ok());
+    core::BuildOptions options;
+    options.keep.insert(schema->threshold);
+    engine.rules.SetNetworkOptions(options);
+    engine.rules.SetMaterializeIntermediates(materialize);
+
+    std::vector<uint64_t> fired;
+    auto rule = engine.rules.CreateRule(
+        "monitor_items", schema->cnd_monitor_items,
+        [&fired](Database&, const Tuple&, const std::vector<Tuple>& items) {
+          for (const Tuple& t : items) fired.push_back(t[0].AsObject().id);
+          return Status::OK();
+        });
+    ASSERT_TRUE(rule.ok());
+    ASSERT_TRUE(engine.rules.Activate(*rule).ok());
+
+    ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[3], 90).ok());
+    ASSERT_TRUE(engine.db.Commit().ok());
+    ASSERT_TRUE(
+        SetFn(engine, schema->consume_freq, schema->items[7], 800).ok());
+    ASSERT_TRUE(engine.db.Commit().ok());
+    // Revert item 7's trigger, then re-trigger: strict semantics refires.
+    ASSERT_TRUE(
+        SetFn(engine, schema->consume_freq, schema->items[7], 20).ok());
+    ASSERT_TRUE(engine.db.Commit().ok());
+    ASSERT_TRUE(
+        SetFn(engine, schema->consume_freq, schema->items[7], 800).ok());
+    ASSERT_TRUE(engine.db.Commit().ok());
+
+    std::vector<uint64_t> expected = {schema->items[3].id,
+                                      schema->items[7].id,
+                                      schema->items[7].id};
+    EXPECT_EQ(fired, expected) << "materialize=" << materialize;
+    if (materialize) {
+      EXPECT_GT(engine.rules.last_check()
+                    .propagation.materialized_resident_tuples,
+                0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deltamon::core

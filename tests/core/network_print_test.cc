@@ -1,0 +1,129 @@
+/// Introspection output: the propagation-network dump must reflect the
+/// paper's figures (fig. 2 flat, fig. 1 bushy) textually, differential
+/// names must identify influent and polarity, and catalog/storage
+/// ToString forms must round-trip the information a debugger needs.
+
+#include <gtest/gtest.h>
+
+#include "bench_util/inventory.h"
+#include "core/network.h"
+#include "rules/engine.h"
+
+namespace deltamon::core {
+namespace {
+
+using workload::BuildInventory;
+using workload::InventoryConfig;
+
+class NetworkPrintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InventoryConfig config;
+    config.num_items = 2;
+    auto schema = BuildInventory(engine_, config);
+    ASSERT_TRUE(schema.ok());
+    schema_ = *schema;
+  }
+
+  std::string Dump(bool bushy) {
+    RootSpec root;
+    root.relation = schema_.cnd_monitor_items;
+    root.needs_minus = false;
+    BuildOptions options;
+    if (bushy) options.keep.insert(schema_.threshold);
+    auto net = PropagationNetwork::Build({root}, engine_.registry,
+                                         engine_.db.catalog(), options);
+    EXPECT_TRUE(net.ok());
+    return net->ToString(engine_.db.catalog());
+  }
+
+  Engine engine_;
+  workload::InventorySchema schema_;
+};
+
+TEST_F(NetworkPrintTest, FlatDumpShowsFig2Structure) {
+  std::string dump = Dump(false);
+  // Two levels; all five influents named at level 0.
+  EXPECT_NE(dump.find("level 0:"), std::string::npos);
+  EXPECT_NE(dump.find("level 1:"), std::string::npos);
+  EXPECT_EQ(dump.find("level 2:"), std::string::npos);
+  for (const char* influent : {"quantity", "consume_freq", "supplies",
+                               "delivery_time", "min_stock"}) {
+    EXPECT_NE(dump.find(influent), std::string::npos) << influent;
+  }
+  // The quantity differential is spelled like the paper's ΔP/Δ+X.
+  EXPECT_NE(dump.find("Δ+cnd_monitor_items/Δ+quantity"), std::string::npos)
+      << dump;
+  // Insertions-only: no negative differentials.
+  EXPECT_EQ(dump.find("Δ-cnd_monitor_items"), std::string::npos);
+}
+
+TEST_F(NetworkPrintTest, BushyDumpShowsFig1Structure) {
+  std::string dump = Dump(true);
+  EXPECT_NE(dump.find("level 2:"), std::string::npos);
+  EXPECT_NE(dump.find("threshold[derived"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("Δ+cnd_monitor_items/Δ+threshold"), std::string::npos);
+  EXPECT_NE(dump.find("Δ+threshold/Δ+min_stock"), std::string::npos);
+}
+
+TEST_F(NetworkPrintTest, BaseInfluentsListsExactlyTheLeaves) {
+  RootSpec root;
+  root.relation = schema_.cnd_monitor_items;
+  auto net = PropagationNetwork::Build({root}, engine_.registry,
+                                       engine_.db.catalog());
+  ASSERT_TRUE(net.ok());
+  std::vector<RelationId> influents = net->BaseInfluents();
+  std::vector<RelationId> expected = {schema_.quantity, schema_.consume_freq,
+                                      schema_.supplies,
+                                      schema_.delivery_time,
+                                      schema_.min_stock};
+  std::sort(influents.begin(), influents.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(influents, expected);
+}
+
+TEST(ToStringFormsTest, SchemaSignatureAndEvents) {
+  Catalog cat;
+  TypeId item = *cat.CreateType("item");
+  FunctionSignature sig;
+  sig.argument_types = {ColumnType{ValueKind::kObject, item}};
+  sig.result_types = {ColumnType{ValueKind::kInt, kInvalidTypeId}};
+  EXPECT_NE(sig.ToString().find("object<"), std::string::npos);
+  EXPECT_NE(sig.ToString().find("int"), std::string::npos);
+  EXPECT_NE(sig.ToSchema().ToString().find("int"), std::string::npos);
+
+  RelationId f = *cat.CreateStoredFunction("f", std::move(sig));
+  UpdateEvent ev;
+  ev.relation = f;
+  ev.op = UpdateEvent::Op::kInsert;
+  ev.tuple = Tuple{Value(Oid{1, item}), Value(5)};
+  EXPECT_EQ(ev.ToString(cat).substr(0, 3), "+(f");
+  ev.op = UpdateEvent::Op::kDelete;
+  EXPECT_EQ(ev.ToString(cat).substr(0, 3), "-(f");
+}
+
+TEST(ToStringFormsTest, StreamOperators) {
+  std::ostringstream os;
+  os << Value(42) << " " << Tuple{Value(1), Value(2)} << " "
+     << DeltaSet({Tuple{Value(1)}}, {}) << " " << Status::NotFound("x");
+  EXPECT_EQ(os.str(), "42 (1, 2) <{(1)}, {}> NotFound: x");
+}
+
+TEST(ToStringFormsTest, ForeignFunctionsInCatalog) {
+  Catalog cat;
+  FunctionSignature sig;
+  sig.argument_types = {ColumnType{ValueKind::kInt, kInvalidTypeId}};
+  sig.result_types = {ColumnType{ValueKind::kInt, kInvalidTypeId}};
+  RelationId f = *cat.CreateForeignFunction("sensor", sig);
+  EXPECT_TRUE(cat.IsForeign(f));
+  EXPECT_FALSE(cat.IsDerived(f));
+  EXPECT_EQ(cat.GetBaseRelation(f), nullptr);
+  EXPECT_EQ(cat.RelationName(f), "sensor");
+  // Name collisions across kinds are rejected.
+  EXPECT_FALSE(cat.CreateStoredFunction("sensor", sig).ok());
+  EXPECT_FALSE(cat.CreateDerivedFunction("sensor", sig).ok());
+  EXPECT_FALSE(cat.CreateForeignFunction("sensor", sig).ok());
+}
+
+}  // namespace
+}  // namespace deltamon::core

@@ -1,0 +1,397 @@
+#include <gtest/gtest.h>
+
+#include "bench_util/inventory.h"
+#include "core/network.h"
+#include "core/propagator.h"
+#include "objectlog/ast.h"
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+namespace deltamon {
+namespace {
+
+using core::BuildOptions;
+using core::PropagationNetwork;
+using core::PropagationResult;
+using core::Propagator;
+using core::RootSpec;
+using objectlog::Clause;
+using objectlog::CompareOp;
+using objectlog::Literal;
+using objectlog::Term;
+
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+
+/// The paper's §4.3 / §4.4 running example:
+///   p(X, Z) <- q(X, Y) AND r(Y, Z)
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto q = engine_.db.catalog().CreateStoredFunction(
+        "q", FunctionSignature{{IntCol()}, {IntCol()}});
+    auto r = engine_.db.catalog().CreateStoredFunction(
+        "r", FunctionSignature{{IntCol()}, {IntCol()}});
+    auto p = engine_.db.catalog().CreateDerivedFunction(
+        "p", FunctionSignature{{}, {IntCol(), IntCol()}});
+    ASSERT_TRUE(q.ok() && r.ok() && p.ok());
+    q_ = *q;
+    r_ = *r;
+    p_ = *p;
+
+    Clause c;
+    c.head_relation = p_;
+    c.num_vars = 3;
+    c.var_names = {"X", "Y", "Z"};
+    c.head_args = {Term::Var(0), Term::Var(2)};
+    c.body = {Literal::Relation(q_, {Term::Var(0), Term::Var(1)}),
+              Literal::Relation(r_, {Term::Var(1), Term::Var(2)})};
+    ASSERT_TRUE(
+        engine_.registry.Define(p_, std::move(c), engine_.db.catalog()).ok());
+
+    // DB_old: q(1,1), r(1,2), r(2,3) — derives p(1,2).
+    engine_.db.MarkMonitored(q_);
+    engine_.db.MarkMonitored(r_);
+    ASSERT_TRUE(engine_.db.Insert(q_, T(1, 1)).ok());
+    ASSERT_TRUE(engine_.db.Insert(r_, T(1, 2)).ok());
+    ASSERT_TRUE(engine_.db.Insert(r_, T(2, 3)).ok());
+    ASSERT_TRUE(engine_.db.Commit().ok());
+  }
+
+  Result<PropagationResult> Run(bool needs_minus, bool strict = true) {
+    RootSpec root;
+    root.relation = p_;
+    root.needs_minus = needs_minus;
+    root.strict = strict;
+    auto net = PropagationNetwork::Build({root}, engine_.registry,
+                                         engine_.db.catalog());
+    if (!net.ok()) return net.status();
+    network_ = std::make_unique<PropagationNetwork>(std::move(*net));
+    Propagator prop(engine_.db, engine_.registry, *network_);
+    return prop.Propagate(engine_.db.PendingDeltas());
+  }
+
+  Engine engine_;
+  RelationId q_ = kInvalidRelationId;
+  RelationId r_ = kInvalidRelationId;
+  RelationId p_ = kInvalidRelationId;
+  std::unique_ptr<PropagationNetwork> network_;
+};
+
+// §4.3: assert q(1,2), assert r(1,4) — the paper derives
+//   Δp/Δ+q = <{(1,3)},{}>, Δp/Δ+r = <{(1,4)},{}> and
+//   Δp = <{(1,3),(1,4)}, {}>.
+TEST_F(PaperExampleTest, Section43PositiveDifferentials) {
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(1, 4)).ok());
+  auto result = Run(/*needs_minus=*/false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DeltaSet& dp = result->root_deltas.at(p_);
+  EXPECT_EQ(dp, DeltaSet({T(1, 3), T(1, 4)}, {}));
+}
+
+// §4.4: assert q(1,2), assert r(1,4), retract r(1,2), retract r(2,3) —
+// the paper derives Δp = <{(1,4)}, {(1,2)}>.
+TEST_F(PaperExampleTest, Section44PositiveAndNegativeDifferentials) {
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(1, 4)).ok());
+  ASSERT_TRUE(engine_.db.Delete(r_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Delete(r_, T(2, 3)).ok());
+  auto result = Run(/*needs_minus=*/true);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DeltaSet& dp = result->root_deltas.at(p_);
+  EXPECT_EQ(dp, DeltaSet({T(1, 4)}, {T(1, 2)}));
+}
+
+// The paper §4.4 warns: without evaluating q in its OLD state the negative
+// differential would wrongly produce (1,3) (via the new fact q(1,2) joined
+// with the retracted r(2,3)).
+TEST_F(PaperExampleTest, Section44OldStateAvoidsSpuriousDeletion) {
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(1, 4)).ok());
+  ASSERT_TRUE(engine_.db.Delete(r_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Delete(r_, T(2, 3)).ok());
+  auto result = Run(/*needs_minus=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->root_deltas.at(p_).minus().contains(T(1, 3)));
+}
+
+// A deletion whose tuple is still derivable through another witness must
+// not propagate (§7.2: under-reaction is unacceptable).
+TEST_F(PaperExampleTest, StillDerivableDeletionFiltered) {
+  // Second witness for p(1,2): q(1,5), r(5,2).
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 5)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(5, 2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  // Now retract the original witness path r(1,2): p(1,2) stays derivable.
+  ASSERT_TRUE(engine_.db.Delete(r_, T(1, 2)).ok());
+  auto result = Run(/*needs_minus=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->root_deltas.at(p_).minus().empty());
+  EXPECT_GE(result->stats.filtered_minus, 1u);
+}
+
+// Strict semantics drops insertions whose instance was already derivable
+// in the old state.
+TEST_F(PaperExampleTest, StrictFilterDropsAlreadyTrueInsertion) {
+  // p(1,2) already derivable; add a second witness q(1,9), r(9,2).
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 9)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(9, 2)).ok());
+  auto strict = Run(/*needs_minus=*/false, /*strict=*/true);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->root_deltas.at(p_).plus().empty());
+  EXPECT_GE(strict->stats.filtered_plus, 1u);
+
+  // Nervous semantics lets the over-approximation through.
+  auto nervous = Run(/*needs_minus=*/false, /*strict=*/false);
+  ASSERT_TRUE(nervous.ok());
+  EXPECT_TRUE(nervous->root_deltas.at(p_).plus().contains(T(1, 2)));
+}
+
+// No changes to any influent: every differential is skipped.
+TEST_F(PaperExampleTest, EmptyTransactionSkipsEverything) {
+  auto result = Run(/*needs_minus=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->root_deltas.at(p_).empty());
+  EXPECT_EQ(result->stats.differentials_executed, 0u);
+}
+
+// Only q changes: only the Δq-side differentials execute — the point of
+// *partial* differencing (paper §1).
+TEST_F(PaperExampleTest, OnlyAffectedDifferentialsExecute) {
+  ASSERT_TRUE(engine_.db.Insert(q_, T(2, 2)).ok());
+  auto result = Run(/*needs_minus=*/true);
+  ASSERT_TRUE(result.ok());
+  for (const core::TraceEntry& e : result->trace) {
+    EXPECT_EQ(e.influent, q_);
+  }
+  EXPECT_EQ(result->root_deltas.at(p_), DeltaSet({T(2, 3)}, {}));
+  EXPECT_GE(result->stats.differentials_skipped, 2u);
+}
+
+// --- Network topology ----------------------------------------------------
+
+TEST(NetworkTest, FlatInventoryNetworkHasFiveInfluents) {
+  Engine engine;
+  workload::InventoryConfig config;
+  config.num_items = 3;
+  auto schema = workload::BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  RootSpec root;
+  root.relation = schema->cnd_monitor_items;
+  root.needs_minus = false;
+  auto net = PropagationNetwork::Build({root}, engine.registry,
+                                       engine.db.catalog());
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  // Full expansion (fig. 2): the condition node directly over the five
+  // stored influents, one positive differential each.
+  EXPECT_EQ(net->BaseInfluents().size(), 5u);
+  EXPECT_EQ(net->levels().size(), 2u);
+  EXPECT_EQ(net->differentials().size(), 5u);
+  for (const auto& diff : net->differentials()) {
+    EXPECT_TRUE(diff.produces_plus);
+    EXPECT_TRUE(diff.reads_plus);
+  }
+}
+
+TEST(NetworkTest, NodeSharingKeepsThresholdAsIntermediateNode) {
+  Engine engine;
+  workload::InventoryConfig config;
+  config.num_items = 3;
+  auto schema = workload::BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+
+  RootSpec root;
+  root.relation = schema->cnd_monitor_items;
+  BuildOptions options;
+  options.keep.insert(schema->threshold);
+  auto net = PropagationNetwork::Build({root}, engine.registry,
+                                       engine.db.catalog(), options);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  // §7.1: threshold becomes a node; the network is bushy with 3 levels.
+  EXPECT_EQ(net->levels().size(), 3u);
+  const core::NetworkNode* threshold = net->node(schema->threshold);
+  ASSERT_NE(threshold, nullptr);
+  EXPECT_FALSE(threshold->is_base);
+  EXPECT_EQ(threshold->level, 1);
+  // The condition has 2 direct influents (quantity, threshold); threshold
+  // has 4 (consume_freq, supplies, delivery_time, min_stock).
+  EXPECT_EQ(net->node(schema->cnd_monitor_items)->in_edges.size(), 4u);
+  EXPECT_EQ(threshold->in_edges.size(), 8u);
+}
+
+TEST(NetworkTest, NegatedOccurrenceSwapsDeltaSigns) {
+  Engine engine;
+  auto a = engine.db.catalog().CreateStoredFunction(
+      "a", FunctionSignature{{IntCol()}, {}});
+  auto b = engine.db.catalog().CreateStoredFunction(
+      "b", FunctionSignature{{IntCol()}, {}});
+  auto v = engine.db.catalog().CreateDerivedFunction(
+      "v", FunctionSignature{{}, {IntCol()}});
+  ASSERT_TRUE(a.ok() && b.ok() && v.ok());
+  Clause c;
+  c.head_relation = *v;
+  c.num_vars = 1;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(*a, {Term::Var(0)}),
+            Literal::Relation(*b, {Term::Var(0)}, /*negated=*/true)};
+  ASSERT_TRUE(
+      engine.registry.Define(*v, std::move(c), engine.db.catalog()).ok());
+
+  RootSpec root;
+  root.relation = *v;
+  root.needs_minus = true;
+  auto net = PropagationNetwork::Build({root}, engine.registry,
+                                       engine.db.catalog());
+  ASSERT_TRUE(net.ok());
+  // Δ(~b) = <Δ−b, Δ+b>: the differential producing Δ+v from b reads Δ−b.
+  bool found_plus_from_minus_b = false;
+  bool found_minus_from_plus_b = false;
+  for (const auto& diff : net->differentials()) {
+    if (diff.influent == *b && diff.produces_plus && !diff.reads_plus) {
+      found_plus_from_minus_b = true;
+    }
+    if (diff.influent == *b && !diff.produces_plus && diff.reads_plus) {
+      found_minus_from_plus_b = true;
+    }
+  }
+  EXPECT_TRUE(found_plus_from_minus_b);
+  EXPECT_TRUE(found_minus_from_plus_b);
+}
+
+// --- Negation end-to-end ---------------------------------------------------
+
+class NegationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto a = engine_.db.catalog().CreateStoredFunction(
+        "a", FunctionSignature{{IntCol()}, {}});
+    auto b = engine_.db.catalog().CreateStoredFunction(
+        "b", FunctionSignature{{IntCol()}, {}});
+    auto v = engine_.db.catalog().CreateDerivedFunction(
+        "v", FunctionSignature{{}, {IntCol()}});
+    ASSERT_TRUE(a.ok() && b.ok() && v.ok());
+    a_ = *a;
+    b_ = *b;
+    v_ = *v;
+    Clause c;
+    c.head_relation = v_;
+    c.num_vars = 1;
+    c.head_args = {Term::Var(0)};
+    c.body = {Literal::Relation(a_, {Term::Var(0)}),
+              Literal::Relation(b_, {Term::Var(0)}, /*negated=*/true)};
+    ASSERT_TRUE(
+        engine_.registry.Define(v_, std::move(c), engine_.db.catalog()).ok());
+    engine_.db.MarkMonitored(a_);
+    engine_.db.MarkMonitored(b_);
+  }
+
+  Result<PropagationResult> Run() {
+    RootSpec root;
+    root.relation = v_;
+    root.needs_minus = true;
+    root.strict = true;
+    auto net = PropagationNetwork::Build({root}, engine_.registry,
+                                         engine_.db.catalog());
+    if (!net.ok()) return net.status();
+    network_ = std::make_unique<PropagationNetwork>(std::move(*net));
+    Propagator prop(engine_.db, engine_.registry, *network_);
+    return prop.Propagate(engine_.db.PendingDeltas());
+  }
+
+  Engine engine_;
+  RelationId a_ = kInvalidRelationId;
+  RelationId b_ = kInvalidRelationId;
+  RelationId v_ = kInvalidRelationId;
+  std::unique_ptr<PropagationNetwork> network_;
+};
+
+TEST_F(NegationTest, DeletingBlockerInsertsIntoView) {
+  ASSERT_TRUE(engine_.db.Insert(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Insert(b_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());  // v empty: b(1) blocks
+  ASSERT_TRUE(engine_.db.Delete(b_, T(1)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->root_deltas.at(v_), DeltaSet({T(1)}, {}));
+}
+
+TEST_F(NegationTest, InsertingBlockerDeletesFromView) {
+  ASSERT_TRUE(engine_.db.Insert(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());  // v = {1}
+  ASSERT_TRUE(engine_.db.Insert(b_, T(1)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root_deltas.at(v_), DeltaSet({}, {T(1)}));
+}
+
+TEST_F(NegationTest, InsertIntoAWithNoBlocker) {
+  ASSERT_TRUE(engine_.db.Insert(a_, T(7)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root_deltas.at(v_), DeltaSet({T(7)}, {}));
+}
+
+TEST_F(NegationTest, InsertIntoABlockedProducesNothing) {
+  ASSERT_TRUE(engine_.db.Insert(b_, T(7)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Insert(a_, T(7)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->root_deltas.at(v_).empty());
+}
+
+TEST_F(NegationTest, SimultaneousInsertAAndBlockerB) {
+  // a(3) and b(3) inserted in the same transaction: v(3) never true.
+  ASSERT_TRUE(engine_.db.Insert(a_, T(3)).ok());
+  ASSERT_TRUE(engine_.db.Insert(b_, T(3)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->root_deltas.at(v_).empty());
+}
+
+// --- Bushy (node-sharing) propagation matches flat -------------------------
+
+TEST(BushyPropagationTest, SharedThresholdNodeGivesSameRootDelta) {
+  for (bool bushy : {false, true}) {
+    Engine engine;
+    workload::InventoryConfig config;
+    config.num_items = 10;
+    auto schema = workload::BuildInventory(engine, config);
+    ASSERT_TRUE(schema.ok());
+
+    RootSpec root;
+    root.relation = schema->cnd_monitor_items;
+    root.needs_minus = true;
+    root.strict = true;
+    BuildOptions options;
+    if (bushy) options.keep.insert(schema->threshold);
+    auto net = PropagationNetwork::Build({root}, engine.registry,
+                                         engine.db.catalog(), options);
+    ASSERT_TRUE(net.ok());
+    for (RelationId rel : net->BaseInfluents()) engine.db.MarkMonitored(rel);
+
+    // Drop item 4's quantity below threshold (140) and raise item 6's
+    // consume_freq so its threshold exceeds the quantity.
+    ASSERT_TRUE(
+        workload::SetFn(engine, schema->quantity, schema->items[4], 100)
+            .ok());
+    ASSERT_TRUE(
+        workload::SetFn(engine, schema->consume_freq, schema->items[6], 600)
+            .ok());
+    Propagator prop(engine.db, engine.registry, *net);
+    auto result = prop.Propagate(engine.db.PendingDeltas());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    DeltaSet expected({Tuple{Value(schema->items[4])},
+                       Tuple{Value(schema->items[6])}},
+                      {});
+    EXPECT_EQ(result->root_deltas.at(schema->cnd_monitor_items), expected)
+        << (bushy ? "bushy" : "flat");
+  }
+}
+
+}  // namespace
+}  // namespace deltamon

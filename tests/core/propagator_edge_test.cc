@@ -1,0 +1,282 @@
+/// Edge cases of the propagation algorithm: multi-root networks with shared
+/// substructure, three-level chains, disjunction (union) conditions with
+/// the §7.2 union checks, wave-front discarding, and trace/stat details.
+
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "core/propagator.h"
+#include "rules/engine.h"
+
+namespace deltamon::core {
+namespace {
+
+using objectlog::Clause;
+using objectlog::CompareOp;
+using objectlog::Literal;
+using objectlog::Term;
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+/// base b0(x,y); v1(x,y) <- b0(x,y); v2(x) <- v1(x,y), y > 10;
+/// roots r1(x) <- v2(x)  and  r2(x) <- v1(x,y) — shared substructure.
+class MultiRootFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    b0_ = *engine_.db.catalog().CreateStoredFunction(
+        "b0", FunctionSignature{{IntCol()}, {IntCol()}});
+    v1_ = Derived("v1", 2);
+    v2_ = Derived("v2", 1);
+    r1_ = Derived("r1", 1);
+    r2_ = Derived("r2", 1);
+    Define(v1_, {Term::Var(0), Term::Var(1)},
+           {Literal::Relation(b0_, {Term::Var(0), Term::Var(1)})}, 2);
+    Define(v2_, {Term::Var(0)},
+           {Literal::Relation(v1_, {Term::Var(0), Term::Var(1)}),
+            Literal::Compare(CompareOp::kGt, Term::Var(1),
+                             Term::Const(Value(10)))},
+           2);
+    Define(r1_, {Term::Var(0)},
+           {Literal::Relation(v2_, {Term::Var(0)})}, 1);
+    Define(r2_, {Term::Var(0)},
+           {Literal::Relation(v1_, {Term::Var(0), Term::Var(1)})}, 2);
+    engine_.db.MarkMonitored(b0_);
+  }
+
+  RelationId Derived(const std::string& name, size_t arity) {
+    FunctionSignature sig;
+    for (size_t i = 0; i < arity; ++i) sig.result_types.push_back(IntCol());
+    return *engine_.db.catalog().CreateDerivedFunction(name, std::move(sig));
+  }
+
+  void Define(RelationId rel, std::vector<Term> head,
+              std::vector<Literal> body, int num_vars) {
+    Clause c;
+    c.head_relation = rel;
+    c.head_args = std::move(head);
+    c.body = std::move(body);
+    c.num_vars = num_vars;
+    ASSERT_TRUE(
+        engine_.registry.Define(rel, std::move(c), engine_.db.catalog()).ok());
+  }
+
+  Result<PropagationResult> Run(const BuildOptions& options) {
+    RootSpec s1{r1_, true, true};
+    RootSpec s2{r2_, true, true};
+    auto net = PropagationNetwork::Build({s1, s2}, engine_.registry,
+                                         engine_.db.catalog(), options);
+    if (!net.ok()) return net.status();
+    network_ = std::make_unique<PropagationNetwork>(std::move(*net));
+    Propagator prop(engine_.db, engine_.registry, *network_);
+    return prop.Propagate(engine_.db.PendingDeltas());
+  }
+
+  Engine engine_;
+  RelationId b0_, v1_, v2_, r1_, r2_;
+  std::unique_ptr<PropagationNetwork> network_;
+};
+
+TEST_F(MultiRootFixture, BothRootsReceiveDeltas) {
+  ASSERT_TRUE(engine_.db.Insert(b0_, T(1, 50)).ok());
+  ASSERT_TRUE(engine_.db.Insert(b0_, T(2, 5)).ok());
+  auto result = Run({});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // r1 requires y > 10: only x=1. r2 takes everything.
+  EXPECT_EQ(result->root_deltas.at(r1_), DeltaSet({T(1)}, {}));
+  EXPECT_EQ(result->root_deltas.at(r2_), DeltaSet({T(1), T(2)}, {}));
+}
+
+TEST_F(MultiRootFixture, SharedBushySubstructureIsOneNode) {
+  BuildOptions options;
+  options.keep = {v1_, v2_};
+  ASSERT_TRUE(engine_.db.Insert(b0_, T(1, 50)).ok());
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  // v1 appears once in the network even though both roots reach it.
+  EXPECT_EQ(network_->nodes().count(v1_), 1u);
+  // Levels: b0=0, v1=1, v2=2, r1=3, r2=2.
+  EXPECT_EQ(network_->node(v1_)->level, 1);
+  EXPECT_EQ(network_->node(v2_)->level, 2);
+  EXPECT_EQ(network_->node(r1_)->level, 3);
+  EXPECT_EQ(network_->node(r2_)->level, 2);
+  EXPECT_EQ(result->root_deltas.at(r1_), DeltaSet({T(1)}, {}));
+  EXPECT_EQ(result->root_deltas.at(r2_), DeltaSet({T(1)}, {}));
+}
+
+TEST_F(MultiRootFixture, WaveFrontDiscardsIntermediateDeltas) {
+  BuildOptions options;
+  options.keep = {v1_, v2_};
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(engine_.db.Insert(b0_, T(i, 50)).ok());
+  }
+  auto result = Run(options);
+  ASSERT_TRUE(result.ok());
+  // The wave carried Δv1 (50) and Δv2 (50) but never both plus the roots
+  // at once beyond the peak; and the peak is bounded by live Δ-sets, not
+  // by materialized views (which are zero here).
+  EXPECT_GT(result->stats.peak_wavefront_tuples, 0u);
+  EXPECT_LE(result->stats.peak_wavefront_tuples, 200u);
+  EXPECT_EQ(result->stats.materialized_resident_tuples, 0u);
+}
+
+TEST_F(MultiRootFixture, TraceRecordsPerDifferentialCounts) {
+  ASSERT_TRUE(engine_.db.Insert(b0_, T(1, 50)).ok());
+  auto result = Run({});
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result->trace.empty());
+  for (const TraceEntry& e : result->trace) {
+    EXPECT_EQ(e.influent, b0_);
+    EXPECT_EQ(e.tuples_consumed, 1u);
+    EXPECT_FALSE(e.ToString(engine_.db.catalog()).empty());
+  }
+  // Explain() filters per root.
+  auto why1 = result->Explain(r1_);
+  ASSERT_EQ(why1.size(), 1u);
+  EXPECT_TRUE(why1[0].produces_plus);
+}
+
+/// Union condition: u(x) <- a(x)  |  u(x) <- b(x) — the §7.2 union checks.
+class UnionConditionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = *engine_.db.catalog().CreateStoredFunction(
+        "a", FunctionSignature{{IntCol()}, {}});
+    b_ = *engine_.db.catalog().CreateStoredFunction(
+        "b", FunctionSignature{{IntCol()}, {}});
+    u_ = *engine_.db.catalog().CreateDerivedFunction(
+        "u", FunctionSignature{{}, {IntCol()}});
+    for (RelationId base : {a_, b_}) {
+      Clause c;
+      c.head_relation = u_;
+      c.num_vars = 1;
+      c.head_args = {Term::Var(0)};
+      c.body = {Literal::Relation(base, {Term::Var(0)})};
+      ASSERT_TRUE(
+          engine_.registry.Define(u_, std::move(c), engine_.db.catalog())
+              .ok());
+    }
+    engine_.db.MarkMonitored(a_);
+    engine_.db.MarkMonitored(b_);
+  }
+
+  Result<PropagationResult> Run(bool strict = true) {
+    RootSpec root{u_, true, strict};
+    auto net = PropagationNetwork::Build({root}, engine_.registry,
+                                         engine_.db.catalog());
+    if (!net.ok()) return net.status();
+    network_ = std::make_unique<PropagationNetwork>(std::move(*net));
+    Propagator prop(engine_.db, engine_.registry, *network_);
+    return prop.Propagate(engine_.db.PendingDeltas());
+  }
+
+  Engine engine_;
+  RelationId a_, b_, u_;
+  std::unique_ptr<PropagationNetwork> network_;
+};
+
+TEST_F(UnionConditionTest, DeletingOneBranchWhileOtherHoldsIsFiltered) {
+  ASSERT_TRUE(engine_.db.Insert(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Insert(b_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  // Remove only the a-branch: u(1) stays true via b.
+  ASSERT_TRUE(engine_.db.Delete(a_, T(1)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->root_deltas.at(u_).empty());
+  EXPECT_GE(result->stats.filtered_minus, 1u);
+}
+
+TEST_F(UnionConditionTest, InsertIntoSecondBranchIsStrictFiltered) {
+  ASSERT_TRUE(engine_.db.Insert(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Insert(b_, T(1)).ok());  // already true via a
+  auto strict = Run(true);
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->root_deltas.at(u_).empty());
+  auto nervous = Run(false);
+  ASSERT_TRUE(nervous.ok());
+  EXPECT_EQ(nervous->root_deltas.at(u_).plus().size(), 1u);
+}
+
+TEST_F(UnionConditionTest, SwappingBranchesIsNoNetChange) {
+  ASSERT_TRUE(engine_.db.Insert(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  // One transaction: retract from a, assert into b.
+  ASSERT_TRUE(engine_.db.Delete(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Insert(b_, T(1)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->root_deltas.at(u_).empty());
+}
+
+TEST_F(UnionConditionTest, MovingBothBranchesOutDeletes) {
+  ASSERT_TRUE(engine_.db.Insert(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Insert(b_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Delete(a_, T(1)).ok());
+  ASSERT_TRUE(engine_.db.Delete(b_, T(1)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root_deltas.at(u_), DeltaSet({}, {T(1)}));
+}
+
+/// Self-join condition: two occurrences of the same influent produce one
+/// differential per occurrence.
+TEST(SelfJoinTest, BothOccurrencesGetDifferentials) {
+  Engine engine;
+  RelationId e = *engine.db.catalog().CreateStoredFunction(
+      "edge", FunctionSignature{{IntCol()}, {IntCol()}});
+  RelationId p = *engine.db.catalog().CreateDerivedFunction(
+      "path2", FunctionSignature{{}, {IntCol(), IntCol()}});
+  Clause c;
+  c.head_relation = p;
+  c.num_vars = 3;
+  c.head_args = {Term::Var(0), Term::Var(2)};
+  c.body = {Literal::Relation(e, {Term::Var(0), Term::Var(1)}),
+            Literal::Relation(e, {Term::Var(1), Term::Var(2)})};
+  ASSERT_TRUE(engine.registry.Define(p, std::move(c),
+                                     engine.db.catalog()).ok());
+  engine.db.MarkMonitored(e);
+
+  RootSpec root{p, true, true};
+  auto net = PropagationNetwork::Build({root}, engine.registry,
+                                       engine.db.catalog());
+  ASSERT_TRUE(net.ok());
+  // 2 occurrences × 2 polarities = 4 differentials.
+  EXPECT_EQ(net->differentials().size(), 4u);
+
+  ASSERT_TRUE(engine.db.Insert(e, T(1, 2)).ok());
+  ASSERT_TRUE(engine.db.Insert(e, T(2, 3)).ok());
+  Propagator prop(engine.db, engine.registry, *net);
+  auto result = prop.Propagate(engine.db.PendingDeltas());
+  ASSERT_TRUE(result.ok());
+  // One new edge pair derives (1,3); both occurrences contribute without
+  // duplicating the result (set semantics).
+  EXPECT_EQ(result->root_deltas.at(p), DeltaSet({T(1, 3)}, {}));
+}
+
+TEST(EmptyNetworkTest, NoRootsMeansEmptyResult) {
+  Engine engine;
+  auto net = PropagationNetwork::Build({}, engine.registry,
+                                       engine.db.catalog());
+  ASSERT_TRUE(net.ok());
+  Propagator prop(engine.db, engine.registry, *net);
+  auto result = prop.Propagate({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->root_deltas.empty());
+}
+
+TEST(NetworkErrorsTest, BaseRelationAsRootRejected) {
+  Engine engine;
+  RelationId b = *engine.db.catalog().CreateStoredFunction(
+      "b", FunctionSignature{{IntCol()}, {}});
+  RootSpec root{b, true, true};
+  auto net = PropagationNetwork::Build({root}, engine.registry,
+                                       engine.db.catalog());
+  EXPECT_FALSE(net.ok());
+}
+
+}  // namespace
+}  // namespace deltamon::core

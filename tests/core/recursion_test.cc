@@ -1,0 +1,341 @@
+/// Linear recursion (paper §5 footnote 1: the algorithm "can be extended
+/// to handle linear recursion by revisiting nodes below and using fixed
+/// point techniques"): transitive closure as the canonical recursive view.
+/// Covers fixpoint evaluation in both states, incremental propagation of
+/// edge insertions (semi-naive) and deletions (DRed-style: candidates
+/// pruned by the §7.2 rederivability filter), rules over reachability in
+/// every monitor mode, and a randomized equivalence sweep.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "core/propagator.h"
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+namespace deltamon {
+namespace {
+
+using objectlog::Clause;
+using objectlog::EvalState;
+using objectlog::Literal;
+using objectlog::Term;
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+/// edge(x,y) base; tc(x,y) <- edge(x,y) | edge(x,z), tc(z,y).
+class TransitiveClosureFixture {
+ public:
+  TransitiveClosureFixture() {
+    Catalog& cat = engine_.db.catalog();
+    edge_ = *cat.CreateStoredFunction(
+        "edge", FunctionSignature{{IntCol()}, {IntCol()}});
+    tc_ = *cat.CreateDerivedFunction(
+        "tc", FunctionSignature{{}, {IntCol(), IntCol()}});
+    {
+      Clause base;
+      base.head_relation = tc_;
+      base.num_vars = 2;
+      base.head_args = {Term::Var(0), Term::Var(1)};
+      base.body = {Literal::Relation(edge_, {Term::Var(0), Term::Var(1)})};
+      EXPECT_TRUE(engine_.registry.Define(tc_, std::move(base), cat).ok());
+    }
+    {
+      Clause step;
+      step.head_relation = tc_;
+      step.num_vars = 3;
+      step.head_args = {Term::Var(0), Term::Var(2)};
+      step.body = {Literal::Relation(edge_, {Term::Var(0), Term::Var(1)}),
+                   Literal::Relation(tc_, {Term::Var(1), Term::Var(2)})};
+      EXPECT_TRUE(engine_.registry.Define(tc_, std::move(step), cat).ok());
+    }
+    engine_.db.MarkMonitored(edge_);
+  }
+
+  TupleSet EvalTc(EvalState state = EvalState::kNew) {
+    objectlog::StateContext ctx;
+    auto deltas = engine_.db.PendingDeltas();
+    ctx.deltas = &deltas;
+    objectlog::Evaluator ev(engine_.db, engine_.registry, ctx);
+    TupleSet out;
+    EXPECT_TRUE(ev.Evaluate(tc_, state, &out).ok());
+    return out;
+  }
+
+  Engine engine_;
+  RelationId edge_ = kInvalidRelationId;
+  RelationId tc_ = kInvalidRelationId;
+};
+
+class RecursionEvalTest : public ::testing::Test,
+                          public TransitiveClosureFixture {};
+
+TEST_F(RecursionEvalTest, FixpointComputesClosure) {
+  for (auto [a, b] : {std::pair{1, 2}, {2, 3}, {3, 4}}) {
+    ASSERT_TRUE(engine_.db.Insert(edge_, T(a, b)).ok());
+  }
+  EXPECT_EQ(EvalTc(), (TupleSet{T(1, 2), T(2, 3), T(3, 4), T(1, 3), T(2, 4),
+                                T(1, 4)}));
+}
+
+TEST_F(RecursionEvalTest, CyclicGraphTerminates) {
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(2, 1)).ok());
+  EXPECT_EQ(EvalTc(), (TupleSet{T(1, 2), T(2, 1), T(1, 1), T(2, 2)}));
+}
+
+TEST_F(RecursionEvalTest, OldStateClosureViaRollback) {
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(2, 3)).ok());
+  EXPECT_EQ(EvalTc(EvalState::kNew),
+            (TupleSet{T(1, 2), T(2, 3), T(1, 3)}));
+  EXPECT_EQ(EvalTc(EvalState::kOld), (TupleSet{T(1, 2)}));
+}
+
+TEST_F(RecursionEvalTest, PointQueriesOnRecursiveRelation) {
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(2, 3)).ok());
+  objectlog::Evaluator ev(engine_.db, engine_.registry,
+                          objectlog::StateContext{});
+  EXPECT_TRUE(*ev.Derivable(tc_, EvalState::kNew, T(1, 3)));
+  EXPECT_FALSE(*ev.Derivable(tc_, EvalState::kNew, T(3, 1)));
+  // Bound-prefix probe: everything reachable from 1.
+  ScanPattern pattern(2);
+  pattern[0] = Value(1);
+  TupleSet out;
+  ASSERT_TRUE(ev.Probe(tc_, EvalState::kNew, pattern, &out).ok());
+  EXPECT_EQ(out, (TupleSet{T(1, 2), T(1, 3)}));
+}
+
+class RecursionPropagationTest : public ::testing::Test,
+                                 public TransitiveClosureFixture {
+ protected:
+  Result<core::PropagationResult> Run() {
+    core::RootSpec root{tc_, true, true};
+    auto net = core::PropagationNetwork::Build({root}, engine_.registry,
+                                               engine_.db.catalog());
+    if (!net.ok()) return net.status();
+    network_ = std::make_unique<core::PropagationNetwork>(std::move(*net));
+    core::Propagator prop(engine_.db, engine_.registry, *network_);
+    return prop.Propagate(engine_.db.PendingDeltas());
+  }
+  std::unique_ptr<core::PropagationNetwork> network_;
+};
+
+TEST_F(RecursionPropagationTest, NetworkHasSelfEdges) {
+  core::RootSpec root{tc_, true, true};
+  auto net = core::PropagationNetwork::Build({root}, engine_.registry,
+                                             engine_.db.catalog());
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  size_t self_edges = 0;
+  for (const auto& diff : net->differentials()) {
+    if (diff.target == *&tc_ && diff.influent == tc_) ++self_edges;
+  }
+  // One tc occurrence in the step clause × 2 polarities.
+  EXPECT_EQ(self_edges, 2u);
+  EXPECT_EQ(net->node(tc_)->level, 1);
+}
+
+TEST_F(RecursionPropagationTest, InsertedEdgeBridgesTwoChains) {
+  // 1->2 and 3->4 exist; inserting 2->3 creates 1->3, 1->4, 2->4, 2->3.
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(3, 4)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(2, 3)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->root_deltas.at(tc_),
+            DeltaSet({T(2, 3), T(1, 3), T(2, 4), T(1, 4)}, {}));
+}
+
+TEST_F(RecursionPropagationTest, DeletingBridgeCascades) {
+  for (auto [a, b] : {std::pair{1, 2}, {2, 3}, {3, 4}}) {
+    ASSERT_TRUE(engine_.db.Insert(edge_, T(a, b)).ok());
+  }
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Delete(edge_, T(2, 3)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->root_deltas.at(tc_),
+            DeltaSet({}, {T(2, 3), T(1, 3), T(2, 4), T(1, 4)}));
+}
+
+TEST_F(RecursionPropagationTest, DeletionWithAlternatePathIsFiltered) {
+  // Diamond: 1->2->4 and 1->3->4. Deleting 2->4 keeps 1->4 derivable.
+  for (auto [a, b] :
+       {std::pair{1, 2}, {2, 4}, {1, 3}, {3, 4}}) {
+    ASSERT_TRUE(engine_.db.Insert(edge_, T(a, b)).ok());
+  }
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Delete(edge_, T(2, 4)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  // Only (2,4) disappears; (1,4) survives via 3.
+  EXPECT_EQ(result->root_deltas.at(tc_), DeltaSet({}, {T(2, 4)}));
+  EXPECT_GE(result->stats.filtered_minus, 1u);
+}
+
+TEST_F(RecursionPropagationTest, CycleInsertionAndRemoval) {
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  // Close the cycle.
+  ASSERT_TRUE(engine_.db.Insert(edge_, T(2, 1)).ok());
+  auto result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root_deltas.at(tc_),
+            DeltaSet({T(2, 1), T(1, 1), T(2, 2)}, {}));
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  // Reopen it.
+  ASSERT_TRUE(engine_.db.Delete(edge_, T(2, 1)).ok());
+  result = Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->root_deltas.at(tc_),
+            DeltaSet({}, {T(2, 1), T(1, 1), T(2, 2)}));
+}
+
+/// Randomized equivalence: propagation over random edge churn must equal
+/// the naive closure diff.
+class RecursionPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RecursionPropertyTest, PropagationEqualsClosureDiff) {
+  TransitiveClosureFixture fix;
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int64_t> node(0, 6);
+  // Seed graph.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fix.engine_.db.Insert(fix.edge_, T(node(rng), node(rng)))
+                    .ok());
+  }
+  ASSERT_TRUE(fix.engine_.db.Commit().ok());
+
+  core::RootSpec root{fix.tc_, true, true};
+  auto net = core::PropagationNetwork::Build(
+      {root}, fix.engine_.registry, fix.engine_.db.catalog());
+  ASSERT_TRUE(net.ok());
+  core::Propagator prop(fix.engine_.db, fix.engine_.registry, *net);
+
+  for (int tx = 0; tx < 15; ++tx) {
+    TupleSet before = fix.EvalTc();
+    std::uniform_int_distribution<int> count(1, 4);
+    int ops = count(rng);
+    for (int i = 0; i < ops; ++i) {
+      if (rng() % 2 == 0) {
+        ASSERT_TRUE(fix.engine_.db.Insert(fix.edge_,
+                                          T(node(rng), node(rng)))
+                        .ok());
+      } else {
+        const BaseRelation* rel =
+            fix.engine_.db.catalog().GetBaseRelation(fix.edge_);
+        if (!rel->rows().empty()) {
+          Tuple victim = *rel->rows().begin();
+          ASSERT_TRUE(fix.engine_.db.Delete(fix.edge_, victim).ok());
+        }
+      }
+    }
+    TupleSet after = fix.EvalTc();
+    auto deltas = fix.engine_.db.TakePendingDeltas();
+    auto result = prop.Propagate(deltas);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->root_deltas.at(fix.tc_), DiffStates(before, after))
+        << "tx " << tx << " seed " << GetParam();
+    ASSERT_TRUE(fix.engine_.db.Commit().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecursionPropertyTest,
+                         ::testing::Range(0u, 10u));
+
+/// Rules over reachability, in every monitor mode: page when a critical
+/// node becomes unreachable from the root.
+class ReachabilityRuleTest : public ::testing::TestWithParam<rules::MonitorMode> {};
+
+TEST_P(ReachabilityRuleTest, FiresOnConnectivityChanges) {
+  TransitiveClosureFixture fix;
+  Engine& engine = fix.engine_;
+  engine.rules.SetMode(GetParam());
+  Catalog& cat = engine.db.catalog();
+  // reachable_from_root(y) <- tc(0, y)
+  RelationId cond = *cat.CreateDerivedFunction(
+      "cnd_reach", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = cond;
+  c.num_vars = 1;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(fix.tc_,
+                              {Term::Const(Value(0)), Term::Var(0)})};
+  ASSERT_TRUE(engine.registry.Define(cond, std::move(c), cat).ok());
+
+  std::vector<int64_t> reached;
+  auto rule = engine.rules.CreateRule(
+      "now_reachable", cond,
+      [&reached](Database&, const Tuple&, const std::vector<Tuple>& xs) {
+        for (const Tuple& x : xs) reached.push_back(x[0].AsInt());
+        return Status::OK();
+      });
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(engine.rules.Activate(*rule).ok());
+
+  ASSERT_TRUE(engine.db.Insert(fix.edge_, T(0, 1)).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  EXPECT_EQ(reached, (std::vector<int64_t>{1}));
+  // Extending the chain: 2 becomes newly reachable (via recursion).
+  ASSERT_TRUE(engine.db.Insert(fix.edge_, T(1, 2)).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  EXPECT_EQ(reached, (std::vector<int64_t>{1, 2}));
+  // Cutting and restoring the first hop: 1 and 2 both re-fire.
+  ASSERT_TRUE(engine.db.Delete(fix.edge_, T(0, 1)).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  ASSERT_TRUE(engine.db.Insert(fix.edge_, T(0, 1)).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  EXPECT_EQ(reached, (std::vector<int64_t>{1, 2, 1, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ReachabilityRuleTest,
+    ::testing::Values(rules::MonitorMode::kIncremental,
+                      rules::MonitorMode::kNaive,
+                      rules::MonitorMode::kHybrid),
+    [](const ::testing::TestParamInfo<rules::MonitorMode>& info) {
+      switch (info.param) {
+        case rules::MonitorMode::kIncremental:
+          return "Incremental";
+        case rules::MonitorMode::kNaive:
+          return "Naive";
+        case rules::MonitorMode::kHybrid:
+          return "Hybrid";
+      }
+      return "Unknown";
+    });
+
+/// Stratification: recursion through negation is rejected.
+TEST(RecursionErrorsTest, NegationThroughRecursionRejected) {
+  Engine engine;
+  Catalog& cat = engine.db.catalog();
+  RelationId e = *cat.CreateStoredFunction(
+      "e", FunctionSignature{{IntCol()}, {IntCol()}});
+  RelationId v = *cat.CreateDerivedFunction(
+      "v", FunctionSignature{{}, {IntCol(), IntCol()}});
+  Clause c;
+  c.head_relation = v;
+  c.num_vars = 2;
+  c.head_args = {Term::Var(0), Term::Var(1)};
+  c.body = {Literal::Relation(e, {Term::Var(0), Term::Var(1)}),
+            Literal::Relation(v, {Term::Var(0), Term::Var(1)},
+                              /*negated=*/true)};
+  ASSERT_TRUE(engine.registry.Define(v, std::move(c), cat).ok());
+  core::RootSpec root{v, true, true};
+  auto net = core::PropagationNetwork::Build({root}, engine.registry, cat);
+  EXPECT_EQ(net.status().code(), StatusCode::kUnimplemented);
+  objectlog::Evaluator ev(engine.db, engine.registry,
+                          objectlog::StateContext{});
+  TupleSet out;
+  EXPECT_EQ(ev.Evaluate(v, objectlog::EvalState::kNew, &out).code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace deltamon

@@ -1,0 +1,215 @@
+/// Evaluator edge cases: the view-probe path vs. full materialization,
+/// EvalCache reuse, OLD-state scans with patterns, wildcard negation,
+/// and randomized probe/materialize equivalence.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+namespace deltamon::objectlog {
+namespace {
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+class EvalEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    q_ = *engine_.db.catalog().CreateStoredFunction(
+        "q", FunctionSignature{{IntCol()}, {IntCol()}});
+    r_ = *engine_.db.catalog().CreateStoredFunction(
+        "r", FunctionSignature{{IntCol()}, {IntCol()}});
+    p_ = *engine_.db.catalog().CreateDerivedFunction(
+        "p", FunctionSignature{{}, {IntCol(), IntCol()}});
+    Clause c;
+    c.head_relation = p_;
+    c.num_vars = 3;
+    c.head_args = {Term::Var(0), Term::Var(2)};
+    c.body = {Literal::Relation(q_, {Term::Var(0), Term::Var(1)}),
+              Literal::Relation(r_, {Term::Var(1), Term::Var(2)})};
+    ASSERT_TRUE(
+        engine_.registry.Define(p_, std::move(c), engine_.db.catalog()).ok());
+  }
+
+  Engine engine_;
+  RelationId q_, r_, p_;
+};
+
+TEST_F(EvalEdgeTest, ProbeWithBoundColumnMatchesFullEvaluation) {
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int64_t> v(0, 8);
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(engine_.db.Insert(q_, T(v(rng), v(rng))).ok());
+    ASSERT_TRUE(engine_.db.Insert(r_, T(v(rng), v(rng))).ok());
+  }
+  Evaluator ev(engine_.db, engine_.registry, StateContext{});
+  TupleSet full;
+  ASSERT_TRUE(ev.Evaluate(p_, EvalState::kNew, &full).ok());
+  // For every possible first column, a bound probe must return exactly the
+  // matching slice of the full extent.
+  for (int64_t x = 0; x <= 8; ++x) {
+    ScanPattern pattern(2);
+    pattern[0] = Value(x);
+    TupleSet probed;
+    // Fresh evaluator: no cached extent, so the probe path is taken.
+    Evaluator probe_ev(engine_.db, engine_.registry, StateContext{});
+    ASSERT_TRUE(probe_ev.Probe(p_, EvalState::kNew, pattern, &probed).ok());
+    TupleSet expected;
+    for (const Tuple& t : full) {
+      if (t[0] == Value(x)) expected.insert(t);
+    }
+    EXPECT_EQ(probed, expected) << "x=" << x;
+  }
+}
+
+TEST_F(EvalEdgeTest, CachedExtentIsReusedForUnboundScans) {
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(2, 3)).ok());
+  EvalCache cache;
+  Evaluator ev(engine_.db, engine_.registry, StateContext{}, &cache);
+  TupleSet out1, out2;
+  // First unbound scan materializes; second hits the cache.
+  RelationId outer = *engine_.db.catalog().CreateDerivedFunction(
+      "outer", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = outer;
+  c.num_vars = 2;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(p_, {Term::Var(0), Term::Var(1)})};
+  ASSERT_TRUE(engine_.registry.Define(outer, std::move(c),
+                                      engine_.db.catalog()).ok());
+  ASSERT_TRUE(ev.Evaluate(outer, EvalState::kNew, &out1).ok());
+  ASSERT_NE(cache.Find(p_, EvalState::kNew), nullptr);
+  uint64_t evals_before = ev.stats().clause_evals;
+  ASSERT_TRUE(ev.Evaluate(outer, EvalState::kNew, &out2).ok());
+  EXPECT_EQ(out1, out2);
+  // The second evaluation re-ran outer's clause but not p's.
+  EXPECT_EQ(ev.stats().clause_evals, evals_before + 1);
+}
+
+TEST_F(EvalEdgeTest, OldStateIndexedScanSkipsInsertedAndAddsDeleted) {
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 10)).ok());
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 20)).ok());
+  engine_.db.MarkMonitored(q_);
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Delete(q_, T(1, 10)).ok());
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 30)).ok());
+  auto deltas = engine_.db.PendingDeltas();
+  StateContext ctx;
+  ctx.deltas = &deltas;
+  Evaluator ev(engine_.db, engine_.registry, ctx);
+  ScanPattern pattern(2);
+  pattern[0] = Value(1);
+  TupleSet old_rows;
+  ASSERT_TRUE(ev.Probe(q_, EvalState::kOld, pattern, &old_rows).ok());
+  EXPECT_EQ(old_rows, (TupleSet{T(1, 10), T(1, 20)}));
+  TupleSet new_rows;
+  ASSERT_TRUE(ev.Probe(q_, EvalState::kNew, pattern, &new_rows).ok());
+  EXPECT_EQ(new_rows, (TupleSet{T(1, 20), T(1, 30)}));
+}
+
+TEST_F(EvalEdgeTest, WildcardNegationOverPartialPattern) {
+  // v(X) <- q(X, _), ~r(X, _): items in q with no r entry at all.
+  RelationId v = *engine_.db.catalog().CreateDerivedFunction(
+      "v", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = v;
+  c.num_vars = 3;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(q_, {Term::Var(0), Term::Var(1)}),
+            Literal::Relation(r_, {Term::Var(0), Term::Var(2)},
+                              /*negated=*/true)};
+  ASSERT_TRUE(
+      engine_.registry.Define(v, std::move(c), engine_.db.catalog()).ok());
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 0)).ok());
+  ASSERT_TRUE(engine_.db.Insert(q_, T(2, 0)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(2, 99)).ok());
+  Evaluator ev(engine_.db, engine_.registry, StateContext{});
+  TupleSet out;
+  ASSERT_TRUE(ev.Evaluate(v, EvalState::kNew, &out).ok());
+  EXPECT_EQ(out, (TupleSet{T(1)}));
+}
+
+TEST_F(EvalEdgeTest, WildcardSharedAcrossLiteralsIsRejected) {
+  // ~r(X, W) with W also used elsewhere is not a wildcard: unsafe.
+  RelationId v = *engine_.db.catalog().CreateDerivedFunction(
+      "v2", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = v;
+  c.num_vars = 2;
+  c.head_args = {Term::Var(0)};
+  c.body = {Literal::Relation(r_, {Term::Var(0), Term::Var(1)},
+                              /*negated=*/true),
+            Literal::Compare(CompareOp::kGt, Term::Var(1),
+                             Term::Const(Value(0)))};
+  EXPECT_FALSE(
+      engine_.registry.Define(v, std::move(c), engine_.db.catalog()).ok());
+}
+
+TEST_F(EvalEdgeTest, EmptyBodyClauseEmitsConstants) {
+  RelationId k = *engine_.db.catalog().CreateDerivedFunction(
+      "konst", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = k;
+  c.num_vars = 0;
+  c.head_args = {Term::Const(Value(42))};
+  ASSERT_TRUE(
+      engine_.registry.Define(k, std::move(c), engine_.db.catalog()).ok());
+  Evaluator ev(engine_.db, engine_.registry, StateContext{});
+  TupleSet out;
+  ASSERT_TRUE(ev.Evaluate(k, EvalState::kNew, &out).ok());
+  EXPECT_EQ(out, (TupleSet{T(42)}));
+}
+
+TEST_F(EvalEdgeTest, ConstantHeadFiltersPointQueries) {
+  RelationId k = *engine_.db.catalog().CreateDerivedFunction(
+      "konst2", FunctionSignature{{}, {IntCol()}});
+  Clause c;
+  c.head_relation = k;
+  c.num_vars = 0;
+  c.head_args = {Term::Const(Value(7))};
+  ASSERT_TRUE(
+      engine_.registry.Define(k, std::move(c), engine_.db.catalog()).ok());
+  Evaluator ev(engine_.db, engine_.registry, StateContext{});
+  EXPECT_TRUE(*ev.Derivable(k, EvalState::kNew, T(7)));
+  EXPECT_FALSE(*ev.Derivable(k, EvalState::kNew, T(8)));
+}
+
+TEST_F(EvalEdgeTest, BindingsOverloadRestrictsResults) {
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(q_, T(3, 4)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(2, 9)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(4, 8)).ok());
+  const Clause& clause = (*engine_.registry.GetClauses(p_))[0];
+  Evaluator ev(engine_.db, engine_.registry, StateContext{});
+  TupleSet out;
+  ASSERT_TRUE(
+      ev.EvaluateClauseWithBindings(clause, {{0, Value(3)}}, &out).ok());
+  EXPECT_EQ(out, (TupleSet{T(3, 8)}));
+  // Binding an unknown variable id is rejected.
+  EXPECT_FALSE(
+      ev.EvaluateClauseWithBindings(clause, {{99, Value(1)}}, &out).ok());
+}
+
+TEST_F(EvalEdgeTest, ViewInContextShadowsDefinition) {
+  // Provide a materialized extent for p that disagrees with its clauses:
+  // the evaluator must read the view.
+  BaseRelation view(p_, "p_view",
+                    Schema({IntCol(), IntCol()}));
+  view.Insert(T(7, 7));
+  std::unordered_map<RelationId, const BaseRelation*> views{{p_, &view}};
+  StateContext ctx;
+  ctx.views = &views;
+  Evaluator ev(engine_.db, engine_.registry, ctx);
+  TupleSet out;
+  ASSERT_TRUE(ev.Evaluate(p_, EvalState::kNew, &out).ok());
+  EXPECT_EQ(out, (TupleSet{T(7, 7)}));
+  EXPECT_TRUE(*ev.Derivable(p_, EvalState::kNew, T(7, 7)));
+}
+
+}  // namespace
+}  // namespace deltamon::objectlog

@@ -1,0 +1,96 @@
+/// OldStateView: lazy logical-rollback access to a relation's old state
+/// (paper fig. 3) — membership, iteration, sizing, and agreement with the
+/// materializing RollbackToOldState.
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "relalg/relalg.h"
+
+namespace deltamon::relalg {
+namespace {
+
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+
+TEST(OldStateViewTest, MembershipMatchesDefinition) {
+  // new = {1,2,4}; Δ = <+{4}, −{3}>  =>  old = {1,2,3}.
+  TupleSet new_state = {T(1), T(2), T(4)};
+  DeltaSet delta({T(4)}, {T(3)});
+  OldStateView view(new_state, delta);
+  EXPECT_TRUE(view.contains(T(1)));
+  EXPECT_TRUE(view.contains(T(2)));
+  EXPECT_TRUE(view.contains(T(3)));   // deleted this tx: present in OLD
+  EXPECT_FALSE(view.contains(T(4)));  // inserted this tx: absent in OLD
+  EXPECT_FALSE(view.contains(T(9)));
+  EXPECT_EQ(view.size(), 3u);
+}
+
+TEST(OldStateViewTest, ForEachEnumeratesExactlyOldState) {
+  TupleSet new_state = {T(1), T(2), T(4)};
+  DeltaSet delta({T(4)}, {T(3)});
+  OldStateView view(new_state, delta);
+  TupleSet seen;
+  view.ForEach([&seen](const Tuple& t) {
+    seen.insert(t);
+    return true;
+  });
+  EXPECT_EQ(seen, RollbackToOldState(new_state, delta));
+}
+
+TEST(OldStateViewTest, ForEachEarlyExit) {
+  TupleSet new_state = {T(1), T(2), T(3)};
+  DeltaSet delta;
+  OldStateView view(new_state, delta);
+  int visits = 0;
+  view.ForEach([&visits](const Tuple&) {
+    ++visits;
+    return false;  // stop immediately
+  });
+  EXPECT_EQ(visits, 1);
+}
+
+TEST(OldStateViewTest, EmptyDeltaViewsNewStateAsIs) {
+  TupleSet new_state = {T(7), T(8)};
+  DeltaSet delta;
+  OldStateView view(new_state, delta);
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_TRUE(view.contains(T(7)));
+}
+
+class OldStateViewPropertyTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(OldStateViewPropertyTest, AgreesWithMaterializedRollback) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int64_t> v(0, 30);
+  TupleSet old_state;
+  for (int i = 0; i < 20; ++i) old_state.insert(T(v(rng)));
+  TupleSet new_state = old_state;
+  DeltaSet delta;
+  for (int i = 0; i < 15; ++i) {
+    Tuple t = T(v(rng));
+    if (rng() % 2 == 0) {
+      if (new_state.insert(t).second) delta.ApplyInsert(t);
+    } else {
+      if (new_state.erase(t) > 0) delta.ApplyDelete(t);
+    }
+  }
+  OldStateView view(new_state, delta);
+  TupleSet materialized = RollbackToOldState(new_state, delta);
+  EXPECT_EQ(view.size(), materialized.size());
+  for (int64_t x = 0; x <= 30; ++x) {
+    EXPECT_EQ(view.contains(T(x)), materialized.contains(T(x))) << x;
+  }
+  TupleSet iterated;
+  view.ForEach([&iterated](const Tuple& t) {
+    iterated.insert(t);
+    return true;
+  });
+  EXPECT_EQ(iterated, materialized);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OldStateViewPropertyTest,
+                         ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace deltamon::relalg

@@ -1,0 +1,271 @@
+/// Correctness of the fig. 4 partial-differencing table: every operator's
+/// partial differentials computed verbatim from the table, checked against
+/// the paper's definitions on hand-built inputs; plus randomized property
+/// tests asserting that the corrected incremental delta equals the true
+/// state diff for arbitrary inputs.
+
+#include "relalg/relalg.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace deltamon::relalg {
+namespace {
+
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+TEST(RelalgOpsTest, SelectProjectBasics) {
+  TupleSet q = {T(1, 10), T(2, 20), T(3, 30)};
+  auto big = [](const Tuple& t) { return t[1].AsInt() >= 20; };
+  EXPECT_EQ(Select(q, big), (TupleSet{T(2, 20), T(3, 30)}));
+  EXPECT_EQ(Project(q, {0}), (TupleSet{T(1), T(2), T(3)}));
+  // Projection deduplicates (set semantics).
+  EXPECT_EQ(Project({T(1, 10), T(1, 20)}, {0}), (TupleSet{T(1)}));
+}
+
+TEST(RelalgOpsTest, SetOperators) {
+  TupleSet q = {T(1), T(2), T(3)};
+  TupleSet r = {T(2), T(3), T(4)};
+  EXPECT_EQ(Union(q, r), (TupleSet{T(1), T(2), T(3), T(4)}));
+  EXPECT_EQ(Difference(q, r), (TupleSet{T(1)}));
+  EXPECT_EQ(Intersect(q, r), (TupleSet{T(2), T(3)}));
+}
+
+TEST(RelalgOpsTest, ProductAndJoin) {
+  TupleSet q = {T(1, 2), T(5, 6)};
+  TupleSet r = {T(2, 9)};
+  EXPECT_EQ(Product(q, r).size(), 2u);
+  // Join q.col1 = r.col0.
+  TupleSet j = Join(q, r, {{1, 0}});
+  ASSERT_EQ(j.size(), 1u);
+  EXPECT_TRUE(j.contains(Tuple{Value(1), Value(2), Value(2), Value(9)}));
+  // Empty join columns degenerate to the product.
+  EXPECT_EQ(Join(q, r, {}), Product(q, r));
+}
+
+// --- Fig. 4 columns, hand-checked -----------------------------------------
+
+TEST(Fig4Test, SelectColumn) {
+  // σ_cond: Δ+P = σ Δ+Q, Δ−P = σ Δ−Q.
+  TupleSet q_new = {T(1), T(5)};
+  DeltaSet dq({T(5), T(2)}, {T(9)});  // +5,+2 −9 (2 filtered below)
+  auto cond = [](const Tuple& t) { return t[0].AsInt() >= 5; };
+  auto p = PartialsSelect(q_new, dq, cond);
+  EXPECT_EQ(p.plus_from_q, (TupleSet{T(5)}));
+  EXPECT_EQ(p.minus_from_q, (TupleSet{T(9)}));
+  EXPECT_TRUE(p.plus_from_r.empty());
+  EXPECT_TRUE(p.minus_from_r.empty());
+}
+
+TEST(Fig4Test, ProjectColumn) {
+  TupleSet q_new = {T(1, 10), T(2, 20)};
+  DeltaSet dq({T(2, 20)}, {T(2, 15)});
+  auto p = PartialsProject(q_new, dq, {0});
+  EXPECT_EQ(p.plus_from_q, (TupleSet{T(2)}));
+  // Raw column over-approximates: (2) still projects from (2,20).
+  EXPECT_EQ(p.minus_from_q, (TupleSet{T(2)}));
+  // The corrected net delta removes it (§7.2).
+  EXPECT_TRUE(DeltaProject(q_new, dq, {0}).minus().empty());
+}
+
+TEST(Fig4Test, UnionColumns) {
+  // Q ∪ R: Δ+Q − R_old | Δ+R − Q_old | Δ−Q − R | Δ−R − Q.
+  TupleSet q_new = {T(1), T(2)};
+  TupleSet r_new = {T(2), T(3)};
+  DeltaSet dq({T(1)}, {T(4)});  // Q was {2,4}
+  DeltaSet dr({T(3)}, {});      // R was {2}
+  auto p = PartialsUnion(q_new, r_new, dq, dr);
+  EXPECT_EQ(p.plus_from_q, (TupleSet{T(1)}));   // 1 ∉ R_old={2}
+  EXPECT_EQ(p.plus_from_r, (TupleSet{T(3)}));   // 3 ∉ Q_old={2,4}
+  EXPECT_EQ(p.minus_from_q, (TupleSet{T(4)}));  // 4 ∉ R_new
+  EXPECT_TRUE(p.minus_from_r.empty());
+}
+
+TEST(Fig4Test, DifferenceColumnsCarryOppositeSigns) {
+  // Q − R: an R-deletion INSERTS into P; an R-insertion DELETES from P —
+  // exactly as the table prints Δ−R in the Δ+P column.
+  TupleSet q_new = {T(1), T(2)};
+  TupleSet r_new = {T(9)};
+  DeltaSet dq;                  // Q unchanged
+  DeltaSet dr({T(9)}, {T(2)});  // R was {2}
+  auto p = PartialsDifference(q_new, r_new, dq, dr);
+  EXPECT_EQ(p.plus_from_r, (TupleSet{T(2)}));   // Q ∩ Δ−R
+  EXPECT_TRUE(p.minus_from_r.empty());          // Q_old ∩ Δ+R = {} (9 ∉ Q)
+  DeltaSet net = DeltaDifference(q_new, r_new, dq, dr);
+  EXPECT_EQ(net, DeltaSet({T(2)}, {}));
+}
+
+TEST(Fig4Test, ProductColumnsUseOldStatesForDeletions) {
+  TupleSet q_new = {T(1)};
+  TupleSet r_new = {T(7)};
+  DeltaSet dq({}, {T(2)});  // Q was {1,2}
+  DeltaSet dr;              // R unchanged
+  auto p = PartialsProduct(q_new, r_new, dq, dr);
+  // Δ−Q × R_old = {2} × {7}.
+  EXPECT_EQ(p.minus_from_q, (TupleSet{T(2, 7)}));
+  EXPECT_TRUE(p.plus_from_q.empty());
+}
+
+TEST(Fig4Test, JoinColumns) {
+  TupleSet q_new = {T(1, 2)};
+  TupleSet r_new = {T(2, 8)};
+  DeltaSet dq({T(1, 2)}, {});
+  DeltaSet dr;
+  auto p = PartialsJoin(q_new, r_new, {{1, 0}}, dq, dr);
+  ASSERT_EQ(p.plus_from_q.size(), 1u);
+  EXPECT_TRUE(
+      p.plus_from_q.contains(Tuple{Value(1), Value(2), Value(2), Value(8)}));
+}
+
+TEST(Fig4Test, IntersectColumns) {
+  TupleSet q_new = {T(1), T(2)};
+  TupleSet r_new = {T(2)};
+  DeltaSet dq({T(2)}, {});  // Q was {1}
+  DeltaSet dr;
+  auto p = PartialsIntersect(q_new, r_new, dq, dr);
+  EXPECT_EQ(p.plus_from_q, (TupleSet{T(2)}));  // Δ+Q ∩ R
+  EXPECT_TRUE(p.minus_from_q.empty());
+}
+
+// --- Randomized equivalence: corrected delta == true state diff -----------
+
+TupleSet RandomSet(std::mt19937& rng, int64_t domain, size_t max_size,
+                   size_t arity) {
+  std::uniform_int_distribution<int64_t> v(0, domain - 1);
+  std::uniform_int_distribution<size_t> n(0, max_size);
+  TupleSet out;
+  size_t count = n(rng);
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<Value> vals;
+    for (size_t a = 0; a < arity; ++a) vals.emplace_back(v(rng));
+    out.insert(Tuple(std::move(vals)));
+  }
+  return out;
+}
+
+/// Random (old state, delta) pair with consistent new state.
+std::pair<TupleSet, DeltaSet> RandomEvolution(std::mt19937& rng,
+                                              int64_t domain, size_t size,
+                                              size_t arity) {
+  TupleSet old_state = RandomSet(rng, domain, size, arity);
+  TupleSet new_state = old_state;
+  std::uniform_int_distribution<int64_t> v(0, domain - 1);
+  std::uniform_int_distribution<int> steps(0, 8);
+  DeltaSet delta;
+  int count = steps(rng);
+  for (int i = 0; i < count; ++i) {
+    std::vector<Value> vals;
+    for (size_t a = 0; a < arity; ++a) vals.emplace_back(v(rng));
+    Tuple t(std::move(vals));
+    if (rng() % 2 == 0) {
+      if (new_state.insert(t).second) delta.ApplyInsert(t);
+    } else {
+      if (new_state.erase(t) > 0) delta.ApplyDelete(t);
+    }
+  }
+  return {std::move(new_state), std::move(delta)};
+}
+
+class RelalgPropertyTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override { rng_.seed(GetParam()); }
+  std::mt19937 rng_;
+};
+
+TEST_P(RelalgPropertyTest, SelectDeltaMatchesDiff) {
+  auto [q_new, dq] = RandomEvolution(rng_, 12, 10, 1);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  auto cond = [](const Tuple& t) { return t[0].AsInt() % 3 != 0; };
+  EXPECT_EQ(DeltaSelect(q_new, dq, cond),
+            DiffStates(Select(q_old, cond), Select(q_new, cond)));
+}
+
+TEST_P(RelalgPropertyTest, ProjectDeltaMatchesDiff) {
+  auto [q_new, dq] = RandomEvolution(rng_, 6, 10, 2);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  EXPECT_EQ(DeltaProject(q_new, dq, {0}),
+            DiffStates(Project(q_old, {0}), Project(q_new, {0})));
+}
+
+TEST_P(RelalgPropertyTest, UnionDeltaMatchesDiff) {
+  auto [q_new, dq] = RandomEvolution(rng_, 10, 8, 1);
+  auto [r_new, dr] = RandomEvolution(rng_, 10, 8, 1);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  TupleSet r_old = RollbackToOldState(r_new, dr);
+  EXPECT_EQ(DeltaUnionOp(q_new, r_new, dq, dr),
+            DiffStates(Union(q_old, r_old), Union(q_new, r_new)));
+}
+
+TEST_P(RelalgPropertyTest, DifferenceDeltaMatchesDiff) {
+  auto [q_new, dq] = RandomEvolution(rng_, 10, 8, 1);
+  auto [r_new, dr] = RandomEvolution(rng_, 10, 8, 1);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  TupleSet r_old = RollbackToOldState(r_new, dr);
+  EXPECT_EQ(DeltaDifference(q_new, r_new, dq, dr),
+            DiffStates(Difference(q_old, r_old), Difference(q_new, r_new)));
+}
+
+TEST_P(RelalgPropertyTest, ProductDeltaMatchesDiff) {
+  auto [q_new, dq] = RandomEvolution(rng_, 8, 6, 1);
+  auto [r_new, dr] = RandomEvolution(rng_, 8, 6, 1);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  TupleSet r_old = RollbackToOldState(r_new, dr);
+  EXPECT_EQ(DeltaProduct(q_new, r_new, dq, dr),
+            DiffStates(Product(q_old, r_old), Product(q_new, r_new)));
+}
+
+TEST_P(RelalgPropertyTest, JoinDeltaMatchesDiff) {
+  auto [q_new, dq] = RandomEvolution(rng_, 5, 8, 2);
+  auto [r_new, dr] = RandomEvolution(rng_, 5, 8, 2);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  TupleSet r_old = RollbackToOldState(r_new, dr);
+  JoinColumns on = {{1, 0}};
+  EXPECT_EQ(DeltaJoin(q_new, r_new, on, dq, dr),
+            DiffStates(Join(q_old, r_old, on), Join(q_new, r_new, on)));
+}
+
+TEST_P(RelalgPropertyTest, IntersectDeltaMatchesDiff) {
+  auto [q_new, dq] = RandomEvolution(rng_, 10, 8, 1);
+  auto [r_new, dr] = RandomEvolution(rng_, 10, 8, 1);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  TupleSet r_old = RollbackToOldState(r_new, dr);
+  EXPECT_EQ(DeltaIntersect(q_new, r_new, dq, dr),
+            DiffStates(Intersect(q_old, r_old), Intersect(q_new, r_new)));
+}
+
+/// Raw fig. 4 columns never under-approximate: every true change appears
+/// in some column (completeness — the §7.2 corrections only remove).
+TEST_P(RelalgPropertyTest, RawPartialsAreComplete) {
+  auto [q_new, dq] = RandomEvolution(rng_, 8, 8, 1);
+  auto [r_new, dr] = RandomEvolution(rng_, 8, 8, 1);
+  TupleSet q_old = RollbackToOldState(q_new, dq);
+  TupleSet r_old = RollbackToOldState(r_new, dr);
+
+  auto check = [](const PartialDifferentials& p, const DeltaSet& truth) {
+    DeltaSet raw = p.Combined();
+    for (const Tuple& t : truth.plus()) {
+      EXPECT_TRUE(raw.plus().contains(t)) << "missing insertion " <<
+          t.ToString();
+    }
+    for (const Tuple& t : truth.minus()) {
+      EXPECT_TRUE(raw.minus().contains(t)) << "missing deletion " <<
+          t.ToString();
+    }
+  };
+  check(PartialsUnion(q_new, r_new, dq, dr),
+        DiffStates(Union(q_old, r_old), Union(q_new, r_new)));
+  check(PartialsDifference(q_new, r_new, dq, dr),
+        DiffStates(Difference(q_old, r_old), Difference(q_new, r_new)));
+  check(PartialsIntersect(q_new, r_new, dq, dr),
+        DiffStates(Intersect(q_old, r_old), Intersect(q_new, r_new)));
+  check(PartialsProduct(q_new, r_new, dq, dr),
+        DiffStates(Product(q_old, r_old), Product(q_new, r_new)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelalgPropertyTest,
+                         ::testing::Range(0u, 25u));
+
+}  // namespace
+}  // namespace deltamon::relalg

@@ -1,0 +1,96 @@
+/// Immediate rule processing (paper §1 notes the technique supports it;
+/// deferred processing is the paper's focus). The semantic difference:
+/// a condition that becomes true mid-transaction and false again before
+/// commit fires an *immediate* rule but not a *deferred* one.
+
+#include <gtest/gtest.h>
+
+#include "bench_util/inventory.h"
+#include "rules/engine.h"
+
+namespace deltamon::rules {
+namespace {
+
+using workload::BuildInventory;
+using workload::InventoryConfig;
+using workload::InventorySchema;
+using workload::SetFn;
+
+class ImmediateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InventoryConfig config;
+    config.num_items = 5;
+    auto schema = BuildInventory(engine_, config);
+    ASSERT_TRUE(schema.ok());
+    schema_ = *schema;
+    auto rule = engine_.rules.CreateRule(
+        "monitor_items", schema_.cnd_monitor_items,
+        [this](Database&, const Tuple&, const std::vector<Tuple>& items) {
+          fired_ += items.size();
+          return Status::OK();
+        });
+    ASSERT_TRUE(rule.ok());
+    ASSERT_TRUE(engine_.rules.Activate(*rule).ok());
+  }
+
+  Engine engine_;
+  InventorySchema schema_;
+  size_t fired_ = 0;
+};
+
+TEST_F(ImmediateTest, FiresBeforeCommit) {
+  engine_.db.SetImmediateRuleProcessing(true);
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[0], 50).ok());
+  EXPECT_EQ(fired_, 1u);  // no commit yet
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, 1u);  // commit finds no further changes
+}
+
+TEST_F(ImmediateTest, TransientTrueFiresImmediatelyButNotDeferred) {
+  // Deferred: drop below threshold and restore in one transaction — the
+  // net change is empty, nothing fires.
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[0], 50).ok());
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[0], 1000).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, 0u);
+
+  // Immediate: the same sequence fires at the moment the condition holds.
+  engine_.db.SetImmediateRuleProcessing(true);
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[1], 50).ok());
+  EXPECT_EQ(fired_, 1u);
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[1], 1000).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, 1u);
+}
+
+TEST_F(ImmediateTest, SetTransientStateIsInvisible) {
+  // Set() internally deletes the old tuple before inserting the new one;
+  // the check must only see the statement's net effect. (quantity dropping
+  // to "no value" must not be observable.)
+  engine_.db.SetImmediateRuleProcessing(true);
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[0], 900).ok());
+  EXPECT_EQ(fired_, 0u);  // 900 >= threshold 140: quiet
+}
+
+TEST_F(ImmediateTest, UpdatesToUnmonitoredRelationsDoNotCheck) {
+  engine_.db.SetImmediateRuleProcessing(true);
+  // max_stock is not an influent of the condition.
+  ASSERT_TRUE(SetFn(engine_, schema_.max_stock, schema_.items[0], 9000).ok());
+  EXPECT_EQ(fired_, 0u);
+  EXPECT_EQ(engine_.rules.last_check().rounds, 0u);
+}
+
+TEST_F(ImmediateTest, RollbackAfterImmediateFiringRestoresData) {
+  engine_.db.SetImmediateRuleProcessing(true);
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[0], 50).ok());
+  EXPECT_EQ(fired_, 1u);
+  // The action already ran (immediate semantics), but data changes are
+  // still transactional.
+  ASSERT_TRUE(engine_.db.Rollback().ok());
+  EXPECT_EQ(*workload::GetFn(engine_, schema_.quantity, schema_.items[0]),
+            1000);
+}
+
+}  // namespace
+}  // namespace deltamon::rules

@@ -1,0 +1,437 @@
+#include "rules/rule_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "bench_util/inventory.h"
+#include "rules/engine.h"
+
+namespace deltamon::rules {
+namespace {
+
+using workload::BuildInventory;
+using workload::GetFn;
+using workload::InventoryConfig;
+using workload::InventorySchema;
+using workload::SetFn;
+
+/// Fixture: the paper's monitor_items rule over the inventory schema, with
+/// a recording action.
+class MonitorItemsTest : public ::testing::TestWithParam<MonitorMode> {
+ protected:
+  void SetUp() override {
+    engine_.rules.SetMode(GetParam());
+    InventoryConfig config;
+    config.num_items = 20;
+    auto schema = BuildInventory(engine_, config);
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    schema_ = *schema;
+  }
+
+  /// Creates and activates monitor_items with an action that records the
+  /// ordered items (and optionally refills them).
+  void ActivateMonitor(Semantics semantics = Semantics::kStrict,
+                       bool refill = false) {
+    RuleOptions options;
+    options.semantics = semantics;
+    auto rule = engine_.rules.CreateRule(
+        "monitor_items", schema_.cnd_monitor_items,
+        [this, refill](Database& db, const Tuple&,
+                       const std::vector<Tuple>& items) -> Status {
+          for (const Tuple& t : items) {
+            ordered_.push_back(t[0].AsObject());
+            if (refill) {
+              auto max = GetFn(engine_, schema_.max_stock, t[0].AsObject());
+              if (!max.ok()) return max.status();
+              DELTAMON_RETURN_IF_ERROR(db.Set(schema_.quantity,
+                                              Tuple{t[0]},
+                                              Tuple{Value(*max)}));
+            }
+          }
+          return Status::OK();
+        },
+        options);
+    ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+    rule_ = *rule;
+    ASSERT_TRUE(engine_.rules.Activate(rule_).ok());
+  }
+
+  Engine engine_;
+  InventorySchema schema_;
+  RuleId rule_ = kInvalidRuleId;
+  std::vector<Oid> ordered_;
+};
+
+TEST_P(MonitorItemsTest, FiresWhenQuantityDropsBelowThreshold) {
+  ActivateMonitor();
+  // threshold = 20*2 + 100 = 140.
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 120).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_EQ(ordered_.size(), 1u);
+  EXPECT_EQ(ordered_[0], schema_.items[3]);
+}
+
+TEST_P(MonitorItemsTest, DoesNotFireAboveThreshold) {
+  ActivateMonitor();
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 200).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_TRUE(ordered_.empty());
+}
+
+TEST_P(MonitorItemsTest, NoNetChangeNoFiring) {
+  ActivateMonitor();
+  // Drop below threshold and restore within one transaction: only net
+  // (logical) changes trigger rules (§3.1, §4.1).
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 120).ok());
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 1000).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_TRUE(ordered_.empty());
+}
+
+TEST_P(MonitorItemsTest, StrictSemanticsFiresOncePerFalseToTrue) {
+  ActivateMonitor(Semantics::kStrict);
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 120).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_EQ(ordered_.size(), 1u);
+  // Still below threshold after another update: condition stays true, so a
+  // strict rule must not re-fire.
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 110).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(ordered_.size(), 1u);
+}
+
+TEST_P(MonitorItemsTest, ThresholdSideChangesTriggerToo) {
+  ActivateMonitor();
+  // Raise consume_freq so threshold = 300*2+100 = 700 > quantity 500.
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[5], 500).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(ordered_.empty());
+  ASSERT_TRUE(SetFn(engine_, schema_.consume_freq, schema_.items[5], 300)
+                  .ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_EQ(ordered_.size(), 1u);
+  EXPECT_EQ(ordered_[0], schema_.items[5]);
+}
+
+TEST_P(MonitorItemsTest, SetOrientedActionGetsAllInstancesAtOnce) {
+  ActivateMonitor();
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[1], 10).ok());
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[2], 20).ok());
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[7], 30).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(ordered_.size(), 3u);
+  EXPECT_EQ(engine_.rules.last_check().rule_firings, 1u);
+}
+
+TEST_P(MonitorItemsTest, RefillingActionReachesFixpoint) {
+  ActivateMonitor(Semantics::kStrict, /*refill=*/true);
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 50).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_EQ(ordered_.size(), 1u);
+  // The action refilled the item to max_stock.
+  EXPECT_EQ(*GetFn(engine_, schema_.quantity, schema_.items[3]), 5000);
+  // And the refill itself (condition true -> false) fired nothing else.
+  EXPECT_GE(engine_.rules.last_check().rounds, 2u);
+}
+
+TEST_P(MonitorItemsTest, DeactivateStopsMonitoring) {
+  ActivateMonitor();
+  ASSERT_TRUE(engine_.rules.Deactivate(rule_).ok());
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 50).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_TRUE(ordered_.empty());
+  EXPECT_FALSE(engine_.db.IsMonitored(schema_.quantity));
+}
+
+TEST_P(MonitorItemsTest, RollbackDiscardsPendingChanges) {
+  ActivateMonitor();
+  ASSERT_TRUE(SetFn(engine_, schema_.quantity, schema_.items[3], 50).ok());
+  ASSERT_TRUE(engine_.db.Rollback().ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_TRUE(ordered_.empty());
+  EXPECT_EQ(*GetFn(engine_, schema_.quantity, schema_.items[3]), 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, MonitorItemsTest,
+    ::testing::Values(MonitorMode::kIncremental, MonitorMode::kNaive,
+                      MonitorMode::kHybrid),
+    [](const ::testing::TestParamInfo<MonitorMode>& info) {
+      switch (info.param) {
+        case MonitorMode::kIncremental:
+          return "Incremental";
+        case MonitorMode::kNaive:
+          return "Naive";
+        case MonitorMode::kHybrid:
+          return "Hybrid";
+      }
+      return "Unknown";
+    });
+
+// --- Nervous vs strict ------------------------------------------------------
+
+TEST(RuleSemanticsTest, NervousMayRefireWhileConditionStaysTrue) {
+  Engine engine;
+  InventoryConfig config;
+  config.num_items = 5;
+  auto schema = BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+  int fires = 0;
+  RuleOptions options;
+  options.semantics = Semantics::kNervous;
+  auto rule = engine.rules.CreateRule(
+      "nervous", schema->cnd_monitor_items,
+      [&fires](Database&, const Tuple&, const std::vector<Tuple>& items) {
+        fires += static_cast<int>(items.size());
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(engine.rules.Activate(*rule).ok());
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[0], 100).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  EXPECT_EQ(fires, 1);
+  // Still true after the next update: nervous semantics re-fires (the
+  // quantity Δ+ differential re-derives the instance, no strict filter).
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[0], 90).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  EXPECT_EQ(fires, 2);
+}
+
+// --- Parameterized activation (paper §3.1 monitor_item(item i)) -------------
+
+TEST(ParameterizedRuleTest, ActivationPerItem) {
+  Engine engine;
+  InventoryConfig config;
+  config.num_items = 6;
+  auto schema = BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+
+  // monitor_item(i): condition cnd(i) -> i, with i a parameter. Build the
+  // parameterized condition cnd_item(I) <- quantity(I,Q), threshold(I,T),
+  // Q < T with I as a leading parameter column.
+  auto cond = engine.db.catalog().CreateDerivedFunction(
+      "cnd_monitor_item",
+      FunctionSignature{{ColumnType{ValueKind::kObject, schema->item}}, {}});
+  ASSERT_TRUE(cond.ok());
+  {
+    objectlog::Clause c;
+    c.head_relation = *cond;
+    c.num_vars = 3;
+    c.head_args = {objectlog::Term::Var(0)};
+    c.body = {
+        objectlog::Literal::Relation(
+            schema->quantity, {objectlog::Term::Var(0), objectlog::Term::Var(1)}),
+        objectlog::Literal::Relation(
+            schema->threshold, {objectlog::Term::Var(0), objectlog::Term::Var(2)}),
+        objectlog::Literal::Compare(objectlog::CompareOp::kLt,
+                                    objectlog::Term::Var(1),
+                                    objectlog::Term::Var(2)),
+    };
+    ASSERT_TRUE(engine.registry.Define(*cond, std::move(c),
+                                       engine.db.catalog()).ok());
+  }
+
+  std::vector<Oid> fired;
+  RuleOptions options;
+  options.num_params = 1;
+  auto rule = engine.rules.CreateRule(
+      "monitor_item", *cond,
+      [&fired, &schema](Database&, const Tuple&,
+                        const std::vector<Tuple>& instances) {
+        // Instances of the specialized condition are empty tuples; record
+        // the firing itself.
+        (void)instances;
+        fired.push_back(schema->items[0]);
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  // Activate only for item 0.
+  ASSERT_TRUE(
+      engine.rules.Activate(*rule, Tuple{Value(schema->items[0])}).ok());
+
+  // Item 1 dropping low fires nothing (not activated for it)...
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[1], 10).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  EXPECT_TRUE(fired.empty());
+  // ...item 0 dropping low fires.
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[0], 10).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  EXPECT_EQ(fired.size(), 1u);
+
+  // Double activation with the same parameter is rejected.
+  EXPECT_EQ(
+      engine.rules.Activate(*rule, Tuple{Value(schema->items[0])}).code(),
+      StatusCode::kAlreadyExists);
+  // Deactivation with the parameter works.
+  EXPECT_TRUE(
+      engine.rules.Deactivate(*rule, Tuple{Value(schema->items[0])}).ok());
+}
+
+// --- Conflict resolution ------------------------------------------------------
+
+TEST(ConflictResolutionTest, HigherPriorityRuleFiresFirst) {
+  Engine engine;
+  InventoryConfig config;
+  config.num_items = 3;
+  auto schema = BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+  std::vector<std::string> order;
+  auto make_action = [&order](std::string name) {
+    return [&order, name](Database&, const Tuple&,
+                          const std::vector<Tuple>&) {
+      order.push_back(name);
+      return Status::OK();
+    };
+  };
+  RuleOptions low;
+  low.priority = 1;
+  RuleOptions high;
+  high.priority = 9;
+  auto r1 = engine.rules.CreateRule("low", schema->cnd_monitor_items,
+                                    make_action("low"), low);
+  auto r2 = engine.rules.CreateRule("high", schema->cnd_monitor_items,
+                                    make_action("high"), high);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_TRUE(engine.rules.Activate(*r1).ok());
+  ASSERT_TRUE(engine.rules.Activate(*r2).ok());
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[0], 10).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "high");
+  EXPECT_EQ(order[1], "low");
+}
+
+// --- Explainability ------------------------------------------------------------
+
+TEST(ExplainabilityTest, TraceNamesTheTriggeringInfluent) {
+  Engine engine;
+  InventoryConfig config;
+  config.num_items = 4;
+  auto schema = BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+  RuleOptions options;
+  // The paper's normal case (§6.1): insertions-only monitoring, so only
+  // one partial differential executes for a quantity update.
+  options.propagate_deletions = false;
+  auto rule = engine.rules.CreateRule(
+      "monitor_items", schema->cnd_monitor_items,
+      [](Database&, const Tuple&, const std::vector<Tuple>&) {
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(engine.rules.Activate(*rule).ok());
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[2], 10).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  std::vector<std::string> why = engine.rules.ExplainLastTrigger(*rule);
+  ASSERT_FALSE(why.empty());
+  EXPECT_NE(why[0].find("quantity"), std::string::npos) << why[0];
+  // Only the quantity differential executed (partial differencing's win).
+  EXPECT_EQ(engine.rules.last_check().propagation.differentials_executed,
+            1u);
+}
+
+// --- Error handling ---------------------------------------------------------
+
+TEST(RuleManagerErrorsTest, CreateRuleValidation) {
+  Engine engine;
+  InventoryConfig config;
+  config.num_items = 1;
+  auto schema = BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+  auto noop = [](Database&, const Tuple&, const std::vector<Tuple>&) {
+    return Status::OK();
+  };
+  // Base relation as condition: rejected.
+  EXPECT_FALSE(engine.rules.CreateRule("bad", schema->quantity, noop).ok());
+  // Duplicate names: rejected.
+  ASSERT_TRUE(
+      engine.rules.CreateRule("ok", schema->cnd_monitor_items, noop).ok());
+  EXPECT_EQ(
+      engine.rules.CreateRule("ok", schema->cnd_monitor_items, noop)
+          .status()
+          .code(),
+      StatusCode::kAlreadyExists);
+  // Unknown rule activation: rejected.
+  EXPECT_EQ(engine.rules.Activate(999).code(), StatusCode::kNotFound);
+  // Wrong parameter count: rejected.
+  auto rule = engine.rules.FindRule("ok");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(engine.rules.Activate(*rule, Tuple{Value(1)}).ok());
+}
+
+TEST(RuleManagerErrorsTest, NonTerminatingRulesReportFailedPrecondition) {
+  Engine engine;
+  InventoryConfig config;
+  config.num_items = 2;
+  auto schema = BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+  engine.rules.SetMaxRounds(10);
+  RuleOptions options;
+  options.semantics = Semantics::kNervous;
+  // Pathological action: keeps decrementing the quantity, so the condition
+  // stays true with a fresh net change every round and nervous semantics
+  // re-triggers forever.
+  auto rule = engine.rules.CreateRule(
+      "loop", schema->cnd_monitor_items,
+      [&engine, &schema](Database& db, const Tuple&,
+                         const std::vector<Tuple>& items) -> Status {
+        for (const Tuple& t : items) {
+          auto q = GetFn(engine, schema->quantity, t[0].AsObject());
+          if (!q.ok()) return q.status();
+          DELTAMON_RETURN_IF_ERROR(db.Set(schema->quantity, Tuple{t[0]},
+                                          Tuple{Value(*q - 1)}));
+        }
+        return Status::OK();
+      },
+      options);
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(engine.rules.Activate(*rule).ok());
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[0], 10).ok());
+  EXPECT_EQ(engine.db.Commit().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine.db.Rollback().ok());
+}
+
+TEST(ModeSwitchTest, SwitchingModesNeverUsesStaleExtents) {
+  Engine engine;
+  InventoryConfig config;
+  config.num_items = 8;
+  auto schema = BuildInventory(engine, config);
+  ASSERT_TRUE(schema.ok());
+  std::vector<uint64_t> fired;
+  engine.rules.SetMode(MonitorMode::kNaive);
+  auto rule = engine.rules.CreateRule(
+      "monitor_items", schema->cnd_monitor_items,
+      [&fired](Database&, const Tuple&, const std::vector<Tuple>& items) {
+        for (const Tuple& t : items) fired.push_back(t[0].AsObject().id);
+        return Status::OK();
+      });
+  ASSERT_TRUE(rule.ok());
+  ASSERT_TRUE(engine.rules.Activate(*rule).ok());
+
+  // Naive round: item 0 breaches (extent now {item0}).
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[0], 50).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  ASSERT_EQ(fired.size(), 1u);
+
+  // Incremental rounds: item 0 recovers, item 1 breaches. The naive
+  // extent goes stale here.
+  engine.rules.SetMode(MonitorMode::kIncremental);
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[0], 1000).ok());
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[1], 50).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  ASSERT_EQ(fired.size(), 2u);
+
+  // Back to naive: a fresh breach of item 2 must fire exactly once — a
+  // stale extent would also re-report item 1 or miss item 2.
+  engine.rules.SetMode(MonitorMode::kNaive);
+  ASSERT_TRUE(SetFn(engine, schema->quantity, schema->items[2], 50).ok());
+  ASSERT_TRUE(engine.db.Commit().ok());
+  std::vector<uint64_t> expected = {schema->items[0].id, schema->items[1].id,
+                                    schema->items[2].id};
+  EXPECT_EQ(fired, expected);
+}
+
+}  // namespace
+}  // namespace deltamon::rules

@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace deltamon {
+namespace {
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+ColumnType AnyCol() { return ColumnType{}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+TEST(SchemaTest, TypeCheckArityAndKinds) {
+  Schema s({IntCol(), IntCol()});
+  EXPECT_TRUE(s.TypeCheck(T(1, 2)).ok());
+  EXPECT_FALSE(s.TypeCheck(Tuple{Value(1)}).ok());
+  EXPECT_FALSE(s.TypeCheck(Tuple{Value(1), Value("x")}).ok());
+}
+
+TEST(SchemaTest, AnyColumnAdmitsEverything) {
+  Schema s({AnyCol()});
+  EXPECT_TRUE(s.TypeCheck(Tuple{Value(1)}).ok());
+  EXPECT_TRUE(s.TypeCheck(Tuple{Value("x")}).ok());
+  EXPECT_TRUE(s.TypeCheck(Tuple{Value(Oid{1, 1})}).ok());
+}
+
+TEST(SchemaTest, DoubleColumnAdmitsInt) {
+  Schema s({ColumnType{ValueKind::kDouble, kInvalidTypeId}});
+  EXPECT_TRUE(s.TypeCheck(Tuple{Value(2.5)}).ok());
+  EXPECT_TRUE(s.TypeCheck(Tuple{Value(2)}).ok());
+}
+
+TEST(SchemaTest, ObjectColumnChecksType) {
+  Schema s({ColumnType{ValueKind::kObject, 3}});
+  EXPECT_TRUE(s.TypeCheck(Tuple{Value(Oid{1, 3})}).ok());
+  EXPECT_FALSE(s.TypeCheck(Tuple{Value(Oid{1, 4})}).ok());
+}
+
+TEST(BaseRelationTest, InsertDeleteSetSemantics) {
+  BaseRelation rel(1, "r", Schema({IntCol(), IntCol()}));
+  EXPECT_TRUE(rel.Insert(T(1, 2)));
+  EXPECT_FALSE(rel.Insert(T(1, 2)));  // duplicate: physical no-op
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains(T(1, 2)));
+  EXPECT_TRUE(rel.Delete(T(1, 2)));
+  EXPECT_FALSE(rel.Delete(T(1, 2)));  // absent: physical no-op
+  EXPECT_EQ(rel.size(), 0u);
+}
+
+TEST(BaseRelationTest, IndexedScanFindsMatches) {
+  BaseRelation rel(1, "r", Schema({IntCol(), IntCol()}));
+  for (int64_t i = 0; i < 100; ++i) rel.Insert(T(i % 10, i));
+  rel.EnsureIndex(0);
+  ASSERT_TRUE(rel.HasIndex(0));
+  ScanPattern p(2);
+  p[0] = Value(3);
+  EXPECT_EQ(rel.Count(p), 10u);
+  // Index stays correct across deletions.
+  EXPECT_TRUE(rel.Delete(T(3, 3)));
+  EXPECT_EQ(rel.Count(p), 9u);
+}
+
+TEST(BaseRelationTest, LazyIndexBuiltOnFirstBoundScan) {
+  BaseRelation rel(1, "r", Schema({IntCol(), IntCol()}));
+  rel.Insert(T(1, 10));
+  rel.Insert(T(2, 20));
+  EXPECT_FALSE(rel.HasIndex(1));
+  ScanPattern p(2);
+  p[1] = Value(20);
+  EXPECT_EQ(rel.Count(p), 1u);
+  EXPECT_TRUE(rel.HasIndex(1));
+}
+
+TEST(BaseRelationTest, FullyBoundPatternIsMembershipProbe) {
+  BaseRelation rel(1, "r", Schema({IntCol(), IntCol()}));
+  rel.Insert(T(1, 2));
+  ScanPattern p(2);
+  p[0] = Value(1);
+  p[1] = Value(2);
+  EXPECT_EQ(rel.Count(p), 1u);
+  p[1] = Value(3);
+  EXPECT_EQ(rel.Count(p), 0u);
+}
+
+TEST(BaseRelationTest, EmptyPatternScansAll) {
+  BaseRelation rel(1, "r", Schema({IntCol(), IntCol()}));
+  rel.Insert(T(1, 2));
+  rel.Insert(T(3, 4));
+  EXPECT_EQ(rel.Count({}), 2u);
+}
+
+TEST(CatalogTest, TypesAndObjects) {
+  Catalog cat;
+  auto item = cat.CreateType("item");
+  ASSERT_TRUE(item.ok());
+  EXPECT_FALSE(cat.CreateType("item").ok());  // duplicate
+  EXPECT_EQ(*cat.FindType("item"), *item);
+  EXPECT_FALSE(cat.FindType("ghost").ok());
+
+  auto o1 = cat.CreateObject(*item);
+  auto o2 = cat.CreateObject(*item);
+  ASSERT_TRUE(o1.ok() && o2.ok());
+  EXPECT_NE(o1->id, o2->id);
+  EXPECT_EQ(o1->type, *item);
+  EXPECT_EQ(cat.ObjectsOfType(*item).size(), 2u);
+  EXPECT_FALSE(cat.CreateObject(999).ok());
+}
+
+TEST(CatalogTest, StoredAndDerivedFunctions) {
+  Catalog cat;
+  auto f = cat.CreateStoredFunction("f",
+                                    FunctionSignature{{IntCol()}, {IntCol()}});
+  auto g = cat.CreateDerivedFunction("g",
+                                     FunctionSignature{{}, {IntCol()}});
+  ASSERT_TRUE(f.ok() && g.ok());
+  EXPECT_FALSE(cat.CreateStoredFunction("f", {}).ok());
+  EXPECT_NE(cat.GetBaseRelation(*f), nullptr);
+  EXPECT_EQ(cat.GetBaseRelation(*g), nullptr);
+  EXPECT_FALSE(cat.IsDerived(*f));
+  EXPECT_TRUE(cat.IsDerived(*g));
+  EXPECT_EQ(cat.RelationName(*f), "f");
+  EXPECT_EQ(*cat.FindRelation("g"), *g);
+  EXPECT_EQ(cat.AllRelationIds().size(), 2u);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto f = db_.catalog().CreateStoredFunction(
+        "f", FunctionSignature{{IntCol()}, {IntCol()}});
+    ASSERT_TRUE(f.ok());
+    f_ = *f;
+  }
+  Database db_;
+  RelationId f_ = kInvalidRelationId;
+};
+
+TEST_F(DatabaseTest, InsertLogsEvent) {
+  ASSERT_TRUE(db_.Insert(f_, T(1, 10)).ok());
+  EXPECT_EQ(db_.LogSize(), 1u);
+  EXPECT_EQ(db_.UndoLog()[0].op, UpdateEvent::Op::kInsert);
+}
+
+TEST_F(DatabaseTest, DuplicateInsertLogsNothing) {
+  ASSERT_TRUE(db_.Insert(f_, T(1, 10)).ok());
+  ASSERT_TRUE(db_.Insert(f_, T(1, 10)).ok());
+  EXPECT_EQ(db_.LogSize(), 1u);
+}
+
+TEST_F(DatabaseTest, SetGeneratesPaperEventSequence) {
+  // set f(1) = 10, then set f(1) = 20 produces -(f,1,10), +(f,1,20) for
+  // the second statement (paper §4.1).
+  ASSERT_TRUE(db_.Set(f_, Tuple{Value(1)}, Tuple{Value(10)}).ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  ASSERT_TRUE(db_.Set(f_, Tuple{Value(1)}, Tuple{Value(20)}).ok());
+  ASSERT_EQ(db_.LogSize(), 2u);
+  EXPECT_EQ(db_.UndoLog()[0].op, UpdateEvent::Op::kDelete);
+  EXPECT_EQ(db_.UndoLog()[0].tuple, T(1, 10));
+  EXPECT_EQ(db_.UndoLog()[1].op, UpdateEvent::Op::kInsert);
+  EXPECT_EQ(db_.UndoLog()[1].tuple, T(1, 20));
+}
+
+TEST_F(DatabaseTest, RollbackRestoresState) {
+  ASSERT_TRUE(db_.Insert(f_, T(1, 10)).ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  ASSERT_TRUE(db_.Set(f_, Tuple{Value(1)}, Tuple{Value(99)}).ok());
+  ASSERT_TRUE(db_.Insert(f_, T(2, 20)).ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  const BaseRelation* rel = db_.catalog().GetBaseRelation(f_);
+  EXPECT_TRUE(rel->Contains(T(1, 10)));
+  EXPECT_FALSE(rel->Contains(T(1, 99)));
+  EXPECT_FALSE(rel->Contains(T(2, 20)));
+  EXPECT_EQ(db_.LogSize(), 0u);
+}
+
+TEST_F(DatabaseTest, MonitoredRelationAccumulatesNetDeltas) {
+  db_.MarkMonitored(f_);
+  ASSERT_TRUE(db_.Set(f_, Tuple{Value(1)}, Tuple{Value(100)}).ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  // Update twice, ending at the original value: no net effect (§4.1).
+  ASSERT_TRUE(db_.Set(f_, Tuple{Value(1)}, Tuple{Value(150)}).ok());
+  ASSERT_TRUE(db_.Set(f_, Tuple{Value(1)}, Tuple{Value(100)}).ok());
+  EXPECT_EQ(db_.LogSize(), 4u);  // four physical events
+  EXPECT_FALSE(db_.HasPendingChanges());
+  EXPECT_TRUE(db_.TakePendingDeltas().empty());
+}
+
+TEST_F(DatabaseTest, UnmonitoredRelationAccumulatesNothing) {
+  ASSERT_TRUE(db_.Insert(f_, T(1, 10)).ok());
+  EXPECT_FALSE(db_.HasPendingChanges());
+  EXPECT_TRUE(db_.PendingDeltas().empty());
+}
+
+TEST_F(DatabaseTest, MonitorRefCounting) {
+  db_.MarkMonitored(f_);
+  db_.MarkMonitored(f_);
+  db_.UnmarkMonitored(f_);
+  EXPECT_TRUE(db_.IsMonitored(f_));
+  db_.UnmarkMonitored(f_);
+  EXPECT_FALSE(db_.IsMonitored(f_));
+}
+
+TEST_F(DatabaseTest, CommitRunsCheckPhaseAndClears) {
+  int calls = 0;
+  db_.SetCheckPhase([&calls](Database&) {
+    ++calls;
+    return Status::OK();
+  });
+  ASSERT_TRUE(db_.Insert(f_, T(1, 1)).ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(db_.LogSize(), 0u);
+}
+
+TEST_F(DatabaseTest, FailedCheckPhaseKeepsTransactionOpen) {
+  db_.SetCheckPhase(
+      [](Database&) { return Status::FailedPrecondition("veto"); });
+  ASSERT_TRUE(db_.Insert(f_, T(1, 1)).ok());
+  EXPECT_FALSE(db_.Commit().ok());
+  EXPECT_EQ(db_.LogSize(), 1u);
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_FALSE(db_.catalog().GetBaseRelation(f_)->Contains(T(1, 1)));
+}
+
+TEST_F(DatabaseTest, TypeErrorsRejected) {
+  EXPECT_FALSE(db_.Insert(f_, Tuple{Value("x"), Value(1)}).ok());
+  EXPECT_FALSE(db_.Insert(f_, Tuple{Value(1)}).ok());
+  EXPECT_FALSE(db_.Insert(999, T(1, 1)).ok());
+}
+
+TEST_F(DatabaseTest, StatsCountEvents) {
+  ASSERT_TRUE(db_.Insert(f_, T(1, 1)).ok());
+  ASSERT_TRUE(db_.Insert(f_, T(2, 2)).ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  ASSERT_TRUE(db_.Delete(f_, T(1, 1)).ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(db_.stats().events_logged, 3u);
+  EXPECT_EQ(db_.stats().commits, 1u);
+  EXPECT_EQ(db_.stats().rollbacks, 1u);
+}
+
+}  // namespace
+}  // namespace deltamon
