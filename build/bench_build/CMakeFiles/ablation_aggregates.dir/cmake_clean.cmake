@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_aggregates"
+  "../bench/ablation_aggregates.pdb"
+  "CMakeFiles/ablation_aggregates.dir/ablation_aggregates.cc.o"
+  "CMakeFiles/ablation_aggregates.dir/ablation_aggregates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_materialization"
+  "../bench/ablation_materialization.pdb"
+  "CMakeFiles/ablation_materialization.dir/ablation_materialization.cc.o"
+  "CMakeFiles/ablation_materialization.dir/ablation_materialization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_node_sharing"
+  "../bench/ablation_node_sharing.pdb"
+  "CMakeFiles/ablation_node_sharing.dir/ablation_node_sharing.cc.o"
+  "CMakeFiles/ablation_node_sharing.dir/ablation_node_sharing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

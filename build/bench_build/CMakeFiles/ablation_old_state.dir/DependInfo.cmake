@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_old_state.cc" "bench_build/CMakeFiles/ablation_old_state.dir/ablation_old_state.cc.o" "gcc" "bench_build/CMakeFiles/ablation_old_state.dir/ablation_old_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/deltamon_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/deltamon_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/relalg/CMakeFiles/deltamon_relalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/deltamon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectlog/CMakeFiles/deltamon_objectlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deltamon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/deltamon_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deltamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

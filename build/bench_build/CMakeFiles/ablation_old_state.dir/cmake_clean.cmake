@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_old_state"
+  "../bench/ablation_old_state.pdb"
+  "CMakeFiles/ablation_old_state.dir/ablation_old_state.cc.o"
+  "CMakeFiles/ablation_old_state.dir/ablation_old_state.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_old_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_recursion"
+  "../bench/ablation_recursion.pdb"
+  "CMakeFiles/ablation_recursion.dir/ablation_recursion.cc.o"
+  "CMakeFiles/ablation_recursion.dir/ablation_recursion.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

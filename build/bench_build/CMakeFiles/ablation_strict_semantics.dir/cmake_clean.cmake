@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_strict_semantics"
+  "../bench/ablation_strict_semantics.pdb"
+  "CMakeFiles/ablation_strict_semantics.dir/ablation_strict_semantics.cc.o"
+  "CMakeFiles/ablation_strict_semantics.dir/ablation_strict_semantics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strict_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_operator_differencing"
+  "../bench/fig4_operator_differencing.pdb"
+  "CMakeFiles/fig4_operator_differencing.dir/fig4_operator_differencing.cc.o"
+  "CMakeFiles/fig4_operator_differencing.dir/fig4_operator_differencing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_operator_differencing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

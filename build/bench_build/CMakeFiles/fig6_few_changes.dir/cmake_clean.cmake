@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_few_changes"
+  "../bench/fig6_few_changes.pdb"
+  "CMakeFiles/fig6_few_changes.dir/fig6_few_changes.cc.o"
+  "CMakeFiles/fig6_few_changes.dir/fig6_few_changes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_few_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_massive_changes"
+  "../bench/fig7_massive_changes.pdb"
+  "CMakeFiles/fig7_massive_changes.dir/fig7_massive_changes.cc.o"
+  "CMakeFiles/fig7_massive_changes.dir/fig7_massive_changes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_massive_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/hybrid_crossover"
+  "../bench/hybrid_crossover.pdb"
+  "CMakeFiles/hybrid_crossover.dir/hybrid_crossover.cc.o"
+  "CMakeFiles/hybrid_crossover.dir/hybrid_crossover.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

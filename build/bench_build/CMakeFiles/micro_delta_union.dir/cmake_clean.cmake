@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_delta_union"
+  "../bench/micro_delta_union.pdb"
+  "CMakeFiles/micro_delta_union.dir/micro_delta_union.cc.o"
+  "CMakeFiles/micro_delta_union.dir/micro_delta_union.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_delta_union.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

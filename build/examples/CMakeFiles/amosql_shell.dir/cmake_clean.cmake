@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amosql_shell.dir/amosql_shell.cpp.o"
+  "CMakeFiles/amosql_shell.dir/amosql_shell.cpp.o.d"
+  "amosql_shell"
+  "amosql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amosql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

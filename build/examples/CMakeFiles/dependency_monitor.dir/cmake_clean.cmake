@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependency_monitor.dir/dependency_monitor.cpp.o"
+  "CMakeFiles/dependency_monitor.dir/dependency_monitor.cpp.o.d"
+  "dependency_monitor"
+  "dependency_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependency_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

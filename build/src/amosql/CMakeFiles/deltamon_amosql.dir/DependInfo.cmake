@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amosql/ast.cc" "src/amosql/CMakeFiles/deltamon_amosql.dir/ast.cc.o" "gcc" "src/amosql/CMakeFiles/deltamon_amosql.dir/ast.cc.o.d"
+  "/root/repo/src/amosql/compiler.cc" "src/amosql/CMakeFiles/deltamon_amosql.dir/compiler.cc.o" "gcc" "src/amosql/CMakeFiles/deltamon_amosql.dir/compiler.cc.o.d"
+  "/root/repo/src/amosql/lexer.cc" "src/amosql/CMakeFiles/deltamon_amosql.dir/lexer.cc.o" "gcc" "src/amosql/CMakeFiles/deltamon_amosql.dir/lexer.cc.o.d"
+  "/root/repo/src/amosql/parser.cc" "src/amosql/CMakeFiles/deltamon_amosql.dir/parser.cc.o" "gcc" "src/amosql/CMakeFiles/deltamon_amosql.dir/parser.cc.o.d"
+  "/root/repo/src/amosql/session.cc" "src/amosql/CMakeFiles/deltamon_amosql.dir/session.cc.o" "gcc" "src/amosql/CMakeFiles/deltamon_amosql.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/deltamon_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/deltamon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectlog/CMakeFiles/deltamon_objectlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deltamon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/deltamon_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deltamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_amosql.dir/ast.cc.o"
+  "CMakeFiles/deltamon_amosql.dir/ast.cc.o.d"
+  "CMakeFiles/deltamon_amosql.dir/compiler.cc.o"
+  "CMakeFiles/deltamon_amosql.dir/compiler.cc.o.d"
+  "CMakeFiles/deltamon_amosql.dir/lexer.cc.o"
+  "CMakeFiles/deltamon_amosql.dir/lexer.cc.o.d"
+  "CMakeFiles/deltamon_amosql.dir/parser.cc.o"
+  "CMakeFiles/deltamon_amosql.dir/parser.cc.o.d"
+  "CMakeFiles/deltamon_amosql.dir/session.cc.o"
+  "CMakeFiles/deltamon_amosql.dir/session.cc.o.d"
+  "libdeltamon_amosql.a"
+  "libdeltamon_amosql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_amosql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

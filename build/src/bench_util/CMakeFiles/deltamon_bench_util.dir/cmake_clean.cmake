@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_bench_util.dir/inventory.cc.o"
+  "CMakeFiles/deltamon_bench_util.dir/inventory.cc.o.d"
+  "libdeltamon_bench_util.a"
+  "libdeltamon_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

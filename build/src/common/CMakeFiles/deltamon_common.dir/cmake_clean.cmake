@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_common.dir/status.cc.o"
+  "CMakeFiles/deltamon_common.dir/status.cc.o.d"
+  "CMakeFiles/deltamon_common.dir/tuple.cc.o"
+  "CMakeFiles/deltamon_common.dir/tuple.cc.o.d"
+  "CMakeFiles/deltamon_common.dir/value.cc.o"
+  "CMakeFiles/deltamon_common.dir/value.cc.o.d"
+  "libdeltamon_common.a"
+  "libdeltamon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

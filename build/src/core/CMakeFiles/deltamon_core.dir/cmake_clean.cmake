@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_core.dir/materialized_views.cc.o"
+  "CMakeFiles/deltamon_core.dir/materialized_views.cc.o.d"
+  "CMakeFiles/deltamon_core.dir/network.cc.o"
+  "CMakeFiles/deltamon_core.dir/network.cc.o.d"
+  "CMakeFiles/deltamon_core.dir/propagator.cc.o"
+  "CMakeFiles/deltamon_core.dir/propagator.cc.o.d"
+  "libdeltamon_core.a"
+  "libdeltamon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

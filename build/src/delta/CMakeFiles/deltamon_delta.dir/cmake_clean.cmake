@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_delta.dir/delta_set.cc.o"
+  "CMakeFiles/deltamon_delta.dir/delta_set.cc.o.d"
+  "libdeltamon_delta.a"
+  "libdeltamon_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/objectlog/ast.cc" "src/objectlog/CMakeFiles/deltamon_objectlog.dir/ast.cc.o" "gcc" "src/objectlog/CMakeFiles/deltamon_objectlog.dir/ast.cc.o.d"
+  "/root/repo/src/objectlog/eval.cc" "src/objectlog/CMakeFiles/deltamon_objectlog.dir/eval.cc.o" "gcc" "src/objectlog/CMakeFiles/deltamon_objectlog.dir/eval.cc.o.d"
+  "/root/repo/src/objectlog/registry.cc" "src/objectlog/CMakeFiles/deltamon_objectlog.dir/registry.cc.o" "gcc" "src/objectlog/CMakeFiles/deltamon_objectlog.dir/registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/deltamon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/deltamon_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deltamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

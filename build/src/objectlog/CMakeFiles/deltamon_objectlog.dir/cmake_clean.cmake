@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_objectlog.dir/ast.cc.o"
+  "CMakeFiles/deltamon_objectlog.dir/ast.cc.o.d"
+  "CMakeFiles/deltamon_objectlog.dir/eval.cc.o"
+  "CMakeFiles/deltamon_objectlog.dir/eval.cc.o.d"
+  "CMakeFiles/deltamon_objectlog.dir/registry.cc.o"
+  "CMakeFiles/deltamon_objectlog.dir/registry.cc.o.d"
+  "libdeltamon_objectlog.a"
+  "libdeltamon_objectlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_objectlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeltamon_objectlog.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deltamon_objectlog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for deltamon_objectlog.
+# This may be replaced when dependencies are built.

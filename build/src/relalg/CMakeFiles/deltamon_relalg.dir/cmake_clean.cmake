@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_relalg.dir/relalg.cc.o"
+  "CMakeFiles/deltamon_relalg.dir/relalg.cc.o.d"
+  "libdeltamon_relalg.a"
+  "libdeltamon_relalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_relalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

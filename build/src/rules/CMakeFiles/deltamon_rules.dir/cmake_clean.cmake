@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_rules.dir/rule_manager.cc.o"
+  "CMakeFiles/deltamon_rules.dir/rule_manager.cc.o.d"
+  "libdeltamon_rules.a"
+  "libdeltamon_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

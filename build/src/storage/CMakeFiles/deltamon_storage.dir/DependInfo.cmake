@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/base_relation.cc" "src/storage/CMakeFiles/deltamon_storage.dir/base_relation.cc.o" "gcc" "src/storage/CMakeFiles/deltamon_storage.dir/base_relation.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/deltamon_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/deltamon_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/storage/CMakeFiles/deltamon_storage.dir/database.cc.o" "gcc" "src/storage/CMakeFiles/deltamon_storage.dir/database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deltamon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/deltamon_delta.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

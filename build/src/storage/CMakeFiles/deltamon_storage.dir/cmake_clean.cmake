@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_storage.dir/base_relation.cc.o"
+  "CMakeFiles/deltamon_storage.dir/base_relation.cc.o.d"
+  "CMakeFiles/deltamon_storage.dir/catalog.cc.o"
+  "CMakeFiles/deltamon_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/deltamon_storage.dir/database.cc.o"
+  "CMakeFiles/deltamon_storage.dir/database.cc.o.d"
+  "libdeltamon_storage.a"
+  "libdeltamon_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/compiler_test.cc.o"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/compiler_test.cc.o.d"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/fuzz_test.cc.o"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/fuzz_test.cc.o.d"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/lexer_test.cc.o"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/lexer_test.cc.o.d"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/parser_test.cc.o"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/parser_test.cc.o.d"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/session_test.cc.o"
+  "CMakeFiles/deltamon_amosql_test.dir/amosql/session_test.cc.o.d"
+  "deltamon_amosql_test"
+  "deltamon_amosql_test.pdb"
+  "deltamon_amosql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_amosql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

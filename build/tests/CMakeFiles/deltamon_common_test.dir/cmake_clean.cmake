@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_common_test.dir/common/status_test.cc.o"
+  "CMakeFiles/deltamon_common_test.dir/common/status_test.cc.o.d"
+  "CMakeFiles/deltamon_common_test.dir/common/tuple_test.cc.o"
+  "CMakeFiles/deltamon_common_test.dir/common/tuple_test.cc.o.d"
+  "CMakeFiles/deltamon_common_test.dir/common/value_test.cc.o"
+  "CMakeFiles/deltamon_common_test.dir/common/value_test.cc.o.d"
+  "deltamon_common_test"
+  "deltamon_common_test.pdb"
+  "deltamon_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_core_test.dir/core/aggregate_test.cc.o"
+  "CMakeFiles/deltamon_core_test.dir/core/aggregate_test.cc.o.d"
+  "CMakeFiles/deltamon_core_test.dir/core/materialization_test.cc.o"
+  "CMakeFiles/deltamon_core_test.dir/core/materialization_test.cc.o.d"
+  "CMakeFiles/deltamon_core_test.dir/core/network_print_test.cc.o"
+  "CMakeFiles/deltamon_core_test.dir/core/network_print_test.cc.o.d"
+  "CMakeFiles/deltamon_core_test.dir/core/propagation_test.cc.o"
+  "CMakeFiles/deltamon_core_test.dir/core/propagation_test.cc.o.d"
+  "CMakeFiles/deltamon_core_test.dir/core/propagator_edge_test.cc.o"
+  "CMakeFiles/deltamon_core_test.dir/core/propagator_edge_test.cc.o.d"
+  "CMakeFiles/deltamon_core_test.dir/core/recursion_test.cc.o"
+  "CMakeFiles/deltamon_core_test.dir/core/recursion_test.cc.o.d"
+  "deltamon_core_test"
+  "deltamon_core_test.pdb"
+  "deltamon_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_delta_test.dir/delta/delta_set_test.cc.o"
+  "CMakeFiles/deltamon_delta_test.dir/delta/delta_set_test.cc.o.d"
+  "deltamon_delta_test"
+  "deltamon_delta_test.pdb"
+  "deltamon_delta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_delta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

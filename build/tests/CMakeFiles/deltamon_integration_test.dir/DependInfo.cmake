@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/equivalence_test.cc" "tests/CMakeFiles/deltamon_integration_test.dir/integration/equivalence_test.cc.o" "gcc" "tests/CMakeFiles/deltamon_integration_test.dir/integration/equivalence_test.cc.o.d"
+  "/root/repo/tests/integration/paper_example_test.cc" "tests/CMakeFiles/deltamon_integration_test.dir/integration/paper_example_test.cc.o" "gcc" "tests/CMakeFiles/deltamon_integration_test.dir/integration/paper_example_test.cc.o.d"
+  "/root/repo/tests/integration/random_network_test.cc" "tests/CMakeFiles/deltamon_integration_test.dir/integration/random_network_test.cc.o" "gcc" "tests/CMakeFiles/deltamon_integration_test.dir/integration/random_network_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bench_util/CMakeFiles/deltamon_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rules/CMakeFiles/deltamon_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/relalg/CMakeFiles/deltamon_relalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/amosql/CMakeFiles/deltamon_amosql.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/deltamon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectlog/CMakeFiles/deltamon_objectlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/deltamon_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/delta/CMakeFiles/deltamon_delta.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deltamon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_integration_test.dir/integration/equivalence_test.cc.o"
+  "CMakeFiles/deltamon_integration_test.dir/integration/equivalence_test.cc.o.d"
+  "CMakeFiles/deltamon_integration_test.dir/integration/paper_example_test.cc.o"
+  "CMakeFiles/deltamon_integration_test.dir/integration/paper_example_test.cc.o.d"
+  "CMakeFiles/deltamon_integration_test.dir/integration/random_network_test.cc.o"
+  "CMakeFiles/deltamon_integration_test.dir/integration/random_network_test.cc.o.d"
+  "deltamon_integration_test"
+  "deltamon_integration_test.pdb"
+  "deltamon_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_objectlog_test.dir/objectlog/eval_edge_test.cc.o"
+  "CMakeFiles/deltamon_objectlog_test.dir/objectlog/eval_edge_test.cc.o.d"
+  "CMakeFiles/deltamon_objectlog_test.dir/objectlog/eval_test.cc.o"
+  "CMakeFiles/deltamon_objectlog_test.dir/objectlog/eval_test.cc.o.d"
+  "CMakeFiles/deltamon_objectlog_test.dir/objectlog/registry_test.cc.o"
+  "CMakeFiles/deltamon_objectlog_test.dir/objectlog/registry_test.cc.o.d"
+  "deltamon_objectlog_test"
+  "deltamon_objectlog_test.pdb"
+  "deltamon_objectlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_objectlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

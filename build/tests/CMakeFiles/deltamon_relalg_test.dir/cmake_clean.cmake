@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_relalg_test.dir/relalg/old_state_view_test.cc.o"
+  "CMakeFiles/deltamon_relalg_test.dir/relalg/old_state_view_test.cc.o.d"
+  "CMakeFiles/deltamon_relalg_test.dir/relalg/relalg_test.cc.o"
+  "CMakeFiles/deltamon_relalg_test.dir/relalg/relalg_test.cc.o.d"
+  "deltamon_relalg_test"
+  "deltamon_relalg_test.pdb"
+  "deltamon_relalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_relalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

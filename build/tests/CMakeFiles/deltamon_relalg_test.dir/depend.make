@@ -1,0 +1,2 @@
+# Empty dependencies file for deltamon_relalg_test.
+# This may be replaced when dependencies are built.

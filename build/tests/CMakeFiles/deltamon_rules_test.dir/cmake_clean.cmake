@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_rules_test.dir/rules/cascade_test.cc.o"
+  "CMakeFiles/deltamon_rules_test.dir/rules/cascade_test.cc.o.d"
+  "CMakeFiles/deltamon_rules_test.dir/rules/foreign_test.cc.o"
+  "CMakeFiles/deltamon_rules_test.dir/rules/foreign_test.cc.o.d"
+  "CMakeFiles/deltamon_rules_test.dir/rules/immediate_test.cc.o"
+  "CMakeFiles/deltamon_rules_test.dir/rules/immediate_test.cc.o.d"
+  "CMakeFiles/deltamon_rules_test.dir/rules/rules_test.cc.o"
+  "CMakeFiles/deltamon_rules_test.dir/rules/rules_test.cc.o.d"
+  "deltamon_rules_test"
+  "deltamon_rules_test.pdb"
+  "deltamon_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

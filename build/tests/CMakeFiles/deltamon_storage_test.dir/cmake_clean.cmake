@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deltamon_storage_test.dir/storage/storage_test.cc.o"
+  "CMakeFiles/deltamon_storage_test.dir/storage/storage_test.cc.o.d"
+  "deltamon_storage_test"
+  "deltamon_storage_test.pdb"
+  "deltamon_storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deltamon_storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/deltamon_common_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_delta_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_storage_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_objectlog_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_core_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_rules_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_amosql_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/deltamon_relalg_test[1]_include.cmake")
