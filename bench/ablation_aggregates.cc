@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "objectlog/eval.h"
 #include "rules/engine.h"
 
@@ -150,4 +152,4 @@ BENCHMARK(deltamon::BM_Aggregate_Naive)
     ->Range(10, 10000)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("ablation_aggregates");

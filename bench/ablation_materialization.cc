@@ -17,6 +17,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "bench_util/inventory.h"
 
 namespace deltamon {
@@ -124,4 +126,4 @@ BENCHMARK(deltamon::BM_PFStyle_MaterializedViews)
     ->Range(100, 10000)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("ablation_materialization");

@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "bench_util/inventory.h"
 
 namespace deltamon {
@@ -147,4 +149,4 @@ BENCHMARK(deltamon::BM_Bushy_SharedThreshold)
     ->Range(100, 10000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("ablation_node_sharing");

@@ -18,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "relalg/relalg.h"
 
 namespace deltamon {
@@ -94,4 +96,4 @@ BENCHMARK(deltamon::BM_OldState_Materialize)->Range(1024, 262144);
 BENCHMARK(deltamon::BM_OldState_LazyView)->Range(1024, 262144);
 BENCHMARK(deltamon::BM_OldState_Snapshot)->Range(1024, 262144);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("ablation_old_state");

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "objectlog/eval.h"
 #include "rules/engine.h"
 
@@ -180,4 +182,4 @@ BENCHMARK(deltamon::BM_Reachability_InsertOnly_Naive)
     ->Range(64, 4096)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("ablation_recursion");

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "bench_util/inventory.h"
 
 namespace deltamon {
@@ -88,4 +90,4 @@ BENCHMARK(deltamon::BM_Strict_Full)
     ->Range(1, 256)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("ablation_strict_semantics");

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "relalg/relalg.h"
 
 namespace deltamon::relalg {
@@ -210,4 +212,4 @@ BENCHMARK(deltamon::relalg::BM_Product_Recompute)
     ->Range(16, 256)
     ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("fig4_operator_differencing");

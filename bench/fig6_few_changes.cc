@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "bench_util/inventory.h"
 
 namespace deltamon {
@@ -88,4 +90,4 @@ BENCHMARK(deltamon::BM_Fig6_Naive)
     ->Range(1, 10000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("fig6_few_changes");

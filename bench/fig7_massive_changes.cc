@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "bench_util/inventory.h"
 
 namespace deltamon {
@@ -85,4 +87,4 @@ BENCHMARK(deltamon::BM_Fig7_Hybrid)
     ->Range(10, 10000)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("fig7_massive_changes");

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "bench_util/inventory.h"
 
 namespace deltamon {
@@ -72,4 +74,4 @@ DELTAMON_CROSSOVER_BENCH(BM_Crossover_Incremental);
 DELTAMON_CROSSOVER_BENCH(BM_Crossover_Naive);
 DELTAMON_CROSSOVER_BENCH(BM_Crossover_Hybrid);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("hybrid_crossover");

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/report.h"
+
 #include "delta/delta_set.h"
 
 namespace deltamon {
@@ -98,4 +100,4 @@ BENCHMARK(deltamon::BM_DeltaUnion)->Range(64, 65536);
 BENCHMARK(deltamon::BM_RollbackOldState)->Range(64, 65536);
 BENCHMARK(deltamon::BM_DiffStates)->Range(64, 65536);
 
-BENCHMARK_MAIN();
+DELTAMON_BENCH_MAIN("micro_delta_union");

@@ -123,6 +123,9 @@ int main() {
     if (!result->rows.empty()) {
       std::printf("%s(%zu rows)\n", result->ToString().c_str(),
                   result->rows.size());
+    } else if (!result->report.empty()) {
+      // profile / show metrics output without a select.
+      std::printf("%s", result->report.c_str());
     }
   }
   return 0;

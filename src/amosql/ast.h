@@ -170,11 +170,23 @@ struct SelectStmt {
 struct CommitStmt {};
 struct RollbackStmt {};
 
+struct Statement;
+
+/// `profile <statement>` — executes the wrapped statement and reports the
+/// wall time, the delta of every obs metric it moved, and (for statements
+/// that ran a check phase) the executed partial differentials.
+struct ProfileStmt {
+  std::unique_ptr<Statement> inner;
+};
+
+/// `show metrics` — dumps the global obs registry.
+struct ShowMetricsStmt {};
+
 /// A parsed statement (tagged union via variant).
 struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
                CreateInstancesStmt, UpdateStmt, ActivateStmt, SelectStmt,
-               CommitStmt, RollbackStmt>
+               CommitStmt, RollbackStmt, ProfileStmt, ShowMetricsStmt>
       node;
   int line = 1;
 };

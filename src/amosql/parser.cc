@@ -166,6 +166,23 @@ class Parser {
       stmt.node = RollbackStmt{};
       return stmt;
     }
+    if (AtKeyword("profile")) {
+      Take();
+      // The wrapped statement parses (and terminates) as usual, so any
+      // statement form can be profiled, including another profile.
+      DELTAMON_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
+      ProfileStmt profile;
+      profile.inner = std::make_unique<Statement>(std::move(inner));
+      stmt.node = std::move(profile);
+      return stmt;
+    }
+    if (AtKeyword("show")) {
+      Take();
+      DELTAMON_RETURN_IF_ERROR(ExpectKeyword("metrics"));
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = ShowMetricsStmt{};
+      return stmt;
+    }
     return ErrorHere("expected a statement");
   }
 

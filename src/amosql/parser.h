@@ -22,6 +22,7 @@ namespace deltamon::amosql {
 ///   select <exprs> [for each <type> <var>, ... [where <pred>]];
 ///   activate|deactivate <rule>([<exprs>]);
 ///   commit; rollback;
+///   profile <statement>; show metrics;
 ///
 /// `--` and `/* */` comments are supported; keywords are case-insensitive.
 Result<std::vector<Statement>> Parse(const std::string& source);

@@ -1,8 +1,12 @@
 #include "amosql/session.h"
 
+#include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include "objectlog/eval.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 namespace deltamon::amosql {
 
@@ -17,6 +21,7 @@ std::string QueryResult::ToString() const {
     out += t.ToString();
     out += "\n";
   }
+  out += report;
   return out;
 }
 
@@ -73,12 +78,46 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           return ExecSelect(node, last);
         } else if constexpr (std::is_same_v<T, CommitStmt>) {
           return engine_.db.Commit();
+        } else if constexpr (std::is_same_v<T, ProfileStmt>) {
+          return ExecProfile(node, last);
+        } else if constexpr (std::is_same_v<T, ShowMetricsStmt>) {
+          last->report += "METRICS\n" + obs::FormatSnapshot(
+                                            obs::Registry::Global().Snapshot());
+          return Status::OK();
         } else {
           static_assert(std::is_same_v<T, RollbackStmt>);
           return engine_.db.Rollback();
         }
       },
       stmt.node);
+}
+
+Status Session::ExecProfile(const ProfileStmt& stmt, QueryResult* last) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::MetricsSnapshot before = registry.Snapshot();
+  auto start = std::chrono::steady_clock::now();
+  Status status = ExecStatement(*stmt.inner, last);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  DELTAMON_RETURN_IF_ERROR(status);
+
+  double ms = std::chrono::duration<double, std::milli>(elapsed).count();
+  char header[64];
+  std::snprintf(header, sizeof(header), "PROFILE %.3f ms\n", ms);
+  last->report += header;
+  obs::MetricsSnapshot diff = registry.Snapshot().DiffSince(before);
+  last->report += obs::FormatSnapshot(diff);
+
+  // If the statement ran a propagation wave (commit, or any update under
+  // immediate rule processing), show which partial differentials executed
+  // — the paper's §8 "which influents caused the rule to trigger" answer.
+  const std::vector<core::TraceEntry>& trace = engine_.rules.last_trace();
+  if (!trace.empty() && diff.counters.contains("propagator.waves")) {
+    last->report += "differentials:\n";
+    for (const core::TraceEntry& e : trace) {
+      last->report += "  " + e.ToString(engine_.db.catalog()) + "\n";
+    }
+  }
+  return Status::OK();
 }
 
 Status Session::ExecCreateFunction(const CreateFunctionStmt& stmt) {

@@ -13,9 +13,12 @@
 namespace deltamon::amosql {
 
 /// Result of executing AMOSQL source: the rows of the last `select`
-/// statement (empty for pure DDL/DML input).
+/// statement (empty for pure DDL/DML input) plus any session-command
+/// output (`profile`, `show metrics`) accumulated in execution order.
 struct QueryResult {
   std::vector<Tuple> rows;  // deterministically sorted
+  /// Text report of profile / show metrics statements; empty otherwise.
+  std::string report;
 
   std::string ToString() const;
 };
@@ -69,6 +72,7 @@ class Session : public ExtentProvider {
 
  private:
   Status ExecStatement(const Statement& stmt, QueryResult* last_select);
+  Status ExecProfile(const ProfileStmt& stmt, QueryResult* last_select);
   Status ExecCreateFunction(const CreateFunctionStmt& stmt);
   Status ExecCreateRule(const CreateRuleStmt& stmt);
   Status ExecCreateInstances(const CreateInstancesStmt& stmt);

@@ -1,0 +1,118 @@
+#include "bench_util/report.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/report.h"
+
+namespace deltamon::bench {
+
+namespace {
+
+/// Console output as usual, plus a machine-readable record of every
+/// iteration run (aggregates like mean/median are skipped: the JSON keeps
+/// raw runs, trend tooling can aggregate).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;
+    int64_t iterations = 0;
+    double real_time_ns = 0;
+    double cpu_time_ns = 0;
+    bool error = false;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.iterations = static_cast<int64_t>(run.iterations);
+      // Accumulated times are in seconds; store per-iteration nanoseconds.
+      double iters = run.iterations == 0
+                         ? 1.0
+                         : static_cast<double>(run.iterations);
+      e.real_time_ns = run.real_accumulated_time * 1e9 / iters;
+      e.cpu_time_ns = run.cpu_accumulated_time * 1e9 / iters;
+      e.error = run.error_occurred;
+      for (const auto& [name, counter] : run.counters) {
+        e.counters.emplace_back(name, static_cast<double>(counter));
+      }
+      entries_.push_back(std::move(e));
+      total_wall_ns_ += run.real_accumulated_time * 1e9;
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  uint64_t total_wall_ns() const {
+    return static_cast<uint64_t>(total_wall_ns_);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  double total_wall_ns_ = 0;
+};
+
+obs::Json BenchmarksJson(const std::vector<CollectingReporter::Entry>& runs) {
+  obs::Json out = obs::Json::Array();
+  for (const auto& e : runs) {
+    obs::Json b = obs::Json::Object();
+    b.Set("name", e.name);
+    b.Set("iterations", e.iterations);
+    b.Set("real_time_ns", e.real_time_ns);
+    b.Set("cpu_time_ns", e.cpu_time_ns);
+    if (e.error) b.Set("error", true);
+    obs::Json counters = obs::Json::Object();
+    for (const auto& [name, value] : e.counters) counters.Set(name, value);
+    b.Set("counters", std::move(counters));
+    out.Append(std::move(b));
+  }
+  return out;
+}
+
+}  // namespace
+
+int BenchMain(int argc, char** argv, const char* name) {
+  // Measure the runtime-disabled instrumentation path (enabled is the
+  // default): DELTAMON_OBS_DISABLE=1 turns every obs macro into a relaxed
+  // atomic load + branch; the report then carries empty metrics.
+  if (const char* off = std::getenv("DELTAMON_OBS_DISABLE");
+      off != nullptr && off[0] == '1') {
+    obs::SetEnabled(false);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (const char* no_report = std::getenv("DELTAMON_BENCH_NO_REPORT");
+      no_report != nullptr && no_report[0] == '1') {
+    return 0;
+  }
+  const char* dir_env = std::getenv("DELTAMON_BENCH_OUT_DIR");
+  std::string dir = dir_env == nullptr ? "" : dir_env;
+
+  obs::Json report = obs::BuildBenchReport(
+      name, BenchmarksJson(reporter.entries()), reporter.total_wall_ns(),
+      obs::Registry::Global().Snapshot());
+  Status s = obs::WriteBenchReport(report, dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "BENCH_%s.json not written: %s\n", name,
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %sBENCH_%s.json\n",
+               dir.empty() ? "" : (dir + "/").c_str(), name);
+  return 0;
+}
+
+}  // namespace deltamon::bench

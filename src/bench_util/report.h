@@ -1,0 +1,26 @@
+#ifndef DELTAMON_BENCH_UTIL_REPORT_H_
+#define DELTAMON_BENCH_UTIL_REPORT_H_
+
+namespace deltamon::bench {
+
+/// Shared main() for every bench/ program: runs the registered
+/// google-benchmark suite with console output as usual, then writes a
+/// schema-valid `BENCH_<name>.json` snapshot (per-benchmark timings and
+/// counters, the global obs metrics registry, environment, git sha) so the
+/// perf trajectory accumulates run over run.
+///
+/// The report lands in $DELTAMON_BENCH_OUT_DIR (default: the current
+/// working directory). Set DELTAMON_BENCH_NO_REPORT=1 to suppress it, and
+/// DELTAMON_OBS_DISABLE=1 to run with instrumentation runtime-disabled.
+/// Returns the process exit code.
+int BenchMain(int argc, char** argv, const char* name);
+
+}  // namespace deltamon::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() in bench/ programs.
+#define DELTAMON_BENCH_MAIN(name)                       \
+  int main(int argc, char** argv) {                     \
+    return ::deltamon::bench::BenchMain(argc, argv, name); \
+  }
+
+#endif  // DELTAMON_BENCH_UTIL_REPORT_H_

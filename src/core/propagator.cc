@@ -2,7 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace deltamon::core {
+
+void PropagationResult::Stats::PublishToRegistry() const {
+  DELTAMON_OBS_COUNT("propagator.waves", 1);
+  DELTAMON_OBS_COUNT("propagator.differentials_executed",
+                     differentials_executed);
+  DELTAMON_OBS_COUNT("propagator.differentials_skipped",
+                     differentials_skipped);
+  DELTAMON_OBS_COUNT("propagator.tuples_propagated", tuples_propagated);
+  DELTAMON_OBS_COUNT("propagator.filtered_plus", filtered_plus);
+  DELTAMON_OBS_COUNT("propagator.filtered_minus", filtered_minus);
+  DELTAMON_OBS_RECORD("propagator.peak_wavefront_tuples",
+                      peak_wavefront_tuples);
+  DELTAMON_OBS_GAUGE_SET("propagator.materialized_resident_tuples",
+                         materialized_resident_tuples);
+}
 
 std::string TraceEntry::ToString(const Catalog& catalog) const {
   std::string out = "Δ";
@@ -26,6 +44,7 @@ std::vector<TraceEntry> PropagationResult::Explain(RelationId root) const {
 
 Result<PropagationResult> Propagator::Propagate(
     const std::unordered_map<RelationId, DeltaSet>& base_deltas) const {
+  DELTAMON_OBS_SCOPED_TIMER(wave_timer, "propagator.wave_ns");
   PropagationResult result;
   for (const RootSpec& root : network_.roots()) {
     result.root_deltas.emplace(root.relation, DeltaSet());
@@ -71,6 +90,7 @@ Result<PropagationResult> Propagator::Propagate(
 
   const auto& levels = network_.levels();
   for (size_t lvl = 1; lvl < levels.size(); ++lvl) {
+    DELTAMON_OBS_SCOPED_TIMER(level_timer, "propagator.level_ns");
     for (RelationId rel : levels[lvl]) {
       const NetworkNode& node = network_.nodes().at(rel);
       // While this node is being computed, point queries against it (the
@@ -314,6 +334,34 @@ Result<PropagationResult> Propagator::Propagate(
   }
   if (views_ != nullptr) {
     result.stats.materialized_resident_tuples = views_->ResidentTuples();
+  }
+
+  result.stats.PublishToRegistry();
+#if DELTAMON_OBS_ENABLED
+  if (obs::Enabled()) {
+    for (const TraceEntry& e : result.trace) {
+      DELTAMON_OBS_RECORD("propagator.differential_tuples_consumed",
+                          e.tuples_consumed);
+      DELTAMON_OBS_RECORD("propagator.differential_tuples_produced",
+                          e.tuples_produced);
+    }
+  }
+#endif
+  // Structured per-differential flow for external consumers (the trace
+  // sink is orthogonal to the metrics toggle: installing a sink is itself
+  // the opt-in, and emission is one atomic load when none is installed).
+  if (obs::TraceEnabled()) {
+    for (const TraceEntry& e : result.trace) {
+      obs::EmitTrace(obs::TraceEvent{
+          "propagation",
+          "differential",
+          {{"target", static_cast<int64_t>(e.target)},
+           {"influent", static_cast<int64_t>(e.influent)},
+           {"reads_plus", e.reads_plus ? 1 : 0},
+           {"produces_plus", e.produces_plus ? 1 : 0},
+           {"tuples_consumed", static_cast<int64_t>(e.tuples_consumed)},
+           {"tuples_produced", static_cast<int64_t>(e.tuples_produced)}}});
+    }
   }
   return result;
 }

@@ -35,6 +35,11 @@ struct PropagationResult {
   /// Executed differentials, in execution order.
   std::vector<TraceEntry> trace;
 
+  /// Per-wave counters. This struct is a *snapshot view*: the canonical
+  /// cross-wave accounting lives in the global obs registry (the
+  /// `propagator.*` metrics), fed exactly once per wave by
+  /// PublishToRegistry(). Callers that want "what happened in this wave"
+  /// read the struct; callers that want trajectories read the registry.
   struct Stats {
     size_t differentials_executed = 0;
     /// Differentials skipped because their influent side was empty — the
@@ -50,6 +55,11 @@ struct PropagationResult {
     /// Tuples resident in materialized intermediate views after the wave
     /// (0 when running without a MaterializedViewStore).
     size_t materialized_resident_tuples = 0;
+
+    /// Folds this wave into the global obs registry (`propagator.*`);
+    /// called by Propagator::Propagate on success. No-op when
+    /// instrumentation is compiled out or disabled at run time.
+    void PublishToRegistry() const;
   };
   Stats stats;
 

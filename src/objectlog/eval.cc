@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace deltamon::objectlog {
 
 TupleSet* EvalCache::Find(RelationId rel, EvalState state) {
@@ -33,6 +35,13 @@ Evaluator::Evaluator(const Database& db, const DerivedRegistry& registry,
       registry_(registry),
       ctx_(ctx),
       cache_(cache != nullptr ? cache : &own_cache_) {}
+
+Evaluator::~Evaluator() {
+  DELTAMON_OBS_COUNT("eval.clause_evals", stats_.clause_evals);
+  DELTAMON_OBS_COUNT("eval.literal_probes", stats_.literal_probes);
+  DELTAMON_OBS_COUNT("eval.tuples_examined", stats_.tuples_examined);
+  DELTAMON_OBS_COUNT("eval.bindings_produced", stats_.bindings_produced);
+}
 
 Result<Value> Evaluator::TermValue(const Term& term, const Env& env) const {
   if (term.is_const()) return term.constant;
@@ -467,6 +476,7 @@ Status Evaluator::EvalBody(const Clause& clause,
             }
           }
           if (match) {
+            stats_.bindings_produced += bound_here.size();
             status =
                 EvalBody(clause, order, step + 1, env, state_override, emit,
                          stop);
@@ -526,6 +536,7 @@ Status Evaluator::EvalBody(const Clause& clause,
               }
             }
             if (match) {
+              stats_.bindings_produced += bound_here.size();
               status = EvalBody(clause, order, step + 1, env, state_override,
                                 emit, stop);
             }

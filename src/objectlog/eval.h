@@ -76,11 +76,17 @@ class Evaluator {
     uint64_t clause_evals = 0;
     uint64_t literal_probes = 0;   // relation literal evaluations started
     uint64_t tuples_examined = 0;  // tuples produced by scans/probes
+    uint64_t bindings_produced = 0;  // variables bound by literal matches
   };
 
   /// `cache` may be null; a private cache is then used per call.
   Evaluator(const Database& db, const DerivedRegistry& registry,
             StateContext ctx, EvalCache* cache = nullptr);
+
+  /// Publishes the accumulated Stats into the global obs registry
+  /// (`eval.*` counters) — one batch per evaluator lifetime, so the
+  /// per-tuple hot paths only ever touch the local struct.
+  ~Evaluator();
 
   /// Appends to `out` every head tuple derivable from `clause`. Δ-role
   /// literals read ctx.deltas; kOld literals read the rolled-back state.

@@ -1,0 +1,103 @@
+#ifndef DELTAMON_OBS_JSON_H_
+#define DELTAMON_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deltamon::obs {
+
+/// A minimal JSON document model — just enough for the bench reports and
+/// the PROFILE/SHOW METRICS machinery: construction, serialization, and a
+/// strict parser for the round-trip schema tests. No external dependency
+/// (the container image carries none), no clever performance.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(int64_t i) : kind_(Kind::kInt), int_(i) {}
+  Json(uint64_t i) : kind_(Kind::kInt), int_(static_cast<int64_t>(i)) {}
+  Json(int i) : kind_(Kind::kInt), int_(i) {}
+  Json(double d) : kind_(Kind::kDouble), double_(d) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  int64_t as_int() const {
+    return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+
+  /// --- Array access ------------------------------------------------------
+  size_t size() const {
+    return kind_ == Kind::kArray ? array_.size() : members_.size();
+  }
+  void Append(Json value) { array_.push_back(std::move(value)); }
+  const Json& at(size_t i) const { return array_.at(i); }
+  const std::vector<Json>& array_items() const { return array_; }
+
+  /// --- Object access -----------------------------------------------------
+  bool contains(const std::string& key) const;
+  /// Null reference semantics are too easy to misuse; Get returns nullptr
+  /// for a missing key instead.
+  const Json* Get(const std::string& key) const;
+  void Set(const std::string& key, Json value);
+  /// Insertion-ordered members, so emitted documents read top-down.
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Serializes with two-space indentation (stable key order = insertion
+  /// order), ending in a newline at the top level.
+  std::string Dump() const;
+
+  /// Strict parser (UTF-8 passthrough, \uXXXX escapes decoded as-is into
+  /// \u-escaped form is NOT supported — reports are ASCII). Fails with
+  /// ParseError on trailing garbage.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace deltamon::obs
+
+#endif  // DELTAMON_OBS_JSON_H_

@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace deltamon::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+
+/// Bucket index for a sample: 0 holds {0, 1}, i holds [2^(i-1), 2^i).
+/// Samples above 2^63 share the last bucket — bit_width(2^64 - 1) is 64,
+/// one past the array.
+size_t BucketIndex(uint64_t sample) {
+  if (sample <= 1) return 0;
+  size_t i = static_cast<size_t>(std::bit_width(sample - 1));
+  return i < Histogram::kBuckets ? i : Histogram::kBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket i.
+uint64_t BucketUpper(size_t i) {
+  if (i >= 63) return UINT64_MAX;
+  return (uint64_t{1} << i);
+}
+
+uint64_t BucketLower(size_t i) { return i == 0 ? 0 : (uint64_t{1} << (i - 1)); }
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+void Histogram::Record(uint64_t sample) {
+  ++buckets_[BucketIndex(sample)];
+  ++count_;
+  sum_ += sample;
+  if (count_ == 1 || sample < min_) min_ = sample;
+  if (sample > max_) max_ = sample;
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the requested sample, 1-based (nearest-rank definition).
+  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                        static_cast<double>(count_));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] < rank) {
+      seen += buckets_[i];
+      continue;
+    }
+    // Interpolate inside the bucket, clamped to the observed extremes.
+    uint64_t lo = std::max(BucketLower(i), min_);
+    uint64_t hi = std::min(BucketUpper(i), max_);
+    if (hi <= lo) return lo;
+    double frac = static_cast<double>(rank - seen) /
+                  static_cast<double>(buckets_[i]);
+    return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+  }
+  return max_;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& before)
+    const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    uint64_t base = before.CounterOr(name, 0);
+    if (value != base) out.counters[name] = value - base;
+  }
+  for (const auto& [name, value] : gauges) {
+    auto it = before.gauges.find(name);
+    if (it == before.gauges.end() || it->second != value) {
+      out.gauges[name] = value;
+    }
+  }
+  for (const auto& [name, h] : histograms) {
+    auto it = before.histograms.find(name);
+    uint64_t base_count = it == before.histograms.end() ? 0 : it->second.count;
+    if (h.count == base_count) continue;
+    HistogramSample d = h;  // percentiles stay cumulative: buckets are gone
+    d.count = h.count - base_count;
+    d.sum -= it == before.histograms.end() ? 0 : it->second.sum;
+    out.histograms[name] = d;
+  }
+  return out;
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();  // leaked: outlives all users
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramSample s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->Percentile(50);
+    s.p95 = h->Percentile(95);
+    s.p99 = h->Percentile(99);
+    out.histograms[name] = s;
+  }
+  return out;
+}
+
+void Registry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace deltamon::obs

@@ -1,0 +1,251 @@
+#include "obs/report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace deltamon::obs {
+
+namespace {
+
+Json HistogramJson(const MetricsSnapshot::HistogramSample& h) {
+  Json out = Json::Object();
+  out.Set("count", h.count);
+  out.Set("sum", h.sum);
+  out.Set("min", h.min);
+  out.Set("max", h.max);
+  out.Set("p50", h.p50);
+  out.Set("p95", h.p95);
+  out.Set("p99", h.p99);
+  return out;
+}
+
+Status ExpectMember(const Json& obj, const char* key, bool (Json::*pred)()
+                        const, const char* what) {
+  const Json* v = obj.Get(key);
+  if (v == nullptr) {
+    return Status::InvalidArgument(std::string("missing member '") + key +
+                                   "'");
+  }
+  if (!(v->*pred)()) {
+    return Status::InvalidArgument(std::string("member '") + key +
+                                   "' is not " + what);
+  }
+  return Status::OK();
+}
+
+Status ExpectInt(const Json& obj, const char* key) {
+  return ExpectMember(obj, key, &Json::is_int, "an integer");
+}
+
+}  // namespace
+
+Json SnapshotToJson(const MetricsSnapshot& snapshot) {
+  Json counters = Json::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, value);
+  }
+  Json gauges = Json::Object();
+  for (const auto& [name, value] : snapshot.gauges) gauges.Set(name, value);
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    histograms.Set(name, HistogramJson(h));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string FormatSnapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "  %-48s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "  %-48s %12lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "  %-48s count=%llu sum=%llu p50=%llu p95=%llu p99=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  static_cast<unsigned long long>(h.sum),
+                  static_cast<unsigned long long>(h.p50),
+                  static_cast<unsigned long long>(h.p95),
+                  static_cast<unsigned long long>(h.p99));
+    out += line;
+  }
+  if (out.empty()) out = "  (no metrics recorded)\n";
+  return out;
+}
+
+std::string GitSha() {
+  if (const char* env = std::getenv("DELTAMON_GIT_SHA"); env != nullptr) {
+    return env;
+  }
+#ifdef DELTAMON_GIT_SHA
+  return DELTAMON_GIT_SHA;
+#else
+  return "unknown";
+#endif
+}
+
+Json EnvironmentJson() {
+  Json env = Json::Object();
+#if defined(__clang__)
+  env.Set("compiler", std::string("clang ") + __clang_version__);
+#elif defined(__GNUC__)
+  env.Set("compiler", std::string("gcc ") + __VERSION__);
+#else
+  env.Set("compiler", "unknown");
+#endif
+#ifdef DELTAMON_BUILD_TYPE
+  env.Set("build_type", DELTAMON_BUILD_TYPE);
+#elif defined(NDEBUG)
+  env.Set("build_type", "Release");
+#else
+  env.Set("build_type", "Debug");
+#endif
+  env.Set("obs_compiled_in", static_cast<bool>(DELTAMON_OBS_ENABLED));
+  env.Set("cpu_count",
+          static_cast<int64_t>(std::thread::hardware_concurrency()));
+  env.Set("timestamp_unix",
+          static_cast<int64_t>(
+              std::chrono::duration_cast<std::chrono::seconds>(
+                  std::chrono::system_clock::now().time_since_epoch())
+                  .count()));
+  return env;
+}
+
+Json BuildBenchReport(const std::string& name, Json benchmarks,
+                      uint64_t wall_time_ns,
+                      const MetricsSnapshot& snapshot) {
+  Json summary = Json::Object();
+  summary.Set("wall_time_ns", wall_time_ns);
+  summary.Set("differentials_executed",
+              snapshot.CounterOr("propagator.differentials_executed", 0));
+  summary.Set("differentials_skipped",
+              snapshot.CounterOr("propagator.differentials_skipped", 0));
+  summary.Set("tuples_propagated",
+              snapshot.CounterOr("propagator.tuples_propagated", 0));
+
+  Json report = Json::Object();
+  report.Set("schema", kBenchSchema);
+  report.Set("name", name);
+  report.Set("git_sha", GitSha());
+  report.Set("environment", EnvironmentJson());
+  report.Set("summary", std::move(summary));
+  report.Set("benchmarks", std::move(benchmarks));
+  report.Set("metrics", SnapshotToJson(snapshot));
+  return report;
+}
+
+Status ValidateBenchReport(const Json& report) {
+  if (!report.is_object()) {
+    return Status::InvalidArgument("report is not a JSON object");
+  }
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(report, "schema", &Json::is_string, "a string"));
+  if (report.Get("schema")->as_string() != kBenchSchema) {
+    return Status::InvalidArgument("unknown schema '" +
+                                   report.Get("schema")->as_string() + "'");
+  }
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(report, "name", &Json::is_string, "a string"));
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(report, "git_sha", &Json::is_string, "a string"));
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(report, "environment", &Json::is_object, "an object"));
+  const Json& env = *report.Get("environment");
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(env, "compiler", &Json::is_string, "a string"));
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(env, "build_type", &Json::is_string, "a string"));
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(env, "obs_compiled_in", &Json::is_bool, "a bool"));
+  DELTAMON_RETURN_IF_ERROR(ExpectInt(env, "cpu_count"));
+  DELTAMON_RETURN_IF_ERROR(ExpectInt(env, "timestamp_unix"));
+
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(report, "summary", &Json::is_object, "an object"));
+  const Json& summary = *report.Get("summary");
+  for (const char* key : {"wall_time_ns", "differentials_executed",
+                          "differentials_skipped", "tuples_propagated"}) {
+    DELTAMON_RETURN_IF_ERROR(ExpectInt(summary, key));
+  }
+
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(report, "benchmarks", &Json::is_array, "an array"));
+  for (const Json& b : report.Get("benchmarks")->array_items()) {
+    if (!b.is_object()) {
+      return Status::InvalidArgument("benchmarks entry is not an object");
+    }
+    DELTAMON_RETURN_IF_ERROR(
+        ExpectMember(b, "name", &Json::is_string, "a string"));
+    DELTAMON_RETURN_IF_ERROR(ExpectInt(b, "iterations"));
+    DELTAMON_RETURN_IF_ERROR(
+        ExpectMember(b, "real_time_ns", &Json::is_number, "a number"));
+    DELTAMON_RETURN_IF_ERROR(
+        ExpectMember(b, "counters", &Json::is_object, "an object"));
+  }
+
+  DELTAMON_RETURN_IF_ERROR(
+      ExpectMember(report, "metrics", &Json::is_object, "an object"));
+  const Json& metrics = *report.Get("metrics");
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    DELTAMON_RETURN_IF_ERROR(
+        ExpectMember(metrics, key, &Json::is_object, "an object"));
+  }
+  for (const auto& [name, h] : metrics.Get("histograms")->members()) {
+    if (!h.is_object()) {
+      return Status::InvalidArgument("histogram '" + name +
+                                     "' is not an object");
+    }
+    for (const char* key :
+         {"count", "sum", "min", "max", "p50", "p95", "p99"}) {
+      DELTAMON_RETURN_IF_ERROR(ExpectInt(h, key));
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteBenchReport(const Json& report, const std::string& dir) {
+  DELTAMON_RETURN_IF_ERROR(ValidateBenchReport(report));
+  const Json* name = report.Get("name");
+  std::string path = dir.empty() ? "" : dir + "/";
+  path += "BENCH_" + name->as_string() + ".json";
+  return WriteTextFile(path, report.Dump());
+}
+
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int close_err = std::fclose(f);
+  if (written != content.size() || close_err != 0) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open '" + path + "'");
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace deltamon::obs

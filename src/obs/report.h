@@ -1,0 +1,67 @@
+#ifndef DELTAMON_OBS_REPORT_H_
+#define DELTAMON_OBS_REPORT_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace deltamon::obs {
+
+/// Version tag carried by every bench report; bump when the layout below
+/// changes incompatibly. Schema (see docs/observability.md):
+///
+///   {
+///     "schema": "deltamon.bench.v1",
+///     "name": "<bench program>",
+///     "git_sha": "<sha or 'unknown'>",
+///     "environment": { compiler, build_type, obs_compiled_in, cpu_count,
+///                      timestamp_unix },
+///     "summary": { wall_time_ns, differentials_executed,
+///                  differentials_skipped, tuples_propagated },
+///     "benchmarks": [ { name, iterations, real_time_ns, cpu_time_ns,
+///                       counters: {..} } ... ],
+///     "metrics": { counters: {..}, gauges: {..},
+///                  histograms: { <name>: {count,sum,min,max,p50,p95,p99} } }
+///   }
+inline constexpr const char* kBenchSchema = "deltamon.bench.v1";
+
+/// The registry dump as a JSON object {counters, gauges, histograms}.
+Json SnapshotToJson(const MetricsSnapshot& snapshot);
+
+/// Fixed-width text rendering used by SHOW METRICS and PROFILE.
+std::string FormatSnapshot(const MetricsSnapshot& snapshot);
+
+/// Build/host facts worth pinning to a perf number: compiler, build type,
+/// whether instrumentation was compiled in, CPU count, and a unix
+/// timestamp.
+Json EnvironmentJson();
+
+/// Git sha baked in at configure time (-DDELTAMON_GIT_SHA=...), overridable
+/// at run time via the DELTAMON_GIT_SHA environment variable; "unknown"
+/// when neither is present.
+std::string GitSha();
+
+/// Assembles a schema-valid report. `benchmarks` is the per-benchmark
+/// array (may be empty); `wall_time_ns` is the total measured wall time.
+/// The summary's differential/tuple counts come from `snapshot` (0 when the
+/// propagator never ran or instrumentation is compiled out).
+Json BuildBenchReport(const std::string& name, Json benchmarks,
+                      uint64_t wall_time_ns, const MetricsSnapshot& snapshot);
+
+/// Structural validation against kBenchSchema; returns the first problem
+/// found. Used by the round-trip tests and by WriteBenchReport (a report
+/// that fails its own schema is a bug, not a file).
+Status ValidateBenchReport(const Json& report);
+
+/// Validates and writes `report` to `<dir>/BENCH_<name>.json` (dir "" =
+/// current directory).
+Status WriteBenchReport(const Json& report, const std::string& dir);
+
+/// Small file helpers (also used by the round-trip tests).
+Status WriteTextFile(const std::string& path, const std::string& content);
+Result<std::string> ReadTextFile(const std::string& path);
+
+}  // namespace deltamon::obs
+
+#endif  // DELTAMON_OBS_REPORT_H_

@@ -1,0 +1,33 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace deltamon::obs {
+
+namespace {
+std::atomic<TraceSink*> g_sink{nullptr};
+}  // namespace
+
+std::string TraceEvent::ToString() const {
+  std::string out = category + "." + name + "{";
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out += ", ";
+    first = false;
+    out += key + "=" + std::to_string(value);
+  }
+  return out + "}";
+}
+
+void SetTraceSink(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* GetTraceSink() { return g_sink.load(std::memory_order_acquire); }
+
+void EmitTrace(const TraceEvent& event) {
+  TraceSink* sink = GetTraceSink();
+  if (sink != nullptr) sink->OnEvent(event);
+}
+
+}  // namespace deltamon::obs

@@ -1,0 +1,66 @@
+#ifndef DELTAMON_OBS_TRACE_H_
+#define DELTAMON_OBS_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace deltamon::obs {
+
+/// One structured trace event: a category + name and a flat list of
+/// integer fields. The propagation core emits one event per executed
+/// partial differential (paper §8 explainability), keyed by relation ids;
+/// consumers resolve names through the catalog if they want prose.
+struct TraceEvent {
+  std::string category;  // e.g. "propagation", "rules"
+  std::string name;      // e.g. "differential", "rule_fired"
+  std::vector<std::pair<std::string, int64_t>> fields;
+
+  /// `category.name{k=v, ...}`.
+  std::string ToString() const;
+};
+
+/// Receives trace events. Implementations must tolerate events from any
+/// subsystem; emission is disabled wholesale when no sink is installed, so
+/// sinks never see a partial stream.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnEvent(const TraceEvent& event) = 0;
+};
+
+/// Keeps the most recent `capacity` events in memory (older events are
+/// dropped), for tests and the PROFILE command.
+class RingTraceSink : public TraceSink {
+ public:
+  explicit RingTraceSink(size_t capacity = 1024) : capacity_(capacity) {}
+
+  void OnEvent(const TraceEvent& event) override {
+    if (events_.size() == capacity_) events_.pop_front();
+    events_.push_back(event);
+  }
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+
+ private:
+  size_t capacity_;
+  std::deque<TraceEvent> events_;
+};
+
+/// Process-wide sink registration. Null (the default) disables emission;
+/// EmitTrace is then one pointer compare. The caller owns the sink and must
+/// uninstall it (SetTraceSink(nullptr)) before destroying it.
+void SetTraceSink(TraceSink* sink);
+TraceSink* GetTraceSink();
+
+inline bool TraceEnabled() { return GetTraceSink() != nullptr; }
+
+/// Delivers `event` to the installed sink, if any.
+void EmitTrace(const TraceEvent& event);
+
+}  // namespace deltamon::obs
+
+#endif  // DELTAMON_OBS_TRACE_H_

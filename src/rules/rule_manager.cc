@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "objectlog/eval.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace deltamon::rules {
 
@@ -284,6 +286,8 @@ RuleManager::Activation* RuleManager::PickTriggered() {
 
 Status RuleManager::RunIncrementalRound(
     Database& db, const std::unordered_map<RelationId, DeltaSet>& deltas) {
+  DELTAMON_OBS_SCOPED_TIMER(round_timer, "rules.incremental_round_ns");
+  DELTAMON_OBS_COUNT("rules.incremental_rounds", 1);
   DELTAMON_ASSIGN_OR_RETURN(const core::PropagationNetwork* net, network());
   if (net == nullptr) return Status::OK();
   core::MaterializedViewStore* store = nullptr;
@@ -330,6 +334,8 @@ Status RuleManager::RunIncrementalRound(
 
 Status RuleManager::RunNaiveRound(
     Database& db, const std::unordered_map<RelationId, DeltaSet>& deltas) {
+  DELTAMON_OBS_SCOPED_TIMER(round_timer, "rules.naive_round_ns");
+  DELTAMON_OBS_COUNT("rules.naive_rounds", 1);
   objectlog::StateContext ctx;
   ctx.deltas = &deltas;
   for (Activation& act : activations_) {
@@ -342,6 +348,7 @@ Status RuleManager::RunNaiveRound(
     }
     if (!affected) continue;
     ++last_check_.naive_recomputations;
+    DELTAMON_OBS_COUNT("rules.naive_recomputations", 1);
     objectlog::Evaluator ev(db, registry_, ctx);
     TupleSet current;
     DELTAMON_RETURN_IF_ERROR(
@@ -366,6 +373,8 @@ Status RuleManager::RunNaiveRound(
 }
 
 Status RuleManager::CheckPhase(Database& db) {
+  DELTAMON_OBS_SCOPED_TIMER(check_timer, "rules.check_ns");
+  DELTAMON_OBS_COUNT("rules.check_phases", 1);
   last_check_.Reset();
   last_trace_.clear();
   if (activations_.empty()) return Status::OK();
@@ -416,6 +425,23 @@ Status RuleManager::CheckPhase(Database& db) {
       act->pending.Clear();
       ++last_check_.rule_firings;
       const Rule& rule = rules_.at(act->rule);
+      DELTAMON_OBS_COUNT("rules.firings", 1);
+#if DELTAMON_OBS_ENABLED
+      // Per-rule firing latency under a dynamic name: firings are rare
+      // (they run user actions), so the map lookup is irrelevant here.
+      obs::Histogram* action_hist =
+          obs::Enabled() ? obs::Registry::Global().GetHistogram(
+                               "rules.action_ns." + rule.name)
+                         : nullptr;
+      obs::ScopedTimer action_timer(action_hist);
+#endif
+      if (obs::TraceEnabled()) {
+        obs::EmitTrace(obs::TraceEvent{
+            "rules",
+            "rule_fired",
+            {{"rule", static_cast<int64_t>(rule.id)},
+             {"instances", static_cast<int64_t>(instances.size())}}});
+      }
       if (rule.action != nullptr) {
         DELTAMON_RETURN_IF_ERROR(rule.action(db, act->params, instances));
       }

@@ -1,0 +1,153 @@
+/// Explainability surface (paper §1, §8: "one can easily determine which
+/// influents actually caused a rule to trigger and if it was triggered by
+/// an insertion or a deletion"): TraceEntry::ToString must name target,
+/// influent and polarity, and PropagationResult::Explain must isolate the
+/// producing differentials of a root.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/network.h"
+#include "core/propagator.h"
+#include "objectlog/ast.h"
+#include "rules/engine.h"
+
+namespace deltamon {
+namespace {
+
+using core::PropagationNetwork;
+using core::PropagationResult;
+using core::Propagator;
+using core::RootSpec;
+using core::TraceEntry;
+using objectlog::Clause;
+using objectlog::Literal;
+using objectlog::Term;
+
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+
+/// The §4.3 running example: p(X, Z) <- q(X, Y) AND r(Y, Z).
+class ExplainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto q = engine_.db.catalog().CreateStoredFunction(
+        "q", FunctionSignature{{IntCol()}, {IntCol()}});
+    auto r = engine_.db.catalog().CreateStoredFunction(
+        "r", FunctionSignature{{IntCol()}, {IntCol()}});
+    auto p = engine_.db.catalog().CreateDerivedFunction(
+        "p", FunctionSignature{{}, {IntCol(), IntCol()}});
+    ASSERT_TRUE(q.ok() && r.ok() && p.ok());
+    q_ = *q;
+    r_ = *r;
+    p_ = *p;
+
+    Clause c;
+    c.head_relation = p_;
+    c.num_vars = 3;
+    c.var_names = {"X", "Y", "Z"};
+    c.head_args = {Term::Var(0), Term::Var(2)};
+    c.body = {Literal::Relation(q_, {Term::Var(0), Term::Var(1)}),
+              Literal::Relation(r_, {Term::Var(1), Term::Var(2)})};
+    ASSERT_TRUE(
+        engine_.registry.Define(p_, std::move(c), engine_.db.catalog()).ok());
+
+    // DB_old as in §4.3: q(1,1), r(1,2), r(2,3) — derives p(1,2).
+    engine_.db.MarkMonitored(q_);
+    engine_.db.MarkMonitored(r_);
+    ASSERT_TRUE(engine_.db.Insert(q_, T(1, 1)).ok());
+    ASSERT_TRUE(engine_.db.Insert(r_, T(1, 2)).ok());
+    ASSERT_TRUE(engine_.db.Insert(r_, T(2, 3)).ok());
+    ASSERT_TRUE(engine_.db.Commit().ok());
+  }
+
+  Result<PropagationResult> Run(bool needs_minus) {
+    RootSpec root;
+    root.relation = p_;
+    root.needs_minus = needs_minus;
+    auto net = PropagationNetwork::Build({root}, engine_.registry,
+                                         engine_.db.catalog());
+    if (!net.ok()) return net.status();
+    network_ = std::make_unique<PropagationNetwork>(std::move(*net));
+    Propagator prop(engine_.db, engine_.registry, *network_);
+    return prop.Propagate(engine_.db.PendingDeltas());
+  }
+
+  Engine engine_;
+  RelationId q_ = kInvalidRelationId;
+  RelationId r_ = kInvalidRelationId;
+  RelationId p_ = kInvalidRelationId;
+  std::unique_ptr<PropagationNetwork> network_;
+};
+
+TEST_F(ExplainTest, TraceEntryToStringSpellsPaperNotation) {
+  TraceEntry e;
+  e.target = p_;
+  e.influent = q_;
+  e.reads_plus = true;
+  e.produces_plus = true;
+  e.tuples_consumed = 1;
+  e.tuples_produced = 2;
+  EXPECT_EQ(e.ToString(engine_.db.catalog()), "Δ+p/Δ+q: 1 -> 2 tuples");
+
+  e.influent = r_;
+  e.reads_plus = false;
+  e.produces_plus = false;
+  e.tuples_consumed = 3;
+  e.tuples_produced = 0;
+  EXPECT_EQ(e.ToString(engine_.db.catalog()), "Δ-p/Δ-r: 3 -> 0 tuples");
+}
+
+TEST_F(ExplainTest, ExplainNamesTheProducingInfluents) {
+  // §4.3: assert q(1,2) and r(1,4) — both partial differentials produce.
+  ASSERT_TRUE(engine_.db.Insert(q_, T(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Insert(r_, T(1, 4)).ok());
+  auto result = Run(/*needs_minus=*/false);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::vector<TraceEntry> why = result->Explain(p_);
+  ASSERT_EQ(why.size(), 2u);
+  for (const TraceEntry& e : why) {
+    EXPECT_EQ(e.target, p_);
+    EXPECT_TRUE(e.influent == q_ || e.influent == r_);
+    EXPECT_GT(e.tuples_produced, 0u);
+    EXPECT_TRUE(e.produces_plus);
+  }
+}
+
+TEST_F(ExplainTest, ExplainDropsNonProducingDifferentials) {
+  // q(5, 9) joins nothing: the differential executes but produces no
+  // tuples, so the explanation is empty while the trace is not.
+  ASSERT_TRUE(engine_.db.Insert(q_, T(5, 9)).ok());
+  auto result = Run(/*needs_minus=*/false);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  EXPECT_FALSE(result->trace.empty());
+  EXPECT_TRUE(result->Explain(p_).empty());
+}
+
+TEST_F(ExplainTest, ExplainIdentifiesDeletionPolarity) {
+  // Retract r(1,2): p(1,2) disappears, and the explanation must say the
+  // trigger was a deletion (Δ- influent, Δ- production).
+  ASSERT_TRUE(engine_.db.Delete(r_, T(1, 2)).ok());
+  auto result = Run(/*needs_minus=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::vector<TraceEntry> why = result->Explain(p_);
+  ASSERT_FALSE(why.empty());
+  bool saw_minus = false;
+  for (const TraceEntry& e : why) {
+    if (!e.produces_plus) {
+      saw_minus = true;
+      EXPECT_EQ(e.influent, r_);
+      EXPECT_FALSE(e.reads_plus);
+    }
+  }
+  EXPECT_TRUE(saw_minus);
+  EXPECT_TRUE(result->Explain(kInvalidRelationId).empty());
+}
+
+}  // namespace
+}  // namespace deltamon

@@ -1,0 +1,121 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace deltamon::obs {
+namespace {
+
+TEST(JsonTest, ScalarKinds) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(int64_t{-3}).is_int());
+  EXPECT_TRUE(Json(2.5).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_EQ(Json(uint64_t{7}).as_int(), 7);
+  EXPECT_EQ(Json(int64_t{7}).as_double(), 7.0);
+  EXPECT_EQ(Json(2.9).as_int(), 2);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json o = Json::Object();
+  o.Set("zebra", 1);
+  o.Set("apple", 2);
+  o.Set("mango", 3);
+  ASSERT_EQ(o.members().size(), 3u);
+  EXPECT_EQ(o.members()[0].first, "zebra");
+  EXPECT_EQ(o.members()[1].first, "apple");
+  EXPECT_EQ(o.members()[2].first, "mango");
+}
+
+TEST(JsonTest, SetOverwritesExistingKeyInPlace) {
+  Json o = Json::Object();
+  o.Set("a", 1);
+  o.Set("b", 2);
+  o.Set("a", 10);
+  ASSERT_EQ(o.size(), 2u);
+  EXPECT_EQ(o.Get("a")->as_int(), 10);
+  EXPECT_EQ(o.members()[0].first, "a");  // stays in its original slot
+}
+
+TEST(JsonTest, GetReturnsNullptrForMissingKey) {
+  Json o = Json::Object();
+  o.Set("present", 1);
+  EXPECT_NE(o.Get("present"), nullptr);
+  EXPECT_EQ(o.Get("absent"), nullptr);
+  EXPECT_TRUE(o.contains("present"));
+  EXPECT_FALSE(o.contains("absent"));
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  Json o = Json::Object();
+  o.Set("name", "bench \"quoted\"\n");
+  o.Set("count", int64_t{42});
+  o.Set("ratio", 0.5);
+  o.Set("ok", true);
+  o.Set("nothing", Json());
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append("two");
+  Json nested = Json::Object();
+  nested.Set("deep", int64_t{-7});
+  arr.Append(std::move(nested));
+  o.Set("items", std::move(arr));
+
+  auto parsed = Json::Parse(o.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const Json& p = *parsed;
+  EXPECT_EQ(p.Get("name")->as_string(), "bench \"quoted\"\n");
+  EXPECT_EQ(p.Get("count")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(p.Get("ratio")->as_double(), 0.5);
+  EXPECT_TRUE(p.Get("ok")->as_bool());
+  EXPECT_TRUE(p.Get("nothing")->is_null());
+  const Json& items = *p.Get("items");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items.at(0).as_int(), 1);
+  EXPECT_EQ(items.at(1).as_string(), "two");
+  EXPECT_EQ(items.at(2).Get("deep")->as_int(), -7);
+  // A second round trip is byte-identical (stable key order).
+  auto reparsed = Json::Parse(p.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), p.Dump());
+}
+
+TEST(JsonTest, ParseAcceptsWhitespaceAndEmptyContainers) {
+  auto r = Json::Parse("  { \"a\" : [ ] , \"b\" : { } }  ");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->Get("a")->size(), 0u);
+  EXPECT_TRUE(r->Get("b")->is_object());
+}
+
+TEST(JsonTest, ParseNumbers) {
+  auto r = Json::Parse("[0, -12, 3.25, 1e3, -2.5e-2]");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->at(0).as_int(), 0);
+  EXPECT_EQ(r->at(1).as_int(), -12);
+  EXPECT_DOUBLE_EQ(r->at(2).as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(r->at(3).as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(r->at(4).as_double(), -0.025);
+}
+
+TEST(JsonTest, ParseStringEscapes) {
+  auto r = Json::Parse(R"({"s": "a\tb\\c\"dA"})");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->Get("s")->as_string(), "a\tb\\c\"dA");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  // Trailing garbage after a valid document is an error, not ignored.
+  EXPECT_FALSE(Json::Parse("{} extra").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+}
+
+}  // namespace
+}  // namespace deltamon::obs

@@ -1,0 +1,222 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace deltamon::obs {
+namespace {
+
+TEST(CounterTest, AddAndIncrement) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, OverflowWrapsAround) {
+  Counter c;
+  c.Add(std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(c.value(), std::numeric_limits<uint64_t>::max());
+  // Unsigned arithmetic: wrapping is well-defined, not UB, and the
+  // monotonic-between-resets contract tolerates it (a diff that wraps is
+  // visibly absurd rather than a crash).
+  c.Add(2);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(HistogramTest, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryPercentile) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 42u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  // Interpolation is clamped to the observed range, so one sample answers
+  // exactly for every percentile.
+  EXPECT_EQ(h.Percentile(0), 42u);
+  EXPECT_EQ(h.Percentile(50), 42u);
+  EXPECT_EQ(h.Percentile(100), 42u);
+}
+
+TEST(HistogramTest, ZeroSampleHandled) {
+  Histogram h;
+  h.Record(0);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+}
+
+TEST(HistogramTest, PercentilesWithinBucketResolution) {
+  // Uniform 1..1000: the true p50 is 500, p95 is 950, p99 is 990. Bucket
+  // resolution is a factor of two, so assert the half-open bucket bound.
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p95 = h.Percentile(95);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_GE(p50, 250u);
+  EXPECT_LE(p50, 1000u);
+  EXPECT_GE(p95, 475u);
+  EXPECT_LE(p95, 1000u);
+  EXPECT_GE(p99, 495u);
+  EXPECT_LE(p99, 1000u);
+  // Percentiles are monotone in p.
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+}
+
+TEST(HistogramTest, PercentileExactOnPowerOfTwoSpikes) {
+  // Two spikes a factor of 8 apart land in distinct buckets, so the rank
+  // query must pick the right one: 90 samples near 64, 10 near 512.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(64);
+  for (int i = 0; i < 10; ++i) h.Record(512);
+  EXPECT_LT(h.Percentile(50), 128u);
+  EXPECT_GE(h.Percentile(99), 256u);
+}
+
+TEST(HistogramTest, LargeSamplesDoNotOverflowBuckets) {
+  Histogram h;
+  h.Record(std::numeric_limits<uint64_t>::max());
+  h.Record(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+  EXPECT_GE(h.Percentile(99), 1u);
+}
+
+TEST(RegistryTest, MetricPointersAreStableAndShared) {
+  Registry r;
+  Counter* a = r.GetCounter("test.counter");
+  Counter* b = r.GetCounter("test.counter");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->value(), 3u);
+
+  Gauge* g = r.GetGauge("test.gauge");
+  Histogram* h = r.GetHistogram("test.hist_ns");
+  EXPECT_EQ(g, r.GetGauge("test.gauge"));
+  EXPECT_EQ(h, r.GetHistogram("test.hist_ns"));
+}
+
+TEST(RegistryTest, SnapshotReflectsAllKinds) {
+  Registry r;
+  r.GetCounter("c.one")->Add(7);
+  r.GetGauge("g.level")->Set(-4);
+  Histogram* h = r.GetHistogram("h.lat_ns");
+  h->Record(100);
+  h->Record(300);
+
+  MetricsSnapshot snap = r.Snapshot();
+  EXPECT_EQ(snap.CounterOr("c.one", 0), 7u);
+  EXPECT_EQ(snap.CounterOr("c.missing", 99), 99u);
+  EXPECT_EQ(snap.gauges.at("g.level"), -4);
+  const auto& hs = snap.histograms.at("h.lat_ns");
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_EQ(hs.sum, 400u);
+  EXPECT_EQ(hs.min, 100u);
+  EXPECT_EQ(hs.max, 300u);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsPointersValid) {
+  Registry r;
+  Counter* c = r.GetCounter("c.reset");
+  c->Add(5);
+  r.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(r.GetCounter("c.reset"), c);
+  c->Add(1);
+  EXPECT_EQ(r.Snapshot().CounterOr("c.reset", 0), 1u);
+}
+
+TEST(SnapshotTest, DiffSinceDropsUnchangedEntries) {
+  Registry r;
+  r.GetCounter("c.hot")->Add(10);
+  r.GetCounter("c.cold")->Add(3);
+  r.GetGauge("g.level")->Set(8);
+  MetricsSnapshot before = r.Snapshot();
+
+  r.GetCounter("c.hot")->Add(5);
+  r.GetGauge("g.level")->Set(2);
+  MetricsSnapshot diff = r.Snapshot().DiffSince(before);
+
+  EXPECT_EQ(diff.CounterOr("c.hot", 0), 5u);
+  EXPECT_FALSE(diff.counters.contains("c.cold"));
+  // Gauges keep their absolute value in a diff (a level, not a delta).
+  EXPECT_EQ(diff.gauges.at("g.level"), 2);
+}
+
+TEST(MacrosTest, CountGoesToGlobalRegistry) {
+  SetEnabled(true);
+  uint64_t before =
+      Registry::Global().Snapshot().CounterOr("test.macro_count", 0);
+  DELTAMON_OBS_COUNT("test.macro_count", 2);
+  DELTAMON_OBS_COUNT("test.macro_count", 3);
+  uint64_t after =
+      Registry::Global().Snapshot().CounterOr("test.macro_count", 0);
+#if DELTAMON_OBS_ENABLED
+  EXPECT_EQ(after - before, 5u);
+#else
+  EXPECT_EQ(after, before);
+#endif
+}
+
+TEST(MacrosTest, RuntimeDisableSuppressesUpdates) {
+  SetEnabled(true);
+  DELTAMON_OBS_COUNT("test.macro_gate", 1);  // force registration
+  uint64_t before =
+      Registry::Global().Snapshot().CounterOr("test.macro_gate", 0);
+  SetEnabled(false);
+  DELTAMON_OBS_COUNT("test.macro_gate", 100);
+  DELTAMON_OBS_RECORD("test.macro_gate_hist", 100);
+  SetEnabled(true);
+  EXPECT_EQ(Registry::Global().Snapshot().CounterOr("test.macro_gate", 0),
+            before);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoop) {
+  ScopedTimer t(nullptr);  // must not crash on destruction
+}
+
+TEST(ScopedTimerTest, RecordsElapsedNanoseconds) {
+  Histogram h;
+  {
+    ScopedTimer t(&h);
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink = sink + i;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.max(), 0u);
+}
+
+}  // namespace
+}  // namespace deltamon::obs

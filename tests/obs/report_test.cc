@@ -1,0 +1,136 @@
+#include "obs/report.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace deltamon::obs {
+namespace {
+
+MetricsSnapshot SampleSnapshot() {
+  Registry r;
+  r.GetCounter("propagator.differentials_executed")->Add(12);
+  r.GetCounter("propagator.differentials_skipped")->Add(30);
+  r.GetCounter("propagator.tuples_propagated")->Add(77);
+  r.GetCounter("eval.clause_evals")->Add(5);
+  r.GetGauge("db.undo_log_size")->Set(0);
+  Histogram* h = r.GetHistogram("propagator.wave_ns");
+  h->Record(1000);
+  h->Record(3000);
+  return r.Snapshot();
+}
+
+Json SampleBenchmarks() {
+  Json arr = Json::Array();
+  Json b = Json::Object();
+  b.Set("name", "BM_Sample/100");
+  b.Set("iterations", int64_t{2048});
+  b.Set("real_time_ns", 1234.5);
+  b.Set("cpu_time_ns", 1200.0);
+  Json counters = Json::Object();
+  counters.Set("items", 100.0);
+  b.Set("counters", std::move(counters));
+  arr.Append(std::move(b));
+  return arr;
+}
+
+TEST(ReportTest, BuildProducesSchemaValidReport) {
+  Json report =
+      BuildBenchReport("unit_test", SampleBenchmarks(), 987654, SampleSnapshot());
+  Status s = ValidateBenchReport(report);
+  EXPECT_TRUE(s.ok()) << s;
+
+  EXPECT_EQ(report.Get("schema")->as_string(), kBenchSchema);
+  EXPECT_EQ(report.Get("name")->as_string(), "unit_test");
+  const Json& summary = *report.Get("summary");
+  EXPECT_EQ(summary.Get("wall_time_ns")->as_int(), 987654);
+  EXPECT_EQ(summary.Get("differentials_executed")->as_int(), 12);
+  EXPECT_EQ(summary.Get("differentials_skipped")->as_int(), 30);
+  EXPECT_EQ(summary.Get("tuples_propagated")->as_int(), 77);
+}
+
+TEST(ReportTest, SummaryDefaultsToZeroWithoutPropagatorMetrics) {
+  Json report =
+      BuildBenchReport("empty", Json::Array(), 1, MetricsSnapshot{});
+  ASSERT_TRUE(ValidateBenchReport(report).ok());
+  EXPECT_EQ(report.Get("summary")->Get("differentials_executed")->as_int(), 0);
+  EXPECT_EQ(report.Get("summary")->Get("tuples_propagated")->as_int(), 0);
+}
+
+TEST(ReportTest, ValidateRejectsMissingOrMistypedFields) {
+  Json good =
+      BuildBenchReport("t", SampleBenchmarks(), 10, SampleSnapshot());
+  ASSERT_TRUE(ValidateBenchReport(good).ok());
+
+  Json wrong_schema = good;
+  wrong_schema.Set("schema", "deltamon.bench.v0");
+  EXPECT_FALSE(ValidateBenchReport(wrong_schema).ok());
+
+  Json bad_summary = good;
+  Json summary = *good.Get("summary");
+  summary.Set("wall_time_ns", "fast");
+  bad_summary.Set("summary", std::move(summary));
+  EXPECT_FALSE(ValidateBenchReport(bad_summary).ok());
+
+  Json bad_bench = good;
+  Json benches = Json::Array();
+  Json nameless = Json::Object();
+  nameless.Set("iterations", 1);
+  benches.Append(std::move(nameless));
+  bad_bench.Set("benchmarks", std::move(benches));
+  EXPECT_FALSE(ValidateBenchReport(bad_bench).ok());
+
+  EXPECT_FALSE(ValidateBenchReport(Json::Object()).ok());
+  EXPECT_FALSE(ValidateBenchReport(Json(int64_t{3})).ok());
+}
+
+TEST(ReportTest, WriteReadParseValidateRoundTrip) {
+  Json report = BuildBenchReport("roundtrip", SampleBenchmarks(), 555,
+                                 SampleSnapshot());
+  std::string dir = ::testing::TempDir();
+  Status w = WriteBenchReport(report, dir);
+  ASSERT_TRUE(w.ok()) << w;
+
+  auto text = ReadTextFile(dir + "/BENCH_roundtrip.json");
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto parsed = Json::Parse(*text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(ValidateBenchReport(*parsed).ok());
+
+  // Byte-for-byte stability through the round trip.
+  EXPECT_EQ(parsed->Dump(), report.Dump());
+  // And the metrics made it through: counters, gauges, histograms.
+  const Json& metrics = *parsed->Get("metrics");
+  EXPECT_EQ(metrics.Get("counters")->Get("eval.clause_evals")->as_int(), 5);
+  EXPECT_EQ(metrics.Get("gauges")->Get("db.undo_log_size")->as_int(), 0);
+  const Json& wave = *metrics.Get("histograms")->Get("propagator.wave_ns");
+  EXPECT_EQ(wave.Get("count")->as_int(), 2);
+  EXPECT_EQ(wave.Get("sum")->as_int(), 4000);
+  EXPECT_EQ(wave.Get("min")->as_int(), 1000);
+  EXPECT_EQ(wave.Get("max")->as_int(), 3000);
+  EXPECT_GE(wave.Get("p99")->as_int(), wave.Get("p50")->as_int());
+}
+
+TEST(ReportTest, EnvironmentJsonHasPinnedFacts) {
+  Json env = EnvironmentJson();
+  ASSERT_TRUE(env.is_object());
+  EXPECT_TRUE(env.Get("compiler")->is_string());
+  EXPECT_TRUE(env.Get("build_type")->is_string());
+  EXPECT_TRUE(env.Get("obs_compiled_in")->is_bool());
+  EXPECT_GE(env.Get("cpu_count")->as_int(), 1);
+  EXPECT_GT(env.Get("timestamp_unix")->as_int(), 0);
+}
+
+TEST(ReportTest, FormatSnapshotRendersAllSections) {
+  std::string text = FormatSnapshot(SampleSnapshot());
+  EXPECT_NE(text.find("propagator.differentials_executed"), std::string::npos);
+  EXPECT_NE(text.find("db.undo_log_size"), std::string::npos);
+  EXPECT_NE(text.find("propagator.wave_ns"), std::string::npos);
+  EXPECT_EQ(FormatSnapshot(MetricsSnapshot{}), "  (no metrics recorded)\n");
+}
+
+}  // namespace
+}  // namespace deltamon::obs
