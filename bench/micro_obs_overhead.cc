@@ -8,6 +8,8 @@
 
 #include "bench_util/report.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 
 namespace deltamon {
 namespace {
@@ -59,6 +61,32 @@ void BM_ScopedTimer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ScopedTimer);
+
+void BM_SpanNoSink(benchmark::State& state) {
+  // The disabled path every propagation wave pays when nobody traces: the
+  // constructor's TraceEnabled() load and the destructor's branch. Must
+  // stay within the same budget as a disabled counter.
+  obs::SetTraceSink(nullptr);
+  for (auto _ : state) {
+    DELTAMON_OBS_SPAN(span, "bench", "obs_overhead");
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_SpanNoSink);
+
+void BM_SpanRingSink(benchmark::State& state) {
+  // The enabled path `trace <stmt>;` pays per span: id allocation, two
+  // clock reads, building and emitting the TraceEvent into the ring.
+  obs::RingTraceSink ring(4096);
+  obs::SetTraceSink(&ring);
+  for (auto _ : state) {
+    DELTAMON_OBS_SPAN(span, "bench", "obs_overhead");
+    span.AddField("value", 1);
+  }
+  obs::SetTraceSink(nullptr);
+  state.counters["dropped"] = static_cast<double>(ring.dropped_events());
+}
+BENCHMARK(BM_SpanRingSink);
 
 void BM_RegistrySnapshot(benchmark::State& state) {
   obs::SetEnabled(true);

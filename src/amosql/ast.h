@@ -182,11 +182,31 @@ struct ProfileStmt {
 /// `show metrics` — dumps the global obs registry.
 struct ShowMetricsStmt {};
 
+/// `trace ["file.json"] <statement>` — executes the wrapped statement with
+/// a trace sink installed, writes the recorded spans as a Chrome/Perfetto
+/// trace_event file, and prints the span tree.
+struct TraceStmt {
+  std::unique_ptr<Statement> inner;
+  std::string path;  // empty → "deltamon_trace.json"
+};
+
+/// `show network [rule]` — prints the propagation network topology with
+/// per-node attribution stats and its Graphviz dot rendering, optionally
+/// restricted to the subgraph feeding one rule's condition.
+struct ShowNetworkStmt {
+  std::string rule;  // empty → the whole network
+};
+
+/// `reset metrics` — zeroes every counter/gauge/histogram in the global
+/// obs registry and the propagation network's node attribution.
+struct ResetMetricsStmt {};
+
 /// A parsed statement (tagged union via variant).
 struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
                CreateInstancesStmt, UpdateStmt, ActivateStmt, SelectStmt,
-               CommitStmt, RollbackStmt, ProfileStmt, ShowMetricsStmt>
+               CommitStmt, RollbackStmt, ProfileStmt, ShowMetricsStmt,
+               TraceStmt, ShowNetworkStmt, ResetMetricsStmt>
       node;
   int line = 1;
 };

@@ -176,11 +176,35 @@ class Parser {
       stmt.node = std::move(profile);
       return stmt;
     }
+    if (AtKeyword("trace")) {
+      Take();
+      TraceStmt trace;
+      // Optional output path as a string literal before the statement.
+      if (At(TokenKind::kString)) trace.path = Take().text;
+      DELTAMON_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
+      trace.inner = std::make_unique<Statement>(std::move(inner));
+      stmt.node = std::move(trace);
+      return stmt;
+    }
     if (AtKeyword("show")) {
       Take();
+      if (MatchKeyword("network")) {
+        ShowNetworkStmt show;
+        if (At(TokenKind::kIdentifier)) show.rule = Take().text;
+        DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+        stmt.node = std::move(show);
+        return stmt;
+      }
       DELTAMON_RETURN_IF_ERROR(ExpectKeyword("metrics"));
       DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
       stmt.node = ShowMetricsStmt{};
+      return stmt;
+    }
+    if (AtKeyword("reset")) {
+      Take();
+      DELTAMON_RETURN_IF_ERROR(ExpectKeyword("metrics"));
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = ResetMetricsStmt{};
       return stmt;
     }
     return ErrorHere("expected a statement");

@@ -7,6 +7,8 @@
 #include "objectlog/eval.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/span.h"
+#include "obs/trace.h"
 
 namespace deltamon::amosql {
 
@@ -84,6 +86,18 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           last->report += "METRICS\n" + obs::FormatSnapshot(
                                             obs::Registry::Global().Snapshot());
           return Status::OK();
+        } else if constexpr (std::is_same_v<T, TraceStmt>) {
+          return ExecTrace(node, last);
+        } else if constexpr (std::is_same_v<T, ShowNetworkStmt>) {
+          return ExecShowNetwork(node, last);
+        } else if constexpr (std::is_same_v<T, ResetMetricsStmt>) {
+          obs::Registry::Global().Reset();
+          // Node attribution belongs to the same observable state; a reset
+          // gives the next measurement a clean slate for both.
+          Result<const core::PropagationNetwork*> net = engine_.rules.network();
+          if (net.ok() && net.value() != nullptr) net.value()->ResetStats();
+          last->report += "METRICS RESET\n";
+          return Status::OK();
         } else {
           static_assert(std::is_same_v<T, RollbackStmt>);
           return engine_.db.Rollback();
@@ -116,6 +130,54 @@ Status Session::ExecProfile(const ProfileStmt& stmt, QueryResult* last) {
     for (const core::TraceEntry& e : trace) {
       last->report += "  " + e.ToString(engine_.db.catalog()) + "\n";
     }
+  }
+  return Status::OK();
+}
+
+Status Session::ExecTrace(const TraceStmt& stmt, QueryResult* last) {
+  // Record into a private ring so a surrounding sink (another trace, a
+  // test's sink) is shadowed for the statement and restored afterwards.
+  obs::RingTraceSink ring(/*capacity=*/65536);
+  obs::TraceSink* previous = obs::GetTraceSink();
+  obs::SetTraceSink(&ring);
+  Status status = ExecStatement(*stmt.inner, last);
+  obs::SetTraceSink(previous);
+  DELTAMON_RETURN_IF_ERROR(status);
+
+  const std::string path =
+      stmt.path.empty() ? std::string("deltamon_trace.json") : stmt.path;
+  DELTAMON_RETURN_IF_ERROR(obs::WriteChromeTrace(ring.events(), path));
+  last->report += "TRACE " + path + "\n";
+  if (ring.dropped_events() > 0) {
+    last->report += "(ring overflow: " +
+                    std::to_string(ring.dropped_events()) +
+                    " events dropped)\n";
+  }
+  last->report += obs::FormatSpanTree(ring.events());
+  return Status::OK();
+}
+
+Status Session::ExecShowNetwork(const ShowNetworkStmt& stmt,
+                                QueryResult* last) {
+  DELTAMON_ASSIGN_OR_RETURN(const core::PropagationNetwork* net,
+                            engine_.rules.network());
+  if (net == nullptr) {
+    last->report += "NETWORK (empty: no active rules)\n";
+    return Status::OK();
+  }
+  const Catalog& catalog = engine_.db.catalog();
+  std::vector<RelationId> roots;
+  if (stmt.rule.empty()) {
+    roots.push_back(kInvalidRelationId);  // the whole network
+  } else {
+    DELTAMON_ASSIGN_OR_RETURN(rules::RuleId rule,
+                              engine_.rules.FindRule(stmt.rule));
+    DELTAMON_ASSIGN_OR_RETURN(roots, engine_.rules.MonitoredConditions(rule));
+  }
+  last->report += "NETWORK\n";
+  if (stmt.rule.empty()) last->report += net->ToString(catalog);
+  for (RelationId root : roots) {
+    last->report += net->ToDot(catalog, root);
   }
   return Status::OK();
 }

@@ -73,6 +73,8 @@ class Session : public ExtentProvider {
  private:
   Status ExecStatement(const Statement& stmt, QueryResult* last_select);
   Status ExecProfile(const ProfileStmt& stmt, QueryResult* last_select);
+  Status ExecTrace(const TraceStmt& stmt, QueryResult* last_select);
+  Status ExecShowNetwork(const ShowNetworkStmt& stmt, QueryResult* last_select);
   Status ExecCreateFunction(const CreateFunctionStmt& stmt);
   Status ExecCreateRule(const CreateRuleStmt& stmt);
   Status ExecCreateInstances(const CreateInstancesStmt& stmt);

@@ -1,0 +1,138 @@
+#include "bench_util/diff.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/report.h"
+
+namespace deltamon::bench {
+
+namespace {
+
+/// name -> best (minimum) per-iteration real time, insertion-ordered.
+using BenchTimes = std::vector<std::pair<std::string, double>>;
+
+Result<BenchTimes> ExtractTimes(const obs::Json& report) {
+  DELTAMON_RETURN_IF_ERROR(obs::ValidateBenchReport(report));
+  BenchTimes out;
+  for (const obs::Json& b : report.Get("benchmarks")->array_items()) {
+    const std::string& name = b.Get("name")->as_string();
+    double ns = b.Get("real_time_ns")->as_double();
+    auto it = std::find_if(out.begin(), out.end(),
+                           [&](const auto& e) { return e.first == name; });
+    if (it == out.end()) {
+      out.emplace_back(name, ns);
+    } else {
+      it->second = std::min(it->second, ns);
+    }
+  }
+  return out;
+}
+
+const double* FindTime(const BenchTimes& times, const std::string& name) {
+  for (const auto& [n, ns] : times) {
+    if (n == name) return &ns;
+  }
+  return nullptr;
+}
+
+/// "1.23 us" / "4.56 ms" — unit chosen per value so both columns stay
+/// readable across micro and macro benchmarks.
+std::string HumanTime(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<DiffResult> CompareReports(const obs::Json& baseline,
+                                  const obs::Json& current,
+                                  const DiffOptions& options) {
+  DELTAMON_ASSIGN_OR_RETURN(BenchTimes base_times, ExtractTimes(baseline));
+  DELTAMON_ASSIGN_OR_RETURN(BenchTimes cur_times, ExtractTimes(current));
+
+  DiffResult result;
+  result.baseline_name = baseline.Get("name")->as_string();
+  result.current_name = current.Get("name")->as_string();
+
+  for (const auto& [name, base_ns] : base_times) {
+    const double* cur_ns = FindTime(cur_times, name);
+    if (cur_ns == nullptr) {
+      result.only_baseline.push_back(name);
+      continue;
+    }
+    BenchDelta d;
+    d.name = name;
+    d.baseline_ns = base_ns;
+    d.current_ns = *cur_ns;
+    // A zero baseline carries no information to regress against; treat
+    // the ratio as flat rather than dividing by zero.
+    d.ratio = base_ns > 0.0 ? *cur_ns / base_ns : 1.0;
+    d.regression = d.ratio > 1.0 + options.threshold;
+    d.improvement = d.ratio < 1.0 - options.threshold;
+    result.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, ns] : cur_times) {
+    if (FindTime(base_times, name) == nullptr) {
+      result.only_current.push_back(name);
+    }
+  }
+  return result;
+}
+
+Result<DiffResult> CompareReportFiles(const std::string& baseline_path,
+                                      const std::string& current_path,
+                                      const DiffOptions& options) {
+  DELTAMON_ASSIGN_OR_RETURN(std::string base_text,
+                            obs::ReadTextFile(baseline_path));
+  DELTAMON_ASSIGN_OR_RETURN(std::string cur_text,
+                            obs::ReadTextFile(current_path));
+  DELTAMON_ASSIGN_OR_RETURN(obs::Json base, obs::Json::Parse(base_text));
+  DELTAMON_ASSIGN_OR_RETURN(obs::Json cur, obs::Json::Parse(cur_text));
+  Result<DiffResult> result = CompareReports(base, cur, options);
+  if (!result.ok()) {
+    return Status::InvalidArgument("comparing '" + baseline_path + "' vs '" +
+                                   current_path +
+                                   "': " + result.status().message());
+  }
+  return result;
+}
+
+std::string FormatDiff(const DiffResult& result, const DiffOptions& options) {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "bench_diff: %s (baseline) vs %s (current), threshold %.1f%%\n",
+                result.baseline_name.c_str(), result.current_name.c_str(),
+                options.threshold * 100.0);
+  std::string out = line;
+  for (const BenchDelta& d : result.deltas) {
+    std::snprintf(line, sizeof(line), "  %-44s %10s -> %10s  %+.1f%%%s\n",
+                  d.name.c_str(), HumanTime(d.baseline_ns).c_str(),
+                  HumanTime(d.current_ns).c_str(), (d.ratio - 1.0) * 100.0,
+                  d.regression     ? "  REGRESSION"
+                  : d.improvement ? "  improved"
+                                  : "");
+    out += line;
+  }
+  for (const std::string& name : result.only_baseline) {
+    out += "  " + name + ": missing from current run\n";
+  }
+  for (const std::string& name : result.only_current) {
+    out += "  " + name + ": new benchmark (no baseline)\n";
+  }
+  if (result.deltas.empty()) {
+    out += "  (no benchmarks in common)\n";
+  }
+  return out;
+}
+
+}  // namespace deltamon::bench

@@ -1,0 +1,75 @@
+#ifndef DELTAMON_BENCH_UTIL_DIFF_H_
+#define DELTAMON_BENCH_UTIL_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace deltamon::bench {
+
+/// --- Bench report regression diffing ---------------------------------------
+///
+/// Compares two `deltamon.bench.v1` reports (obs::BuildBenchReport output)
+/// benchmark by benchmark, so CI and local runs can gate on "no benchmark
+/// got more than X% slower than the committed baseline".
+
+/// Comparison tolerances.
+struct DiffOptions {
+  /// Relative slowdown tolerated before a benchmark counts as a
+  /// regression: current > baseline * (1 + threshold). Timing noise on
+  /// shared runners easily reaches several percent, so the default is
+  /// deliberately loose.
+  double threshold = 0.10;
+};
+
+/// One matched benchmark.
+struct BenchDelta {
+  std::string name;
+  double baseline_ns = 0.0;  ///< per-iteration real time in the baseline
+  double current_ns = 0.0;   ///< per-iteration real time in the new run
+  double ratio = 1.0;        ///< current / baseline (> 1 means slower)
+  bool regression = false;   ///< ratio exceeds 1 + threshold
+  bool improvement = false;  ///< ratio below 1 - threshold
+};
+
+/// Full comparison of two reports.
+struct DiffResult {
+  std::string baseline_name;  ///< report "name" fields, for the header
+  std::string current_name;
+  std::vector<BenchDelta> deltas;  ///< matched benchmarks, baseline order
+  /// Benchmarks present only on one side. A disappeared benchmark is
+  /// suspicious (renamed? silently skipped?) but not a timing regression.
+  std::vector<std::string> only_baseline;
+  std::vector<std::string> only_current;
+
+  bool has_regression() const {
+    for (const BenchDelta& d : deltas) {
+      if (d.regression) return true;
+    }
+    return false;
+  }
+};
+
+/// Compares two schema-validated bench reports. Repetitions of the same
+/// benchmark name are collapsed to their minimum real time (the standard
+/// "best of N" noise filter) before comparison. Fails if either document
+/// is not a valid `deltamon.bench.v1` report.
+Result<DiffResult> CompareReports(const obs::Json& baseline,
+                                  const obs::Json& current,
+                                  const DiffOptions& options = {});
+
+/// Reads, parses, and compares two report files.
+Result<DiffResult> CompareReportFiles(const std::string& baseline_path,
+                                      const std::string& current_path,
+                                      const DiffOptions& options = {});
+
+/// Human-readable rendering, one line per benchmark:
+///
+///   fig6/few_changes/1000        1.23 ms ->  1.25 ms  +1.6%
+///   micro/delta_union/64        10.01 us -> 15.40 us +53.9%  REGRESSION
+std::string FormatDiff(const DiffResult& result, const DiffOptions& options);
+
+}  // namespace deltamon::bench
+
+#endif  // DELTAMON_BENCH_UTIL_DIFF_H_

@@ -1,6 +1,7 @@
 #include "core/network.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace deltamon::core {
 
@@ -270,6 +271,75 @@ std::string PropagationNetwork::ToString(const Catalog& catalog) const {
     out += "\n";
   }
   return out;
+}
+
+std::string PropagationNetwork::ToDot(const Catalog& catalog,
+                                      RelationId root) const {
+  // With a root given, keep only the subgraph feeding it: walk influent
+  // edges down from the root (in_edges name each node's children).
+  std::unordered_set<RelationId> keep;
+  if (root != kInvalidRelationId) {
+    std::vector<RelationId> frontier{root};
+    while (!frontier.empty()) {
+      RelationId rel = frontier.back();
+      frontier.pop_back();
+      if (!keep.insert(rel).second) continue;
+      auto it = nodes_.find(rel);
+      if (it == nodes_.end()) continue;
+      for (size_t edge : it->second.in_edges) {
+        frontier.push_back(differentials_[edge].influent);
+      }
+    }
+  }
+  auto kept = [&keep, root](RelationId rel) {
+    return root == kInvalidRelationId || keep.contains(rel);
+  };
+
+  std::string out = "digraph propagation {\n";
+  out += "  rankdir=BT;\n";
+  out += "  node [shape=box, fontname=\"monospace\"];\n";
+  // Emit nodes in level order so the output is deterministic.
+  for (const auto& level : levels_) {
+    for (RelationId rel : level) {
+      if (!kept(rel)) continue;
+      const NetworkNode& node = nodes_.at(rel);
+      std::string label = catalog.RelationName(rel);
+      label += node.is_base ? "\\n[base]" : "\\n[derived]";
+      char stats[160];
+      std::snprintf(stats, sizeof(stats),
+                    "\\ninv=%llu consumed=%llu\\nΔ+=%llu Δ-=%llu\\n%.3f ms",
+                    static_cast<unsigned long long>(node.stats.invocations),
+                    static_cast<unsigned long long>(
+                        node.stats.tuples_consumed),
+                    static_cast<unsigned long long>(node.stats.plus_produced),
+                    static_cast<unsigned long long>(
+                        node.stats.minus_produced),
+                    static_cast<double>(node.stats.cumulative_ns) / 1e6);
+      label += stats;
+      out += "  n" + std::to_string(rel) + " [label=\"" + label + "\"";
+      if (node.is_base) out += ", style=filled, fillcolor=lightgrey";
+      out += "];\n";
+    }
+  }
+  for (const PartialDifferential& diff : differentials_) {
+    if (!kept(diff.target) || !kept(diff.influent)) continue;
+    out += "  n" + std::to_string(diff.influent) + " -> n" +
+           std::to_string(diff.target);
+    std::string label = diff.aggregate
+                            ? std::string("agg")
+                            : std::string("Δ") +
+                                  (diff.reads_plus ? "+" : "-") + "→Δ" +
+                                  (diff.produces_plus ? "+" : "-");
+    out += " [label=\"" + label + "\"";
+    if (diff.aggregate) out += ", style=dashed";
+    out += "];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+void PropagationNetwork::ResetStats() const {
+  for (const auto& [rel, node] : nodes_) node.stats.Reset();
 }
 
 }  // namespace deltamon::core

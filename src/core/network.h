@@ -38,6 +38,20 @@ struct PartialDifferential {
   std::string Name(const Catalog& catalog) const;
 };
 
+/// Per-node attribution accumulated across waves: which node a wave spends
+/// its work on, and in which polarity. Maintained by the propagator only
+/// while instrumentation is compiled in and enabled; introspection surfaces
+/// (SHOW NETWORK, ToDot) render it next to the topology.
+struct NodeStats {
+  uint64_t invocations = 0;      ///< times the node was processed in a wave
+  uint64_t tuples_consumed = 0;  ///< Δ tuples read by its differentials
+  uint64_t plus_produced = 0;    ///< Δ+ tuples this node contributed
+  uint64_t minus_produced = 0;   ///< Δ− tuples this node contributed
+  uint64_t cumulative_ns = 0;    ///< wall time spent computing the node
+
+  void Reset() { *this = NodeStats{}; }
+};
+
 /// A node of the propagation network: a base relation (leaf) or a derived
 /// relation (the monitored condition itself, or an intermediate shared node
 /// under the §7.1 node-sharing policy).
@@ -61,6 +75,9 @@ struct NetworkNode {
   /// Distinct parent nodes reading this node's Δ-set (for wave-front
   /// discarding).
   std::vector<RelationId> parents;
+  /// Cross-wave attribution; mutable because the propagator works on a
+  /// const network (the topology IS immutable, the tallies are not).
+  mutable NodeStats stats;
 };
 
 /// Per-root monitoring requirements.
@@ -117,6 +134,18 @@ class PropagationNetwork {
 
   /// Human-readable dump (nodes by level, then differentials).
   std::string ToString(const Catalog& catalog) const;
+
+  /// Graphviz dot export of the network, each node annotated with its
+  /// NodeStats attribution (invocations, Δ+/Δ− produced, consumed tuples,
+  /// cumulative time) and each differential drawn as an edge influent →
+  /// target. With `root` set, restricts to the subgraph feeding that node
+  /// (the nodes from which it is reachable) — the `show network <rule>;`
+  /// view.
+  std::string ToDot(const Catalog& catalog,
+                    RelationId root = kInvalidRelationId) const;
+
+  /// Zeroes every node's attribution tallies (topology untouched).
+  void ResetStats() const;
 
  private:
   PropagationNetwork() = default;

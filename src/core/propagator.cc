@@ -1,8 +1,10 @@
 #include "core/propagator.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace deltamon::core {
@@ -45,6 +47,7 @@ std::vector<TraceEntry> PropagationResult::Explain(RelationId root) const {
 Result<PropagationResult> Propagator::Propagate(
     const std::unordered_map<RelationId, DeltaSet>& base_deltas) const {
   DELTAMON_OBS_SCOPED_TIMER(wave_timer, "propagator.wave_ns");
+  DELTAMON_OBS_SPAN(wave_span, "propagation", "wave");
   PropagationResult result;
   for (const RootSpec& root : network_.roots()) {
     result.root_deltas.emplace(root.relation, DeltaSet());
@@ -58,6 +61,8 @@ Result<PropagationResult> Propagator::Propagate(
       wave.emplace(rel, delta);
     }
   }
+  wave_span.AddField("base_influents_changed",
+                     static_cast<int64_t>(wave.size()));
   if (wave.empty()) return result;
 
   objectlog::EvalCache cache;
@@ -93,6 +98,21 @@ Result<PropagationResult> Propagator::Propagate(
     DELTAMON_OBS_SCOPED_TIMER(level_timer, "propagator.level_ns");
     for (RelationId rel : levels[lvl]) {
       const NetworkNode& node = network_.nodes().at(rel);
+      // Per-node attribution (span + NodeStats): one clock pair per node
+      // per wave, only when instrumentation is live — never per tuple.
+      DELTAMON_OBS_SPAN(node_span, "propagation", "node");
+#if DELTAMON_OBS_ENABLED
+      if (node_span.active()) {
+        node_span.SetName("node:" + db_.catalog().RelationName(rel));
+        node_span.AddField("relation", static_cast<int64_t>(rel));
+        node_span.AddField("level", static_cast<int64_t>(lvl));
+      }
+      const bool node_obs = obs::Enabled();
+      const auto node_start = node_obs
+                                  ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+      const size_t node_trace_start = result.trace.size();
+#endif
       // While this node is being computed, point queries against it (the
       // §7.2 filters) must evaluate its *definition*, not its stale
       // pre-wave extent: hide its own view for the duration.
@@ -117,6 +137,8 @@ Result<PropagationResult> Propagator::Propagate(
             ++result.stats.differentials_skipped;
             continue;
           }
+          DELTAMON_OBS_SPAN(diff_span, "propagation", "differential");
+          if (diff_span.active()) diff_span.SetName(diff.Name(db_.catalog()));
           const objectlog::AggregateDef& def = *node.aggregate;
           TupleSet keys;
           for (const TupleSet* delta_side :
@@ -141,6 +163,9 @@ Result<PropagationResult> Propagator::Propagate(
           }
           ++result.stats.differentials_executed;
           result.stats.tuples_propagated += produced_total;
+          diff_span.AddField("groups", static_cast<int64_t>(keys.size()));
+          diff_span.AddField("tuples_produced",
+                             static_cast<int64_t>(produced_total));
           result.trace.push_back(TraceEntry{diff.target, diff.influent, true,
                                             true, src->second.size(),
                                             produced_total});
@@ -156,8 +181,14 @@ Result<PropagationResult> Propagator::Propagate(
           continue;
         }
         TupleSet produced;
+        DELTAMON_OBS_SPAN(diff_span, "propagation", "differential");
+        if (diff_span.active()) diff_span.SetName(diff.Name(db_.catalog()));
         DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(diff.clause,
                                                           &produced));
+        diff_span.AddField("tuples_consumed",
+                           static_cast<int64_t>(side->size()));
+        diff_span.AddField("tuples_produced",
+                           static_cast<int64_t>(produced.size()));
         ++result.stats.differentials_executed;
         result.stats.tuples_propagated += produced.size();
         result.trace.push_back(TraceEntry{diff.target, diff.influent,
@@ -194,6 +225,7 @@ Result<PropagationResult> Propagator::Propagate(
       // semi-naive; deletions: DRed-style, with the §7.2 rederivability
       // filter pruning tuples still derivable through surviving paths).
       if (!self_edges.empty() && !acc.empty()) {
+        DELTAMON_OBS_SPAN(fixpoint_span, "propagation", "fixpoint");
         DeltaSet frontier = acc;
         TupleSet total_plus = acc.plus();
         TupleSet total_minus = acc.minus();
@@ -241,6 +273,7 @@ Result<PropagationResult> Propagator::Propagate(
           frontier = DeltaSet(std::move(fresh_plus), std::move(fresh_minus));
         }
         wave.erase(rel);
+        fixpoint_span.AddField("rounds", round);
         if (round >= kMaxFixpointRounds) {
           return Status::Internal("recursive propagation did not converge");
         }
@@ -292,6 +325,31 @@ Result<PropagationResult> Propagator::Propagate(
         acc = DeltaSet(std::move(kept), acc.minus());
       }
 
+      // acc is final here: fold this node's contribution into its
+      // cross-wave attribution and the node span.
+#if DELTAMON_OBS_ENABLED
+      if (node_obs || node_span.active()) {
+        uint64_t consumed = 0;
+        for (size_t i = node_trace_start; i < result.trace.size(); ++i) {
+          consumed += result.trace[i].tuples_consumed;
+        }
+        node_span.AddField("tuples_consumed", static_cast<int64_t>(consumed));
+        node_span.AddField("plus_produced",
+                           static_cast<int64_t>(acc.plus().size()));
+        node_span.AddField("minus_produced",
+                           static_cast<int64_t>(acc.minus().size()));
+        if (node_obs) {
+          auto elapsed = std::chrono::steady_clock::now() - node_start;
+          node.stats.invocations += 1;
+          node.stats.tuples_consumed += consumed;
+          node.stats.plus_produced += acc.plus().size();
+          node.stats.minus_produced += acc.minus().size();
+          node.stats.cumulative_ns += static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count());
+        }
+      }
+#endif
       if (views_ != nullptr && !acc.empty()) {
         DELTAMON_RETURN_IF_ERROR(views_->Apply(rel, acc));
       }
@@ -336,6 +394,12 @@ Result<PropagationResult> Propagator::Propagate(
     result.stats.materialized_resident_tuples = views_->ResidentTuples();
   }
 
+  wave_span.AddField("differentials_executed",
+                     static_cast<int64_t>(result.stats.differentials_executed));
+  wave_span.AddField("differentials_skipped",
+                     static_cast<int64_t>(result.stats.differentials_skipped));
+  wave_span.AddField("tuples_propagated",
+                     static_cast<int64_t>(result.stats.tuples_propagated));
   result.stats.PublishToRegistry();
 #if DELTAMON_OBS_ENABLED
   if (obs::Enabled()) {

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace deltamon::objectlog {
 
@@ -557,6 +558,15 @@ Status Evaluator::EvaluateClauseWithBindings(
     const Clause& clause, const std::vector<std::pair<int, Value>>& bindings,
     TupleSet* out) {
   ++stats_.clause_evals;
+  DELTAMON_OBS_SPAN(clause_span, "eval", "clause");
+  if (clause_span.active()) {
+    clause_span.SetName("clause:" +
+                        db_.catalog().RelationName(clause.head_relation));
+    clause_span.AddField("relation",
+                         static_cast<int64_t>(clause.head_relation));
+    clause_span.AddField("literals", static_cast<int64_t>(clause.body.size()));
+    clause_span.AddField("bindings", static_cast<int64_t>(bindings.size()));
+  }
   std::vector<size_t> order = OrderBody(clause.body, clause.num_vars);
   Env env(clause.num_vars);
   for (const auto& [var, value] : bindings) {

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace deltamon::obs {
 
 namespace {
@@ -17,6 +19,20 @@ std::string TraceEvent::ToString() const {
     out += key + "=" + std::to_string(value);
   }
   return out + "}";
+}
+
+void RingTraceSink::OnEvent(const TraceEvent& event) {
+  if (capacity_ == 0) {
+    ++dropped_events_;
+    DELTAMON_OBS_COUNT("obs.trace.dropped_events", 1);
+    return;
+  }
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_events_;
+    DELTAMON_OBS_COUNT("obs.trace.dropped_events", 1);
+  }
+  events_.push_back(event);
 }
 
 void SetTraceSink(TraceSink* sink) {

@@ -32,21 +32,24 @@ class TraceSink {
 };
 
 /// Keeps the most recent `capacity` events in memory (older events are
-/// dropped), for tests and the PROFILE command.
+/// dropped), for tests, the PROFILE command, and TRACE recording. Overflow
+/// is not silent: every displaced event bumps dropped_events() and the
+/// global `obs.trace.dropped_events` counter (visible in SHOW METRICS), so
+/// a truncated trace announces itself.
 class RingTraceSink : public TraceSink {
  public:
   explicit RingTraceSink(size_t capacity = 1024) : capacity_(capacity) {}
 
-  void OnEvent(const TraceEvent& event) override {
-    if (events_.size() == capacity_) events_.pop_front();
-    events_.push_back(event);
-  }
+  void OnEvent(const TraceEvent& event) override;
 
   const std::deque<TraceEvent>& events() const { return events_; }
+  /// Events displaced by overflow since construction (survives Clear).
+  uint64_t dropped_events() const { return dropped_events_; }
   void Clear() { events_.clear(); }
 
  private:
   size_t capacity_;
+  uint64_t dropped_events_ = 0;
   std::deque<TraceEvent> events_;
 };
 

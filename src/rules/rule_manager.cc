@@ -4,6 +4,7 @@
 
 #include "objectlog/eval.h"
 #include "obs/metrics.h"
+#include "obs/span.h"
 #include "obs/trace.h"
 
 namespace deltamon::rules {
@@ -95,6 +96,20 @@ Result<RuleId> RuleManager::FindRule(const std::string& name) const {
     return Status::NotFound("rule '" + name + "' not found");
   }
   return it->second;
+}
+
+Result<std::vector<RelationId>> RuleManager::MonitoredConditions(
+    RuleId rule) const {
+  auto it = rules_.find(rule);
+  if (it == rules_.end()) {
+    return Status::NotFound("rule id " + std::to_string(rule) + " not found");
+  }
+  std::vector<RelationId> out;
+  for (const Activation& act : activations_) {
+    if (act.rule == rule) out.push_back(act.condition);
+  }
+  if (out.empty()) out.push_back(it->second.condition);
+  return out;
 }
 
 Result<RelationId> RuleManager::SpecializeCondition(const Rule& rule,
@@ -288,6 +303,7 @@ Status RuleManager::RunIncrementalRound(
     Database& db, const std::unordered_map<RelationId, DeltaSet>& deltas) {
   DELTAMON_OBS_SCOPED_TIMER(round_timer, "rules.incremental_round_ns");
   DELTAMON_OBS_COUNT("rules.incremental_rounds", 1);
+  DELTAMON_OBS_SPAN(round_span, "rules", "incremental_round");
   DELTAMON_ASSIGN_OR_RETURN(const core::PropagationNetwork* net, network());
   if (net == nullptr) return Status::OK();
   core::MaterializedViewStore* store = nullptr;
@@ -336,6 +352,7 @@ Status RuleManager::RunNaiveRound(
     Database& db, const std::unordered_map<RelationId, DeltaSet>& deltas) {
   DELTAMON_OBS_SCOPED_TIMER(round_timer, "rules.naive_round_ns");
   DELTAMON_OBS_COUNT("rules.naive_rounds", 1);
+  DELTAMON_OBS_SPAN(round_span, "rules", "naive_round");
   objectlog::StateContext ctx;
   ctx.deltas = &deltas;
   for (Activation& act : activations_) {
@@ -375,6 +392,7 @@ Status RuleManager::RunNaiveRound(
 Status RuleManager::CheckPhase(Database& db) {
   DELTAMON_OBS_SCOPED_TIMER(check_timer, "rules.check_ns");
   DELTAMON_OBS_COUNT("rules.check_phases", 1);
+  DELTAMON_OBS_SPAN(check_span, "rules", "check_phase");
   last_check_.Reset();
   last_trace_.clear();
   if (activations_.empty()) return Status::OK();
@@ -386,6 +404,8 @@ Status RuleManager::CheckPhase(Database& db) {
           " rounds without reaching a fixpoint");
     }
     ++last_check_.rounds;
+    DELTAMON_OBS_SPAN(round_span, "rules", "round");
+    round_span.AddField("round", static_cast<int64_t>(last_check_.rounds));
     std::unordered_map<RelationId, DeltaSet> deltas = db.TakePendingDeltas();
     if (deltas.empty()) break;
 
@@ -426,6 +446,13 @@ Status RuleManager::CheckPhase(Database& db) {
       ++last_check_.rule_firings;
       const Rule& rule = rules_.at(act->rule);
       DELTAMON_OBS_COUNT("rules.firings", 1);
+      DELTAMON_OBS_SPAN(fire_span, "rules", "fire");
+      if (fire_span.active()) {
+        fire_span.SetName("fire:" + rule.name);
+        fire_span.AddField("rule", static_cast<int64_t>(rule.id));
+        fire_span.AddField("instances",
+                           static_cast<int64_t>(instances.size()));
+      }
 #if DELTAMON_OBS_ENABLED
       // Per-rule firing latency under a dynamic name: firings are rare
       // (they run user actions), so the map lookup is irrelevant here.
@@ -449,6 +476,9 @@ Status RuleManager::CheckPhase(Database& db) {
   }
   // Net deletions that fired nothing are dropped at the end of the phase.
   for (Activation& act : activations_) act.pending.Clear();
+  check_span.AddField("rounds", static_cast<int64_t>(last_check_.rounds));
+  check_span.AddField("rule_firings",
+                      static_cast<int64_t>(last_check_.rule_firings));
   return Status::OK();
 }
 

@@ -137,6 +137,12 @@ class RuleManager {
   /// is activated.
   Result<const core::PropagationNetwork*> network();
 
+  /// The condition relations currently monitored for `rule` — one per
+  /// activation (parameterized activations monitor specialized conditions),
+  /// or the rule's base condition when it has no activations. Used by
+  /// `show network <rule>` to pick the subgraph roots.
+  Result<std::vector<RelationId>> MonitoredConditions(RuleId rule) const;
+
   const CheckStats& last_check() const { return last_check_; }
   /// Executed differentials of the last check phase, for explainability.
   const std::vector<core::TraceEntry>& last_trace() const {

@@ -1,14 +1,20 @@
 /// Session observability commands: `profile <statement>;` reports the
 /// metric delta and wall time of exactly that statement, `show metrics;`
-/// dumps the global registry. Both ride on QueryResult::report so they
-/// compose with ordinary statements in one script.
+/// dumps the global registry, `reset metrics;` zeroes it, `trace <stmt>;`
+/// records hierarchical spans into a Chrome-trace file, and
+/// `show network [rule];` renders the propagation network with per-node
+/// attribution. All ride on QueryResult::report so they compose with
+/// ordinary statements in one script.
 
 #include <gtest/gtest.h>
 
 #include <string>
 
 #include "amosql/session.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace deltamon::amosql {
 namespace {
@@ -97,6 +103,86 @@ TEST_F(ProfileTest, ProfileParsesNestedAndReportsInOrder) {
   size_t first = report.find("PROFILE");
   ASSERT_NE(first, std::string::npos);
   EXPECT_NE(report.find("PROFILE", first + 1), std::string::npos);
+}
+
+TEST_F(ProfileTest, ResetMetricsZeroesTheRegistryForCleanProfiles) {
+  Report(
+      "set quantity(:a) = 7;"
+      "commit;");
+#if DELTAMON_OBS_ENABLED
+  ASSERT_GT(
+      obs::Registry::Global().GetCounter("rules.check_phases")->value(), 0u);
+#endif
+  std::string report = Report("reset metrics;");
+  EXPECT_NE(report.find("METRICS RESET"), std::string::npos);
+#if DELTAMON_OBS_ENABLED
+  EXPECT_EQ(
+      obs::Registry::Global().GetCounter("rules.check_phases")->value(), 0u);
+  // Metrics accumulate again from zero, so the next profile's delta is
+  // also an absolute count.
+  Report(
+      "set quantity(:a) = 3;"
+      "commit;");
+  EXPECT_EQ(
+      obs::Registry::Global().GetCounter("rules.check_phases")->value(), 1u);
+#endif
+}
+
+TEST_F(ProfileTest, TraceWritesChromeTraceFileAndPrintsSpanTree) {
+  const std::string path = ::testing::TempDir() + "/profile_test_trace.json";
+  std::string report = Report(
+      "set quantity(:a) = 5;"
+      "trace \"" + path + "\" commit;");
+  EXPECT_NE(report.find("TRACE " + path), std::string::npos) << report;
+
+  auto text = obs::ReadTextFile(path);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto doc = obs::Json::Parse(*text);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  ASSERT_NE(doc->Get("traceEvents"), nullptr);
+  ASSERT_TRUE(doc->Get("traceEvents")->is_array());
+#if DELTAMON_OBS_ENABLED
+  // The deferred check path nests check phase -> round -> wave -> node;
+  // the tree printer indents two spaces per level.
+  EXPECT_NE(report.find("rules.check_phase "), std::string::npos) << report;
+  EXPECT_NE(report.find("\n  rules.round "), std::string::npos) << report;
+  EXPECT_NE(report.find("propagation.wave "), std::string::npos) << report;
+  EXPECT_NE(report.find("propagation.node:"), std::string::npos) << report;
+  EXPECT_GT(doc->Get("traceEvents")->size(), 3u);
+#else
+  EXPECT_NE(report.find("(no spans recorded)"), std::string::npos) << report;
+#endif
+}
+
+TEST_F(ProfileTest, TraceRestoresThePreviousSinkAndPropagatesErrors) {
+  const std::string path = ::testing::TempDir() + "/profile_test_err.json";
+  auto r = session_.Execute("trace \"" + path + "\" select nonsense_fn(:a);");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(obs::GetTraceSink(), nullptr)
+      << "a failing traced statement must still uninstall its sink";
+}
+
+TEST_F(ProfileTest, ShowNetworkDumpsTopologyStatsAndDot) {
+  // Drive one check phase so node attribution is nonzero.
+  Report(
+      "set quantity(:a) = 5;"
+      "commit;"
+      "show network;");
+  std::string report = Report("show network;");
+  EXPECT_NE(report.find("NETWORK"), std::string::npos);
+  EXPECT_NE(report.find("digraph propagation"), std::string::npos) << report;
+  EXPECT_NE(report.find("cnd_watch_low"), std::string::npos) << report;
+  EXPECT_NE(report.find("quantity"), std::string::npos) << report;
+  EXPECT_NE(report.find("inv="), std::string::npos) << report;
+}
+
+TEST_F(ProfileTest, ShowNetworkRestrictsToOneRule) {
+  std::string report = Report("show network watch_low;");
+  EXPECT_NE(report.find("digraph propagation"), std::string::npos) << report;
+  EXPECT_NE(report.find("cnd_watch_low"), std::string::npos) << report;
+
+  auto bad = session_.Execute("show network no_such_rule;");
+  EXPECT_FALSE(bad.ok());
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+/// Bench regression gating: CompareReports must flag benchmarks that got
+/// slower than the threshold allows, tolerate noise inside it, collapse
+/// repetitions to their best time, and survive schema mismatches loudly.
+
+#include "bench_util/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/report.h"
+
+namespace deltamon::bench {
+namespace {
+
+/// A minimal valid deltamon.bench.v1 report with the given benchmark
+/// timings (possibly repeated names = repetitions).
+obs::Json Report(const std::string& name,
+                 const std::vector<std::pair<std::string, double>>& benches) {
+  obs::Json arr = obs::Json::Array();
+  for (const auto& [bench_name, real_time_ns] : benches) {
+    obs::Json b = obs::Json::Object();
+    b.Set("name", bench_name);
+    b.Set("iterations", 100);
+    b.Set("real_time_ns", real_time_ns);
+    b.Set("cpu_time_ns", real_time_ns);
+    b.Set("counters", obs::Json::Object());
+    arr.Append(std::move(b));
+  }
+  return obs::BuildBenchReport(name, std::move(arr), /*wall_time_ns=*/1,
+                               obs::MetricsSnapshot{});
+}
+
+TEST(BenchDiffTest, IdenticalReportsHaveNoRegression) {
+  obs::Json base = Report("fig6", {{"BM_FewChanges/1000", 1e6}});
+  auto diff = CompareReports(base, base);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  ASSERT_EQ(diff->deltas.size(), 1u);
+  EXPECT_FALSE(diff->has_regression());
+  EXPECT_DOUBLE_EQ(diff->deltas[0].ratio, 1.0);
+}
+
+TEST(BenchDiffTest, FiftyPercentSlowerIsARegression) {
+  obs::Json base = Report("fig6", {{"BM_FewChanges/1000", 1e6}});
+  obs::Json slow = Report("fig6", {{"BM_FewChanges/1000", 1.5e6}});
+  auto diff = CompareReports(base, slow);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  ASSERT_EQ(diff->deltas.size(), 1u);
+  EXPECT_TRUE(diff->deltas[0].regression);
+  EXPECT_TRUE(diff->has_regression());
+  EXPECT_NEAR(diff->deltas[0].ratio, 1.5, 1e-9);
+  std::string text = FormatDiff(*diff, DiffOptions{});
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos) << text;
+}
+
+TEST(BenchDiffTest, NoiseInsideTheThresholdIsTolerated) {
+  obs::Json base = Report("fig6", {{"BM_FewChanges/1000", 1e6}});
+  obs::Json near = Report("fig6", {{"BM_FewChanges/1000", 1.05e6}});
+  auto diff = CompareReports(base, near);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_FALSE(diff->has_regression());
+  EXPECT_FALSE(diff->deltas[0].improvement);
+}
+
+TEST(BenchDiffTest, ThresholdIsConfigurable) {
+  obs::Json base = Report("fig6", {{"BM_FewChanges/1000", 1e6}});
+  obs::Json near = Report("fig6", {{"BM_FewChanges/1000", 1.05e6}});
+  DiffOptions tight;
+  tight.threshold = 0.01;
+  auto diff = CompareReports(base, near, tight);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_TRUE(diff->has_regression());
+}
+
+TEST(BenchDiffTest, SpeedupsAreMarkedImprovements) {
+  obs::Json base = Report("fig6", {{"BM_FewChanges/1000", 2e6}});
+  obs::Json fast = Report("fig6", {{"BM_FewChanges/1000", 1e6}});
+  auto diff = CompareReports(base, fast);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_FALSE(diff->has_regression());
+  EXPECT_TRUE(diff->deltas[0].improvement);
+}
+
+TEST(BenchDiffTest, RepetitionsCollapseToTheMinimum) {
+  // Best-of-N: the 2e6 outlier repetition must not mask or fake a
+  // regression — both sides compare at their fastest run.
+  obs::Json base = Report(
+      "fig6", {{"BM_FewChanges/1000", 1e6}, {"BM_FewChanges/1000", 2e6}});
+  obs::Json cur = Report(
+      "fig6", {{"BM_FewChanges/1000", 1.9e6}, {"BM_FewChanges/1000", 1.05e6}});
+  auto diff = CompareReports(base, cur);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  ASSERT_EQ(diff->deltas.size(), 1u);
+  EXPECT_NEAR(diff->deltas[0].ratio, 1.05, 1e-9);
+  EXPECT_FALSE(diff->has_regression());
+}
+
+TEST(BenchDiffTest, DisappearedAndNewBenchmarksAreReportedNotFatal) {
+  obs::Json base = Report("fig6", {{"BM_Old", 1e6}, {"BM_Shared", 1e6}});
+  obs::Json cur = Report("fig6", {{"BM_Shared", 1e6}, {"BM_New", 1e6}});
+  auto diff = CompareReports(base, cur);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_FALSE(diff->has_regression());
+  ASSERT_EQ(diff->only_baseline.size(), 1u);
+  EXPECT_EQ(diff->only_baseline[0], "BM_Old");
+  ASSERT_EQ(diff->only_current.size(), 1u);
+  EXPECT_EQ(diff->only_current[0], "BM_New");
+  std::string text = FormatDiff(*diff, DiffOptions{});
+  EXPECT_NE(text.find("missing from current"), std::string::npos) << text;
+  EXPECT_NE(text.find("new benchmark"), std::string::npos) << text;
+}
+
+TEST(BenchDiffTest, RejectsDocumentsThatAreNotBenchReports) {
+  obs::Json junk = obs::Json::Object();
+  junk.Set("schema", "something.else");
+  auto diff = CompareReports(junk, junk);
+  EXPECT_FALSE(diff.ok());
+}
+
+TEST(BenchDiffTest, CompareReportFilesRoundTripsThroughDisk) {
+  // The acceptance scenario: a committed baseline vs a report hand-edited
+  // to be 50% slower must come back as a regression.
+  const std::string dir = ::testing::TempDir();
+  const std::string base_path = dir + "/BENCH_fig6_base.json";
+  const std::string slow_path = dir + "/BENCH_fig6_slow.json";
+  obs::Json base = Report("fig6", {{"BM_FewChanges/1000", 1e6}});
+  obs::Json slow = Report("fig6", {{"BM_FewChanges/1000", 1.5e6}});
+  ASSERT_TRUE(obs::WriteTextFile(base_path, base.Dump()).ok());
+  ASSERT_TRUE(obs::WriteTextFile(slow_path, slow.Dump()).ok());
+
+  auto diff = CompareReportFiles(base_path, slow_path);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_TRUE(diff->has_regression());
+
+  auto missing = CompareReportFiles(base_path, dir + "/nope.json");
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace deltamon::bench

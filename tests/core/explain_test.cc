@@ -149,5 +149,125 @@ TEST_F(ExplainTest, ExplainIdentifiesDeletionPolarity) {
   EXPECT_TRUE(result->Explain(kInvalidRelationId).empty());
 }
 
+/// §7.1 node sharing: s is kept as a shared intermediate node under two
+/// roots. Explain must attribute work per target — the shared node's
+/// differentials under s, each root's under itself — and repeated calls
+/// must return the same entries in the same order (the trace is in
+/// execution order, and Explain is a stable filter over it).
+TEST_F(ExplainTest, ExplainSeparatesSharedSubexpressionNodesPerRoot) {
+  Catalog& cat = engine_.db.catalog();
+  auto s = cat.CreateDerivedFunction(
+      "s", FunctionSignature{{}, {IntCol(), IntCol()}});
+  auto p1 = cat.CreateDerivedFunction(
+      "p1", FunctionSignature{{}, {IntCol(), IntCol()}});
+  auto p2 = cat.CreateDerivedFunction(
+      "p2", FunctionSignature{{}, {IntCol(), IntCol()}});
+  ASSERT_TRUE(s.ok() && p1.ok() && p2.ok());
+
+  Clause sc;
+  sc.head_relation = *s;
+  sc.num_vars = 3;
+  sc.head_args = {Term::Var(0), Term::Var(2)};
+  sc.body = {Literal::Relation(q_, {Term::Var(0), Term::Var(1)}),
+             Literal::Relation(r_, {Term::Var(1), Term::Var(2)})};
+  ASSERT_TRUE(engine_.registry.Define(*s, std::move(sc), cat).ok());
+  for (RelationId root : {*p1, *p2}) {
+    Clause c;
+    c.head_relation = root;
+    c.num_vars = 2;
+    c.head_args = {Term::Var(0), Term::Var(1)};
+    c.body = {Literal::Relation(*s, {Term::Var(0), Term::Var(1)})};
+    ASSERT_TRUE(engine_.registry.Define(root, std::move(c), cat).ok());
+  }
+
+  core::BuildOptions options;
+  options.keep = {*s};
+  RootSpec spec1{*p1, /*needs_minus=*/false, /*strict=*/false};
+  RootSpec spec2{*p2, /*needs_minus=*/false, /*strict=*/false};
+  auto net = PropagationNetwork::Build({spec1, spec2}, engine_.registry,
+                                       cat, options);
+  ASSERT_TRUE(net.ok()) << net.status();
+  ASSERT_NE(net->node(*s), nullptr) << "s must survive as a shared node";
+
+  ASSERT_TRUE(engine_.db.Insert(q_, T(7, 1)).ok());  // joins r(1,2)
+  Propagator prop(engine_.db, engine_.registry, *net);
+  auto result = prop.Propagate(engine_.db.PendingDeltas());
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  for (RelationId root : {*p1, *p2}) {
+    std::vector<TraceEntry> why = result->Explain(root);
+    ASSERT_FALSE(why.empty());
+    for (const TraceEntry& e : why) {
+      EXPECT_EQ(e.target, root);
+      EXPECT_EQ(e.influent, *s) << "roots read the shared node, not q/r";
+    }
+  }
+  // The shared node's own work is attributed once, to s.
+  EXPECT_FALSE(result->Explain(*s).empty());
+
+  // Stable ordering: two walks over the same result are identical.
+  auto first = result->Explain(*p1);
+  auto second = result->Explain(*p1);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].ToString(cat), second[i].ToString(cat));
+  }
+}
+
+/// Linear recursion puts a cycle in the network (tc depends on itself).
+/// Explain over the fixpoint's trace must terminate and stay stable no
+/// matter how many self-edge rounds executed.
+TEST_F(ExplainTest, ExplainHandlesCyclicRecursiveNetworks) {
+  Catalog& cat = engine_.db.catalog();
+  auto edge = cat.CreateStoredFunction(
+      "edge", FunctionSignature{{IntCol()}, {IntCol()}});
+  auto tc = cat.CreateDerivedFunction(
+      "tc", FunctionSignature{{}, {IntCol(), IntCol()}});
+  ASSERT_TRUE(edge.ok() && tc.ok());
+  {
+    Clause base;
+    base.head_relation = *tc;
+    base.num_vars = 2;
+    base.head_args = {Term::Var(0), Term::Var(1)};
+    base.body = {Literal::Relation(*edge, {Term::Var(0), Term::Var(1)})};
+    ASSERT_TRUE(engine_.registry.Define(*tc, std::move(base), cat).ok());
+  }
+  {
+    Clause step;
+    step.head_relation = *tc;
+    step.num_vars = 3;
+    step.head_args = {Term::Var(0), Term::Var(2)};
+    step.body = {Literal::Relation(*edge, {Term::Var(0), Term::Var(1)}),
+                 Literal::Relation(*tc, {Term::Var(1), Term::Var(2)})};
+    ASSERT_TRUE(engine_.registry.Define(*tc, std::move(step), cat).ok());
+  }
+  engine_.db.MarkMonitored(*edge);
+
+  RootSpec spec{*tc, /*needs_minus=*/false, /*strict=*/false};
+  auto net = PropagationNetwork::Build({spec}, engine_.registry, cat);
+  ASSERT_TRUE(net.ok()) << net.status();
+
+  // A chain long enough to need several self-edge fixpoint rounds.
+  for (int64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(engine_.db.Insert(*edge, T(i, i + 1)).ok());
+  }
+  Propagator prop(engine_.db, engine_.registry, *net);
+  auto result = prop.Propagate(engine_.db.PendingDeltas());
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  std::vector<TraceEntry> why = result->Explain(*tc);
+  ASSERT_FALSE(why.empty());
+  for (const TraceEntry& e : why) {
+    EXPECT_EQ(e.target, *tc);
+    EXPECT_TRUE(e.influent == *edge || e.influent == *tc);
+  }
+  // Deterministic across calls — no set iteration order leaking through.
+  auto again = result->Explain(*tc);
+  ASSERT_EQ(why.size(), again.size());
+  for (size_t i = 0; i < why.size(); ++i) {
+    EXPECT_EQ(why[i].ToString(cat), again[i].ToString(cat));
+  }
+}
+
 }  // namespace
 }  // namespace deltamon

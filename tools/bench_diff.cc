@@ -1,0 +1,131 @@
+// bench_diff: compare two deltamon.bench.v1 reports (or two directories of
+// BENCH_*.json reports) and fail when any benchmark regressed past the
+// threshold.
+//
+//   bench_diff [--threshold=0.10] [--report-only] <baseline> <current>
+//
+// <baseline> and <current> are either report files or directories; with
+// directories, reports are paired by file name and files present on only
+// one side are reported but never fatal. Exit codes: 0 no regression,
+// 1 regression detected (suppressed by --report-only), 2 usage or I/O
+// error. Baselines are committed under bench/baselines/; regenerate them
+// with DELTAMON_BENCH_OUT_DIR=bench/baselines build/bench/<name>.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench_util/diff.h"
+
+namespace fs = std::filesystem;
+using deltamon::Result;
+using deltamon::bench::CompareReportFiles;
+using deltamon::bench::DiffOptions;
+using deltamon::bench::DiffResult;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold=FRACTION] [--report-only] "
+               "<baseline.json|dir> <current.json|dir>\n",
+               argv0);
+  return 2;
+}
+
+/// BENCH_*.json file names directly inside `dir`, sorted.
+std::vector<std::string> ReportFiles(const fs::path& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".json") {
+      out.push_back(name);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DiffOptions options;
+  bool report_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threshold=", 12) == 0) {
+      char* end = nullptr;
+      options.threshold = std::strtod(arg + 12, &end);
+      if (end == arg + 12 || *end != '\0' || options.threshold < 0) {
+        std::fprintf(stderr, "bench_diff: bad threshold '%s'\n", arg + 12);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--report-only") == 0) {
+      report_only = true;
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.size() != 2) return Usage(argv[0]);
+
+  const fs::path baseline(paths[0]);
+  const fs::path current(paths[1]);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (fs::is_directory(baseline) && fs::is_directory(current)) {
+    for (const std::string& name : ReportFiles(baseline)) {
+      const fs::path other = current / name;
+      if (fs::exists(other)) {
+        pairs.emplace_back((baseline / name).string(), other.string());
+      } else {
+        std::printf("%s: missing from current run\n", name.c_str());
+      }
+    }
+    for (const std::string& name : ReportFiles(current)) {
+      if (!fs::exists(baseline / name)) {
+        std::printf("%s: new report (no baseline)\n", name.c_str());
+      }
+    }
+    if (pairs.empty()) {
+      std::fprintf(stderr, "bench_diff: no reports in common between '%s' "
+                           "and '%s'\n",
+                   paths[0].c_str(), paths[1].c_str());
+      return 2;
+    }
+  } else if (!fs::is_directory(baseline) && !fs::is_directory(current)) {
+    pairs.emplace_back(paths[0], paths[1]);
+  } else {
+    std::fprintf(stderr,
+                 "bench_diff: '%s' and '%s' must both be files or both be "
+                 "directories\n",
+                 paths[0].c_str(), paths[1].c_str());
+    return 2;
+  }
+
+  bool regression = false;
+  for (const auto& [base_path, cur_path] : pairs) {
+    Result<DiffResult> diff = CompareReportFiles(base_path, cur_path, options);
+    if (!diff.ok()) {
+      std::fprintf(stderr, "bench_diff: %s\n",
+                   diff.status().message().c_str());
+      return 2;
+    }
+    std::fputs(FormatDiff(diff.value(), options).c_str(), stdout);
+    regression = regression || diff.value().has_regression();
+  }
+  if (regression) {
+    std::printf(report_only
+                    ? "regressions detected (report-only: exit 0)\n"
+                    : "regressions detected\n");
+    return report_only ? 0 : 1;
+  }
+  return 0;
+}
