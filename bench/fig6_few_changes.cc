@@ -19,25 +19,28 @@ namespace deltamon {
 namespace {
 
 using rules::MonitorMode;
+using workload::InventorySchema;
 using workload::MonitorSetup;
 using workload::SetFn;
+using workload::SetupMonitorFleet;
 using workload::SetupMonitorItems;
 
 constexpr int kTransactions = 100;
 
-/// One fig. 6 run: 100 single-update transactions against `setup`. Updates
-/// keep the quantity above the threshold so we time pure monitoring (no
-/// rule firings), exactly like a quiet inventory. `round` persists across
-/// benchmark iterations so consecutive writes to the same item always
-/// change its value (a rewrite of the same value is a physical no-op that
-/// would monitor nothing).
-void RunTransactions(MonitorSetup& setup, int64_t& round) {
-  const auto& items = setup.schema.items;
+/// One fig. 6 run: 100 single-update transactions against `engine`.
+/// Updates keep the quantity above the threshold so we time pure
+/// monitoring (no rule firings), exactly like a quiet inventory. `round`
+/// persists across benchmark iterations so consecutive writes to the same
+/// item always change its value (a rewrite of the same value is a physical
+/// no-op that would monitor nothing).
+void RunTransactions(Engine& engine, const InventorySchema& schema,
+                     int64_t& round) {
+  const auto& items = schema.items;
   for (int tx = 0; tx < kTransactions; ++tx, ++round) {
     Oid item = items[static_cast<size_t>(round) % items.size()];
-    benchmark::DoNotOptimize(SetFn(*setup.engine, setup.schema.quantity,
-                                   item, 900 + (round % 89)));
-    if (!setup.engine->db.Commit().ok()) std::abort();
+    benchmark::DoNotOptimize(
+        SetFn(engine, schema.quantity, item, 900 + (round % 89)));
+    if (!engine.db.Commit().ok()) std::abort();
   }
 }
 
@@ -49,9 +52,13 @@ void BM_Fig6_Incremental(benchmark::State& state) {
     state.SkipWithError(setup.status().ToString().c_str());
     return;
   }
+  if (bench::ThreadsArg() > 0) {
+    (*setup)->engine->rules.SetNumThreads(
+        static_cast<size_t>(bench::ThreadsArg()));
+  }
   int64_t round = 0;
   for (auto _ : state) {
-    RunTransactions(**setup, round);
+    RunTransactions(*(*setup)->engine, (*setup)->schema, round);
   }
   state.counters["items"] = static_cast<double>(state.range(0));
   state.counters["txs"] = kTransactions;
@@ -70,12 +77,40 @@ void BM_Fig6_Naive(benchmark::State& state) {
   }
   int64_t round = 0;
   for (auto _ : state) {
-    RunTransactions(**setup, round);
+    RunTransactions(*(*setup)->engine, (*setup)->schema, round);
   }
   state.counters["items"] = static_cast<double>(state.range(0));
   state.counters["txs"] = kTransactions;
   state.counters["recomputes"] = static_cast<double>(
       (*setup)->engine->rules.last_check().naive_recomputations);
+}
+
+/// Small-transaction latency under parallel propagation: a fleet of 8
+/// independent monitor rules, 100 single-update transactions each wave.
+/// The waves are tiny, so this measures the cost of the parallel knob on
+/// fine-grained work (fork/join overhead), not speedup; the threads=1 row
+/// is the serial reference. `--threads=N` pins every row to N.
+void BM_Fig6_IncrementalFleet(benchmark::State& state) {
+  const auto items = static_cast<size_t>(state.range(0));
+  const auto num_rules = static_cast<size_t>(state.range(1));
+  size_t threads = static_cast<size_t>(state.range(2));
+  if (bench::ThreadsArg() > 0) {
+    threads = static_cast<size_t>(bench::ThreadsArg());
+  }
+  auto setup = SetupMonitorFleet(items, num_rules, MonitorMode::kIncremental);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  (*setup)->engine->rules.SetNumThreads(threads);
+  int64_t round = 0;
+  for (auto _ : state) {
+    RunTransactions(*(*setup)->engine, (*setup)->schema, round);
+  }
+  state.counters["items"] = static_cast<double>(items);
+  state.counters["rules"] = static_cast<double>(num_rules);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["txs"] = kTransactions;
 }
 
 }  // namespace
@@ -88,6 +123,13 @@ BENCHMARK(deltamon::BM_Fig6_Incremental)
 BENCHMARK(deltamon::BM_Fig6_Naive)
     ->RangeMultiplier(10)
     ->Range(1, 10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(deltamon::BM_Fig6_IncrementalFleet)
+    ->ArgNames({"items", "rules", "threads"})
+    ->Args({1000, 8, 1})
+    ->Args({1000, 8, 2})
+    ->Args({1000, 8, 4})
+    ->Args({1000, 8, 8})
     ->Unit(benchmark::kMillisecond);
 
 DELTAMON_BENCH_MAIN("fig6_few_changes");

@@ -16,15 +16,17 @@ namespace deltamon {
 namespace {
 
 using rules::MonitorMode;
+using workload::FleetSetup;
+using workload::InventorySchema;
 using workload::MonitorSetup;
+using workload::SetupMonitorFleet;
 using workload::SetupMonitorItems;
 
 /// One fig. 7 transaction: 3n updates touching quantity, delivery_time and
 /// consume_freq of every item (values stay on the quiet side of the
 /// threshold so we time monitoring, not rule firing).
-void RunMassiveTransaction(MonitorSetup& setup, int64_t round) {
-  Engine& engine = *setup.engine;
-  const auto& schema = setup.schema;
+void RunMassiveTransaction(Engine& engine, const InventorySchema& schema,
+                           int64_t round) {
   for (size_t i = 0; i < schema.items.size(); ++i) {
     if (!engine.db
              .Set(schema.quantity, Tuple{Value(schema.items[i])},
@@ -52,11 +54,43 @@ void BM_Fig7(benchmark::State& state) {
     state.SkipWithError(setup.status().ToString().c_str());
     return;
   }
+  if (bench::ThreadsArg() > 0) {
+    (*setup)->engine->rules.SetNumThreads(
+        static_cast<size_t>(bench::ThreadsArg()));
+  }
   int64_t round = 0;
   for (auto _ : state) {
-    RunMassiveTransaction(**setup, round++);
+    RunMassiveTransaction(*(*setup)->engine, (*setup)->schema, round++);
   }
   state.counters["items"] = static_cast<double>(state.range(0));
+  state.counters["updates_per_tx"] = static_cast<double>(3 * state.range(0));
+}
+
+/// Level-synchronous parallel propagation over a fleet of independent
+/// monitor rules (one condition relation each, so the network has a
+/// `rules`-wide level of root nodes). Sweep args: (items, rules, threads);
+/// the threads=1 row is the serial baseline for the speedup claim in
+/// docs/parallelism.md. `--threads=N` pins every row to N.
+void BM_Fig7_ParallelFleet(benchmark::State& state) {
+  const auto items = static_cast<size_t>(state.range(0));
+  const auto num_rules = static_cast<size_t>(state.range(1));
+  size_t threads = static_cast<size_t>(state.range(2));
+  if (bench::ThreadsArg() > 0) {
+    threads = static_cast<size_t>(bench::ThreadsArg());
+  }
+  auto setup = SetupMonitorFleet(items, num_rules, MonitorMode::kIncremental);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  (*setup)->engine->rules.SetNumThreads(threads);
+  int64_t round = 0;
+  for (auto _ : state) {
+    RunMassiveTransaction(*(*setup)->engine, (*setup)->schema, round++);
+  }
+  state.counters["items"] = static_cast<double>(items);
+  state.counters["rules"] = static_cast<double>(num_rules);
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["updates_per_tx"] = static_cast<double>(3 * state.range(0));
 }
 
@@ -85,6 +119,13 @@ BENCHMARK(deltamon::BM_Fig7_Naive)
 BENCHMARK(deltamon::BM_Fig7_Hybrid)
     ->RangeMultiplier(10)
     ->Range(10, 10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(deltamon::BM_Fig7_ParallelFleet)
+    ->ArgNames({"items", "rules", "threads"})
+    ->Args({1000, 8, 1})
+    ->Args({1000, 8, 2})
+    ->Args({1000, 8, 4})
+    ->Args({1000, 8, 8})
     ->Unit(benchmark::kMillisecond);
 
 DELTAMON_BENCH_MAIN("fig7_massive_changes");

@@ -201,12 +201,19 @@ struct ShowNetworkStmt {
 /// obs registry and the propagation network's node attribution.
 struct ResetMetricsStmt {};
 
+/// `set threads N` — worker threads for propagation waves (level-
+/// synchronous parallelism; results identical at any setting). 1 is the
+/// serial algorithm, 0 means hardware concurrency.
+struct SetThreadsStmt {
+  int64_t num_threads = 1;
+};
+
 /// A parsed statement (tagged union via variant).
 struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
                CreateInstancesStmt, UpdateStmt, ActivateStmt, SelectStmt,
                CommitStmt, RollbackStmt, ProfileStmt, ShowMetricsStmt,
-               TraceStmt, ShowNetworkStmt, ResetMetricsStmt>
+               TraceStmt, ShowNetworkStmt, ResetMetricsStmt, SetThreadsStmt>
       node;
   int line = 1;
 };

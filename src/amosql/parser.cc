@@ -112,6 +112,22 @@ class Parser {
       stmt.node = std::move(ci);
       return stmt;
     }
+    // `set threads N;` — session knob, not an update (there is no function
+    // call after `set`, so the generic update parse would reject it).
+    if (AtKeyword("set") && Peek(1).IsKeyword("threads") &&
+        Peek(2).kind == TokenKind::kInteger) {
+      Take();  // set
+      Take();  // threads
+      SetThreadsStmt st;
+      st.num_threads = Take().int_value;
+      if (st.num_threads < 0) {
+        return Status::ParseError("thread count must be >= 0, at line " +
+                                  std::to_string(stmt.line));
+      }
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = st;
+      return stmt;
+    }
     if (AtKeyword("set") || AtKeyword("add") || AtKeyword("remove")) {
       UpdateStmt upd;
       upd.line = Peek().line;

@@ -98,6 +98,12 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           if (net.ok() && net.value() != nullptr) net.value()->ResetStats();
           last->report += "METRICS RESET\n";
           return Status::OK();
+        } else if constexpr (std::is_same_v<T, SetThreadsStmt>) {
+          engine_.rules.SetNumThreads(
+              static_cast<size_t>(node.num_threads));
+          last->report += "THREADS " +
+                          std::to_string(engine_.rules.num_threads()) + "\n";
+          return Status::OK();
         } else {
           static_assert(std::is_same_v<T, RollbackStmt>);
           return engine_.db.Rollback();

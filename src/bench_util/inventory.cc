@@ -13,6 +13,24 @@ namespace {
 ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
 ColumnType ObjCol(TypeId type) { return ColumnType{ValueKind::kObject, type}; }
 
+/// Defines `cnd` as the paper's monitor condition over `s`:
+///   cnd(I) <- quantity(I,Q) AND threshold(I,T) AND Q < T
+Status DefineCondition(Engine& engine, const InventorySchema& s,
+                       RelationId cnd) {
+  Clause c;
+  c.head_relation = cnd;
+  c.num_vars = 3;
+  c.var_names = {"I", "Q", "T"};
+  const int I = 0, Q = 1, T = 2;
+  c.head_args = {Term::Var(I)};
+  c.body = {
+      Literal::Relation(s.quantity, {Term::Var(I), Term::Var(Q)}),
+      Literal::Relation(s.threshold, {Term::Var(I), Term::Var(T)}),
+      Literal::Compare(CompareOp::kLt, Term::Var(Q), Term::Var(T)),
+  };
+  return engine.registry.Define(cnd, std::move(c), engine.db.catalog());
+}
+
 }  // namespace
 
 Result<InventorySchema> BuildInventory(Engine& engine,
@@ -78,21 +96,7 @@ Result<InventorySchema> BuildInventory(Engine& engine,
       s.cnd_monitor_items,
       cat.CreateDerivedFunction(
           "cnd_monitor_items", FunctionSignature{{}, {ObjCol(s.item)}}));
-  {
-    Clause c;
-    c.head_relation = s.cnd_monitor_items;
-    c.num_vars = 3;
-    c.var_names = {"I", "Q", "T"};
-    const int I = 0, Q = 1, T = 2;
-    c.head_args = {Term::Var(I)};
-    c.body = {
-        Literal::Relation(s.quantity, {Term::Var(I), Term::Var(Q)}),
-        Literal::Relation(s.threshold, {Term::Var(I), Term::Var(T)}),
-        Literal::Compare(CompareOp::kLt, Term::Var(Q), Term::Var(T)),
-    };
-    DELTAMON_RETURN_IF_ERROR(
-        engine.registry.Define(s.cnd_monitor_items, std::move(c), cat));
-  }
+  DELTAMON_RETURN_IF_ERROR(DefineCondition(engine, s, s.cnd_monitor_items));
 
   // Population (paper §3.1, scaled to num_items).
   for (size_t i = 0; i < config.num_items; ++i) {
@@ -142,6 +146,41 @@ Result<std::unique_ptr<MonitorSetup>> SetupMonitorItems(
           },
           options));
   DELTAMON_RETURN_IF_ERROR(setup->engine->rules.Activate(rule));
+  return setup;
+}
+
+Result<std::unique_ptr<FleetSetup>> SetupMonitorFleet(
+    size_t num_items, size_t num_rules, rules::MonitorMode mode) {
+  auto setup = std::make_unique<FleetSetup>();
+  setup->engine = std::make_unique<Engine>();
+  setup->engine->rules.SetMode(mode);
+  InventoryConfig config;
+  config.num_items = num_items;
+  DELTAMON_ASSIGN_OR_RETURN(setup->schema,
+                            BuildInventory(*setup->engine, config));
+  Catalog& cat = setup->engine->db.catalog();
+  FleetSetup* raw = setup.get();
+  for (size_t k = 0; k < num_rules; ++k) {
+    const std::string suffix = "_" + std::to_string(k);
+    DELTAMON_ASSIGN_OR_RETURN(
+        RelationId cnd,
+        cat.CreateDerivedFunction(
+            "cnd_monitor_items" + suffix,
+            FunctionSignature{{}, {ObjCol(setup->schema.item)}}));
+    DELTAMON_RETURN_IF_ERROR(
+        DefineCondition(*setup->engine, setup->schema, cnd));
+    setup->conditions.push_back(cnd);
+    DELTAMON_ASSIGN_OR_RETURN(
+        rules::RuleId rule,
+        setup->engine->rules.CreateRule(
+            "monitor_items" + suffix, cnd,
+            [raw](Database&, const Tuple&, const std::vector<Tuple>& items) {
+              raw->fired += items.size();
+              return Status::OK();
+            },
+            rules::RuleOptions{}));
+    DELTAMON_RETURN_IF_ERROR(setup->engine->rules.Activate(rule));
+  }
   return setup;
 }
 

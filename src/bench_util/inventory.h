@@ -70,6 +70,26 @@ Result<std::unique_ptr<MonitorSetup>> SetupMonitorItems(
     rules::Semantics semantics = rules::Semantics::kNervous,
     bool propagate_deletions = false);
 
+/// A fleet of independently-defined monitor rules over one shared
+/// inventory: rule k watches its own condition relation
+/// cnd_monitor_items_<k> (same body as cnd_monitor_items). Every condition
+/// is a distinct root node of the propagation network at the same level,
+/// which gives level-synchronous parallel propagation `num_rules`-wide
+/// waves to spread across workers — the single-rule setup has at most one
+/// derived node per level and therefore always takes the serial path.
+struct FleetSetup {
+  std::unique_ptr<Engine> engine;
+  InventorySchema schema;
+  std::vector<RelationId> conditions;
+  /// Total rule firings (across all rules in the fleet) so far.
+  size_t fired = 0;
+};
+
+/// Builds an inventory of `num_items` items and activates `num_rules`
+/// counting monitor rules, each on its own copy of the condition.
+Result<std::unique_ptr<FleetSetup>> SetupMonitorFleet(
+    size_t num_items, size_t num_rules, rules::MonitorMode mode);
+
 /// `set fn(object) = value` convenience for single-argument integer stored
 /// functions.
 Status SetFn(Engine& engine, RelationId fn, Oid object, int64_t value);

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -77,7 +78,11 @@ obs::Json BenchmarksJson(const std::vector<CollectingReporter::Entry>& runs) {
   return out;
 }
 
+int g_threads_arg = 0;
+
 }  // namespace
+
+int ThreadsArg() { return g_threads_arg; }
 
 int BenchMain(int argc, char** argv, const char* name) {
   // Measure the runtime-disabled instrumentation path (enabled is the
@@ -87,6 +92,23 @@ int BenchMain(int argc, char** argv, const char* name) {
       off != nullptr && off[0] == '1') {
     obs::SetEnabled(false);
   }
+  // Strip --threads=N before google-benchmark parses the argument list
+  // (it rejects flags it does not know about).
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      char* end = nullptr;
+      long threads = std::strtol(argv[i] + 10, &end, 10);
+      if (end == argv[i] + 10 || *end != '\0' || threads < 0) {
+        std::fprintf(stderr, "bad --threads value '%s'\n", argv[i] + 10);
+        return 1;
+      }
+      g_threads_arg = static_cast<int>(threads);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
 

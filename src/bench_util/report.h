@@ -12,8 +12,17 @@ namespace deltamon::bench {
 /// The report lands in $DELTAMON_BENCH_OUT_DIR (default: the current
 /// working directory). Set DELTAMON_BENCH_NO_REPORT=1 to suppress it, and
 /// DELTAMON_OBS_DISABLE=1 to run with instrumentation runtime-disabled.
+///
+/// BenchMain additionally understands `--threads=N` (stripped before
+/// google-benchmark sees the argument list): benchmarks that sweep a
+/// propagation thread count consult ThreadsArg() and pin every variant to
+/// N instead of their registered sweep values.
 /// Returns the process exit code.
 int BenchMain(int argc, char** argv, const char* name);
+
+/// Thread-count override from `--threads=N`, or 0 when the flag was not
+/// given (benchmarks then use their registered per-variant thread counts).
+int ThreadsArg();
 
 }  // namespace deltamon::bench
 

@@ -1,0 +1,84 @@
+#include "common/thread_pool.h"
+
+namespace deltamon::common {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  if (num_workers == 0) {
+    num_workers = std::thread::hardware_concurrency();
+    if (num_workers == 0) num_workers = 1;
+  }
+  threads_.reserve(num_workers - 1);
+  for (size_t i = 1; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::DrainTasks(Batch& batch, size_t worker_index) {
+  for (;;) {
+    size_t task = batch.next_task.fetch_add(1, std::memory_order_relaxed);
+    if (task >= batch.num_tasks) return;
+    batch.fn(task, worker_index);
+    // The mutex in the completion path (not just the notify) pairs with
+    // Run()'s predicate re-check, so the final increment can't slip between
+    // the waiter's check and its sleep.
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        batch.num_tasks) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerMain(size_t worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    // batch_ is already reset when the batch finished without this worker
+    // ever claiming a task (a straggler wake-up).
+    if (batch != nullptr) DrainTasks(*batch, worker_index);
+  }
+}
+
+void ThreadPool::Run(size_t num_tasks,
+                     const std::function<void(size_t, size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (threads_.empty() || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i, 0);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->fn = fn;
+  batch->num_tasks = num_tasks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  DrainTasks(*batch, /*worker_index=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return batch->completed.load(std::memory_order_acquire) == num_tasks;
+  });
+  batch_.reset();
+}
+
+}  // namespace deltamon::common

@@ -1,0 +1,73 @@
+#ifndef DELTAMON_COMMON_THREAD_POOL_H_
+#define DELTAMON_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deltamon::common {
+
+/// A small reusable fork-join pool for level-synchronous parallelism: one
+/// Run() call executes `num_tasks` independent tasks across all workers and
+/// returns only when every task has finished (the barrier the propagator
+/// needs between network levels). The calling thread participates as
+/// worker 0, so a pool of size N spawns N-1 threads and Run(n, fn) with
+/// n == 1 degenerates to a plain function call on the caller.
+///
+/// Tasks are claimed dynamically from a shared atomic counter, so uneven
+/// node costs within a level balance automatically. `fn` must not throw
+/// (report failures through its captured state instead); tasks of one Run()
+/// call must be independent of each other.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_workers` total workers (including the
+  /// caller); 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_workers);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Total workers, including the calling thread.
+  size_t num_workers() const { return threads_.size() + 1; }
+
+  /// Runs fn(task_index, worker_index) for every task_index in
+  /// [0, num_tasks), worker_index in [0, num_workers()), and blocks until
+  /// all tasks completed. Not reentrant and not thread-safe: one Run() at a
+  /// time, always from the same "owner" side.
+  void Run(size_t num_tasks, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  /// One Run() call's state. Heap-allocated and shared with every worker
+  /// that joins the batch: a straggler that wakes after the batch already
+  /// completed (and a new one started) still holds the old batch, whose
+  /// exhausted task counter sends it straight back to sleep — it can never
+  /// claim into a newer batch's counters or call a destroyed callable.
+  struct Batch {
+    std::function<void(size_t, size_t)> fn;
+    size_t num_tasks = 0;
+    std::atomic<size_t> next_task{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  void WorkerMain(size_t worker_index);
+  /// Claims tasks until the batch is drained.
+  void DrainTasks(Batch& batch, size_t worker_index);
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a new batch
+  std::condition_variable done_cv_;   // Run() waits for batch completion
+  std::shared_ptr<Batch> batch_;      // guarded by mu_
+  uint64_t generation_ = 0;           // guarded by mu_; bumped per batch
+  bool stop_ = false;                 // guarded by mu_
+};
+
+}  // namespace deltamon::common
+
+#endif  // DELTAMON_COMMON_THREAD_POOL_H_

@@ -1,6 +1,7 @@
 #ifndef DELTAMON_CORE_NETWORK_H_
 #define DELTAMON_CORE_NETWORK_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -42,14 +43,45 @@ struct PartialDifferential {
 /// its work on, and in which polarity. Maintained by the propagator only
 /// while instrumentation is compiled in and enabled; introspection surfaces
 /// (SHOW NETWORK, ToDot) render it next to the topology.
+///
+/// The tallies are relaxed atomics because parallel propagation attributes
+/// a node from whichever worker processed it; each counter is independently
+/// exact, cross-counter consistency of a concurrent read is not promised
+/// (same contract as the obs registry). Copying (for NetworkNode's map
+/// residency during Build) transfers a relaxed snapshot.
 struct NodeStats {
-  uint64_t invocations = 0;      ///< times the node was processed in a wave
-  uint64_t tuples_consumed = 0;  ///< Δ tuples read by its differentials
-  uint64_t plus_produced = 0;    ///< Δ+ tuples this node contributed
-  uint64_t minus_produced = 0;   ///< Δ− tuples this node contributed
-  uint64_t cumulative_ns = 0;    ///< wall time spent computing the node
+  std::atomic<uint64_t> invocations{0};  ///< waves that processed the node
+  std::atomic<uint64_t> tuples_consumed{0};  ///< Δ tuples read by its diffs
+  std::atomic<uint64_t> plus_produced{0};    ///< Δ+ tuples contributed
+  std::atomic<uint64_t> minus_produced{0};   ///< Δ− tuples contributed
+  std::atomic<uint64_t> cumulative_ns{0};  ///< wall time spent on the node
 
-  void Reset() { *this = NodeStats{}; }
+  NodeStats() = default;
+  NodeStats(const NodeStats& other) { *this = other; }
+  NodeStats& operator=(const NodeStats& other) {
+    invocations = other.invocations.load(std::memory_order_relaxed);
+    tuples_consumed = other.tuples_consumed.load(std::memory_order_relaxed);
+    plus_produced = other.plus_produced.load(std::memory_order_relaxed);
+    minus_produced = other.minus_produced.load(std::memory_order_relaxed);
+    cumulative_ns = other.cumulative_ns.load(std::memory_order_relaxed);
+    return *this;
+  }
+
+  void Add(uint64_t consumed, uint64_t plus, uint64_t minus, uint64_t ns) {
+    invocations.fetch_add(1, std::memory_order_relaxed);
+    tuples_consumed.fetch_add(consumed, std::memory_order_relaxed);
+    plus_produced.fetch_add(plus, std::memory_order_relaxed);
+    minus_produced.fetch_add(minus, std::memory_order_relaxed);
+    cumulative_ns.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    invocations.store(0, std::memory_order_relaxed);
+    tuples_consumed.store(0, std::memory_order_relaxed);
+    plus_produced.store(0, std::memory_order_relaxed);
+    minus_produced.store(0, std::memory_order_relaxed);
+    cumulative_ns.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// A node of the propagation network: a base relation (leaf) or a derived

@@ -11,6 +11,10 @@
 #include "objectlog/eval.h"
 #include "storage/database.h"
 
+namespace deltamon::common {
+class ThreadPool;
+}  // namespace deltamon::common
+
 namespace deltamon::core {
 
 /// One executed partial differential, recorded for explainability (paper
@@ -68,6 +72,23 @@ struct PropagationResult {
   std::vector<TraceEntry> Explain(RelationId root) const;
 };
 
+/// Execution knobs for one propagation wave.
+struct PropagationOptions {
+  /// Worker threads per level (level-synchronous parallelism): every node
+  /// of one network level reads only Δ-sets of strictly lower nodes plus
+  /// base state, so the nodes of a level evaluate concurrently and their
+  /// outputs are merged into the wave in the level's fixed node order —
+  /// making root_deltas, the TraceEntry sequence and Stats bit-identical
+  /// at any thread count. 1 (the default) is the classic serial algorithm;
+  /// 0 means std::thread::hardware_concurrency().
+  size_t num_threads = 1;
+  /// Reusable pool to run on; its num_workers() then determines the actual
+  /// parallelism (long-lived callers like RuleManager keep one pool sized
+  /// to their thread setting). When null and the effective thread count
+  /// exceeds 1, a temporary pool is created per Propagate() call.
+  common::ThreadPool* pool = nullptr;
+};
+
 /// Executes the breadth-first bottom-up propagation algorithm (paper §5)
 /// over a PropagationNetwork:
 ///
@@ -81,6 +102,10 @@ struct PropagationResult {
 /// been processed (the "wave-front" materialization of §5); base Δ-sets
 /// stay live for the whole wave because OLD-state reconstruction by logical
 /// rollback needs them.
+///
+/// With options.num_threads > 1 the inner loop runs data-parallel per
+/// level (see PropagationOptions and docs/parallelism.md); results are
+/// deterministic and identical to the serial mode.
 class Propagator {
  public:
   /// `views`, when non-null, switches to PF-style evaluation: derived
@@ -90,8 +115,13 @@ class Propagator {
   /// this network and requires deletions to be propagated everywhere.
   Propagator(const Database& db, const objectlog::DerivedRegistry& registry,
              const PropagationNetwork& network,
-             MaterializedViewStore* views = nullptr)
-      : db_(db), registry_(registry), network_(network), views_(views) {}
+             MaterializedViewStore* views = nullptr,
+             PropagationOptions options = {})
+      : db_(db),
+        registry_(registry),
+        network_(network),
+        views_(views),
+        options_(options) {}
 
   /// Runs one wave from the given base-relation Δ-sets (typically
   /// Database::TakePendingDeltas()). Entries for relations outside the
@@ -100,10 +130,42 @@ class Propagator {
       const std::unordered_map<RelationId, DeltaSet>& base_deltas) const;
 
  private:
+  /// Everything one node's evaluation produces. Workers fill NodeOutputs
+  /// independently; MergeNode folds them into the wave serially, in the
+  /// level's node order, so the serial and parallel modes share one
+  /// accumulation path (and therefore one result).
+  struct NodeOutput {
+    Status status = Status::OK();
+    DeltaSet acc;
+    std::vector<TraceEntry> trace;
+    PropagationResult::Stats stats;
+  };
+
+  /// Evaluates one node against the frozen lower-level state: runs its
+  /// partial differentials, the self-edge fixpoint, and the §7.2 filters.
+  /// Reads `wave` and `view_map` but never mutates them (per-node overlay
+  /// and view hiding go through the evaluator's StateContext), so any
+  /// number of same-level ProcessNode calls may run concurrently.
+  Status ProcessNode(
+      RelationId rel, size_t level,
+      const std::unordered_map<RelationId, DeltaSet>& wave,
+      const std::unordered_map<RelationId, const BaseRelation*>& view_map,
+      objectlog::EvalCache* cache, NodeOutput* out) const;
+
+  /// Folds one node's output into the running wave state: trace append,
+  /// stats fold, view apply, wave insert, peak accounting, and wave-front
+  /// discard of exhausted children. Serial by construction.
+  Status MergeNode(RelationId rel, NodeOutput* out, PropagationResult* result,
+                   std::unordered_map<RelationId, DeltaSet>* wave,
+                   size_t* wavefront,
+                   std::unordered_map<RelationId, size_t>* pending_parents)
+      const;
+
   const Database& db_;
   const objectlog::DerivedRegistry& registry_;
   const PropagationNetwork& network_;
   MaterializedViewStore* views_ = nullptr;
+  PropagationOptions options_;
 };
 
 }  // namespace deltamon::core

@@ -29,14 +29,32 @@ struct StateContext {
   /// definition.
   const std::unordered_map<RelationId, const BaseRelation*>* views = nullptr;
 
+  /// Per-node override used by the propagator: DeltaFor(overlay_rel)
+  /// answers `*overlay_delta` instead of consulting `deltas`, shadowing any
+  /// entry there. This lets one node's evaluation see a private Δ-set (the
+  /// recursive fixpoint frontier) without mutating the wave map other
+  /// nodes — possibly on other threads — are concurrently reading. The
+  /// pointee may be updated between evaluations; the pointer must stay
+  /// valid for the evaluator's lifetime.
+  RelationId overlay_rel = kInvalidRelationId;
+  const DeltaSet* overlay_delta = nullptr;
+
+  /// Relation whose `views` entry is ignored, as if absent. While a node's
+  /// own Δ-set is being computed, point queries against it (the §7.2
+  /// filters) must evaluate its *definition* — its maintained extent is
+  /// still the pre-wave state. Same thread-safety motivation as the
+  /// overlay: hiding via context beats extracting from the shared map.
+  RelationId hidden_view = kInvalidRelationId;
+
   const DeltaSet* DeltaFor(RelationId rel) const {
+    if (rel == overlay_rel && overlay_delta != nullptr) return overlay_delta;
     if (deltas == nullptr) return nullptr;
     auto it = deltas->find(rel);
     return it == deltas->end() ? nullptr : &it->second;
   }
 
   const BaseRelation* ViewFor(RelationId rel) const {
-    if (views == nullptr) return nullptr;
+    if (views == nullptr || rel == hidden_view) return nullptr;
     auto it = views->find(rel);
     return it == views->end() ? nullptr : it->second;
   }

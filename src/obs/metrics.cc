@@ -29,38 +29,56 @@ bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
 void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 void Histogram::Record(uint64_t sample) {
-  ++buckets_[BucketIndex(sample)];
-  ++count_;
-  sum_ += sample;
-  if (count_ == 1 || sample < min_) min_ = sample;
-  if (sample > max_) max_ = sample;
+  buckets_[BucketIndex(sample)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (sample < seen &&
+         !min_.compare_exchange_weak(seen, sample,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (sample > seen &&
+         !max_.compare_exchange_weak(seen, sample,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kNoMin, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 uint64_t Histogram::Percentile(double p) const {
-  if (count_ == 0) return 0;
+  uint64_t total = count();
+  if (total == 0) return 0;
   if (p < 0) p = 0;
   if (p > 100) p = 100;
   // Rank of the requested sample, 1-based (nearest-rank definition).
   uint64_t rank = static_cast<uint64_t>(p / 100.0 *
-                                        static_cast<double>(count_));
+                                        static_cast<double>(total));
   if (rank == 0) rank = 1;
-  if (rank > count_) rank = count_;
+  if (rank > total) rank = total;
   uint64_t seen = 0;
   for (size_t i = 0; i < kBuckets; ++i) {
-    if (buckets_[i] == 0) continue;
-    if (seen + buckets_[i] < rank) {
-      seen += buckets_[i];
+    uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
       continue;
     }
     // Interpolate inside the bucket, clamped to the observed extremes.
-    uint64_t lo = std::max(BucketLower(i), min_);
-    uint64_t hi = std::min(BucketUpper(i), max_);
+    uint64_t lo = std::max(BucketLower(i), min());
+    uint64_t hi = std::min(BucketUpper(i), max());
     if (hi <= lo) return lo;
     double frac = static_cast<double>(rank - seen) /
-                  static_cast<double>(buckets_[i]);
+                  static_cast<double>(in_bucket);
     return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
   }
-  return max_;
+  return max();
 }
 
 MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& before)
@@ -94,24 +112,28 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
 MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot out;
   for (const auto& [name, c] : counters_) out.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
@@ -130,6 +152,7 @@ MetricsSnapshot Registry::Snapshot() const {
 }
 
 void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

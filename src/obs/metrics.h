@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,27 +23,33 @@ namespace deltamon::obs {
 
 /// Monotonically increasing event count. Arithmetic is unsigned 64-bit and
 /// deliberately wraps on overflow (well-defined; see metrics_test).
+///
+/// All metric objects are updated with relaxed atomics: instrumentation may
+/// fire from the propagator's worker threads, and a torn counter would make
+/// TSan (rightly) reject the whole build. Relaxed ordering keeps the
+/// uncontended cost at a plain add on x86; cross-metric consistency of a
+/// Snapshot taken mid-update is not guaranteed (and never was).
 class Counter {
  public:
-  void Add(uint64_t n) { value_ += n; }
-  void Increment() { ++value_; }
-  uint64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t value_ = 0;
+  std::atomic<uint64_t> value_{0};
 };
 
 /// A point-in-time level (e.g. resident tuples, undo-log size).
 class Gauge {
  public:
-  void Set(int64_t v) { value_ = v; }
-  void Add(int64_t n) { value_ += n; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Latency / size distribution over power-of-two buckets: bucket i counts
@@ -56,28 +63,37 @@ class Histogram {
 
   void Record(uint64_t sample);
 
-  uint64_t count() const { return count_; }
-  uint64_t sum() const { return sum_; }
-  uint64_t min() const { return count_ == 0 ? 0 : min_; }
-  uint64_t max() const { return max_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const {
+    uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == kNoMin ? 0 : m;
+  }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
   double mean() const {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) /
-                                   static_cast<double>(count_);
+    uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum()) / static_cast<double>(n);
   }
 
   /// Value at percentile `p` in [0, 100]; 0 when empty.
   uint64_t Percentile(double p) const;
 
-  void Reset() { *this = Histogram{}; }
+  void Reset();
 
-  const uint64_t* buckets() const { return buckets_; }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
 
  private:
-  uint64_t buckets_[kBuckets] = {};
-  uint64_t count_ = 0;
-  uint64_t sum_ = 0;
-  uint64_t min_ = 0;
-  uint64_t max_ = 0;
+  /// Sentinel for "no sample yet"; recorded samples CAS it down.
+  static constexpr uint64_t kNoMin = UINT64_MAX;
+
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{kNoMin};
+  std::atomic<uint64_t> max_{0};
 };
 
 /// One registry dump, decoupled from the live metric objects so it can be
@@ -117,6 +133,9 @@ void SetEnabled(bool on);
 /// Names metrics and owns their storage. Metric objects live for the
 /// registry's lifetime, so instrumentation sites may cache the returned
 /// pointers (function-local statics in the hot paths do exactly that).
+/// Registration and Snapshot/Reset are serialized by an internal mutex so
+/// concurrent first-touch registration from propagation workers is safe;
+/// updates through already-obtained pointers never take the lock.
 ///
 /// Naming scheme (see docs/observability.md): dot-separated
 /// `<subsystem>.<event>[.<detail>]`, lower_snake_case, with histogram
@@ -141,6 +160,7 @@ class Registry {
   void Reset();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -1,8 +1,10 @@
 #ifndef DELTAMON_OBS_TRACE_H_
 #define DELTAMON_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -36,6 +38,10 @@ class TraceSink {
 /// is not silent: every displaced event bumps dropped_events() and the
 /// global `obs.trace.dropped_events` counter (visible in SHOW METRICS), so
 /// a truncated trace announces itself.
+/// OnEvent is internally synchronized: parallel propagation emits spans and
+/// differential events from worker threads. Reading events() while another
+/// thread still emits is not synchronized — consumers (tests, TRACE, the
+/// profiler) read only after the traced work has joined.
 class RingTraceSink : public TraceSink {
  public:
   explicit RingTraceSink(size_t capacity = 1024) : capacity_(capacity) {}
@@ -44,12 +50,18 @@ class RingTraceSink : public TraceSink {
 
   const std::deque<TraceEvent>& events() const { return events_; }
   /// Events displaced by overflow since construction (survives Clear).
-  uint64_t dropped_events() const { return dropped_events_; }
-  void Clear() { events_.clear(); }
+  uint64_t dropped_events() const {
+    return dropped_events_.load(std::memory_order_relaxed);
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
 
  private:
   size_t capacity_;
-  uint64_t dropped_events_ = 0;
+  std::mutex mu_;
+  std::atomic<uint64_t> dropped_events_{0};
   std::deque<TraceEvent> events_;
 };
 

@@ -1,6 +1,7 @@
 #include "rules/rule_manager.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "objectlog/eval.h"
 #include "obs/metrics.h"
@@ -237,6 +238,20 @@ void RuleManager::SetMaterializeIntermediates(bool on) {
   materialize_intermediates_ = on;
 }
 
+void RuleManager::SetNumThreads(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  if (num_threads == num_threads_) return;
+  num_threads_ = num_threads;
+  // The pool always matches the setting exactly, so the Propagator's
+  // pool->num_workers() resolution yields the requested parallelism.
+  pool_ = num_threads_ > 1
+              ? std::make_unique<common::ThreadPool>(num_threads_)
+              : nullptr;
+}
+
 Status RuleManager::RebuildNetwork() {
   network_dirty_ = false;
   network_.reset();
@@ -318,7 +333,10 @@ Status RuleManager::RunIncrementalRound(
     }
     store = &view_store_;
   }
-  core::Propagator propagator(db, registry_, *net, store);
+  core::PropagationOptions popts;
+  popts.num_threads = num_threads_;
+  popts.pool = pool_.get();
+  core::Propagator propagator(db, registry_, *net, store, popts);
   DELTAMON_ASSIGN_OR_RETURN(core::PropagationResult result,
                             propagator.Propagate(deltas));
   ++last_check_.incremental_waves;

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/network.h"
 #include "core/propagator.h"
 #include "objectlog/registry.h"
@@ -122,6 +123,14 @@ class RuleManager {
   /// non-terminating rule set.
   void SetMaxRounds(size_t rounds) { max_rounds_ = rounds; }
 
+  /// Worker threads for incremental propagation waves (level-synchronous
+  /// parallelism; see PropagationOptions and docs/parallelism.md). 1 (the
+  /// default) is the serial algorithm; 0 means hardware concurrency.
+  /// Results are identical at any setting. The pool is kept alive across
+  /// check phases, so waves only pay a wake-up, not thread creation.
+  void SetNumThreads(size_t num_threads);
+  size_t num_threads() const { return num_threads_; }
+
   /// PF-style evaluation (paper §2 contrast): keep every derived network
   /// node's extent materialized and incrementally maintained, so partial
   /// differentials read stored (indexed) views instead of re-deriving
@@ -202,6 +211,9 @@ class RuleManager {
   core::BuildOptions build_options_;
   std::optional<size_t> hybrid_threshold_;
   size_t max_rounds_ = 1000;
+  size_t num_threads_ = 1;
+  /// Sized to num_threads_; null while serial.
+  std::unique_ptr<common::ThreadPool> pool_;
 
   RuleId next_rule_id_ = 1;
   uint32_t next_activation_id_ = 1;

@@ -50,16 +50,29 @@ std::string Schema::ToString() const {
 }
 
 BaseRelation::BaseRelation(RelationId id, std::string name, Schema schema)
-    : id_(id), name_(std::move(name)), schema_(std::move(schema)) {
-  indexes_.resize(schema_.arity());
+    : id_(id),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      num_columns_(schema_.arity()),
+      indexes_(new std::atomic<ColumnIndex*>[schema_.arity()]) {
+  for (size_t c = 0; c < num_columns_; ++c) {
+    indexes_[c].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+BaseRelation::~BaseRelation() {
+  for (size_t c = 0; c < num_columns_; ++c) {
+    delete indexes_[c].load(std::memory_order_relaxed);
+  }
 }
 
 bool BaseRelation::Insert(const Tuple& t) {
   auto [it, inserted] = rows_.insert(t);
   if (!inserted) return false;
   const Tuple* stored = &*it;
-  for (size_t c = 0; c < indexes_.size(); ++c) {
-    if (indexes_[c] != nullptr) indexes_[c]->emplace((*stored)[c], stored);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    ColumnIndex* index = Index(c);
+    if (index != nullptr) index->emplace((*stored)[c], stored);
   }
   return true;
 }
@@ -68,12 +81,13 @@ bool BaseRelation::Delete(const Tuple& t) {
   auto it = rows_.find(t);
   if (it == rows_.end()) return false;
   const Tuple* stored = &*it;
-  for (size_t c = 0; c < indexes_.size(); ++c) {
-    if (indexes_[c] == nullptr) continue;
-    auto range = indexes_[c]->equal_range((*stored)[c]);
+  for (size_t c = 0; c < num_columns_; ++c) {
+    ColumnIndex* index = Index(c);
+    if (index == nullptr) continue;
+    auto range = index->equal_range((*stored)[c]);
     for (auto e = range.first; e != range.second; ++e) {
       if (e->second == stored) {
-        indexes_[c]->erase(e);
+        index->erase(e);
         break;
       }
     }
@@ -90,11 +104,16 @@ bool BaseRelation::Matches(const Tuple& t, const ScanPattern& pattern) {
 }
 
 void BaseRelation::EnsureIndex(size_t column) const {
-  if (column >= indexes_.size() || indexes_[column] != nullptr) return;
+  if (column >= num_columns_ || Index(column) != nullptr) return;
+  // Double-checked build: concurrent readers may race to here on the first
+  // indexed scan of a cold column; the mutex makes exactly one of them
+  // build, and the release store publishes the fully built index.
+  std::lock_guard<std::mutex> lock(index_build_mu_);
+  if (indexes_[column].load(std::memory_order_relaxed) != nullptr) return;
   auto index = std::make_unique<ColumnIndex>();
   index->reserve(rows_.size());
   for (const Tuple& t : rows_) index->emplace(t[column], &t);
-  indexes_[column] = std::move(index);
+  indexes_[column].store(index.release(), std::memory_order_release);
 }
 
 void BaseRelation::Scan(const ScanPattern& pattern,
@@ -121,7 +140,7 @@ void BaseRelation::Scan(const ScanPattern& pattern,
   for (size_t c = 0; c < pattern.size(); ++c) {
     if (!pattern[c].has_value()) continue;
     EnsureIndex(c);
-    auto range = indexes_[c]->equal_range(*pattern[c]);
+    auto range = Index(c)->equal_range(*pattern[c]);
     for (auto it = range.first; it != range.second; ++it) {
       const Tuple& t = *it->second;
       if (Matches(t, pattern)) {

@@ -1,9 +1,11 @@
 #ifndef DELTAMON_STORAGE_BASE_RELATION_H_
 #define DELTAMON_STORAGE_BASE_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -61,14 +63,20 @@ using ScanPattern = std::vector<std::optional<Value>>;
 /// A stored base relation (an AMOS "stored function"): a set of typed
 /// tuples with lazily built per-column hash indexes.
 ///
-/// Not thread-safe; deltamon databases are single-threaded by design (the
-/// paper's algorithm runs inside one transaction's check phase).
+/// Mutations (Insert/Delete) are single-threaded by design — they happen in
+/// the transaction's update statements, never during propagation. Concurrent
+/// *reads* (Scan/Count/Contains) are safe, including the lazy index build a
+/// cold indexed scan triggers: the per-column index pointer is published
+/// with a double-checked atomic under a build mutex, so parallel propagation
+/// workers can race on the first probe of a column without tearing. The
+/// fast path stays one acquire load (free on x86).
 class BaseRelation {
  public:
   BaseRelation(RelationId id, std::string name, Schema schema);
 
   BaseRelation(const BaseRelation&) = delete;
   BaseRelation& operator=(const BaseRelation&) = delete;
+  ~BaseRelation();
 
   RelationId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -98,12 +106,12 @@ class BaseRelation {
   size_t Count(const ScanPattern& pattern) const;
 
   /// Forces creation of the hash index on `column` (otherwise built lazily
-  /// on the first indexed scan that binds it).
+  /// on the first indexed scan that binds it). Safe to race from readers.
   void EnsureIndex(size_t column) const;
 
   /// True if an index on `column` has been built.
   bool HasIndex(size_t column) const {
-    return column < indexes_.size() && indexes_[column] != nullptr;
+    return column < num_columns_ && Index(column) != nullptr;
   }
 
  private:
@@ -111,13 +119,20 @@ class BaseRelation {
 
   static bool Matches(const Tuple& t, const ScanPattern& pattern);
 
+  ColumnIndex* Index(size_t column) const {
+    return indexes_[column].load(std::memory_order_acquire);
+  }
+
   RelationId id_;
   std::string name_;
   Schema schema_;
+  size_t num_columns_ = 0;
   TupleSet rows_;
   /// indexes_[c] maps column-c values to tuples; entries point into rows_
-  /// (stable: unordered_set nodes don't move). Built lazily, hence mutable.
-  mutable std::vector<std::unique_ptr<ColumnIndex>> indexes_;
+  /// (stable: unordered_set nodes don't move). Built lazily, hence mutable;
+  /// published atomically (see class comment). Owned: freed in the dtor.
+  mutable std::unique_ptr<std::atomic<ColumnIndex*>[]> indexes_;
+  mutable std::mutex index_build_mu_;
 };
 
 }  // namespace deltamon

@@ -126,6 +126,27 @@ TEST(ParserTest, ActivateDeactivate) {
   EXPECT_EQ(d.args[0]->kind, Expr::Kind::kInterfaceVar);
 }
 
+TEST(ParserTest, SetThreads) {
+  auto program = Parse("set threads 4;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(As<SetThreadsStmt>((*program)[0]).num_threads, 4);
+  program = Parse("SET THREADS 0;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(As<SetThreadsStmt>((*program)[0]).num_threads, 0);
+}
+
+TEST(ParserTest, SetOfAFunctionNamedThreadsIsStillAnUpdate) {
+  auto program = Parse("set threads(:a) = 2;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(As<UpdateStmt>((*program)[0]).kind, UpdateStmt::Kind::kSet);
+}
+
+TEST(ParserTest, SetThreadsRejectsMalformedCounts) {
+  EXPECT_FALSE(Parse("set threads -1;").ok());
+  EXPECT_FALSE(Parse("set threads two;").ok());
+  EXPECT_FALSE(Parse("set threads 2").ok());
+}
+
 TEST(ParserTest, CommitRollback) {
   auto program = Parse("commit; rollback;");
   ASSERT_TRUE(program.ok());

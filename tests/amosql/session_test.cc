@@ -178,6 +178,44 @@ TEST_F(SessionTest, RuleWithSetActionSelfStabilizes) {
   EXPECT_EQ(rows[0][0], Value(90));
 }
 
+TEST_F(SessionTest, SetThreadsControlsRuleManagerParallelism) {
+  ASSERT_TRUE(Exec("set threads 4;").ok());
+  EXPECT_EQ(engine_.rules.num_threads(), 4u);
+  ASSERT_TRUE(Exec("set threads 1;").ok());
+  EXPECT_EQ(engine_.rules.num_threads(), 1u);
+  // 0 resolves to hardware concurrency (at least 1).
+  ASSERT_TRUE(Exec("set threads 0;").ok());
+  EXPECT_GE(engine_.rules.num_threads(), 1u);
+  auto r = session_.Execute("set threads 2;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->report.find("THREADS 2"), std::string::npos);
+}
+
+TEST_F(SessionTest, RuleFiresIdenticallyUnderParallelPropagation) {
+  std::vector<std::vector<Value>> calls;
+  session_.RegisterProcedure(
+      "notify", [&calls](Database&, const std::vector<Value>& args) {
+        calls.push_back(args);
+        return Status::OK();
+      });
+  ASSERT_TRUE(Exec("set threads 4;"
+                   "create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create rule low_level() as"
+                   "  when for each tank t where level(t) < 10"
+                   "  do notify(t, level(t));"
+                   "create tank instances :t1, :t2;"
+                   "set level(:t1) = 50; set level(:t2) = 60;"
+                   "activate low_level();"
+                   "commit;")
+                  .ok());
+  EXPECT_TRUE(calls.empty());
+  ASSERT_TRUE(Exec("set level(:t1) = 3; commit;").ok());
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0][0], *session_.GetInterfaceVar("t1"));
+  EXPECT_EQ(calls[0][1], Value(3));
+}
+
 TEST_F(SessionTest, UnregisteredProcedureFailsAtFireTime) {
   ASSERT_TRUE(Exec("create type tank;"
                    "create function level(tank) -> integer;"

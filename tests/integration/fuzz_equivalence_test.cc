@@ -1,0 +1,375 @@
+/// Differential fuzz harness for parallel propagation (the tentpole
+/// correctness claim): on seeded random networks and random transaction
+/// batches — insert/delete/rollback mixes — three monitors must agree
+/// exactly, every wave:
+///
+///   naive        full recomputation, diffed against the old extent
+///   serial       incremental propagation, num_threads = 1
+///   parallel     incremental propagation, num_threads = 2 and 8
+///
+/// Agreement means identical root Δ-sets AND identical Explain() influent
+/// sets (the explainability answer must not depend on the thread count).
+/// A companion determinism suite checks the stronger claim: the FULL
+/// TraceEntry sequence and Stats are bit-identical for num_threads
+/// ∈ {1, 2, 4, 8}.
+///
+/// Every assertion message carries the seed, so a failure reproduces with
+/// a one-line filter.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/materialized_views.h"
+#include "core/network.h"
+#include "core/propagator.h"
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+namespace deltamon {
+namespace {
+
+using objectlog::Clause;
+using objectlog::CompareOp;
+using objectlog::EvalState;
+using objectlog::Literal;
+using objectlog::Term;
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+
+/// A random two-level monitoring scenario, wider than random_network_test's
+/// so levels actually hold several nodes for the workers to share: 4 base
+/// relations, 3 level-1 join views, 2 level-2 views over those, and a
+/// 2-clause union root. Kept as shared nodes (§7.1) the network has
+/// per-level widths 4 / 3 / 2 / 1.
+class FuzzScenario {
+ public:
+  explicit FuzzScenario(uint32_t seed) : rng_(seed) {
+    for (int b = 0; b < 4; ++b) {
+      bases_.push_back(*engine_.db.catalog().CreateStoredFunction(
+          "base" + std::to_string(b),
+          FunctionSignature{{IntCol()}, {IntCol()}}));
+    }
+    // Level 1: joins of two random bases, sometimes with a comparison,
+    // sometimes with a negated third literal.
+    for (int v = 0; v < 3; ++v) {
+      RelationId view = *engine_.db.catalog().CreateDerivedFunction(
+          "lvl1_" + std::to_string(v),
+          FunctionSignature{{}, {IntCol(), IntCol()}});
+      Clause c;
+      c.head_relation = view;
+      c.num_vars = 3;
+      c.head_args = {Term::Var(0), Term::Var(2)};
+      c.body = {Literal::Relation(PickBase(), {Term::Var(0), Term::Var(1)}),
+                Literal::Relation(PickBase(), {Term::Var(1), Term::Var(2)})};
+      if (rng_() % 2 == 0) {
+        c.body.push_back(
+            Literal::Compare(CompareOp::kNe, Term::Var(0), Term::Var(2)));
+      }
+      if (rng_() % 3 == 0) {
+        c.body.push_back(Literal::Relation(
+            PickBase(), {Term::Var(2), Term::Var(0)}, /*negated=*/true));
+      }
+      EXPECT_TRUE(
+          engine_.registry.Define(view, std::move(c), engine_.db.catalog())
+              .ok());
+      views_.push_back(view);
+    }
+    // Level 2: join a level-1 view with a base relation.
+    for (int v = 0; v < 2; ++v) {
+      RelationId view = *engine_.db.catalog().CreateDerivedFunction(
+          "lvl2_" + std::to_string(v),
+          FunctionSignature{{}, {IntCol(), IntCol()}});
+      Clause c;
+      c.head_relation = view;
+      c.num_vars = 3;
+      c.head_args = {Term::Var(0), Term::Var(2)};
+      c.body = {
+          Literal::Relation(views_[rng_() % 3], {Term::Var(0), Term::Var(1)}),
+          Literal::Relation(PickBase(), {Term::Var(1), Term::Var(2)})};
+      EXPECT_TRUE(
+          engine_.registry.Define(view, std::move(c), engine_.db.catalog())
+              .ok());
+      views_.push_back(view);
+    }
+    // Root: union over the level-2 views with opposed selections.
+    root_ = *engine_.db.catalog().CreateDerivedFunction(
+        "cond", FunctionSignature{{}, {IntCol()}});
+    for (int k = 0; k < 2; ++k) {
+      Clause c;
+      c.head_relation = root_;
+      c.num_vars = 2;
+      c.head_args = {Term::Var(0)};
+      c.body = {Literal::Relation(views_[static_cast<size_t>(3 + k)],
+                                  {Term::Var(0), Term::Var(1)}),
+                Literal::Compare(k == 0 ? CompareOp::kLt : CompareOp::kGe,
+                                 Term::Var(1),
+                                 Term::Const(Value(int64_t(kDomain / 2))))};
+      EXPECT_TRUE(
+          engine_.registry.Define(root_, std::move(c), engine_.db.catalog())
+              .ok());
+    }
+    for (RelationId b : bases_) engine_.db.MarkMonitored(b);
+    for (RelationId b : bases_) {
+      for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(engine_.db.Insert(b, RandomTuple()).ok());
+      }
+    }
+    EXPECT_TRUE(engine_.db.Commit().ok());
+  }
+
+  RelationId PickBase() { return bases_[rng_() % bases_.size()]; }
+
+  Tuple RandomTuple() {
+    std::uniform_int_distribution<int64_t> v(0, kDomain - 1);
+    return Tuple{Value(v(rng_)), Value(v(rng_))};
+  }
+
+  /// Applies a random batch: 1–10 operations, one third deletions.
+  void RandomTransaction() {
+    std::uniform_int_distribution<int> count(1, 10);
+    int n = count(rng_);
+    for (int i = 0; i < n; ++i) {
+      RelationId b = PickBase();
+      if (rng_() % 3 == 0) {
+        const BaseRelation* rel = engine_.db.catalog().GetBaseRelation(b);
+        if (!rel->rows().empty()) {
+          Tuple victim = *rel->rows().begin();
+          EXPECT_TRUE(engine_.db.Delete(b, victim).ok());
+        }
+      } else {
+        EXPECT_TRUE(engine_.db.Insert(b, RandomTuple()).ok());
+      }
+    }
+  }
+
+  bool CoinFlip(int one_in) { return rng_() % one_in == 0; }
+
+  /// Naive monitor primitive: full recomputation of the root in `state`
+  /// (kOld evaluates every transitive base literal through logical
+  /// rollback over the pending Δ-sets).
+  TupleSet EvalRoot(EvalState state) {
+    objectlog::StateContext ctx;
+    auto deltas = engine_.db.PendingDeltas();
+    ctx.deltas = &deltas;
+    objectlog::Evaluator ev(engine_.db, engine_.registry, ctx);
+    TupleSet out;
+    EXPECT_TRUE(ev.Evaluate(root_, state, &out).ok());
+    return out;
+  }
+
+  Engine engine_;
+  std::vector<RelationId> bases_;
+  std::vector<RelationId> views_;
+  RelationId root_ = kInvalidRelationId;
+  std::mt19937 rng_;
+  static constexpr int64_t kDomain = 9;
+};
+
+std::vector<std::string> ExplainStrings(const core::PropagationResult& r,
+                                        RelationId root,
+                                        const Catalog& catalog) {
+  std::vector<std::string> out;
+  for (const core::TraceEntry& e : r.Explain(root)) {
+    out.push_back(e.ToString(catalog));
+  }
+  return out;
+}
+
+bool SameEntry(const core::TraceEntry& a, const core::TraceEntry& b) {
+  return a.target == b.target && a.influent == b.influent &&
+         a.reads_plus == b.reads_plus && a.produces_plus == b.produces_plus &&
+         a.tuples_consumed == b.tuples_consumed &&
+         a.tuples_produced == b.tuples_produced;
+}
+
+::testing::AssertionResult SameTrace(const std::vector<core::TraceEntry>& a,
+                                     const std::vector<core::TraceEntry>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure()
+           << "trace length " << a.size() << " vs " << b.size();
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameEntry(a[i], b[i])) {
+      return ::testing::AssertionFailure() << "trace entry " << i << " differs";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult SameStats(
+    const core::PropagationResult::Stats& a,
+    const core::PropagationResult::Stats& b) {
+  if (a.differentials_executed != b.differentials_executed ||
+      a.differentials_skipped != b.differentials_skipped ||
+      a.tuples_propagated != b.tuples_propagated ||
+      a.peak_wavefront_tuples != b.peak_wavefront_tuples ||
+      a.filtered_plus != b.filtered_plus ||
+      a.filtered_minus != b.filtered_minus ||
+      a.materialized_resident_tuples != b.materialized_resident_tuples) {
+    return ::testing::AssertionFailure() << "stats differ";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct FuzzConfig {
+  uint32_t seed;
+  bool materialize;
+};
+
+class FuzzEquivalenceTest : public ::testing::TestWithParam<FuzzConfig> {};
+
+/// naive ≡ serial ≡ parallel(2) ≡ parallel(8), over root Δ-sets and
+/// Explain() influent sets, across random transaction batches with
+/// rollbacks mixed in.
+TEST_P(FuzzEquivalenceTest, NaiveSerialParallelAgree) {
+  const FuzzConfig& config = GetParam();
+  FuzzScenario scenario(config.seed);
+  Database& db = scenario.engine_.db;
+
+  core::RootSpec root;
+  root.relation = scenario.root_;
+  root.needs_minus = true;
+  root.strict = true;
+  core::BuildOptions options;
+  for (RelationId v : scenario.views_) options.keep.insert(v);
+  auto net = core::PropagationNetwork::Build(
+      {root}, scenario.engine_.registry, db.catalog(), options);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+
+  const size_t kThreadVariants[] = {1, 2, 8};
+  for (int tx = 0; tx < 12; ++tx) {
+    SCOPED_TRACE("seed " + std::to_string(config.seed) + " tx " +
+                 std::to_string(tx));
+    TupleSet before = scenario.EvalRoot(EvalState::kNew);
+    scenario.RandomTransaction();
+
+    // Rollback mix: a quarter of the batches are abandoned; the monitors
+    // must then see no change at all.
+    if (scenario.CoinFlip(4)) {
+      ASSERT_TRUE(db.Rollback().ok());
+      ASSERT_EQ(scenario.EvalRoot(EvalState::kNew), before);
+      continue;
+    }
+
+    TupleSet after = scenario.EvalRoot(EvalState::kNew);
+    DeltaSet naive = DiffStates(before, after);
+    auto deltas = db.TakePendingDeltas();
+
+    std::vector<std::string> serial_explain;
+    for (size_t threads : kThreadVariants) {
+      // A fresh store per variant: extents are brought forward by the
+      // wave, so sharing one store across variants would double-apply.
+      core::MaterializedViewStore store;
+      if (config.materialize) {
+        ASSERT_TRUE(store
+                        .Initialize(*net, db, scenario.engine_.registry,
+                                    &deltas)
+                        .ok());
+      }
+      core::PropagationOptions popts;
+      popts.num_threads = threads;
+      core::Propagator propagator(db, scenario.engine_.registry, *net,
+                                  config.materialize ? &store : nullptr,
+                                  popts);
+      auto result = propagator.Propagate(deltas);
+      ASSERT_TRUE(result.ok())
+          << threads << " threads: " << result.status().ToString();
+      ASSERT_EQ(result->root_deltas.at(scenario.root_), naive)
+          << threads << " threads disagree with naive recomputation";
+      std::vector<std::string> explain =
+          ExplainStrings(*result, scenario.root_, db.catalog());
+      if (threads == 1) {
+        serial_explain = std::move(explain);
+      } else {
+        ASSERT_EQ(explain, serial_explain)
+            << threads << " threads change the Explain() answer";
+      }
+    }
+    ASSERT_TRUE(db.Commit().ok());
+  }
+}
+
+std::vector<FuzzConfig> FuzzConfigs() {
+  std::vector<FuzzConfig> out;
+  for (uint32_t seed = 0; seed < 50; ++seed) {
+    // Both monitors on even seeds; odd seeds skip materialization to keep
+    // runtime flat while still covering 50 seeds in each dimension.
+    out.push_back({seed, false});
+    if (seed % 2 == 0) out.push_back({seed, true});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FuzzEquivalenceTest, ::testing::ValuesIn(FuzzConfigs()),
+    [](const ::testing::TestParamInfo<FuzzConfig>& info) {
+      return "Seed" + std::to_string(info.param.seed) +
+             (info.param.materialize ? "Mat" : "");
+    });
+
+class ThreadDeterminismTest : public ::testing::TestWithParam<uint32_t> {};
+
+/// The strong form: the full TraceEntry sequence and every Stats counter
+/// are bit-identical for num_threads ∈ {1, 2, 4, 8} — the parallel mode is
+/// indistinguishable from the serial one, not merely equivalent. Pools are
+/// passed in explicitly, covering the reusable-pool path the RuleManager
+/// uses (the fuzz suite above covers the temporary-pool path).
+TEST_P(ThreadDeterminismTest, TraceAndStatsAreBitIdenticalAcrossThreadCounts) {
+  const uint32_t seed = GetParam();
+  FuzzScenario scenario(seed);
+  Database& db = scenario.engine_.db;
+
+  core::RootSpec root;
+  root.relation = scenario.root_;
+  root.needs_minus = true;
+  root.strict = true;
+  core::BuildOptions options;
+  for (RelationId v : scenario.views_) options.keep.insert(v);
+  auto net = core::PropagationNetwork::Build(
+      {root}, scenario.engine_.registry, db.catalog(), options);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+
+  common::ThreadPool pool2(2);
+  common::ThreadPool pool4(4);
+  common::ThreadPool pool8(8);
+  common::ThreadPool* pools[] = {nullptr, &pool2, &pool4, &pool8};
+
+  for (int tx = 0; tx < 6; ++tx) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " tx " +
+                 std::to_string(tx));
+    scenario.RandomTransaction();
+    auto deltas = db.TakePendingDeltas();
+
+    core::PropagationResult reference;
+    for (common::ThreadPool* pool : pools) {
+      core::PropagationOptions popts;
+      popts.pool = pool;  // null → serial (num_threads defaults to 1)
+      core::Propagator propagator(db, scenario.engine_.registry, *net,
+                                  nullptr, popts);
+      auto result = propagator.Propagate(deltas);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      if (pool == nullptr) {
+        reference = std::move(*result);
+        continue;
+      }
+      size_t workers = pool->num_workers();
+      EXPECT_EQ(result->root_deltas, reference.root_deltas)
+          << workers << " threads";
+      EXPECT_TRUE(SameTrace(result->trace, reference.trace))
+          << workers << " threads";
+      EXPECT_TRUE(SameStats(result->stats, reference.stats))
+          << workers << " threads";
+    }
+    ASSERT_TRUE(db.Commit().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadDeterminismTest,
+                         ::testing::Range(0u, 50u));
+
+}  // namespace
+}  // namespace deltamon
