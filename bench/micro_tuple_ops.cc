@@ -1,0 +1,131 @@
+/// Micro-benchmarks for the tuple data plane: TupleSet insert and probe,
+/// delta-union, and logical rollback over 2-ary through 8-ary tuples at 1k
+/// and 100k scale. These isolate the container/hash/intern layer the Δ-set
+/// machinery sits on (micro_delta_union covers the §4.1 semantics above it),
+/// so a data-plane regression shows up here before it shows up in fig6/fig7.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util/report.h"
+
+#include "delta/delta_set.h"
+
+namespace deltamon {
+namespace {
+
+/// An n-ary tuple keyed by `i`: first column the key, the rest a mix of
+/// int/string columns so wider tuples also exercise interned-string
+/// equality and hashing, not just int compares.
+Tuple MakeTuple(int64_t i, int64_t arity) {
+  std::vector<Value> vals;
+  vals.reserve(static_cast<size_t>(arity));
+  vals.push_back(Value(i));
+  for (int64_t c = 1; c < arity; ++c) {
+    if (c % 2 == 0) {
+      // Drawn from a small interned vocabulary (realistic: attribute
+      // values repeat), so interning cost is paid once at setup.
+      vals.push_back(Value("attr-" + std::to_string((i + c) % 97)));
+    } else {
+      vals.push_back(Value(i * 31 + c));
+    }
+  }
+  return Tuple(std::move(vals));
+}
+
+std::vector<Tuple> MakeTuples(int64_t n, int64_t arity, int64_t offset = 0) {
+  std::vector<Tuple> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) out.push_back(MakeTuple(i + offset, arity));
+  return out;
+}
+
+/// Bulk insert of n fresh tuples into an empty, unreserved set.
+void BM_TupleSetInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t arity = state.range(1);
+  std::vector<Tuple> tuples = MakeTuples(n, arity);
+  for (auto _ : state) {
+    TupleSet s;
+    for (const Tuple& t : tuples) s.insert(t);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+/// Warm probes, alternating hits and misses on an n-tuple set.
+void BM_TupleSetProbe(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t arity = state.range(1);
+  TupleSet s;
+  s.reserve(static_cast<size_t>(n));
+  for (const Tuple& t : MakeTuples(n, arity)) s.insert(t);
+  std::vector<Tuple> hits = MakeTuples(n, arity);
+  std::vector<Tuple> misses = MakeTuples(n, arity, /*offset=*/n);
+  size_t found = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < n; ++i) {
+      found += s.contains(hits[static_cast<size_t>(i)]);
+      found += s.contains(misses[static_cast<size_t>(i)]);
+    }
+  }
+  benchmark::DoNotOptimize(found);
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+
+/// ∪Δ of two Δ-sets with 50% cancellation, n-ary payload.
+void BM_TupleDeltaUnion(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t arity = state.range(1);
+  DeltaSet a, b;
+  for (int64_t i = 0; i < n; ++i) {
+    a.ApplyInsert(MakeTuple(i, arity));
+    if (i % 2 == 0) {
+      b.ApplyDelete(MakeTuple(i, arity));
+    } else {
+      b.ApplyInsert(MakeTuple(i + n, arity));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeltaUnion(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+
+/// Logical rollback of an n-tuple state with a 10% Δ (fig. 3 primitive).
+void BM_TupleRollback(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t arity = state.range(1);
+  TupleSet s;
+  s.reserve(static_cast<size_t>(n));
+  for (const Tuple& t : MakeTuples(n, arity)) s.insert(t);
+  DeltaSet d;
+  for (int64_t i = 0; i < n / 10 + 1; ++i) {
+    d.ApplyInsert(MakeTuple(i, arity));
+    d.ApplyDelete(MakeTuple(i + n, arity));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RollbackToOldState(s, d));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void TupleArgs(benchmark::internal::Benchmark* b) {
+  for (int64_t n : {int64_t{1000}, int64_t{100000}}) {
+    for (int64_t arity : {int64_t{2}, int64_t{4}, int64_t{8}}) {
+      b->Args({n, arity});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deltamon
+
+BENCHMARK(deltamon::BM_TupleSetInsert)->Apply(deltamon::TupleArgs);
+BENCHMARK(deltamon::BM_TupleSetProbe)->Apply(deltamon::TupleArgs);
+BENCHMARK(deltamon::BM_TupleDeltaUnion)->Apply(deltamon::TupleArgs);
+BENCHMARK(deltamon::BM_TupleRollback)->Apply(deltamon::TupleArgs);
+
+DELTAMON_BENCH_MAIN("micro_tuple_ops");

@@ -1,0 +1,251 @@
+#ifndef DELTAMON_COMMON_FLAT_TUPLE_SET_H_
+#define DELTAMON_COMMON_FLAT_TUPLE_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+namespace deltamon {
+
+/// An open-addressing hash set with dense storage, replacing node-based
+/// std::unordered_set on the Δ-pipeline hot paths (see docs/data_plane.md).
+///
+/// Layout (Python-dict style): elements live contiguously in `dense_`, in
+/// insertion order; `slots_` is a power-of-two linear-probing table of
+/// {dense index, 32-bit hash tag} pairs. Probes touch only the 8-byte slot
+/// array until the tag matches, so a miss costs a couple of cache lines and
+/// no pointer chases; iteration is a plain vector walk.
+///
+/// Deletion uses swap-remove on the dense array (the last element moves
+/// into the erased index — callers that track dense indices, e.g.
+/// BaseRelation's column indexes, must repoint the moved element) and
+/// backward-shift deletion on the slot table, so there are no tombstones to
+/// accumulate.
+///
+/// Deviations from std::unordered_set, relied on by this codebase:
+///  - iterators are contiguous (const T*-like) and are invalidated by any
+///    insert (dense growth) or erase (swap-remove);
+///  - erase(it) returns an iterator at the SAME position, which then holds
+///    the previously-last element — the `it = pred ? s.erase(it) :
+///    std::next(it)` filtering loop remains correct;
+///  - pointers to elements are NOT stable across mutation.
+///
+/// Hash must be cheap: it is re-invoked during rehash and erase (Tuple
+/// caches its hash word, making this a load).
+template <typename T, typename Hash>
+class FlatHashSet {
+ public:
+  using value_type = T;
+  using const_iterator = typename std::vector<T>::const_iterator;
+  using iterator = const_iterator;
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+  FlatHashSet() = default;
+  FlatHashSet(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) insert(v);
+  }
+  template <typename It>
+  FlatHashSet(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  const_iterator begin() const { return dense_.begin(); }
+  const_iterator end() const { return dense_.end(); }
+  const_iterator cbegin() const { return dense_.begin(); }
+  const_iterator cend() const { return dense_.end(); }
+
+  size_t size() const { return dense_.size(); }
+  bool empty() const { return dense_.empty(); }
+
+  void clear() {
+    dense_.clear();
+    slots_.clear();
+    mask_ = 0;
+  }
+
+  /// Pre-sizes both the dense array and the slot table for `n` elements,
+  /// so known-size producers (rollback, delta-union, cache fills) insert
+  /// without rehashing.
+  void reserve(size_t n) {
+    dense_.reserve(n);
+    size_t want = SlotCountFor(n);
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  bool contains(const T& v) const { return FindSlot(v, hash_(v)) != npos; }
+  size_t count(const T& v) const { return contains(v) ? 1 : 0; }
+
+  const_iterator find(const T& v) const {
+    size_t s = FindSlot(v, hash_(v));
+    return s == npos ? dense_.end() : dense_.begin() + slots_[s].index;
+  }
+
+  /// The dense position of `v`, or npos. Positions are stable across
+  /// inserts of OTHER elements (append-only) but change on erase
+  /// (swap-remove moves the last element into the erased position).
+  size_t IndexOf(const T& v) const {
+    size_t s = FindSlot(v, hash_(v));
+    return s == npos ? npos : slots_[s].index;
+  }
+
+  /// Element at dense position `i` (valid while no mutation intervenes).
+  const T& At(size_t i) const { return dense_[i]; }
+
+  std::pair<const_iterator, bool> insert(const T& v) { return Emplace(v); }
+  std::pair<const_iterator, bool> insert(T&& v) {
+    return Emplace(std::move(v));
+  }
+
+  template <typename It>
+  void insert(It first, It last) {
+    for (; first != last; ++first) insert(*first);
+  }
+
+  size_t erase(const T& v) {
+    size_t s = FindSlot(v, hash_(v));
+    if (s == npos) return 0;
+    EraseSlot(s);
+    return 1;
+  }
+
+  /// Erases the element at `it`; returns an iterator at the same position
+  /// (now holding the previously-last element), or end().
+  const_iterator erase(const_iterator it) {
+    size_t i = static_cast<size_t>(it - dense_.begin());
+    EraseSlot(SlotOfIndex(i));
+    return dense_.begin() + i;
+  }
+
+  /// Set equality (order-independent), matching std::unordered_set.
+  bool operator==(const FlatHashSet& other) const {
+    if (dense_.size() != other.dense_.size()) return false;
+    for (const T& v : dense_) {
+      if (!other.contains(v)) return false;
+    }
+    return true;
+  }
+
+  /// Debug/test hook: verifies the slot table and dense array agree —
+  /// every element probes back to its own slot and the live slot count
+  /// matches size(). Used by the fuzz harness to certify the container
+  /// under randomized insert/erase mixes.
+  bool CheckInvariants() const {
+    size_t live = 0;
+    for (const Slot& s : slots_) {
+      if (s.index != kEmpty) ++live;
+    }
+    if (live != dense_.size()) return false;
+    for (size_t i = 0; i < dense_.size(); ++i) {
+      size_t s = FindSlot(dense_[i], hash_(dense_[i]));
+      if (s == npos || slots_[s].index != i) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Slot {
+    uint32_t index;
+    uint32_t tag;
+  };
+  static constexpr uint32_t kEmpty = 0xFFFFFFFFu;
+  static constexpr size_t kMinSlots = 16;
+
+  static uint32_t Tag(size_t h) { return static_cast<uint32_t>(h >> 32); }
+
+  /// Smallest power-of-two table at most 7/8 full holding `n` elements.
+  static size_t SlotCountFor(size_t n) {
+    size_t want = kMinSlots;
+    while (want * 7 < n * 8) want <<= 1;
+    return want;
+  }
+
+  size_t FindSlot(const T& v, size_t h) const {
+    if (slots_.empty()) return npos;
+    const uint32_t tag = Tag(h);
+    for (size_t s = h & mask_;; s = (s + 1) & mask_) {
+      const Slot& slot = slots_[s];
+      if (slot.index == kEmpty) return npos;
+      if (slot.tag == tag && dense_[slot.index] == v) return s;
+    }
+  }
+
+  /// Slot holding dense index `i` (must exist).
+  size_t SlotOfIndex(size_t i) const {
+    size_t h = hash_(dense_[i]);
+    for (size_t s = h & mask_;; s = (s + 1) & mask_) {
+      if (slots_[s].index == i) return s;
+    }
+  }
+
+  template <typename U>
+  std::pair<const_iterator, bool> Emplace(U&& v) {
+    if (slots_.empty()) Rehash(kMinSlots);
+    const size_t h = hash_(v);
+    const uint32_t tag = Tag(h);
+    size_t s = h & mask_;
+    for (;; s = (s + 1) & mask_) {
+      const Slot& slot = slots_[s];
+      if (slot.index == kEmpty) break;
+      if (slot.tag == tag && dense_[slot.index] == v) {
+        return {dense_.begin() + slot.index, false};
+      }
+    }
+    if ((dense_.size() + 1) * 8 > slots_.size() * 7) {
+      Rehash(slots_.size() * 2);
+      s = h & mask_;
+      while (slots_[s].index != kEmpty) s = (s + 1) & mask_;
+    }
+    slots_[s] = Slot{static_cast<uint32_t>(dense_.size()), tag};
+    dense_.push_back(std::forward<U>(v));
+    return {dense_.end() - 1, true};
+  }
+
+  void EraseSlot(size_t s) {
+    const size_t i = slots_[s].index;
+    const size_t last = dense_.size() - 1;
+    if (i != last) {
+      // Repoint the slot of the last element before moving it into i.
+      slots_[SlotOfIndex(last)].index = static_cast<uint32_t>(i);
+      dense_[i] = std::move(dense_[last]);
+    }
+    dense_.pop_back();
+    // Backward-shift deletion (Knuth 6.4R): close the hole without
+    // tombstones by sliding displaced entries back toward their home slot.
+    size_t hole = s;
+    for (size_t j = (s + 1) & mask_;; j = (j + 1) & mask_) {
+      const Slot& sj = slots_[j];
+      if (sj.index == kEmpty) break;
+      size_t home = hash_(dense_[sj.index]) & mask_;
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole] = sj;
+        hole = j;
+      }
+    }
+    slots_[hole].index = kEmpty;
+  }
+
+  /// Rebuilds only the slot table (elements never move on rehash).
+  void Rehash(size_t new_count) {
+    slots_.assign(new_count, Slot{kEmpty, 0});
+    mask_ = new_count - 1;
+    for (size_t i = 0; i < dense_.size(); ++i) {
+      const size_t h = hash_(dense_[i]);
+      size_t s = h & mask_;
+      while (slots_[s].index != kEmpty) s = (s + 1) & mask_;
+      slots_[s] = Slot{static_cast<uint32_t>(i), Tag(h)};
+    }
+  }
+
+  std::vector<T> dense_;
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  [[no_unique_address]] Hash hash_;
+};
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_COMMON_FLAT_TUPLE_SET_H_

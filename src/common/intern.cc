@@ -1,0 +1,51 @@
+#include "common/intern.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace deltamon {
+
+StringInterner& StringInterner::Global() {
+  static StringInterner* pool = new StringInterner;
+  return *pool;
+}
+
+StringInterner::StringInterner()
+    : chunks_(new std::atomic<Chunk*>[kMaxChunks]) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+StringInterner::~StringInterner() {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    delete chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+SymbolId StringInterner::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(s);
+  if (it != map_.end()) return it->second;
+  const size_t id = count_.load(std::memory_order_relaxed);
+  if (id >= kMaxChunks * kChunkSize) {
+    std::fprintf(stderr, "StringInterner: pool exhausted\n");
+    std::abort();
+  }
+  Chunk* chunk = chunks_[id >> kChunkBits].load(std::memory_order_relaxed);
+  const bool fresh_chunk = chunk == nullptr;
+  if (fresh_chunk) chunk = new Chunk;
+  std::string& slot = chunk->strings[id & (kChunkSize - 1)];
+  slot.assign(s);
+  // Publish after the slot is written, so a racing Lookup() of an id from
+  // this chunk (handed off through a synchronized channel) sees a fully
+  // constructed chunk.
+  if (fresh_chunk) {
+    chunks_[id >> kChunkBits].store(chunk, std::memory_order_release);
+  }
+  map_.emplace(std::string_view(slot), static_cast<SymbolId>(id));
+  count_.store(id + 1, std::memory_order_release);
+  return static_cast<SymbolId>(id);
+}
+
+}  // namespace deltamon

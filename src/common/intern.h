@@ -1,0 +1,75 @@
+#ifndef DELTAMON_COMMON_INTERN_H_
+#define DELTAMON_COMMON_INTERN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace deltamon {
+
+/// Id of an interned string. Two strings are equal iff their SymbolIds are
+/// equal, making string Values 4 bytes with O(1) equality and hashing.
+using SymbolId = uint32_t;
+
+/// A process-wide append-only string pool. Interning deduplicates: the
+/// first Intern("x") assigns an id, every later Intern("x") returns the
+/// same id. Strings are never freed — the pool lives for the process
+/// (see docs/data_plane.md on the interner lifecycle).
+///
+/// Thread safety: Intern() serializes writers behind a mutex; Lookup() is
+/// lock-free (an acquire load of a chunk pointer). Ids travel between
+/// threads only through already-synchronized channels (thread-pool
+/// dispatch, mutex-guarded structures), which supplies the happens-before
+/// edge for the string bytes themselves.
+class StringInterner {
+ public:
+  /// The pool used by Value. Intentionally immortal (never destroyed), so
+  /// interned ids stay valid during static destruction.
+  static StringInterner& Global();
+
+  StringInterner();
+  ~StringInterner();
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the id of `s`, assigning the next free id on first sight.
+  /// Aborts if the pool exceeds ~268M distinct strings.
+  SymbolId Intern(std::string_view s);
+
+  /// The string for an id previously returned by Intern(). Lock-free; the
+  /// returned reference is stable for the life of the pool.
+  const std::string& Lookup(SymbolId id) const {
+    const Chunk* chunk =
+        chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return chunk->strings[id & (kChunkSize - 1)];
+  }
+
+  /// Number of distinct strings interned so far.
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr size_t kChunkBits = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;  // 4096
+  static constexpr size_t kMaxChunks = size_t{1} << 16;
+
+  struct Chunk {
+    std::string strings[kChunkSize];
+  };
+
+  /// Chunked arena: chunks never move once published, so Lookup() needs no
+  /// lock and references stay stable across growth.
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  std::atomic<size_t> count_{0};
+
+  std::mutex mu_;
+  /// Keys view into the arena strings (stable storage).
+  std::unordered_map<std::string_view, SymbolId> map_;
+};
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_COMMON_INTERN_H_

@@ -10,7 +10,8 @@ Tuple Tuple::Concat(const Tuple& other) const {
   out.reserve(values_.size() + other.values_.size());
   out.insert(out.end(), values_.begin(), values_.end());
   out.insert(out.end(), other.values_.begin(), other.values_.end());
-  return Tuple(std::move(out));
+  // Chain the cached hashes instead of re-hashing the concatenation.
+  return Tuple(std::move(out), ExtendHash(hash_, other.values_));
 }
 
 Tuple Tuple::Project(const std::vector<size_t>& columns) const {
@@ -24,12 +25,6 @@ bool Tuple::operator<(const Tuple& other) const {
   return std::lexicographical_compare(values_.begin(), values_.end(),
                                       other.values_.begin(),
                                       other.values_.end());
-}
-
-size_t Tuple::Hash() const {
-  size_t seed = values_.size();
-  for (const Value& v : values_) seed = HashCombine(seed, v.Hash());
-  return seed;
 }
 
 std::string Tuple::ToString() const {

@@ -43,6 +43,9 @@ int Value::Compare(const Value& other) const {
     case ValueKind::kBool:
       return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
     case ValueKind::kString: {
+      // Equal ids mean equal content (interner dedup); otherwise order by
+      // content, byte-identical to the pre-interning behavior.
+      if (string_id() == other.string_id()) return 0;
       int c = AsString().compare(other.AsString());
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
@@ -77,7 +80,9 @@ size_t Value::Hash() const {
       seed = HashCombine(seed, std::hash<double>{}(AsDouble()));
       break;
     case ValueKind::kString:
-      seed = HashCombine(seed, std::hash<std::string>{}(AsString()));
+      // O(1): the interned id stands in for the content (equal content ⇒
+      // equal id ⇒ equal hash).
+      seed = HashCombine(seed, std::hash<uint32_t>{}(string_id()));
       break;
     case ValueKind::kObject:
       seed = HashCombine(seed, std::hash<uint64_t>{}(AsObject().id));

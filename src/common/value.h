@@ -5,8 +5,10 @@
 #include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <variant>
 
+#include "common/intern.h"
 #include "common/status.h"
 
 namespace deltamon {
@@ -27,6 +29,14 @@ struct Oid {
   auto operator<=>(const Oid& other) const { return id <=> other.id; }
 };
 
+/// A string payload as stored inside Value: a 4-byte id into the global
+/// StringInterner. Equality by id is exactly content equality (the interner
+/// deduplicates); ordering and display go through the pool.
+struct InternedString {
+  SymbolId id = 0;
+  bool operator==(const InternedString& other) const = default;
+};
+
 /// The kind of a Value. Order matters: cross-kind comparison of Values
 /// orders by kind index first, making Value totally ordered.
 enum class ValueKind : uint8_t {
@@ -42,7 +52,8 @@ const char* ValueKindName(ValueKind kind);
 
 /// A dynamically typed database value: the domain of tuple fields in both
 /// stored and derived functions. Values are immutable, totally ordered,
-/// hashable, and cheap to copy except for strings.
+/// hashable, and cheap to copy — strings are interned, so a Value is a
+/// small register-sized payload regardless of string length.
 class Value {
  public:
   /// Null (absent) value.
@@ -51,8 +62,10 @@ class Value {
   explicit Value(int64_t i) : data_(i) {}
   explicit Value(int i) : data_(static_cast<int64_t>(i)) {}
   explicit Value(double d) : data_(d) {}
-  explicit Value(std::string s) : data_(std::move(s)) {}
-  explicit Value(const char* s) : data_(std::string(s)) {}
+  explicit Value(std::string_view s)
+      : data_(InternedString{StringInterner::Global().Intern(s)}) {}
+  explicit Value(const std::string& s) : Value(std::string_view(s)) {}
+  explicit Value(const char* s) : Value(std::string_view(s)) {}
   explicit Value(Oid oid) : data_(oid) {}
 
   ValueKind kind() const { return static_cast<ValueKind>(data_.index()); }
@@ -69,8 +82,12 @@ class Value {
   bool AsBool() const { return std::get<bool>(data_); }
   int64_t AsInt() const { return std::get<int64_t>(data_); }
   double AsDouble() const { return std::get<double>(data_); }
-  const std::string& AsString() const { return std::get<std::string>(data_); }
+  const std::string& AsString() const {
+    return StringInterner::Global().Lookup(string_id());
+  }
   Oid AsObject() const { return std::get<Oid>(data_); }
+  /// Interner id of a string value; requires is_string().
+  SymbolId string_id() const { return std::get<InternedString>(data_).id; }
 
   /// Numeric value widened to double; requires is_numeric().
   double NumericAsDouble() const {
@@ -78,13 +95,14 @@ class Value {
   }
 
   /// Equality: same kind and same payload (1 != 1.0; use Compare for
-  /// numeric-promoting comparison).
+  /// numeric-promoting comparison). Strings compare by interned id — O(1).
   bool operator==(const Value& other) const { return data_ == other.data_; }
   bool operator<(const Value& other) const;
 
   /// Three-way comparison with numeric promotion (int vs double compares
   /// numerically); values of different non-numeric kinds order by kind.
-  /// Returns <0, 0, >0.
+  /// Strings order by content, exactly as before interning. Returns <0, 0,
+  /// >0.
   int Compare(const Value& other) const;
 
   size_t Hash() const;
@@ -94,7 +112,8 @@ class Value {
   std::string ToString() const;
 
  private:
-  std::variant<std::monostate, bool, int64_t, double, std::string, Oid> data_;
+  std::variant<std::monostate, bool, int64_t, double, InternedString, Oid>
+      data_;
 };
 
 /// Arithmetic over numeric Values; int op int stays int (except division by

@@ -235,7 +235,9 @@ Status Propagator::ProcessNode(
           }
         }
       }
+      total_plus.reserve(total_plus.size() + fresh_plus.size());
       total_plus.insert(fresh_plus.begin(), fresh_plus.end());
+      total_minus.reserve(total_minus.size() + fresh_minus.size());
       total_minus.insert(fresh_minus.begin(), fresh_minus.end());
       overlay_slot = DeltaSet(std::move(fresh_plus), std::move(fresh_minus));
     }
@@ -262,6 +264,7 @@ Status Propagator::ProcessNode(
   if (self_view != view_map.end() && !acc.plus().empty()) {
     const BaseRelation* old_extent = self_view->second;
     TupleSet kept;
+    kept.reserve(acc.plus().size());
     for (const Tuple& t : acc.plus()) {
       if (old_extent->Contains(t)) {
         ++stats.filtered_plus;

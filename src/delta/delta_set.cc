@@ -19,6 +19,8 @@ void DeltaSet::DeltaUnion(const DeltaSet& other) {
 DeltaSet DeltaUnion(const DeltaSet& a, const DeltaSet& b) {
   TupleSet plus;
   TupleSet minus;
+  plus.reserve(a.plus().size() + b.plus().size());
+  minus.reserve(a.minus().size() + b.minus().size());
   // (Δ+1 − Δ−2) ∪ (Δ+2 − Δ−1)
   for (const Tuple& t : a.plus()) {
     if (!b.minus().contains(t)) plus.insert(t);
@@ -44,20 +46,26 @@ std::string DeltaSet::ToString() const {
 }
 
 TupleSet RollbackToOldState(const TupleSet& new_state, const DeltaSet& delta) {
-  TupleSet old_state = new_state;
+  TupleSet old_state;
+  old_state.reserve(new_state.size() + delta.minus().size());
+  old_state.insert(new_state.begin(), new_state.end());
   for (const Tuple& t : delta.minus()) old_state.insert(t);
   for (const Tuple& t : delta.plus()) old_state.erase(t);
   return old_state;
 }
 
 TupleSet ApplyDelta(const TupleSet& old_state, const DeltaSet& delta) {
-  TupleSet new_state = old_state;
+  TupleSet new_state;
+  new_state.reserve(old_state.size() + delta.plus().size());
+  new_state.insert(old_state.begin(), old_state.end());
   for (const Tuple& t : delta.plus()) new_state.insert(t);
   for (const Tuple& t : delta.minus()) new_state.erase(t);
   return new_state;
 }
 
 DeltaSet DiffStates(const TupleSet& old_state, const TupleSet& new_state) {
+  // No reserve: the diff is usually a small fraction of the states (the
+  // few-changes regime), so pre-sizing to the state would waste memory.
   TupleSet plus;
   TupleSet minus;
   for (const Tuple& t : new_state) {

@@ -8,25 +8,23 @@
 namespace deltamon::objectlog {
 
 TupleSet* EvalCache::Find(RelationId rel, EvalState state) {
-  auto it = extents_.find({rel, static_cast<int>(state)});
+  auto it = extents_.find(Key(rel, state));
   return it == extents_.end() ? nullptr : &it->second;
 }
 
 TupleSet* EvalCache::Insert(RelationId rel, EvalState state, TupleSet extent) {
-  auto [it, _] =
-      extents_.insert_or_assign({rel, static_cast<int>(state)}, std::move(extent));
+  auto [it, _] = extents_.insert_or_assign(Key(rel, state), std::move(extent));
   return &it->second;
 }
 
 BaseRelation* EvalCache::FindIndexed(RelationId rel, EvalState state) {
-  auto it = indexed_.find({rel, static_cast<int>(state)});
+  auto it = indexed_.find(Key(rel, state));
   return it == indexed_.end() ? nullptr : it->second.get();
 }
 
 BaseRelation* EvalCache::InsertIndexed(RelationId rel, EvalState state,
                                        std::unique_ptr<BaseRelation> extent) {
-  auto [it, _] = indexed_.insert_or_assign({rel, static_cast<int>(state)},
-                                           std::move(extent));
+  auto [it, _] = indexed_.insert_or_assign(Key(rel, state), std::move(extent));
   return it->second.get();
 }
 

@@ -80,9 +80,17 @@ class EvalCache {
   }
 
  private:
-  std::map<std::pair<RelationId, int>, TupleSet> extents_;
-  std::map<std::pair<RelationId, int>, std::unique_ptr<BaseRelation>>
-      indexed_;
+  /// (relation, state) packed into one word: hot lookups hash a uint64_t
+  /// instead of walking a std::map of pairs. Pointers into the mapped
+  /// values stay valid across rehash (std::unordered_map guarantee), which
+  /// Find/Insert rely on.
+  static uint64_t Key(RelationId rel, EvalState state) {
+    return (static_cast<uint64_t>(rel) << 32) |
+           static_cast<uint32_t>(static_cast<int>(state));
+  }
+
+  std::unordered_map<uint64_t, TupleSet> extents_;
+  std::unordered_map<uint64_t, std::unique_ptr<BaseRelation>> indexed_;
 };
 
 /// Evaluates ObjectLog clauses against a database, honoring per-literal

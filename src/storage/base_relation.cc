@@ -69,30 +69,44 @@ BaseRelation::~BaseRelation() {
 bool BaseRelation::Insert(const Tuple& t) {
   auto [it, inserted] = rows_.insert(t);
   if (!inserted) return false;
-  const Tuple* stored = &*it;
+  // New elements always append, so the new dense position is size()-1.
+  const auto pos = static_cast<uint32_t>(rows_.size() - 1);
+  const Tuple& stored = *it;
   for (size_t c = 0; c < num_columns_; ++c) {
     ColumnIndex* index = Index(c);
-    if (index != nullptr) index->emplace((*stored)[c], stored);
+    if (index != nullptr) index->emplace(stored[c], pos);
   }
   return true;
 }
 
 bool BaseRelation::Delete(const Tuple& t) {
-  auto it = rows_.find(t);
-  if (it == rows_.end()) return false;
-  const Tuple* stored = &*it;
+  const size_t i = rows_.IndexOf(t);
+  if (i == TupleSet::npos) return false;
+  const size_t last = rows_.size() - 1;
   for (size_t c = 0; c < num_columns_; ++c) {
     ColumnIndex* index = Index(c);
     if (index == nullptr) continue;
-    auto range = index->equal_range((*stored)[c]);
+    // Drop the erased tuple's entry...
+    auto range = index->equal_range(rows_.At(i)[c]);
     for (auto e = range.first; e != range.second; ++e) {
-      if (e->second == stored) {
+      if (e->second == i) {
         index->erase(e);
         break;
       }
     }
+    // ...and repoint the last tuple's entry, which erase() swap-moves
+    // into position i.
+    if (i != last) {
+      range = index->equal_range(rows_.At(last)[c]);
+      for (auto e = range.first; e != range.second; ++e) {
+        if (e->second == last) {
+          e->second = static_cast<uint32_t>(i);
+          break;
+        }
+      }
+    }
   }
-  rows_.erase(it);
+  rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(i));
   return true;
 }
 
@@ -112,7 +126,9 @@ void BaseRelation::EnsureIndex(size_t column) const {
   if (indexes_[column].load(std::memory_order_relaxed) != nullptr) return;
   auto index = std::make_unique<ColumnIndex>();
   index->reserve(rows_.size());
-  for (const Tuple& t : rows_) index->emplace(t[column], &t);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    index->emplace(rows_.At(i)[column], static_cast<uint32_t>(i));
+  }
   indexes_[column].store(index.release(), std::memory_order_release);
 }
 
@@ -142,7 +158,7 @@ void BaseRelation::Scan(const ScanPattern& pattern,
     EnsureIndex(c);
     auto range = Index(c)->equal_range(*pattern[c]);
     for (auto it = range.first; it != range.second; ++it) {
-      const Tuple& t = *it->second;
+      const Tuple& t = rows_.At(it->second);
       if (Matches(t, pattern)) {
         if (!fn(t)) return;
       }

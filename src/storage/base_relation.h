@@ -115,7 +115,10 @@ class BaseRelation {
   }
 
  private:
-  using ColumnIndex = std::unordered_multimap<Value, const Tuple*, ValueHash>;
+  /// Maps column values to dense positions in rows_ (TupleSet stores its
+  /// elements contiguously). Positions are append-only stable; Delete's
+  /// swap-remove moves the last tuple, so Delete patches its entries.
+  using ColumnIndex = std::unordered_multimap<Value, uint32_t, ValueHash>;
 
   static bool Matches(const Tuple& t, const ScanPattern& pattern);
 
@@ -128,9 +131,9 @@ class BaseRelation {
   Schema schema_;
   size_t num_columns_ = 0;
   TupleSet rows_;
-  /// indexes_[c] maps column-c values to tuples; entries point into rows_
-  /// (stable: unordered_set nodes don't move). Built lazily, hence mutable;
-  /// published atomically (see class comment). Owned: freed in the dtor.
+  /// indexes_[c] maps column-c values to dense positions in rows_. Built
+  /// lazily, hence mutable; published atomically (see class comment).
+  /// Owned: freed in the dtor.
   mutable std::unique_ptr<std::atomic<ColumnIndex*>[]> indexes_;
   mutable std::mutex index_build_mu_;
 };

@@ -1,0 +1,159 @@
+#include "common/flat_tuple_set.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace deltamon {
+namespace {
+
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+TEST(FlatTupleSetTest, EmptySet) {
+  TupleSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(T(1)));
+  EXPECT_EQ(s.find(T(1)), s.end());
+  EXPECT_EQ(s.erase(T(1)), 0u);
+  EXPECT_EQ(s.begin(), s.end());
+}
+
+TEST(FlatTupleSetTest, InsertFindErase) {
+  TupleSet s;
+  EXPECT_TRUE(s.insert(T(1, 2)).second);
+  EXPECT_FALSE(s.insert(T(1, 2)).second);  // duplicate
+  EXPECT_TRUE(s.insert(T(3, 4)).second);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.contains(T(1, 2)));
+  EXPECT_EQ(*s.find(T(3, 4)), T(3, 4));
+  EXPECT_EQ(s.erase(T(1, 2)), 1u);
+  EXPECT_EQ(s.erase(T(1, 2)), 0u);
+  EXPECT_FALSE(s.contains(T(1, 2)));
+  EXPECT_TRUE(s.contains(T(3, 4)));
+}
+
+TEST(FlatTupleSetTest, InitializerListDeduplicates) {
+  TupleSet s = {T(1), T(2), T(1), T(3)};
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(FlatTupleSetTest, SetEqualityIsOrderIndependent) {
+  TupleSet a = {T(1), T(2), T(3)};
+  TupleSet b = {T(3), T(1), T(2)};
+  TupleSet c = {T(1), T(2)};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  c.insert(T(4));
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FlatTupleSetTest, EraseIteratorRevisitsSwappedElement) {
+  // The filtering idiom `it = pred ? s.erase(it) : next(it)` must visit
+  // every element exactly once even though erase swap-moves the last
+  // element into the erased position.
+  TupleSet s;
+  for (int64_t i = 0; i < 100; ++i) s.insert(T(i));
+  size_t visited = 0;
+  for (auto it = s.begin(); it != s.end();) {
+    ++visited;
+    it = ((*it)[0].AsInt() % 2 == 0) ? s.erase(it) : std::next(it);
+  }
+  EXPECT_EQ(visited, 100u);
+  EXPECT_EQ(s.size(), 50u);
+  for (const Tuple& t : s) EXPECT_EQ(t[0].AsInt() % 2, 1);
+}
+
+TEST(FlatTupleSetTest, ReserveAvoidsRehash) {
+  TupleSet s;
+  s.reserve(1000);
+  for (int64_t i = 0; i < 1000; ++i) s.insert(T(i));
+  EXPECT_EQ(s.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_TRUE(s.contains(T(i)));
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(FlatTupleSetTest, GrowthKeepsAllElements) {
+  TupleSet s;  // no reserve: force repeated rehashing
+  for (int64_t i = 0; i < 5000; ++i) s.insert(T(i, i * 7));
+  EXPECT_EQ(s.size(), 5000u);
+  for (int64_t i = 0; i < 5000; ++i) EXPECT_TRUE(s.contains(T(i, i * 7)));
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(FlatTupleSetTest, IndexOfTracksSwapRemove) {
+  TupleSet s = {T(1), T(2), T(3)};
+  size_t i2 = s.IndexOf(T(2));
+  ASSERT_NE(i2, TupleSet::npos);
+  EXPECT_EQ(s.At(i2), T(2));
+  s.erase(T(2));
+  EXPECT_EQ(s.IndexOf(T(2)), TupleSet::npos);
+  // Remaining elements still resolve through IndexOf/At.
+  for (const Tuple& t : s) EXPECT_EQ(s.At(s.IndexOf(t)), t);
+}
+
+TEST(FlatTupleSetTest, ClearResets) {
+  TupleSet s = {T(1), T(2)};
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(T(1)));
+  s.insert(T(9));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(T(9)));
+}
+
+// Differential fuzz: FlatHashSet against std::unordered_set under a random
+// insert/erase/query mix, with structural invariants checked throughout.
+// Backward-shift deletion bugs only show under adversarial probe chains, so
+// keys are drawn from a small domain to force collisions and long runs.
+TEST(FlatTupleSetTest, DifferentialFuzzAgainstUnorderedSet) {
+  for (uint32_t seed = 0; seed < 20; ++seed) {
+    std::mt19937 rng(seed);
+    TupleSet flat;
+    std::unordered_set<Tuple, TupleHash> reference;
+    std::uniform_int_distribution<int64_t> key(0, 200);
+    std::uniform_int_distribution<int> op(0, 99);
+    for (int step = 0; step < 4000; ++step) {
+      Tuple t = T(key(rng), key(rng) % 3);
+      int o = op(rng);
+      if (o < 55) {
+        EXPECT_EQ(flat.insert(t).second, reference.insert(t).second);
+      } else if (o < 90) {
+        EXPECT_EQ(flat.erase(t), reference.erase(t));
+      } else {
+        EXPECT_EQ(flat.contains(t), reference.count(t) == 1);
+      }
+    }
+    ASSERT_EQ(flat.size(), reference.size()) << "seed " << seed;
+    for (const Tuple& t : reference) {
+      EXPECT_TRUE(flat.contains(t)) << "seed " << seed << " lost " << t;
+    }
+    for (const Tuple& t : flat) {
+      EXPECT_TRUE(reference.count(t) == 1)
+          << "seed " << seed << " phantom " << t;
+    }
+    EXPECT_TRUE(flat.CheckInvariants()) << "seed " << seed;
+    EXPECT_EQ(SortedTuples(flat),
+              SortedTuples(TupleSet(reference.begin(), reference.end())));
+  }
+}
+
+// SortedTuples/TupleSetToString are the deterministic rendering used by
+// traces and Explain(); they must be insertion-order independent.
+TEST(FlatTupleSetTest, DeterministicRendering) {
+  TupleSet a;
+  TupleSet b;
+  for (int64_t i = 0; i < 50; ++i) a.insert(T(i));
+  for (int64_t i = 49; i >= 0; --i) b.insert(T(i));
+  EXPECT_EQ(TupleSetToString(a), TupleSetToString(b));
+  EXPECT_EQ(SortedTuples(a), SortedTuples(b));
+}
+
+}  // namespace
+}  // namespace deltamon

@@ -1,0 +1,170 @@
+#include "common/intern.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace deltamon {
+namespace {
+
+TEST(StringInternerTest, SameContentSameId) {
+  StringInterner& pool = StringInterner::Global();
+  SymbolId a = pool.Intern("deltamon-intern-same");
+  SymbolId b = pool.Intern("deltamon-intern-same");
+  SymbolId c = pool.Intern(std::string("deltamon-intern-same"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(StringInternerTest, DistinctContentDistinctId) {
+  StringInterner& pool = StringInterner::Global();
+  SymbolId a = pool.Intern("deltamon-intern-a");
+  SymbolId b = pool.Intern("deltamon-intern-b");
+  EXPECT_NE(a, b);
+}
+
+TEST(StringInternerTest, LookupRoundTrips) {
+  StringInterner& pool = StringInterner::Global();
+  for (const char* s : {"", "x", "deltamon-round-trip",
+                        "with spaces and \"quotes\"", "\n\t\x01"}) {
+    EXPECT_EQ(pool.Lookup(pool.Intern(s)), s);
+  }
+}
+
+TEST(StringInternerTest, EmptyStringIsInternableAndDistinct) {
+  StringInterner& pool = StringInterner::Global();
+  SymbolId empty = pool.Intern("");
+  EXPECT_EQ(pool.Lookup(empty), "");
+  EXPECT_NE(empty, pool.Intern("deltamon-nonempty"));
+  EXPECT_EQ(empty, pool.Intern(""));
+}
+
+TEST(StringInternerTest, LongStringsRoundTrip) {
+  StringInterner& pool = StringInterner::Global();
+  std::string big(100000, 'z');
+  big += "-tail";
+  SymbolId id = pool.Intern(big);
+  EXPECT_EQ(pool.Lookup(id), big);
+  EXPECT_EQ(pool.Intern(big), id);
+}
+
+TEST(StringInternerTest, LookupReferenceStableAcrossGrowth) {
+  StringInterner& pool = StringInterner::Global();
+  SymbolId id = pool.Intern("deltamon-stable-ref");
+  const std::string* before = &pool.Lookup(id);
+  // Force several chunks' worth of growth.
+  for (int i = 0; i < 10000; ++i) {
+    pool.Intern("deltamon-growth-" + std::to_string(i));
+  }
+  EXPECT_EQ(before, &pool.Lookup(id));
+  EXPECT_EQ(*before, "deltamon-stable-ref");
+}
+
+// Value-level invariants: interning must be invisible through the Value API.
+
+TEST(InternedValueTest, EqualityMatchesContent) {
+  EXPECT_EQ(Value("abc"), Value("abc"));
+  EXPECT_NE(Value("abc"), Value("abd"));
+  EXPECT_NE(Value("abc"), Value(""));
+  EXPECT_EQ(Value(""), Value(""));
+}
+
+TEST(InternedValueTest, HashMatchesEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value("").Hash(), Value("").Hash());
+  // Not guaranteed in general, but overwhelming for distinct ids.
+  EXPECT_NE(Value("abc").Hash(), Value("abd").Hash());
+}
+
+TEST(InternedValueTest, OrderingIsContentOrder) {
+  // Interner ids are assigned in first-seen order; intern in an order
+  // that disagrees with lexicographic order to prove comparison does
+  // not use ids.
+  Value z("deltamon-zzz");
+  Value a("deltamon-aaa");
+  Value m("deltamon-mmm");
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+  EXPECT_LT(a, z);
+  EXPECT_FALSE(z < a);
+  EXPECT_LT(z.Compare(Value("deltamon-zzzz")), 0);
+  EXPECT_GT(z.Compare(a), 0);
+  EXPECT_EQ(a.Compare(Value("deltamon-aaa")), 0);
+}
+
+TEST(InternedValueTest, ToStringRoundTrips) {
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value("").ToString(), "\"\"");
+  std::string big(4096, 'q');
+  EXPECT_EQ(Value(big).ToString(), "\"" + big + "\"");
+  EXPECT_EQ(Value(big).AsString(), big);
+}
+
+TEST(InternedValueTest, MixedKindTuplesBehave) {
+  Tuple t{Value("s"), Value(int64_t{1}), Value(1.5), Value(true), Value(),
+          Value(Oid{7, 2})};
+  Tuple same{Value("s"), Value(int64_t{1}), Value(1.5), Value(true), Value(),
+             Value(Oid{7, 2})};
+  Tuple diff{Value("t"), Value(int64_t{1}), Value(1.5), Value(true), Value(),
+             Value(Oid{7, 2})};
+  EXPECT_EQ(t, same);
+  EXPECT_EQ(t.Hash(), same.Hash());
+  EXPECT_NE(t, diff);
+  EXPECT_EQ(t.ToString(), "(\"s\", 1, 1.5, true, null, t2#7)");
+  // String never equals a non-string kind.
+  EXPECT_NE(Value("1"), Value(int64_t{1}));
+  EXPECT_NE(Value(""), Value());
+}
+
+TEST(InternedValueTest, StringIdIsAccessible) {
+  Value a("deltamon-id-access");
+  Value b("deltamon-id-access");
+  EXPECT_EQ(a.string_id(), b.string_id());
+  EXPECT_EQ(StringInterner::Global().Lookup(a.string_id()),
+            "deltamon-id-access");
+}
+
+// Hammer Intern/Lookup from many threads: distinct and shared strings mixed,
+// verifying dedup and readable bytes. Run under TSan in CI (the tsan job
+// includes the `common` label).
+TEST(StringInternerTest, ConcurrentInternAndLookup) {
+  StringInterner& pool = StringInterner::Global();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<SymbolId>> shared_ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([w, &pool, &shared_ids] {
+      std::vector<SymbolId>& out = shared_ids[w];
+      out.reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        // Shared key: every thread interns the same string; must dedup.
+        out.push_back(pool.Intern("deltamon-shared-" + std::to_string(i)));
+        // Private key: unique per thread.
+        SymbolId mine = pool.Intern("deltamon-private-" + std::to_string(w) +
+                                    "-" + std::to_string(i));
+        // Immediate lookup of an id this thread just created.
+        EXPECT_EQ(pool.Lookup(mine), "deltamon-private-" + std::to_string(w) +
+                                         "-" + std::to_string(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int w = 1; w < kThreads; ++w) {
+    EXPECT_EQ(shared_ids[w], shared_ids[0]);
+  }
+  for (int i = 0; i < kPerThread; ++i) {
+    EXPECT_EQ(pool.Lookup(shared_ids[0][i]),
+              "deltamon-shared-" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace deltamon

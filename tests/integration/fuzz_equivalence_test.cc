@@ -18,6 +18,7 @@
 
 #include <random>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -215,6 +216,39 @@ bool SameEntry(const core::TraceEntry& a, const core::TraceEntry& b) {
   return ::testing::AssertionSuccess();
 }
 
+/// Data-plane certification: after the Δ-pipeline has churned the flat
+/// tuple sets, every base relation must still satisfy the container's
+/// structural invariants (slot table ↔ dense array agreement), and its
+/// lazily built column indexes must agree with a fresh count over the
+/// rows — Delete patches index entries when the flat set swap-removes, so
+/// a stale dense position would surface here as a wrong indexed count.
+void CertifyContainers(const Database& db,
+                       const std::vector<RelationId>& bases) {
+  for (RelationId b : bases) {
+    const BaseRelation* rel = db.catalog().GetBaseRelation(b);
+    ASSERT_TRUE(rel->rows().CheckInvariants()) << "relation " << b;
+    for (size_t c = 0; c < rel->arity(); ++c) {
+      rel->EnsureIndex(c);
+      std::unordered_map<Value, size_t, ValueHash> expected;
+      for (const Tuple& r : rel->rows()) ++expected[r[c]];
+      for (const auto& [v, n] : expected) {
+        ScanPattern pattern(rel->arity());
+        pattern[c] = v;
+        ASSERT_EQ(rel->Count(pattern), n)
+            << "relation " << b << " column " << c << " value " << v;
+      }
+    }
+  }
+}
+
+/// The Δ-sets a wave hands back are flat containers too; certify them.
+void CertifyResultDeltas(const core::PropagationResult& result) {
+  for (const auto& [rel, delta] : result.root_deltas) {
+    ASSERT_TRUE(delta.plus().CheckInvariants()) << "root " << rel;
+    ASSERT_TRUE(delta.minus().CheckInvariants()) << "root " << rel;
+  }
+}
+
 struct FuzzConfig {
   uint32_t seed;
   bool materialize;
@@ -280,6 +314,7 @@ TEST_P(FuzzEquivalenceTest, NaiveSerialParallelAgree) {
           << threads << " threads: " << result.status().ToString();
       ASSERT_EQ(result->root_deltas.at(scenario.root_), naive)
           << threads << " threads disagree with naive recomputation";
+      CertifyResultDeltas(*result);
       std::vector<std::string> explain =
           ExplainStrings(*result, scenario.root_, db.catalog());
       if (threads == 1) {
@@ -290,6 +325,7 @@ TEST_P(FuzzEquivalenceTest, NaiveSerialParallelAgree) {
       }
     }
     ASSERT_TRUE(db.Commit().ok());
+    CertifyContainers(db, scenario.bases_);
   }
 }
 
