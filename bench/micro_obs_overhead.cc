@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util/inventory.h"
 #include "bench_util/report.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
@@ -87,6 +88,37 @@ void BM_SpanRingSink(benchmark::State& state) {
   state.counters["dropped"] = static_cast<double>(ring.dropped_events());
 }
 BENCHMARK(BM_SpanRingSink);
+
+/// The fig-6 inner loop with the per-literal profiler compiled in but
+/// detached (no `explain analyze` running): the cost every ordinary
+/// transaction pays for the profiler's existence — one null check per
+/// clause. Identical by name in a -DDELTAMON_OBS=OFF build, where the
+/// profiler is compiled out entirely; CI runs both builds and gates the
+/// difference with bench_diff (the ≤1% disabled-path budget).
+void BM_Fig6ProfilerDisabled(benchmark::State& state) {
+  obs::SetEnabled(false);
+  auto setup = workload::SetupMonitorItems(
+      static_cast<size_t>(state.range(0)), rules::MonitorMode::kIncremental);
+  if (!setup.ok()) {
+    state.SkipWithError(setup.status().ToString().c_str());
+    return;
+  }
+  Engine& engine = *(*setup)->engine;
+  const workload::InventorySchema& schema = (*setup)->schema;
+  int64_t round = 0;
+  for (auto _ : state) {
+    for (int tx = 0; tx < 100; ++tx, ++round) {
+      Oid item = schema.items[static_cast<size_t>(round) % schema.items.size()];
+      benchmark::DoNotOptimize(
+          workload::SetFn(engine, schema.quantity, item, 900 + (round % 89)));
+      if (!engine.db.Commit().ok()) std::abort();
+    }
+  }
+  obs::SetEnabled(true);
+  state.counters["items"] = static_cast<double>(state.range(0));
+  state.counters["txs"] = 100;
+}
+BENCHMARK(BM_Fig6ProfilerDisabled)->Arg(100)->Arg(1000);
 
 void BM_RegistrySnapshot(benchmark::State& state) {
   obs::SetEnabled(true);

@@ -179,8 +179,29 @@ struct ProfileStmt {
   std::unique_ptr<Statement> inner;
 };
 
-/// `show metrics` — dumps the global obs registry.
-struct ShowMetricsStmt {};
+/// `show metrics [prometheus]` — dumps the global obs registry, either in
+/// the native human format or in Prometheus text exposition format.
+struct ShowMetricsStmt {
+  bool prometheus = false;
+};
+
+/// `explain analyze ["file.json"] <statement>` — executes the wrapped
+/// statement with the per-literal profiler attached, prints each clause's
+/// estimated vs actual rows / selectivity / probe-vs-scan / time table,
+/// records the observed selectivities into the catalog's StatsStore (so the
+/// literal-ordering optimizer learns from them), and optionally writes the
+/// same profile as a JSON artifact.
+struct ExplainAnalyzeStmt {
+  std::unique_ptr<Statement> inner;
+  std::string path;  // empty → no JSON artifact
+};
+
+/// `analyze rule <name>` — evaluates the rule's monitored condition
+/// relation(s) under the profiler, feeds the observed selectivities into
+/// the StatsStore, and prints the per-literal table.
+struct AnalyzeRuleStmt {
+  std::string rule;
+};
 
 /// `trace ["file.json"] <statement>` — executes the wrapped statement with
 /// a trace sink installed, writes the recorded spans as a Chrome/Perfetto
@@ -213,7 +234,8 @@ struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
                CreateInstancesStmt, UpdateStmt, ActivateStmt, SelectStmt,
                CommitStmt, RollbackStmt, ProfileStmt, ShowMetricsStmt,
-               TraceStmt, ShowNetworkStmt, ResetMetricsStmt, SetThreadsStmt>
+               TraceStmt, ShowNetworkStmt, ResetMetricsStmt, SetThreadsStmt,
+               ExplainAnalyzeStmt, AnalyzeRuleStmt>
       node;
   int line = 1;
 };

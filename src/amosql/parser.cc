@@ -202,6 +202,27 @@ class Parser {
       stmt.node = std::move(trace);
       return stmt;
     }
+    if (AtKeyword("explain")) {
+      Take();
+      DELTAMON_RETURN_IF_ERROR(ExpectKeyword("analyze"));
+      ExplainAnalyzeStmt ea;
+      // Optional JSON artifact path as a string literal before the
+      // statement (mirrors `trace`).
+      if (At(TokenKind::kString)) ea.path = Take().text;
+      DELTAMON_ASSIGN_OR_RETURN(Statement inner, ParseStatement());
+      ea.inner = std::make_unique<Statement>(std::move(inner));
+      stmt.node = std::move(ea);
+      return stmt;
+    }
+    if (AtKeyword("analyze")) {
+      Take();
+      DELTAMON_RETURN_IF_ERROR(ExpectKeyword("rule"));
+      AnalyzeRuleStmt an;
+      DELTAMON_ASSIGN_OR_RETURN(an.rule, ExpectIdentifier("rule name"));
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = std::move(an);
+      return stmt;
+    }
     if (AtKeyword("show")) {
       Take();
       if (MatchKeyword("network")) {
@@ -212,8 +233,10 @@ class Parser {
         return stmt;
       }
       DELTAMON_RETURN_IF_ERROR(ExpectKeyword("metrics"));
+      ShowMetricsStmt sm;
+      if (MatchKeyword("prometheus")) sm.prometheus = true;
       DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
-      stmt.node = ShowMetricsStmt{};
+      stmt.node = sm;
       return stmt;
     }
     if (AtKeyword("reset")) {

@@ -1,5 +1,6 @@
 #include "amosql/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -83,9 +84,20 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
         } else if constexpr (std::is_same_v<T, ProfileStmt>) {
           return ExecProfile(node, last);
         } else if constexpr (std::is_same_v<T, ShowMetricsStmt>) {
-          last->report += "METRICS\n" + obs::FormatSnapshot(
-                                            obs::Registry::Global().Snapshot());
+          if (node.prometheus) {
+            // Pure exposition text (no header) so the output can be served
+            // to a scraper by copy-paste or file tail.
+            last->report +=
+                obs::FormatPrometheus(obs::Registry::Global().Snapshot());
+          } else {
+            last->report += "METRICS\n" + obs::FormatSnapshot(
+                                              obs::Registry::Global().Snapshot());
+          }
           return Status::OK();
+        } else if constexpr (std::is_same_v<T, ExplainAnalyzeStmt>) {
+          return ExecExplainAnalyze(node, last);
+        } else if constexpr (std::is_same_v<T, AnalyzeRuleStmt>) {
+          return ExecAnalyzeRule(node, last);
         } else if constexpr (std::is_same_v<T, TraceStmt>) {
           return ExecTrace(node, last);
         } else if constexpr (std::is_same_v<T, ShowNetworkStmt>) {
@@ -140,6 +152,72 @@ Status Session::ExecProfile(const ProfileStmt& stmt, QueryResult* last) {
   return Status::OK();
 }
 
+void Session::RecordObservedStats(const obs::Profile& profile) {
+  StatsStore& stats = engine_.db.catalog().stats();
+  for (const auto& [label, cp] : profile.clauses()) {
+    for (const obs::LiteralProfile& slot : cp.slots) {
+      // Only extent accesses carry a (relation, role, nbound) key the
+      // ordering optimizer can look up; filters and binders don't.
+      if (slot.access != "scan" && slot.access.rfind("probe", 0) != 0) {
+        continue;
+      }
+      stats.Record(slot.relation, slot.role, slot.nbound,
+                   slot.bindings_tried, slot.rows_out);
+    }
+  }
+}
+
+Status Session::ExecExplainAnalyze(const ExplainAnalyzeStmt& stmt,
+                                   QueryResult* last) {
+  // Attach one profile to everything the wrapped statement evaluates:
+  // session-level evaluators pick it up through active_profiler_, and the
+  // rule manager threads it through the propagator (per-worker profiles,
+  // serial merge) so output is bit-identical at any thread count.
+  obs::Profile profile;
+  obs::Profile* const saved = active_profiler_;
+  active_profiler_ = &profile;
+  engine_.rules.SetProfiler(&profile);
+  Status status = ExecStatement(*stmt.inner, last);
+  engine_.rules.SetProfiler(nullptr);
+  active_profiler_ = saved;
+  DELTAMON_RETURN_IF_ERROR(status);
+
+  // Feed observed selectivities back so the next ordering decision (and
+  // the estimates of the next explain analyze) can use them.
+  RecordObservedStats(profile);
+
+  last->report += "EXPLAIN ANALYZE\n";
+  last->report += profile.Format(/*include_time=*/true);
+  if (!stmt.path.empty()) {
+    DELTAMON_RETURN_IF_ERROR(
+        obs::WriteTextFile(stmt.path, profile.ToJson().Dump()));
+    last->report += "PROFILE JSON " + stmt.path + "\n";
+  }
+  return Status::OK();
+}
+
+Status Session::ExecAnalyzeRule(const AnalyzeRuleStmt& stmt,
+                                QueryResult* last) {
+  DELTAMON_ASSIGN_OR_RETURN(rules::RuleId rule,
+                            engine_.rules.FindRule(stmt.rule));
+  DELTAMON_ASSIGN_OR_RETURN(std::vector<RelationId> conditions,
+                            engine_.rules.MonitoredConditions(rule));
+  // Full (re)evaluation of the rule's condition relation(s) under the
+  // profiler: the point is the per-literal cardinality census, not the
+  // result, so the rows are discarded and only the stats are kept.
+  obs::Profile profile;
+  Evaluator evaluator(engine_.db, engine_.registry, StateContext{});
+  evaluator.SetProfiler(&profile);
+  for (RelationId cond : conditions) {
+    TupleSet rows;
+    DELTAMON_RETURN_IF_ERROR(evaluator.Evaluate(cond, EvalState::kNew, &rows));
+  }
+  RecordObservedStats(profile);
+  last->report += "ANALYZE RULE " + stmt.rule + "\n";
+  last->report += profile.Format(/*include_time=*/true);
+  return Status::OK();
+}
+
 Status Session::ExecTrace(const TraceStmt& stmt, QueryResult* last) {
   // Record into a private ring so a surrounding sink (another trace, a
   // test's sink) is shadowed for the statement and restored afterwards.
@@ -184,6 +262,17 @@ Status Session::ExecShowNetwork(const ShowNetworkStmt& stmt,
   if (stmt.rule.empty()) last->report += net->ToString(catalog);
   for (RelationId root : roots) {
     last->report += net->ToDot(catalog, root);
+  }
+  // Per-node clause profiles accumulated by profiled waves (`explain
+  // analyze ... commit`), in relation-id order so output is stable.
+  std::vector<RelationId> profiled;
+  for (const auto& [rel, node] : net->nodes()) {
+    if (!node.profile.empty()) profiled.push_back(rel);
+  }
+  std::sort(profiled.begin(), profiled.end());
+  for (RelationId rel : profiled) {
+    last->report += "profile " + catalog.RelationName(rel) + ":\n";
+    last->report += net->nodes().at(rel).profile.Format(/*include_time=*/true);
   }
   return Status::OK();
 }
@@ -337,6 +426,7 @@ Status Session::ExecCreateRule(const CreateRuleStmt& stmt) {
   DELTAMON_ASSIGN_OR_RETURN(
       Clause action_clause,
       compiler.CompileScalarExprs(exprs, query.named_vars, num_named));
+  action_clause.profile_label = "action:" + stmt.name;
 
   auto shared_clause = std::make_shared<Clause>(std::move(action_clause));
   Session* session = this;
@@ -347,6 +437,7 @@ Status Session::ExecCreateRule(const CreateRuleStmt& stmt) {
                                 const std::vector<Tuple>& instances)
       -> Status {
     Evaluator evaluator(db, session->engine_.registry, StateContext{});
+    evaluator.SetProfiler(session->active_profiler_);
     for (const Tuple& instance : instances) {
       std::vector<std::pair<int, Value>> bindings;
       for (size_t i = 0; i < num_params; ++i) {
@@ -420,7 +511,9 @@ Result<Value> Session::EvalGroundExpr(const Expr& expr) {
   Compiler compiler(engine_, env_, *this);
   DELTAMON_ASSIGN_OR_RETURN(Clause clause,
                             compiler.CompileScalarExprs({&expr}, {}, 0));
+  clause.profile_label = "expr@" + std::to_string(expr.line);
   Evaluator evaluator(engine_.db, engine_.registry, StateContext{});
+  evaluator.SetProfiler(active_profiler_);
   TupleSet out;
   DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(clause, &out));
   if (out.empty()) {
@@ -496,8 +589,13 @@ Status Session::ExecSelect(const SelectStmt& stmt, QueryResult* out) {
                             /*include_for_each_in_head=*/false,
                             stmt.query.results, stmt.query.where.get()));
   Evaluator evaluator(engine_.db, engine_.registry, StateContext{});
+  evaluator.SetProfiler(active_profiler_);
   TupleSet rows;
-  for (const Clause& clause : query.clauses) {
+  for (size_t i = 0; i < query.clauses.size(); ++i) {
+    Clause& clause = query.clauses[i];
+    // Ad-hoc clauses have no registry-assigned profile label; number them
+    // so `explain analyze` keeps disjunctive branches apart.
+    clause.profile_label = "select#" + std::to_string(i);
     DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(clause, &rows));
   }
   out->rows = SortedTuples(rows);

@@ -73,6 +73,10 @@ class Session : public ExtentProvider {
  private:
   Status ExecStatement(const Statement& stmt, QueryResult* last_select);
   Status ExecProfile(const ProfileStmt& stmt, QueryResult* last_select);
+  Status ExecExplainAnalyze(const ExplainAnalyzeStmt& stmt,
+                            QueryResult* last_select);
+  Status ExecAnalyzeRule(const AnalyzeRuleStmt& stmt,
+                         QueryResult* last_select);
   Status ExecTrace(const TraceStmt& stmt, QueryResult* last_select);
   Status ExecShowNetwork(const ShowNetworkStmt& stmt, QueryResult* last_select);
   Status ExecCreateFunction(const CreateFunctionStmt& stmt);
@@ -87,10 +91,19 @@ class Session : public ExtentProvider {
   /// Evaluates several ground expressions.
   Result<std::vector<Value>> EvalGroundExprs(const std::vector<ExprPtr>& es);
 
+  /// Feeds the profile's observed scan/probe selectivities into the
+  /// catalog's StatsStore so subsequent literal orderings learn from them.
+  void RecordObservedStats(const obs::Profile& profile);
+
   Engine& engine_;
   std::unordered_map<std::string, Value> env_;
   std::unordered_map<std::string, Procedure> procedures_;
   std::unordered_map<TypeId, RelationId> extents_;
+  /// Non-null while an `explain analyze` statement is executing: every
+  /// evaluator the session creates (selects, ground expressions, rule
+  /// actions) attaches to it, and the rule manager routes it through the
+  /// propagator so check-phase clauses are profiled too.
+  obs::Profile* active_profiler_ = nullptr;
   int temp_counter_ = 0;
 };
 

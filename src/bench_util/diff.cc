@@ -135,4 +135,32 @@ std::string FormatDiff(const DiffResult& result, const DiffOptions& options) {
   return out;
 }
 
+obs::Json FormatDiffJson(const DiffResult& result) {
+  obs::Json rows = obs::Json::Array();
+  for (const BenchDelta& d : result.deltas) {
+    obs::Json row = obs::Json::Object();
+    row.Set("name", d.name);
+    row.Set("baseline_ns", d.baseline_ns);
+    row.Set("current_ns", d.current_ns);
+    row.Set("delta_pct", (d.ratio - 1.0) * 100.0);
+    row.Set("verdict", d.regression     ? "regression"
+                       : d.improvement ? "improved"
+                                       : "ok");
+    rows.Append(std::move(row));
+  }
+  for (const std::string& name : result.only_baseline) {
+    obs::Json row = obs::Json::Object();
+    row.Set("name", name);
+    row.Set("verdict", "missing");
+    rows.Append(std::move(row));
+  }
+  for (const std::string& name : result.only_current) {
+    obs::Json row = obs::Json::Object();
+    row.Set("name", name);
+    row.Set("verdict", "new");
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
 }  // namespace deltamon::bench

@@ -70,6 +70,14 @@ Result<DiffResult> CompareReportFiles(const std::string& baseline_path,
 ///   micro/delta_union/64        10.01 us -> 15.40 us +53.9%  REGRESSION
 std::string FormatDiff(const DiffResult& result, const DiffOptions& options);
 
+/// Machine-readable rendering for CI annotation: a JSON array with one
+/// object per matched benchmark —
+///   { "name", "baseline_ns", "current_ns", "delta_pct",
+///     "verdict": "ok" | "improved" | "regression" }
+/// followed by one object per unmatched benchmark with
+///   "verdict": "missing" (baseline only) | "new" (current only).
+obs::Json FormatDiffJson(const DiffResult& result);
+
 }  // namespace deltamon::bench
 
 #endif  // DELTAMON_BENCH_UTIL_DIFF_H_

@@ -210,6 +210,11 @@ Result<PropagationNetwork> PropagationNetwork::Build(
               other.state = other_state;
             }
           }
+          // The differential's name is the clause's stable identity in
+          // per-literal profiles ("Δcnd/Δ+quantity"); clause_index keeps
+          // multi-clause conditions apart.
+          diff.clause.profile_label =
+              diff.Name(catalog) + "#" + std::to_string(ci);
           node.in_edges.push_back(net.differentials_.size());
           net.differentials_.push_back(std::move(diff));
         }
@@ -339,7 +344,10 @@ std::string PropagationNetwork::ToDot(const Catalog& catalog,
 }
 
 void PropagationNetwork::ResetStats() const {
-  for (const auto& [rel, node] : nodes_) node.stats.Reset();
+  for (const auto& [rel, node] : nodes_) {
+    node.stats.Reset();
+    node.profile.Clear();
+  }
 }
 
 }  // namespace deltamon::core

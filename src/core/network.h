@@ -9,6 +9,7 @@
 
 #include "objectlog/ast.h"
 #include "objectlog/registry.h"
+#include "obs/profile.h"
 #include "storage/catalog.h"
 
 namespace deltamon::core {
@@ -110,6 +111,11 @@ struct NetworkNode {
   /// Cross-wave attribution; mutable because the propagator works on a
   /// const network (the topology IS immutable, the tallies are not).
   mutable NodeStats stats;
+  /// Per-literal clause profiles for this node's differentials, folded in
+  /// by the propagator's serial merge whenever a profiler is attached
+  /// (PropagationOptions::profiler); surfaced by `show network`. Same
+  /// mutability rationale as `stats`. Only the merge thread writes it.
+  mutable obs::Profile profile;
 };
 
 /// Per-root monitoring requirements.

@@ -86,6 +86,7 @@ Status Propagator::ProcessNode(
   ctx.overlay_rel = rel;
   ctx.overlay_delta = &overlay_slot;
   objectlog::Evaluator evaluator(db_, registry_, ctx, cache);
+  if (options_.profiler != nullptr) evaluator.SetProfiler(&out->profile);
 
   DeltaSet acc;
   // Self-edges (linear recursion, paper §5 footnote) are iterated to a
@@ -336,6 +337,15 @@ Status Propagator::MergeNode(
   result->stats.filtered_plus += out->stats.filtered_plus;
   result->stats.filtered_minus += out->stats.filtered_minus;
   for (TraceEntry& e : out->trace) result->trace.push_back(e);
+
+  if (options_.profiler != nullptr && !out->profile.empty()) {
+    // Serial fold in fixed level order: the global profile and the node's
+    // own profile see worker-private counters in a deterministic sequence,
+    // so the merged result is bit-identical at any thread count.
+    const NetworkNode& profiled = network_.nodes().at(rel);
+    profiled.profile.Merge(out->profile);
+    options_.profiler->Merge(out->profile);
+  }
 
   DeltaSet& acc = out->acc;
   if (views_ != nullptr && !acc.empty()) {

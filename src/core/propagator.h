@@ -87,6 +87,13 @@ struct PropagationOptions {
   /// to their thread setting). When null and the effective thread count
   /// exceeds 1, a temporary pool is created per Propagate() call.
   common::ThreadPool* pool = nullptr;
+  /// When non-null, every clause evaluated during the wave records
+  /// per-literal counters: each worker writes a private profile and the
+  /// serial merge folds them — into this global profile and into each
+  /// NetworkNode's `profile` — in fixed level order, so the result is
+  /// bit-identical at any thread count. Null (the default) keeps the
+  /// evaluator's profiling branches dormant.
+  obs::Profile* profiler = nullptr;
 };
 
 /// Executes the breadth-first bottom-up propagation algorithm (paper §5)
@@ -139,6 +146,9 @@ class Propagator {
     DeltaSet acc;
     std::vector<TraceEntry> trace;
     PropagationResult::Stats stats;
+    /// Per-literal clause profiles from this node's evaluation; empty
+    /// unless PropagationOptions::profiler is set.
+    obs::Profile profile;
   };
 
   /// Evaluates one node against the frozen lower-level state: runs its

@@ -105,6 +105,10 @@ struct Clause {
   int num_vars = 0;
   /// Optional debug names per variable id (e.g. "I", "_G1"). May be empty.
   std::vector<std::string> var_names;
+  /// Stable identity for the per-literal profiler: "<relation>#<ordinal>"
+  /// for registry clauses, the differential name ("Δcnd/Δ+quantity") for
+  /// network clauses. Empty falls back to the head relation's name.
+  std::string profile_label;
 
   /// Allocates a fresh variable (extends var_names when in use).
   int NewVar(const std::string& name_hint = "");

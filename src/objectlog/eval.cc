@@ -1,9 +1,32 @@
 #include "objectlog/eval.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+
+/// Per-literal profiler hook, expanded inside EvalBodyImpl<kProfiled>:
+/// `slot` is the current literal's profile slot. The whole statement sits
+/// behind `if constexpr (kProfiled)`, so the detached instantiation — the
+/// one every ordinary transaction runs — carries zero residue; under
+/// DELTAMON_OBS=OFF it compiles to nothing in both instantiations.
+#if DELTAMON_OBS_ENABLED
+#define DELTAMON_PROF(stmt)    \
+  do {                         \
+    if constexpr (kProfiled) { \
+      if (slot != nullptr) {   \
+        stmt;                  \
+      }                        \
+    }                          \
+  } while (false)
+#else
+#define DELTAMON_PROF(stmt) \
+  do {                      \
+  } while (false)
+#endif
 
 namespace deltamon::objectlog {
 
@@ -60,6 +83,15 @@ std::vector<size_t> Evaluator::OrderBody(const std::vector<Literal>& body,
 std::vector<size_t> Evaluator::OrderBody(
     const std::vector<Literal>& body, int num_vars,
     const std::vector<bool>& initial_bound) {
+  return OrderBody(body, num_vars, initial_bound, nullptr);
+}
+
+std::vector<size_t> Evaluator::OrderBody(
+    const std::vector<Literal>& body, int num_vars,
+    const std::vector<bool>& initial_bound, const StatsStore* stats) {
+  // Until the first ANALYZE records something, the store answers nullopt
+  // for every key; skip the per-literal mutexed lookups entirely.
+  if (stats != nullptr && stats->empty()) stats = nullptr;
   std::vector<bool> bound = initial_bound;
   bound.resize(static_cast<size_t>(std::max(num_vars, 0)), false);
   std::vector<bool> placed(body.size(), false);
@@ -135,6 +167,19 @@ std::vector<size_t> Evaluator::OrderBody(
             score = 80;  // fully bound probe
           } else if (nbound > 0) {
             score = 40 + static_cast<int>(nbound);  // indexed probe
+            if (stats != nullptr) {
+              // Observed selectivity beats raw boundness within the probe
+              // band: a probe that proved to pass 1-in-2^k candidates
+              // scores 40+k, clamped so it stays below fully-bound probes.
+              std::optional<double> sel = stats->Selectivity(
+                  l.relation, static_cast<int>(l.role),
+                  static_cast<int>(nbound));
+              if (sel.has_value()) {
+                double s = std::clamp(*sel, 1e-12, 1.0);
+                int boost = static_cast<int>(std::lround(-std::log2(s)));
+                score = 40 + std::clamp(boost, 0, 39);
+              }
+            }
           } else {
             score = 0;  // full scan, last resort
           }
@@ -169,6 +214,123 @@ std::vector<size_t> Evaluator::OrderBody(
     }
   }
   return order;
+}
+
+double Evaluator::ExtentEstimate(RelationId rel) const {
+  if (const BaseRelation* base = db_.catalog().GetBaseRelation(rel)) {
+    return static_cast<double>(base->size());
+  }
+  if (const BaseRelation* view = ctx_.ViewFor(rel)) {
+    return static_cast<double>(view->size());
+  }
+  // Derived relation whose extent would need materializing to count: a
+  // small nominal size keeps the chained estimates finite and comparable.
+  return 10.0;
+}
+
+obs::ClauseProfile* Evaluator::BeginClauseProfile(const Clause& clause) {
+#if DELTAMON_OBS_ENABLED
+  if (profiler_ == nullptr) return nullptr;
+  const Catalog& catalog = db_.catalog();
+  const std::string& label = clause.profile_label.empty()
+                                 ? catalog.RelationName(clause.head_relation)
+                                 : clause.profile_label;
+  obs::ClauseProfile* cp = profiler_->BeginClause(label);
+  ++cp->invocations;
+  if (!cp->slots.empty()) return cp;
+
+  // First sight: fill the static slot metadata from the canonical
+  // (no-prebound) order. Every worker derives the same values — the order
+  // is a pure function of the clause and the stats fixed for this wave —
+  // so the serial merge can keep either copy.
+  cp->clause_text = clause.ToString(catalog);
+  cp->slots.resize(clause.body.size());
+  size_t nvars = static_cast<size_t>(std::max(clause.num_vars, 0));
+  std::vector<size_t> order = OrderBody(clause.body, clause.num_vars,
+                                        std::vector<bool>(nvars),
+                                        &catalog.stats());
+  std::vector<bool> bound(nvars, false);
+  auto term_bound = [&bound](const Term& t) {
+    return t.is_const() || (t.var >= 0 && bound[t.var]);
+  };
+  double est = 1.0;  // estimated bindings flowing into the next step
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const Literal& l = clause.body[order[rank]];
+    obs::LiteralProfile& slot = cp->slots[order[rank]];
+    slot.display_rank = static_cast<int>(rank);
+    slot.text = l.ToString(catalog, clause.var_names);
+    switch (l.kind) {
+      case Literal::Kind::kCompare: {
+        bool filter = term_bound(l.args[0]) && term_bound(l.args[1]);
+        slot.access = "compare";
+        if (filter) {
+          est *= 0.5;  // the classical half-pass guess for a filter
+        } else if (l.cmp == CompareOp::kEq) {
+          for (const Term& t : l.args) {
+            if (t.is_var()) bound[t.var] = true;  // equality binder
+          }
+        }
+        break;
+      }
+      case Literal::Kind::kArith:
+        slot.access = "arith";
+        if (l.args[0].is_var()) bound[l.args[0].var] = true;
+        break;
+      case Literal::Kind::kRelation: {
+        size_t nbound = 0;
+        for (const Term& t : l.args) {
+          if (term_bound(t)) ++nbound;
+        }
+        slot.relation = l.relation;
+        slot.role = static_cast<int>(l.role);
+        slot.nbound = static_cast<int>(nbound);
+        if (l.role != RelationRole::kExtent) {
+          // Δ-side generator: the optimizer assumes few changes (§1), so
+          // the chained estimate stays at ~1 row per invocation.
+          slot.access =
+              l.role == RelationRole::kDeltaPlus ? "delta+" : "delta-";
+          for (const Term& t : l.args) {
+            if (t.is_var()) bound[t.var] = true;
+          }
+        } else if (l.negated) {
+          slot.access = "anti";
+          est *= 0.5;  // absence check: same half-pass filter guess
+        } else {
+          double extent = ExtentEstimate(l.relation);
+          std::optional<double> observed = catalog.stats().Selectivity(
+              l.relation, static_cast<int>(l.role),
+              static_cast<int>(nbound));
+          if (nbound == 0) {
+            slot.access = "scan";
+            est *= observed.has_value() ? extent * (*observed) : extent;
+          } else {
+            // Default per-bound-position selectivity 0.1 when nothing has
+            // been observed yet.
+            double sel = observed.value_or(
+                std::pow(0.1, static_cast<double>(nbound)));
+            double fanout = extent * sel;
+            if (nbound == l.args.size()) {
+              slot.access = "probe/all";
+              fanout = std::min(fanout, 1.0);
+            } else {
+              slot.access = "probe/" + std::to_string(nbound);
+            }
+            est *= fanout;
+          }
+          for (const Term& t : l.args) {
+            if (t.is_var()) bound[t.var] = true;
+          }
+        }
+        break;
+      }
+    }
+    slot.est_rows = est;  // estimated rows leaving this step per invocation
+  }
+  return cp;
+#else
+  (void)clause;
+  return nullptr;
+#endif
 }
 
 Status Evaluator::ScanRelation(RelationId rel, EvalState state,
@@ -312,8 +474,8 @@ Status Evaluator::ScanRelation(RelationId rel, EvalState state,
       for (int v = 0; v < clause.num_vars; ++v) {
         prebound[v] = env[v].has_value();
       }
-      std::vector<size_t> order =
-          OrderBody(clause.body, clause.num_vars, prebound);
+      std::vector<size_t> order = OrderBody(clause.body, clause.num_vars,
+                                            prebound, &db_.catalog().stats());
       bool stop = false;
       auto emit = [&](const Env& e) -> Status {
         std::vector<Value> vals;
@@ -328,8 +490,9 @@ Status Evaluator::ScanRelation(RelationId rel, EvalState state,
         results.insert(std::move(t));
         return Status::OK();
       };
-      DELTAMON_RETURN_IF_ERROR(
-          EvalBody(clause, order, 0, env, override_state, emit, &stop));
+      DELTAMON_RETURN_IF_ERROR(EvalBody(clause, order, 0, env, override_state,
+                                        emit, &stop,
+                                        BeginClauseProfile(clause)));
     }
     for (const Tuple& t : results) {
       bool match = true;
@@ -383,14 +546,74 @@ Result<bool> Evaluator::Contains(RelationId rel, EvalState state,
   return Derivable(rel, state, t);
 }
 
+namespace {
+
+#if DELTAMON_OBS_ENABLED
+/// Charges the enclosing EvalBody step's wall time to its profile slot.
+/// Inclusive: deeper steps run inside this scope, so a literal's time
+/// covers everything its bindings triggered downstream.
+class ProfSlotTimer {
+ public:
+  explicit ProfSlotTimer(obs::LiteralProfile* slot)
+      : slot_(slot),
+        start_(slot == nullptr ? std::chrono::steady_clock::time_point{}
+                               : std::chrono::steady_clock::now()) {}
+  ProfSlotTimer(const ProfSlotTimer&) = delete;
+  ProfSlotTimer& operator=(const ProfSlotTimer&) = delete;
+  ~ProfSlotTimer() {
+    if (slot_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    slot_->time_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+  }
+
+ private:
+  obs::LiteralProfile* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Stand-in for ProfSlotTimer in the unprofiled EvalBodyImpl
+/// instantiation: same shape, no members, no clock reads.
+struct NoopSlotTimer {
+  explicit NoopSlotTimer(obs::LiteralProfile*) {}
+};
+#endif  // DELTAMON_OBS_ENABLED
+
+}  // namespace
+
 Status Evaluator::EvalBody(const Clause& clause,
                            const std::vector<size_t>& order, size_t step,
                            Env& env, std::optional<EvalState> state_override,
                            const std::function<Status(const Env&)>& emit,
-                           bool* stop) {
+                           bool* stop, obs::ClauseProfile* prof) {
+#if DELTAMON_OBS_ENABLED
+  if (prof != nullptr) {
+    return EvalBodyImpl<true>(clause, order, step, env, state_override, emit,
+                              stop, prof);
+  }
+#endif
+  return EvalBodyImpl<false>(clause, order, step, env, state_override, emit,
+                             stop, prof);
+}
+
+template <bool kProfiled>
+Status Evaluator::EvalBodyImpl(const Clause& clause,
+                               const std::vector<size_t>& order, size_t step,
+                               Env& env,
+                               std::optional<EvalState> state_override,
+                               const std::function<Status(const Env&)>& emit,
+                               bool* stop, [[maybe_unused]] obs::ClauseProfile* prof) {
   if (*stop) return Status::OK();
   if (step == order.size()) return emit(env);
   const Literal& l = clause.body[order[step]];
+#if DELTAMON_OBS_ENABLED
+  [[maybe_unused]] obs::LiteralProfile* slot = nullptr;
+  if constexpr (kProfiled) slot = &prof->slots[order[step]];
+  std::conditional_t<kProfiled, ProfSlotTimer, NoopSlotTimer> slot_timer(
+      slot);
+  DELTAMON_PROF(++slot->rows_in);
+#endif
 
   switch (l.kind) {
     case Literal::Kind::kCompare: {
@@ -402,21 +625,25 @@ Status Evaluator::EvalBody(const Clause& clause,
         const Term& dst = b0 ? l.args[1] : l.args[0];
         DELTAMON_ASSIGN_OR_RETURN(Value v, TermValue(src, env));
         env[dst.var] = std::move(v);
-        Status s = EvalBody(clause, order, step + 1, env, state_override, emit,
-                            stop);
+        DELTAMON_PROF(++slot->bindings_tried; ++slot->rows_out);
+        Status s = EvalBodyImpl<kProfiled>(clause, order, step + 1, env, state_override, emit,
+                            stop, prof);
         env[dst.var].reset();
         return s;
       }
       DELTAMON_ASSIGN_OR_RETURN(Value a, TermValue(l.args[0], env));
       DELTAMON_ASSIGN_OR_RETURN(Value b, TermValue(l.args[1], env));
+      DELTAMON_PROF(++slot->bindings_tried);
       if (!EvalCompare(l.cmp, a, b)) return Status::OK();
-      return EvalBody(clause, order, step + 1, env, state_override, emit,
-                      stop);
+      DELTAMON_PROF(++slot->rows_out);
+      return EvalBodyImpl<kProfiled>(clause, order, step + 1, env, state_override, emit,
+                      stop, prof);
     }
 
     case Literal::Kind::kArith: {
       DELTAMON_ASSIGN_OR_RETURN(Value a, TermValue(l.args[1], env));
       DELTAMON_ASSIGN_OR_RETURN(Value b, TermValue(l.args[2], env));
+      DELTAMON_PROF(++slot->bindings_tried);
       Result<Value> r = [&]() {
         switch (l.arith) {
           case ArithOp::kAdd:
@@ -437,12 +664,14 @@ Status Evaluator::EvalBody(const Clause& clause,
       if (out.is_const() || env[out.var].has_value()) {
         DELTAMON_ASSIGN_OR_RETURN(Value cur, TermValue(out, env));
         if (cur.Compare(*r) != 0) return Status::OK();
-        return EvalBody(clause, order, step + 1, env, state_override, emit,
-                        stop);
+        DELTAMON_PROF(++slot->rows_out);
+        return EvalBodyImpl<kProfiled>(clause, order, step + 1, env, state_override, emit,
+                        stop, prof);
       }
       env[out.var] = std::move(*r);
-      Status s =
-          EvalBody(clause, order, step + 1, env, state_override, emit, stop);
+      DELTAMON_PROF(++slot->rows_out);
+      Status s = EvalBodyImpl<kProfiled>(clause, order, step + 1, env, state_override, emit,
+                          stop, prof);
       env[out.var].reset();
       return s;
     }
@@ -460,6 +689,7 @@ Status Evaluator::EvalBody(const Clause& clause,
         Status status = Status::OK();
         for (const Tuple& t : side) {
           ++stats_.tuples_examined;
+          DELTAMON_PROF(++slot->bindings_tried);
           // Unify args against t.
           std::vector<int> bound_here;
           bool match = true;
@@ -476,9 +706,10 @@ Status Evaluator::EvalBody(const Clause& clause,
           }
           if (match) {
             stats_.bindings_produced += bound_here.size();
+            DELTAMON_PROF(++slot->rows_out);
             status =
-                EvalBody(clause, order, step + 1, env, state_override, emit,
-                         stop);
+                EvalBodyImpl<kProfiled>(clause, order, step + 1, env, state_override, emit,
+                         stop, prof);
           }
           for (int v : bound_here) env[v].reset();
           if (!status.ok() || *stop) break;
@@ -490,13 +721,17 @@ Status Evaluator::EvalBody(const Clause& clause,
       // the match pattern; unbound (wildcard) positions match anything.
       if (l.negated) {
         ScanPattern pattern(l.args.size());
+        [[maybe_unused]] bool has_bound = false;
         for (size_t i = 0; i < l.args.size(); ++i) {
           if (l.args[i].is_const()) {
             pattern[i] = l.args[i].constant;
           } else if (env[l.args[i].var].has_value()) {
             pattern[i] = *env[l.args[i].var];
           }
+          has_bound = has_bound || pattern[i].has_value();
         }
+        DELTAMON_PROF(++slot->bindings_tried;
+                      ++(has_bound ? slot->probes : slot->scans));
         bool exists = false;
         DELTAMON_RETURN_IF_ERROR(
             ScanRelation(l.relation, state, pattern, [&exists](const Tuple&) {
@@ -504,22 +739,27 @@ Status Evaluator::EvalBody(const Clause& clause,
               return false;  // stop at the first witness
             }));
         if (exists) return Status::OK();
-        return EvalBody(clause, order, step + 1, env, state_override, emit,
-                        stop);
+        DELTAMON_PROF(++slot->rows_out);
+        return EvalBodyImpl<kProfiled>(clause, order, step + 1, env, state_override, emit,
+                        stop, prof);
       }
 
       // Positive extent literal: scan with the bound positions as pattern.
       ScanPattern pattern(l.args.size());
+      [[maybe_unused]] bool has_bound = false;
       for (size_t i = 0; i < l.args.size(); ++i) {
         if (l.args[i].is_const()) {
           pattern[i] = l.args[i].constant;
         } else if (env[l.args[i].var].has_value()) {
           pattern[i] = *env[l.args[i].var];
         }
+        has_bound = has_bound || pattern[i].has_value();
       }
+      DELTAMON_PROF(++(has_bound ? slot->probes : slot->scans));
       Status status = Status::OK();
       DELTAMON_RETURN_IF_ERROR(ScanRelation(
           l.relation, state, pattern, [&](const Tuple& t) {
+            DELTAMON_PROF(++slot->bindings_tried);
             std::vector<int> bound_here;
             bool match = true;
             for (size_t i = 0; i < l.args.size() && match; ++i) {
@@ -536,8 +776,9 @@ Status Evaluator::EvalBody(const Clause& clause,
             }
             if (match) {
               stats_.bindings_produced += bound_here.size();
-              status = EvalBody(clause, order, step + 1, env, state_override,
-                                emit, stop);
+              DELTAMON_PROF(++slot->rows_out);
+              status = EvalBodyImpl<kProfiled>(clause, order, step + 1, env, state_override,
+                                emit, stop, prof);
             }
             for (int v : bound_here) env[v].reset();
             return status.ok() && !*stop;
@@ -565,7 +806,10 @@ Status Evaluator::EvaluateClauseWithBindings(
     clause_span.AddField("literals", static_cast<int64_t>(clause.body.size()));
     clause_span.AddField("bindings", static_cast<int64_t>(bindings.size()));
   }
-  std::vector<size_t> order = OrderBody(clause.body, clause.num_vars);
+  std::vector<size_t> order =
+      OrderBody(clause.body, clause.num_vars,
+                std::vector<bool>(std::max(clause.num_vars, 0)),
+                &db_.catalog().stats());
   Env env(clause.num_vars);
   for (const auto& [var, value] : bindings) {
     if (var < 0 || var >= clause.num_vars) {
@@ -576,7 +820,8 @@ Status Evaluator::EvaluateClauseWithBindings(
   if (!bindings.empty()) {
     std::vector<bool> prebound(clause.num_vars, false);
     for (const auto& [var, value] : bindings) prebound[var] = true;
-    order = OrderBody(clause.body, clause.num_vars, prebound);
+    order = OrderBody(clause.body, clause.num_vars, prebound,
+                      &db_.catalog().stats());
   }
   bool stop = false;
   auto emit = [&](const Env& e) -> Status {
@@ -589,7 +834,8 @@ Status Evaluator::EvaluateClauseWithBindings(
     out->insert(Tuple(std::move(vals)));
     return Status::OK();
   };
-  return EvalBody(clause, order, 0, env, std::nullopt, emit, &stop);
+  return EvalBody(clause, order, 0, env, std::nullopt, emit, &stop,
+                  BeginClauseProfile(clause));
 }
 
 Status Evaluator::Evaluate(RelationId rel, EvalState state, TupleSet* out) {
@@ -612,7 +858,10 @@ Status Evaluator::Evaluate(RelationId rel, EvalState state, TupleSet* out) {
   if (state == EvalState::kOld) override_state = EvalState::kOld;
   for (const Clause& clause : *clauses) {
     ++stats_.clause_evals;
-    std::vector<size_t> order = OrderBody(clause.body, clause.num_vars);
+    std::vector<size_t> order =
+        OrderBody(clause.body, clause.num_vars,
+                  std::vector<bool>(std::max(clause.num_vars, 0)),
+                  &db_.catalog().stats());
     Env env(clause.num_vars);
     bool stop = false;
     auto emit = [&](const Env& e) -> Status {
@@ -625,8 +874,9 @@ Status Evaluator::Evaluate(RelationId rel, EvalState state, TupleSet* out) {
       out->insert(Tuple(std::move(vals)));
       return Status::OK();
     };
-    DELTAMON_RETURN_IF_ERROR(
-        EvalBody(clause, order, 0, env, override_state, emit, &stop));
+    DELTAMON_RETURN_IF_ERROR(EvalBody(clause, order, 0, env, override_state,
+                                      emit, &stop,
+                                      BeginClauseProfile(clause)));
   }
   return Status::OK();
 }
@@ -676,8 +926,8 @@ Result<bool> Evaluator::Derivable(RelationId rel, EvalState state,
     if (!feasible) continue;
     std::vector<bool> prebound(clause.num_vars, false);
     for (int v = 0; v < clause.num_vars; ++v) prebound[v] = env[v].has_value();
-    std::vector<size_t> order =
-        OrderBody(clause.body, clause.num_vars, prebound);
+    std::vector<size_t> order = OrderBody(clause.body, clause.num_vars,
+                                          prebound, &db_.catalog().stats());
     bool stop = false;
     bool found = false;
     auto emit = [&](const Env&) -> Status {
@@ -685,8 +935,9 @@ Result<bool> Evaluator::Derivable(RelationId rel, EvalState state,
       stop = true;
       return Status::OK();
     };
-    DELTAMON_RETURN_IF_ERROR(
-        EvalBody(clause, order, 0, env, override_state, emit, &stop));
+    DELTAMON_RETURN_IF_ERROR(EvalBody(clause, order, 0, env, override_state,
+                                      emit, &stop,
+                                      BeginClauseProfile(clause)));
     if (found) return true;
   }
   return false;
@@ -729,7 +980,10 @@ Result<const BaseRelation*> Evaluator::FixpointMaterialize(RelationId rel,
     TupleSet fresh;
     for (const Clause& clause : *clauses) {
       ++stats_.clause_evals;
-      std::vector<size_t> order = OrderBody(clause.body, clause.num_vars);
+      std::vector<size_t> order =
+          OrderBody(clause.body, clause.num_vars,
+                    std::vector<bool>(std::max(clause.num_vars, 0)),
+                    &db_.catalog().stats());
       Env env(clause.num_vars);
       bool stop = false;
       auto emit = [&](const Env& e) -> Status {
@@ -743,8 +997,9 @@ Result<const BaseRelation*> Evaluator::FixpointMaterialize(RelationId rel,
         if (!extent->Contains(t)) fresh.insert(std::move(t));
         return Status::OK();
       };
-      DELTAMON_RETURN_IF_ERROR(
-          EvalBody(clause, order, 0, env, override_state, emit, &stop));
+      DELTAMON_RETURN_IF_ERROR(EvalBody(clause, order, 0, env, override_state,
+                                        emit, &stop,
+                                        BeginClauseProfile(clause)));
     }
     if (fresh.empty()) return extent;
     for (const Tuple& t : fresh) extent->Insert(t);

@@ -10,7 +10,9 @@
 #include "delta/delta_set.h"
 #include "objectlog/ast.h"
 #include "objectlog/registry.h"
+#include "obs/profile.h"
 #include "storage/database.h"
+#include "storage/stats_store.h"
 
 namespace deltamon::objectlog {
 
@@ -142,6 +144,13 @@ class Evaluator {
 
   const Stats& stats() const { return stats_; }
 
+  /// Attaches a per-literal profiler: every clause evaluated from now on
+  /// records rows-in / bindings-tried / rows-out / probe-vs-scan / time
+  /// into `profile` (owned by the caller; pass nullptr to detach). One
+  /// profile per evaluator — the propagator gives each worker its own and
+  /// merges them serially, exactly like EvalCache.
+  void SetProfiler(obs::Profile* profile) { profiler_ = profile; }
+
   /// Chooses an execution order for `body` (indexes into it): the Δ-role
   /// generator first, then greedily by boundness — filters and binders as
   /// soon as evaluable, then indexed probes (most bound args first), then
@@ -155,15 +164,52 @@ class Evaluator {
                                        int num_vars,
                                        const std::vector<bool>& initial_bound);
 
+  /// Overload consulting observed selectivities: within the indexed-probe
+  /// band, a probe whose (relation, role, nbound) key has recorded stats is
+  /// scored by how selective it proved to be instead of by raw boundness.
+  /// With `stats` null or the key unseen, behaves exactly like the
+  /// boundness-only overloads. Internal evaluation passes the catalog's
+  /// StatsStore here; the two-/three-argument forms forward nullptr.
+  static std::vector<size_t> OrderBody(const std::vector<Literal>& body,
+                                       int num_vars,
+                                       const std::vector<bool>& initial_bound,
+                                       const StatsStore* stats);
+
  private:
   using Env = std::vector<std::optional<Value>>;
 
   /// Forces every extent-role literal into `state` when state_override is
   /// engaged (used to evaluate a whole relation in the old state).
+  /// `prof` (nullable) receives per-literal counters, indexed by body
+  /// position so re-ordered probe-path evaluations fold into the same
+  /// slots. Dispatches once to EvalBodyImpl<kProfiled> so the detached
+  /// path (prof == nullptr) recurses through an instantiation with every
+  /// profiler branch folded away.
   Status EvalBody(const Clause& clause, const std::vector<size_t>& order,
                   size_t step, Env& env,
                   std::optional<EvalState> state_override,
-                  const std::function<Status(const Env&)>& emit, bool* stop);
+                  const std::function<Status(const Env&)>& emit, bool* stop,
+                  obs::ClauseProfile* prof);
+
+  template <bool kProfiled>
+  Status EvalBodyImpl(const Clause& clause, const std::vector<size_t>& order,
+                      size_t step, Env& env,
+                      std::optional<EvalState> state_override,
+                      const std::function<Status(const Env&)>& emit,
+                      bool* stop, obs::ClauseProfile* prof);
+
+  /// Create-or-get the attached profiler's entry for `clause`, counting
+  /// one invocation. On first sight, fills the per-slot metadata (literal
+  /// text, canonical rank, access kind, estimated rows) from the canonical
+  /// no-prebound order — a deterministic function of the clause and the
+  /// stats visible at ordering time, so every worker computes identical
+  /// metadata. Returns nullptr when no profiler is attached.
+  obs::ClauseProfile* BeginClauseProfile(const Clause& clause);
+
+  /// Cardinality guess for the optimizer's estimate chain: the extent size
+  /// for stored relations and materialized views, a nominal constant for
+  /// derived relations that would need materializing to count.
+  double ExtentEstimate(RelationId rel) const;
 
   /// Scans the extent of `rel` in `state` matching `pattern`.
   Status ScanRelation(RelationId rel, EvalState state,
@@ -194,6 +240,7 @@ class Evaluator {
   EvalCache* cache_;
   EvalCache own_cache_;
   Stats stats_;
+  obs::Profile* profiler_ = nullptr;
 };
 
 }  // namespace deltamon::objectlog

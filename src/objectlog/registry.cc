@@ -39,6 +39,10 @@ Status DerivedRegistry::Define(RelationId rel, Clause clause,
         " of '" + catalog.RelationName(rel) + "'");
   }
   DELTAMON_RETURN_IF_ERROR(ValidateClause(clause, catalog));
+  if (clause.profile_label.empty()) {
+    clause.profile_label = catalog.RelationName(rel) + "#" +
+                           std::to_string(clauses_[rel].size());
+  }
   clauses_[rel].push_back(std::move(clause));
   return Status::OK();
 }

@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <numeric>
 
 namespace deltamon::obs {
 
@@ -53,32 +55,56 @@ void Histogram::Reset() {
 }
 
 uint64_t Histogram::Percentile(double p) const {
+  uint64_t out = 0;
+  Percentiles(&p, 1, &out);
+  return out;
+}
+
+void Histogram::Percentiles(const double* ps, size_t n, uint64_t* out) const {
   uint64_t total = count();
-  if (total == 0) return 0;
-  if (p < 0) p = 0;
-  if (p > 100) p = 100;
-  // Rank of the requested sample, 1-based (nearest-rank definition).
-  uint64_t rank = static_cast<uint64_t>(p / 100.0 *
-                                        static_cast<double>(total));
-  if (rank == 0) rank = 1;
-  if (rank > total) rank = total;
+  if (total == 0) {
+    std::fill(out, out + n, 0);
+    return;
+  }
+  // Rank of each requested sample, 1-based (nearest-rank definition).
+  std::vector<uint64_t> ranks(n);
+  for (size_t j = 0; j < n; ++j) {
+    double p = std::clamp(ps[j], 0.0, 100.0);
+    uint64_t rank = static_cast<uint64_t>(p / 100.0 *
+                                          static_cast<double>(total));
+    ranks[j] = std::clamp<uint64_t>(rank, 1, total);
+  }
+  // Answer the requests in ascending rank order so one bucket walk
+  // services all of them.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return ranks[a] < ranks[b]; });
+  size_t next = 0;
   uint64_t seen = 0;
-  for (size_t i = 0; i < kBuckets; ++i) {
+  for (size_t i = 0; i < kBuckets && next < n; ++i) {
     uint64_t in_bucket = bucket(i);
     if (in_bucket == 0) continue;
-    if (seen + in_bucket < rank) {
-      seen += in_bucket;
-      continue;
+    while (next < n && seen + in_bucket >= ranks[order[next]]) {
+      uint64_t rank = ranks[order[next]];
+      // Interpolate inside the bucket, clamped to the observed extremes.
+      uint64_t lo = std::max(BucketLower(i), min());
+      uint64_t hi = std::min(BucketUpper(i), max());
+      uint64_t value = lo;
+      if (hi > lo) {
+        double frac = static_cast<double>(rank - seen) /
+                      static_cast<double>(in_bucket);
+        value = lo + static_cast<uint64_t>(frac *
+                                           static_cast<double>(hi - lo));
+      }
+      out[order[next]] = value;
+      ++next;
     }
-    // Interpolate inside the bucket, clamped to the observed extremes.
-    uint64_t lo = std::max(BucketLower(i), min());
-    uint64_t hi = std::min(BucketUpper(i), max());
-    if (hi <= lo) return lo;
-    double frac = static_cast<double>(rank - seen) /
-                  static_cast<double>(in_bucket);
-    return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    seen += in_bucket;
   }
-  return max();
+  // Ranks past the recorded samples (a race between count and buckets, or
+  // an empty tail) resolve to the observed maximum, as before.
+  for (; next < n; ++next) out[order[next]] = max();
 }
 
 MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& before)
@@ -98,7 +124,7 @@ MetricsSnapshot MetricsSnapshot::DiffSince(const MetricsSnapshot& before)
     auto it = before.histograms.find(name);
     uint64_t base_count = it == before.histograms.end() ? 0 : it->second.count;
     if (h.count == base_count) continue;
-    HistogramSample d = h;  // percentiles stay cumulative: buckets are gone
+    HistogramSample d = h;  // percentiles/buckets stay cumulative
     d.count = h.count - base_count;
     d.sum -= it == before.histograms.end() ? 0 : it->second.sum;
     out.histograms[name] = d;
@@ -143,9 +169,16 @@ MetricsSnapshot Registry::Snapshot() const {
     s.sum = h->sum();
     s.min = h->min();
     s.max = h->max();
-    s.p50 = h->Percentile(50);
-    s.p95 = h->Percentile(95);
-    s.p99 = h->Percentile(99);
+    static constexpr double kPs[] = {50, 95, 99};
+    uint64_t qs[3] = {};
+    h->Percentiles(kPs, 3, qs);
+    s.p50 = qs[0];
+    s.p95 = qs[1];
+    s.p99 = qs[2];
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      uint64_t n = h->bucket(i);
+      if (n != 0) s.buckets.emplace_back(BucketUpper(i), n);
+    }
     out.histograms[name] = s;
   }
   return out;

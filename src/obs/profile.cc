@@ -1,0 +1,178 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace deltamon::obs {
+
+bool Misestimated(double est, uint64_t actual) {
+  double a = static_cast<double>(actual) + 1.0;
+  double e = est + 1.0;
+  return a > 4.0 * e || e > 4.0 * a;
+}
+
+double LiteralProfile::Selectivity() const {
+  if (bindings_tried == 0) return 0.0;
+  return static_cast<double>(rows_out) / static_cast<double>(bindings_tried);
+}
+
+void ClauseProfile::Merge(const ClauseProfile& other) {
+  if (slots.empty()) {
+    // First sight of this clause on our side: metadata (text, ranks,
+    // estimates) is a deterministic function of the clause, so adopting
+    // the other side's copy wholesale is exact.
+    slots = other.slots;
+    clause_text = other.clause_text;
+    invocations += other.invocations;
+    return;
+  }
+  if (other.slots.size() > slots.size()) slots.resize(other.slots.size());
+  invocations += other.invocations;
+  for (size_t i = 0; i < other.slots.size(); ++i) {
+    const LiteralProfile& src = other.slots[i];
+    LiteralProfile& dst = slots[i];
+    if (dst.text.empty()) {
+      dst.text = src.text;  // adopt metadata, keep accumulated counters
+      dst.access = src.access;
+      dst.display_rank = src.display_rank;
+      dst.est_rows = src.est_rows;
+      dst.relation = src.relation;
+      dst.role = src.role;
+      dst.nbound = src.nbound;
+    }
+    dst.rows_in += src.rows_in;
+    dst.bindings_tried += src.bindings_tried;
+    dst.rows_out += src.rows_out;
+    dst.probes += src.probes;
+    dst.scans += src.scans;
+    dst.time_ns += src.time_ns;
+  }
+}
+
+#if DELTAMON_OBS_ENABLED
+
+namespace {
+
+/// Slot indices of `cp` in canonical evaluation order (display_rank, with
+/// body position as tie-break for never-ranked slots).
+std::vector<size_t> DisplayOrder(const ClauseProfile& cp) {
+  std::vector<size_t> order(cp.slots.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    int ra = cp.slots[a].display_rank;
+    int rb = cp.slots[b].display_rank;
+    if (ra < 0) ra = static_cast<int>(a) + 1000;  // unranked slots last
+    if (rb < 0) rb = static_cast<int>(b) + 1000;
+    return ra < rb;
+  });
+  return order;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+}
+
+}  // namespace
+
+ClauseProfile* Profile::BeginClause(const std::string& label) {
+  ClauseProfile& cp = clauses_[label];
+  if (cp.label.empty()) cp.label = label;
+  return &cp;
+}
+
+void Profile::Merge(const Profile& other) {
+  for (const auto& [label, cp] : other.clauses_) {
+    BeginClause(label)->Merge(cp);
+  }
+}
+
+std::string Profile::Format(bool include_time) const {
+  if (clauses_.empty()) return "(no clauses profiled)\n";
+  std::string out;
+  for (const auto& [label, cp] : clauses_) {
+    AppendF(&out, "clause %s: %s\n", label.c_str(), cp.clause_text.c_str());
+    AppendF(&out, "  invocations: %llu\n",
+            static_cast<unsigned long long>(cp.invocations));
+    AppendF(&out, "  %4s  %-36s %-10s %12s %10s %8s %10s%s  %s\n", "rank",
+            "literal", "access", "est.rows", "actual", "sel", "tried",
+            include_time ? "         time" : "", "flag");
+    for (size_t i : DisplayOrder(cp)) {
+      const LiteralProfile& s = cp.slots[i];
+      double est_total = s.est_rows * static_cast<double>(cp.invocations);
+      AppendF(&out, "  %4d  %-36s %-10s %12.1f %10llu %8.3f %10llu",
+              s.display_rank + 1, s.text.c_str(), s.access.c_str(), est_total,
+              static_cast<unsigned long long>(s.rows_out), s.Selectivity(),
+              static_cast<unsigned long long>(s.bindings_tried));
+      if (include_time) {
+        AppendF(&out, " %11lluns",
+                static_cast<unsigned long long>(s.time_ns));
+      }
+      AppendF(&out, "%s\n",
+              Misestimated(est_total, s.rows_out) ? "  MISEST" : "");
+    }
+  }
+  return out;
+}
+
+Json Profile::ToJson() const {
+  Json doc = Json::Object();
+  doc.Set("schema", Json(kProfileSchema));
+  Json clauses = Json::Array();
+  for (const auto& [label, cp] : clauses_) {
+    Json c = Json::Object();
+    c.Set("label", Json(label));
+    c.Set("clause", Json(cp.clause_text));
+    c.Set("invocations", Json(cp.invocations));
+    Json literals = Json::Array();
+    for (size_t i : DisplayOrder(cp)) {
+      const LiteralProfile& s = cp.slots[i];
+      double est_total = s.est_rows * static_cast<double>(cp.invocations);
+      Json l = Json::Object();
+      l.Set("text", Json(s.text));
+      l.Set("access", Json(s.access));
+      l.Set("rank", Json(s.display_rank));
+      l.Set("est_rows", Json(est_total));
+      l.Set("rows_in", Json(s.rows_in));
+      l.Set("bindings_tried", Json(s.bindings_tried));
+      l.Set("rows_out", Json(s.rows_out));
+      l.Set("selectivity", Json(s.Selectivity()));
+      l.Set("probes", Json(s.probes));
+      l.Set("scans", Json(s.scans));
+      l.Set("time_ns", Json(s.time_ns));
+      l.Set("misestimate", Json(Misestimated(est_total, s.rows_out)));
+      literals.Append(std::move(l));
+    }
+    c.Set("literals", std::move(literals));
+    clauses.Append(std::move(c));
+  }
+  doc.Set("clauses", std::move(clauses));
+  return doc;
+}
+
+#else  // !DELTAMON_OBS_ENABLED
+
+const std::map<std::string, ClauseProfile>& Profile::clauses() const {
+  static const std::map<std::string, ClauseProfile> kEmpty;
+  return kEmpty;
+}
+
+std::string Profile::Format(bool /*include_time*/) const {
+  return "(profiler compiled out: DELTAMON_OBS=OFF)\n";
+}
+
+Json Profile::ToJson() const {
+  Json doc = Json::Object();
+  doc.Set("schema", Json(kProfileSchema));
+  doc.Set("clauses", Json::Array());
+  return doc;
+}
+
+#endif  // DELTAMON_OBS_ENABLED
+
+}  // namespace deltamon::obs

@@ -18,6 +18,26 @@ Json HistogramJson(const MetricsSnapshot::HistogramSample& h) {
   out.Set("p50", h.p50);
   out.Set("p95", h.p95);
   out.Set("p99", h.p99);
+  Json buckets = Json::Array();
+  for (const auto& [upper, n] : h.buckets) {
+    Json pair = Json::Array();
+    pair.Append(upper);
+    pair.Append(n);
+    buckets.Append(std::move(pair));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names mangle
+/// cleanly with dots (and anything else) becoming underscores.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
   return out;
 }
 
@@ -83,6 +103,50 @@ std::string FormatSnapshot(const MetricsSnapshot& snapshot) {
     out += line;
   }
   if (out.empty()) out = "  (no metrics recorded)\n";
+  return out;
+}
+
+std::string FormatPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[320];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string n = PrometheusName(name);
+    out += "# TYPE " + n + " counter\n";
+    std::snprintf(line, sizeof(line), "%s %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string n = PrometheusName(name);
+    out += "# TYPE " + n + " gauge\n";
+    std::snprintf(line, sizeof(line), "%s %lld\n", n.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::string n = PrometheusName(name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      // The last log2 bucket's bound is UINT64_MAX; +Inf below covers it.
+      if (upper == UINT64_MAX) continue;
+      std::snprintf(line, sizeof(line), "%s_bucket{le=\"%llu\"} %llu\n",
+                    n.c_str(), static_cast<unsigned long long>(upper),
+                    static_cast<unsigned long long>(cumulative));
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "%s_bucket{le=\"+Inf\"} %llu\n",
+                  n.c_str(), static_cast<unsigned long long>(h.count));
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_sum %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.sum));
+    out += line;
+    std::snprintf(line, sizeof(line), "%s_count %llu\n", n.c_str(),
+                  static_cast<unsigned long long>(h.count));
+    out += line;
+  }
+  if (out.empty()) out = "# (no metrics recorded)\n";
   return out;
 }
 
@@ -153,9 +217,9 @@ Status ValidateBenchReport(const Json& report) {
   }
   DELTAMON_RETURN_IF_ERROR(
       ExpectMember(report, "schema", &Json::is_string, "a string"));
-  if (report.Get("schema")->as_string() != kBenchSchema) {
-    return Status::InvalidArgument("unknown schema '" +
-                                   report.Get("schema")->as_string() + "'");
+  const std::string& schema = report.Get("schema")->as_string();
+  if (schema != kBenchSchema && schema != kBenchSchemaV1) {
+    return Status::InvalidArgument("unknown schema '" + schema + "'");
   }
   DELTAMON_RETURN_IF_ERROR(
       ExpectMember(report, "name", &Json::is_string, "a string"));

@@ -22,15 +22,28 @@ namespace deltamon::obs {
 ///     "benchmarks": [ { name, iterations, real_time_ns, cpu_time_ns,
 ///                       counters: {..} } ... ],
 ///     "metrics": { counters: {..}, gauges: {..},
-///                  histograms: { <name>: {count,sum,min,max,p50,p95,p99} } }
+///                  histograms: { <name>: {count,sum,min,max,p50,p95,p99,
+///                                         buckets: [[upper,count]...]} } }
 ///   }
-inline constexpr const char* kBenchSchema = "deltamon.bench.v1";
+///
+/// v2 added the per-histogram `buckets` array (the data behind the
+/// Prometheus `_bucket` series). Validation still accepts v1 documents —
+/// the committed bench/baselines predate the bump and `buckets` stays
+/// optional.
+inline constexpr const char* kBenchSchema = "deltamon.bench.v2";
+inline constexpr const char* kBenchSchemaV1 = "deltamon.bench.v1";
 
 /// The registry dump as a JSON object {counters, gauges, histograms}.
 Json SnapshotToJson(const MetricsSnapshot& snapshot);
 
 /// Fixed-width text rendering used by SHOW METRICS and PROFILE.
 std::string FormatSnapshot(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition rendering used by SHOW METRICS PROMETHEUS:
+/// `# TYPE` lines, dot-to-underscore name mangling, and histogram
+/// `_bucket{le=...}`/`_sum`/`_count` series with cumulative buckets
+/// ending in `le="+Inf"`.
+std::string FormatPrometheus(const MetricsSnapshot& snapshot);
 
 /// Build/host facts worth pinning to a perf number: compiler, build type,
 /// whether instrumentation was compiled in, CPU count, and a unix

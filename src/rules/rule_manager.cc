@@ -196,6 +196,7 @@ Status RuleManager::Activate(RuleId rule, const Tuple& params) {
   // activation time (the space cost the incremental algorithm avoids).
   if (mode_ != MonitorMode::kIncremental) {
     objectlog::Evaluator ev(db_, registry_, objectlog::StateContext{});
+    ev.SetProfiler(profiler_);
     DELTAMON_RETURN_IF_ERROR(
         ev.Evaluate(cond, EvalState::kNew, &act.naive_extent));
     act.naive_extent_valid = true;
@@ -336,6 +337,7 @@ Status RuleManager::RunIncrementalRound(
   core::PropagationOptions popts;
   popts.num_threads = num_threads_;
   popts.pool = pool_.get();
+  popts.profiler = profiler_;
   core::Propagator propagator(db, registry_, *net, store, popts);
   DELTAMON_ASSIGN_OR_RETURN(core::PropagationResult result,
                             propagator.Propagate(deltas));
@@ -385,6 +387,7 @@ Status RuleManager::RunNaiveRound(
     ++last_check_.naive_recomputations;
     DELTAMON_OBS_COUNT("rules.naive_recomputations", 1);
     objectlog::Evaluator ev(db, registry_, ctx);
+    ev.SetProfiler(profiler_);
     TupleSet current;
     DELTAMON_RETURN_IF_ERROR(
         ev.Evaluate(act.condition, EvalState::kNew, &current));

@@ -131,6 +131,13 @@ class RuleManager {
   void SetNumThreads(size_t num_threads);
   size_t num_threads() const { return num_threads_; }
 
+  /// Attaches a per-literal profiler for subsequent check-phase work:
+  /// incremental waves pass it through PropagationOptions (per-worker
+  /// profiles, serial merge — bit-identical at any thread count); naive
+  /// recomputations and activation-time materializations attach it to
+  /// their evaluator directly. Owned by the caller; nullptr detaches.
+  void SetProfiler(obs::Profile* profiler) { profiler_ = profiler; }
+
   /// PF-style evaluation (paper §2 contrast): keep every derived network
   /// node's extent materialized and incrementally maintained, so partial
   /// differentials read stored (indexed) views instead of re-deriving
@@ -225,6 +232,7 @@ class RuleManager {
   std::unique_ptr<core::PropagationNetwork> network_;
   bool network_dirty_ = false;
   bool materialize_intermediates_ = false;
+  obs::Profile* profiler_ = nullptr;
   core::MaterializedViewStore view_store_;
   bool view_store_ready_ = false;
   CheckStats last_check_;

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "storage/base_relation.h"
+#include "storage/stats_store.h"
 
 namespace deltamon {
 
@@ -85,6 +86,11 @@ class Catalog {
   /// Ids of all registered relations (stored and derived).
   std::vector<RelationId> AllRelationIds() const;
 
+  /// Observed selectivities: written by `explain analyze`/`analyze rule`,
+  /// consulted by the literal-ordering optimizer.
+  StatsStore& stats() { return stats_; }
+  const StatsStore& stats() const { return stats_; }
+
  private:
   struct RelationEntry {
     enum class Kind { kStored, kDerived, kForeign };
@@ -104,6 +110,8 @@ class Catalog {
 
   std::unordered_map<std::string, RelationId> relation_by_name_;
   std::unordered_map<RelationId, RelationEntry> relations_;
+
+  StatsStore stats_;
 };
 
 }  // namespace deltamon

@@ -138,5 +138,50 @@ TEST(BenchDiffTest, CompareReportFilesRoundTripsThroughDisk) {
   EXPECT_FALSE(missing.ok());
 }
 
+TEST(BenchDiffTest, FormatDiffJsonEmitsOneObjectPerRow) {
+  obs::Json base = Report("fig6", {{"BM_Stable/1", 1e6},
+                                   {"BM_Slower/1", 1e6},
+                                   {"BM_Gone/1", 1e6}});
+  obs::Json cur = Report("fig6", {{"BM_Stable/1", 1.02e6},
+                                  {"BM_Slower/1", 2e6},
+                                  {"BM_New/1", 1e6}});
+  auto diff = CompareReports(base, cur);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+
+  obs::Json rows = FormatDiffJson(*diff);
+  ASSERT_TRUE(rows.is_array());
+  ASSERT_EQ(rows.size(), 4u);  // 2 matched + 1 missing + 1 new
+
+  const obs::Json& stable = rows.at(0);
+  EXPECT_EQ(stable.Get("name")->as_string(), "BM_Stable/1");
+  EXPECT_EQ(stable.Get("verdict")->as_string(), "ok");
+  EXPECT_NEAR(stable.Get("delta_pct")->as_double(), 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(stable.Get("baseline_ns")->as_double(), 1e6);
+
+  const obs::Json& slower = rows.at(1);
+  EXPECT_EQ(slower.Get("verdict")->as_string(), "regression");
+  EXPECT_NEAR(slower.Get("delta_pct")->as_double(), 100.0, 0.01);
+
+  EXPECT_EQ(rows.at(2).Get("name")->as_string(), "BM_Gone/1");
+  EXPECT_EQ(rows.at(2).Get("verdict")->as_string(), "missing");
+  EXPECT_EQ(rows.at(3).Get("name")->as_string(), "BM_New/1");
+  EXPECT_EQ(rows.at(3).Get("verdict")->as_string(), "new");
+
+  // The array is valid JSON end to end (what CI consumes from stdout).
+  auto parsed = obs::Json::Parse(rows.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+}
+
+TEST(BenchDiffTest, FormatDiffJsonMarksImprovements) {
+  obs::Json base = Report("fig6", {{"BM_Faster/1", 2e6}});
+  obs::Json cur = Report("fig6", {{"BM_Faster/1", 1e6}});
+  auto diff = CompareReports(base, cur);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  obs::Json rows = FormatDiffJson(*diff);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows.at(0).Get("verdict")->as_string(), "improved");
+  EXPECT_NEAR(rows.at(0).Get("delta_pct")->as_double(), -50.0, 0.01);
+}
+
 }  // namespace
 }  // namespace deltamon::bench

@@ -28,6 +28,7 @@
 #include "core/network.h"
 #include "core/propagator.h"
 #include "objectlog/eval.h"
+#include "obs/profile.h"
 #include "rules/engine.h"
 
 namespace deltamon {
@@ -349,11 +350,14 @@ INSTANTIATE_TEST_SUITE_P(
 
 class ThreadDeterminismTest : public ::testing::TestWithParam<uint32_t> {};
 
-/// The strong form: the full TraceEntry sequence and every Stats counter
-/// are bit-identical for num_threads ∈ {1, 2, 4, 8} — the parallel mode is
-/// indistinguishable from the serial one, not merely equivalent. Pools are
-/// passed in explicitly, covering the reusable-pool path the RuleManager
-/// uses (the fuzz suite above covers the temporary-pool path).
+/// The strong form: the full TraceEntry sequence, every Stats counter, and
+/// the per-literal execution profile are bit-identical for num_threads
+/// ∈ {1, 2, 4, 8} — the parallel mode is indistinguishable from the serial
+/// one, not merely equivalent. Pools are passed in explicitly, covering
+/// the reusable-pool path the RuleManager uses (the fuzz suite above
+/// covers the temporary-pool path). Per-worker profiles are folded in
+/// fixed level order, so Format(/*include_time=*/false) must come back
+/// byte-identical regardless of worker count.
 TEST_P(ThreadDeterminismTest, TraceAndStatsAreBitIdenticalAcrossThreadCounts) {
   const uint32_t seed = GetParam();
   FuzzScenario scenario(seed);
@@ -381,15 +385,19 @@ TEST_P(ThreadDeterminismTest, TraceAndStatsAreBitIdenticalAcrossThreadCounts) {
     auto deltas = db.TakePendingDeltas();
 
     core::PropagationResult reference;
+    std::string reference_profile;
     for (common::ThreadPool* pool : pools) {
+      obs::Profile profile;
       core::PropagationOptions popts;
       popts.pool = pool;  // null → serial (num_threads defaults to 1)
+      popts.profiler = &profile;
       core::Propagator propagator(db, scenario.engine_.registry, *net,
                                   nullptr, popts);
       auto result = propagator.Propagate(deltas);
       ASSERT_TRUE(result.ok()) << result.status().ToString();
       if (pool == nullptr) {
         reference = std::move(*result);
+        reference_profile = profile.Format(/*include_time=*/false);
         continue;
       }
       size_t workers = pool->num_workers();
@@ -399,6 +407,8 @@ TEST_P(ThreadDeterminismTest, TraceAndStatsAreBitIdenticalAcrossThreadCounts) {
           << workers << " threads";
       EXPECT_TRUE(SameStats(result->stats, reference.stats))
           << workers << " threads";
+      EXPECT_EQ(profile.Format(/*include_time=*/false), reference_profile)
+          << workers << " threads change the execution profile";
     }
     ASSERT_TRUE(db.Commit().ok());
   }

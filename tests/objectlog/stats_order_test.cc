@@ -1,0 +1,112 @@
+/// The stats-fed literal-ordering optimizer: with no recorded stats the
+/// greedy ordering scores indexed probes by raw boundness (ties broken by
+/// body order); once the catalog's StatsStore has observed selectivities,
+/// the more selective probe runs first — and measurably fewer candidate
+/// tuples are examined.
+
+#include <gtest/gtest.h>
+
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+
+namespace deltamon::objectlog {
+namespace {
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+/// wide(int)->int with fan-out 50 per key, narrow(int)->int with fan-out 1,
+/// and the join j(X) :- wide(X, A), narrow(X, B) probed with X bound.
+class StatsOrderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog& catalog = engine_.db.catalog();
+    wide_ = *catalog.CreateStoredFunction(
+        "wide", FunctionSignature{{IntCol()}, {IntCol()}});
+    narrow_ = *catalog.CreateStoredFunction(
+        "narrow", FunctionSignature{{IntCol()}, {IntCol()}});
+    for (int64_t x = 0; x < 4; ++x) {
+      for (int64_t a = 0; a < 50; ++a) {
+        ASSERT_TRUE(engine_.db.Insert(wide_, T(x, a)).ok());
+      }
+      ASSERT_TRUE(engine_.db.Insert(narrow_, T(x, 7)).ok());
+    }
+
+    // j(X) :- wide(X, A), narrow(X, B); vars X=0, A=1, B=2.
+    j_ = *catalog.CreateDerivedFunction(
+        "j", FunctionSignature{{IntCol()}, {}});
+    clause_.head_relation = j_;
+    clause_.num_vars = 3;
+    clause_.head_args = {Term::Var(0)};
+    clause_.body = {
+        Literal::Relation(wide_, {Term::Var(0), Term::Var(1)}),
+        Literal::Relation(narrow_, {Term::Var(0), Term::Var(2)})};
+    Clause def = clause_;
+    ASSERT_TRUE(engine_.registry.Define(j_, std::move(def), catalog).ok());
+  }
+
+  /// Examined-tuple count for evaluating j with X = 1 prebound.
+  uint64_t TuplesExamined() {
+    Evaluator ev(engine_.db, engine_.registry, StateContext{});
+    TupleSet out;
+    Status s = ev.EvaluateClauseWithBindings(clause_, {{0, Value(int64_t{1})}},
+                                             &out);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    EXPECT_EQ(out.size(), 1u);
+    return ev.stats().tuples_examined;
+  }
+
+  Engine engine_;
+  RelationId wide_ = kInvalidRelationId;
+  RelationId narrow_ = kInvalidRelationId;
+  RelationId j_ = kInvalidRelationId;
+  Clause clause_;
+};
+
+TEST_F(StatsOrderTest, BoundnessTieBreaksByBodyOrderWithoutStats) {
+  std::vector<bool> bound = {true, false, false};  // X prebound
+  // Both literals are nbound=1 indexed probes; with no stats (and with an
+  // empty StatsStore) the tie goes to body order: wide first.
+  auto legacy = Evaluator::OrderBody(clause_.body, clause_.num_vars, bound);
+  EXPECT_EQ(legacy, (std::vector<size_t>{0, 1}));
+  StatsStore empty;
+  auto with_empty =
+      Evaluator::OrderBody(clause_.body, clause_.num_vars, bound, &empty);
+  EXPECT_EQ(with_empty, legacy);
+}
+
+TEST_F(StatsOrderTest, ObservedSelectivityPutsTheSelectiveProbeFirst) {
+  StatsStore stats;
+  // narrow passed 1 in 256 candidates when probed on one bound arg;
+  // wide passed everything.
+  stats.Record(narrow_, static_cast<int>(RelationRole::kExtent), 1,
+               /*tried=*/256, /*produced=*/1);
+  stats.Record(wide_, static_cast<int>(RelationRole::kExtent), 1,
+               /*tried=*/100, /*produced=*/100);
+  std::vector<bool> bound = {true, false, false};
+  auto order =
+      Evaluator::OrderBody(clause_.body, clause_.num_vars, bound, &stats);
+  EXPECT_EQ(order, (std::vector<size_t>{1, 0}));
+}
+
+TEST_F(StatsOrderTest, StatsFeedbackReducesTuplesExamined) {
+  // Cold: wide runs first (boundness tie), so all 50 of its rows flow
+  // into the narrow probe — 50 + 50 = 100 tuples examined.
+  uint64_t cold = TuplesExamined();
+
+  // Teach the catalog what `analyze` would have observed. The evaluator
+  // consults the catalog's StatsStore on every ordering decision, so the
+  // very next evaluation flips the join order: narrow (1 row) first,
+  // then wide (50) — 51 examined.
+  StatsStore& stats = engine_.db.catalog().stats();
+  stats.Record(narrow_, static_cast<int>(RelationRole::kExtent), 1, 256, 1);
+  stats.Record(wide_, static_cast<int>(RelationRole::kExtent), 1, 100, 100);
+  uint64_t warm = TuplesExamined();
+
+  EXPECT_LT(warm, cold);
+  EXPECT_EQ(cold, 100u);
+  EXPECT_EQ(warm, 51u);
+}
+
+}  // namespace
+}  // namespace deltamon::objectlog

@@ -218,5 +218,50 @@ TEST(ScopedTimerTest, RecordsElapsedNanoseconds) {
   EXPECT_GT(h.max(), 0u);
 }
 
+TEST(HistogramTest, BatchPercentilesMatchIndividualCalls) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v * 3);
+  const double ps[] = {50.0, 95.0, 99.0};
+  uint64_t batch[3] = {0, 0, 0};
+  h.Percentiles(ps, 3, batch);
+  EXPECT_EQ(batch[0], h.Percentile(50));
+  EXPECT_EQ(batch[1], h.Percentile(95));
+  EXPECT_EQ(batch[2], h.Percentile(99));
+  EXPECT_LE(batch[0], batch[1]);
+  EXPECT_LE(batch[1], batch[2]);
+}
+
+TEST(HistogramTest, BatchPercentilesAcceptUnsortedAndOutOfRangeInputs) {
+  Histogram h;
+  for (uint64_t v = 0; v < 256; ++v) h.Record(v);
+  const double ps[] = {99.0, -5.0, 150.0, 50.0};
+  uint64_t out[4] = {0, 0, 0, 0};
+  h.Percentiles(ps, 4, out);
+  EXPECT_EQ(out[0], h.Percentile(99));
+  EXPECT_EQ(out[1], h.Percentile(0));    // clamped low
+  EXPECT_EQ(out[2], h.Percentile(100));  // clamped high
+  EXPECT_EQ(out[3], h.Percentile(50));
+}
+
+TEST(SnapshotTest, HistogramSamplesCarryNonEmptyBuckets) {
+  Registry r;
+  Histogram* h = r.GetHistogram("x");
+  h->Record(1);
+  h->Record(100);
+  h->Record(100);
+  MetricsSnapshot snap = r.Snapshot();
+  const auto& buckets = snap.histograms.at("x").buckets;
+  ASSERT_FALSE(buckets.empty());
+  uint64_t total = 0;
+  uint64_t prev_upper = 0;
+  for (const auto& [upper, count] : buckets) {
+    EXPECT_GT(count, 0u);          // only non-empty buckets are sampled
+    EXPECT_GT(upper, prev_upper);  // ascending upper bounds
+    prev_upper = upper;
+    total += count;
+  }
+  EXPECT_EQ(total, 3u);
+}
+
 }  // namespace
 }  // namespace deltamon::obs

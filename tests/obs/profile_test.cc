@@ -1,0 +1,129 @@
+/// Unit tests for the per-literal execution profiles behind
+/// `explain analyze`: selectivity math at the rows-in = 0 edge, the >4x
+/// misestimate flag boundary, merge associativity/commutativity of the
+/// counter sums (the property the propagator's serial fold relies on for
+/// thread-count determinism), and the text/JSON renderings.
+
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace deltamon::obs {
+namespace {
+
+TEST(MisestimateTest, ExactlyFourTimesOffIsNotFlagged) {
+  // (actual+1) == 4*(est+1): the boundary itself is tolerated.
+  EXPECT_FALSE(Misestimated(/*est=*/0.0, /*actual=*/3));
+  EXPECT_FALSE(Misestimated(/*est=*/1.0, /*actual=*/7));
+  // One past the boundary flags, in both directions.
+  EXPECT_TRUE(Misestimated(/*est=*/0.0, /*actual=*/4));
+  EXPECT_TRUE(Misestimated(/*est=*/7.1, /*actual=*/1));
+  EXPECT_FALSE(Misestimated(/*est=*/7.0, /*actual=*/1));
+}
+
+TEST(MisestimateTest, SmoothingKeepsZeroRowsComparable) {
+  // est 0 vs actual 0 is a perfect estimate, not a divide-by-zero.
+  EXPECT_FALSE(Misestimated(0.0, 0));
+  EXPECT_FALSE(Misestimated(2.0, 0));
+  EXPECT_TRUE(Misestimated(100.0, 0));
+}
+
+TEST(LiteralProfileTest, SelectivityAtZeroTriedIsZero) {
+  LiteralProfile p;
+  EXPECT_EQ(p.Selectivity(), 0.0);
+  p.bindings_tried = 10;
+  p.rows_out = 4;
+  EXPECT_DOUBLE_EQ(p.Selectivity(), 0.4);
+}
+
+#if DELTAMON_OBS_ENABLED
+
+ClauseProfile MakeClause(uint64_t tried, uint64_t out) {
+  ClauseProfile cp;
+  cp.label = "cnd#0";
+  cp.clause_text = "cnd(I) :- quantity(I, Q), Q < 10";
+  cp.invocations = 1;
+  cp.slots.resize(2);
+  cp.slots[0].text = "quantity(I, Q)";
+  cp.slots[0].access = "scan";
+  cp.slots[0].display_rank = 0;
+  cp.slots[0].est_rows = 100.0;
+  cp.slots[0].bindings_tried = tried;
+  cp.slots[0].rows_out = out;
+  cp.slots[1].text = "Q < 10";
+  cp.slots[1].access = "compare";
+  cp.slots[1].display_rank = 1;
+  cp.slots[1].est_rows = 50.0;
+  return cp;
+}
+
+TEST(ProfileTest, MergeSumsCountersAndKeepsFirstMetadata) {
+  Profile a;
+  a.BeginClause("cnd#0")->Merge(MakeClause(100, 10));
+  Profile b;
+  b.BeginClause("cnd#0")->Merge(MakeClause(60, 6));
+  Profile ab = a;
+  ab.Merge(b);
+  Profile ba = b;
+  ba.Merge(a);
+
+  const ClauseProfile& m = ab.clauses().at("cnd#0");
+  EXPECT_EQ(m.invocations, 2u);
+  EXPECT_EQ(m.slots[0].bindings_tried, 160u);
+  EXPECT_EQ(m.slots[0].rows_out, 16u);
+  EXPECT_EQ(m.slots[0].est_rows, 100.0);  // metadata not summed
+  // Counter sums commute, so either merge order renders identically.
+  EXPECT_EQ(ab.Format(/*include_time=*/false),
+            ba.Format(/*include_time=*/false));
+}
+
+TEST(ProfileTest, MergeIntoEmptyAdoptsWholesale) {
+  Profile a;
+  a.BeginClause("cnd#0")->Merge(MakeClause(100, 10));
+  Profile empty;
+  empty.Merge(a);
+  EXPECT_EQ(empty.Format(false), a.Format(false));
+}
+
+TEST(ProfileTest, FormatShowsAccessKindsSelectivityAndMisestimate) {
+  Profile p;
+  // est 100 vs actual 10 is > 4x off -> MISEST; the compare slot's est 50
+  // vs 0 actual rows is also way off.
+  p.BeginClause("cnd#0")->Merge(MakeClause(100, 10));
+  std::string text = p.Format(/*include_time=*/false);
+  EXPECT_NE(text.find("clause cnd#0"), std::string::npos) << text;
+  EXPECT_NE(text.find("quantity(I, Q)"), std::string::npos) << text;
+  EXPECT_NE(text.find("scan"), std::string::npos) << text;
+  EXPECT_NE(text.find("compare"), std::string::npos) << text;
+  EXPECT_NE(text.find("0.100"), std::string::npos) << text;  // selectivity
+  EXPECT_NE(text.find("MISEST"), std::string::npos) << text;
+  // include_time=false must not render the time column.
+  EXPECT_EQ(text.find("time"), std::string::npos) << text;
+}
+
+TEST(ProfileTest, ToJsonCarriesTheProfileSchema) {
+  Profile p;
+  p.BeginClause("cnd#0")->Merge(MakeClause(100, 10));
+  Json doc = p.ToJson();
+  ASSERT_NE(doc.Get("schema"), nullptr);
+  EXPECT_EQ(doc.Get("schema")->as_string(), kProfileSchema);
+  ASSERT_NE(doc.Get("clauses"), nullptr);
+  ASSERT_EQ(doc.Get("clauses")->size(), 1u);
+  const Json& clause = doc.Get("clauses")->at(0);
+  EXPECT_EQ(clause.Get("label")->as_string(), "cnd#0");
+  ASSERT_EQ(clause.Get("literals")->size(), 2u);
+  const Json& lit = clause.Get("literals")->at(0);
+  EXPECT_EQ(lit.Get("access")->as_string(), "scan");
+  EXPECT_EQ(lit.Get("rows_out")->as_int(), 10);
+  EXPECT_TRUE(lit.Get("misestimate")->as_bool());
+  // Parses back: the artifact really is JSON.
+  auto round = Json::Parse(doc.Dump());
+  ASSERT_TRUE(round.ok()) << round.status();
+}
+
+#endif  // DELTAMON_OBS_ENABLED
+
+}  // namespace
+}  // namespace deltamon::obs

@@ -132,5 +132,67 @@ TEST(ReportTest, FormatSnapshotRendersAllSections) {
   EXPECT_EQ(FormatSnapshot(MetricsSnapshot{}), "  (no metrics recorded)\n");
 }
 
+TEST(ReportTest, ValidateAcceptsV1Reports) {
+  // The committed bench/baselines predate the v2 bump (histogram buckets);
+  // their schema tag must keep validating so bench_diff can compare
+  // against them.
+  Json report = BuildBenchReport("sample", SampleBenchmarks(),
+                                 /*wall_time_ns=*/1, SampleSnapshot());
+  ASSERT_TRUE(ValidateBenchReport(report).ok());
+  EXPECT_EQ(report.Get("schema")->as_string(), kBenchSchema);
+  Json v1 = report;
+  v1.Set("schema", kBenchSchemaV1);
+  EXPECT_TRUE(ValidateBenchReport(v1).ok());
+  Json unknown = report;
+  unknown.Set("schema", "deltamon.bench.v99");
+  EXPECT_FALSE(ValidateBenchReport(unknown).ok());
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndCumulativeHistograms) {
+  std::string text = FormatPrometheus(SampleSnapshot());
+  // Names are mangled to the [a-zA-Z0-9_:] alphabet.
+  EXPECT_NE(text.find("# TYPE propagator_differentials_executed counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("propagator_differentials_executed 12"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE db_undo_log_size gauge"), std::string::npos)
+      << text;
+  // Histogram series: cumulative buckets ending in +Inf, then _sum/_count.
+  EXPECT_NE(text.find("# TYPE propagator_wave_ns histogram"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("propagator_wave_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("propagator_wave_ns_sum 4000"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("propagator_wave_ns_count 2"), std::string::npos)
+      << text;
+  EXPECT_EQ(FormatPrometheus(MetricsSnapshot{}), "# (no metrics recorded)\n");
+}
+
+TEST(PrometheusTest, BucketCountsAreCumulativeAndOrdered) {
+  Registry r;
+  Histogram* h = r.GetHistogram("lat.ns");
+  h->Record(1);    // bucket upper 1
+  h->Record(3);    // bucket upper 4
+  h->Record(3);
+  h->Record(100);  // bucket upper 128
+  std::string text = FormatPrometheus(r.Snapshot());
+  size_t b1 = text.find("lat_ns_bucket{le=\"1\"} 1");
+  size_t b4 = text.find("lat_ns_bucket{le=\"4\"} 3");
+  size_t b128 = text.find("lat_ns_bucket{le=\"128\"} 4");
+  size_t binf = text.find("lat_ns_bucket{le=\"+Inf\"} 4");
+  ASSERT_NE(b1, std::string::npos) << text;
+  ASSERT_NE(b4, std::string::npos) << text;
+  ASSERT_NE(b128, std::string::npos) << text;
+  ASSERT_NE(binf, std::string::npos) << text;
+  EXPECT_LT(b1, b4);
+  EXPECT_LT(b4, b128);
+  EXPECT_LT(b128, binf);
+}
+
 }  // namespace
 }  // namespace deltamon::obs

@@ -2,7 +2,8 @@
 // BENCH_*.json reports) and fail when any benchmark regressed past the
 // threshold.
 //
-//   bench_diff [--threshold=0.10] [--report-only] <baseline> <current>
+//   bench_diff [--threshold=0.10] [--report-only] [--json]
+//              <baseline> <current>
 //
 // <baseline> and <current> are either report files or directories; with
 // directories, reports are paired by file name and files present on only
@@ -10,6 +11,11 @@
 // 1 regression detected (suppressed by --report-only), 2 usage or I/O
 // error. Baselines are committed under bench/baselines/; regenerate them
 // with DELTAMON_BENCH_OUT_DIR=bench/baselines build/bench/<name>.
+//
+// --json swaps the streams for CI annotation: stdout carries one JSON
+// array with an object per row ({name, baseline_ns, current_ns,
+// delta_pct, verdict}) across all compared reports, and the human table
+// moves to stderr.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,7 +37,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threshold=FRACTION] [--report-only] "
+               "usage: %s [--threshold=FRACTION] [--report-only] [--json] "
                "<baseline.json|dir> <current.json|dir>\n",
                argv0);
   return 2;
@@ -57,6 +63,7 @@ std::vector<std::string> ReportFiles(const fs::path& dir) {
 int main(int argc, char** argv) {
   DiffOptions options;
   bool report_only = false;
+  bool json_output = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -69,6 +76,8 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(arg, "--report-only") == 0) {
       report_only = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_output = true;
     } else if (arg[0] == '-') {
       return Usage(argv[0]);
     } else {
@@ -111,6 +120,8 @@ int main(int argc, char** argv) {
   }
 
   bool regression = false;
+  deltamon::obs::Json rows = deltamon::obs::Json::Array();
+  FILE* table = json_output ? stderr : stdout;
   for (const auto& [base_path, cur_path] : pairs) {
     Result<DiffResult> diff = CompareReportFiles(base_path, cur_path, options);
     if (!diff.ok()) {
@@ -118,13 +129,20 @@ int main(int argc, char** argv) {
                    diff.status().message().c_str());
       return 2;
     }
-    std::fputs(FormatDiff(diff.value(), options).c_str(), stdout);
+    std::fputs(FormatDiff(diff.value(), options).c_str(), table);
+    if (json_output) {
+      deltamon::obs::Json chunk = FormatDiffJson(diff.value());
+      for (const deltamon::obs::Json& row : chunk.array_items()) {
+        rows.Append(row);
+      }
+    }
     regression = regression || diff.value().has_regression();
   }
+  if (json_output) std::fputs(rows.Dump().c_str(), stdout);
   if (regression) {
-    std::printf(report_only
-                    ? "regressions detected (report-only: exit 0)\n"
-                    : "regressions detected\n");
+    std::fprintf(table, report_only
+                            ? "regressions detected (report-only: exit 0)\n"
+                            : "regressions detected\n");
     return report_only ? 0 : 1;
   }
   return 0;
