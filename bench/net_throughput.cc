@@ -1,0 +1,168 @@
+/// Load driver for deltamond (docs/server.md): N concurrent clients each
+/// looping `set quantity(k) = v; commit;` batches over disjoint keys
+/// against a loopback server with an activated monitor rule. Reports
+/// commits/sec plus p50/p99 per-statement round-trip latency at
+/// N ∈ {1, 4, 16, 64}. The committed baseline gates the CI server-smoke
+/// job through bench_diff.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/report.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "rules/engine.h"
+
+namespace deltamon {
+namespace {
+
+constexpr int kKeysPerClient = 10;
+constexpr int kBatchesPerIteration = 20;
+constexpr int kThreshold = 50;
+
+/// One statement batch: a quantity write that every few rounds dips below
+/// the threshold so the monitor rule actually fires during the run.
+std::string Batch(int client, int b, int64_t round) {
+  const int key = client * 1000 + b % kKeysPerClient;
+  const int value =
+      ((b + round) % 5 == 0) ? kThreshold / 2 : kThreshold * 2;
+  return "set quantity(" + std::to_string(key) + ") = " +
+         std::to_string(value) + "; commit;";
+}
+
+void BM_NetThroughput(benchmark::State& state) {
+  const int n_clients = static_cast<int>(state.range(0));
+
+  Engine engine;
+  net::ServerOptions options;
+  options.port = 0;
+  options.enable_admin = false;
+  options.num_workers = 4;
+  net::Server server(engine, options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  {
+    Result<net::Client> boot = net::Client::Connect("127.0.0.1", server.port());
+    if (!boot.ok()) {
+      state.SkipWithError("bootstrap connect failed");
+      return;
+    }
+    const char* schema[] = {
+        "create function quantity(integer) -> integer;",
+        "create function threshold(integer) -> integer;",
+        "create function reorder(integer) -> integer;",
+        "create rule monitor() as"
+        "  when for each integer i where quantity(i) < threshold(i)"
+        "  do set reorder(i) = 1;",
+        "activate monitor();",
+    };
+    for (const char* stmt : schema) {
+      if (!boot->Execute(stmt).ok()) {
+        state.SkipWithError("bootstrap schema failed");
+        return;
+      }
+    }
+    // Thresholds for every key any client will touch, one commit per
+    // client's key range.
+    for (int c = 0; c < n_clients; ++c) {
+      std::string batch;
+      for (int k = 0; k < kKeysPerClient; ++k) {
+        batch += "set threshold(" + std::to_string(c * 1000 + k) + ") = " +
+                 std::to_string(kThreshold) + ";";
+      }
+      batch += "commit;";
+      if (!boot->Execute(batch).ok()) {
+        state.SkipWithError("bootstrap thresholds failed");
+        return;
+      }
+    }
+  }
+
+  // Persistent connections, one per simulated client.
+  std::vector<net::Client> clients;
+  clients.reserve(n_clients);
+  for (int c = 0; c < n_clients; ++c) {
+    Result<net::Client> client =
+        net::Client::Connect("127.0.0.1", server.port());
+    if (!client.ok()) {
+      state.SkipWithError("client connect failed");
+      return;
+    }
+    clients.push_back(std::move(*client));
+  }
+
+  std::vector<uint64_t> latencies_ns;
+  std::atomic<bool> failed{false};
+  int64_t round = 0;
+  for (auto _ : state) {
+    std::vector<std::vector<uint64_t>> per_client(n_clients);
+    std::vector<std::thread> threads;
+    threads.reserve(n_clients);
+    for (int c = 0; c < n_clients; ++c) {
+      threads.emplace_back([&, c] {
+        per_client[c].reserve(kBatchesPerIteration);
+        for (int b = 0; b < kBatchesPerIteration; ++b) {
+          const auto start = std::chrono::steady_clock::now();
+          if (!clients[c].Execute(Batch(c, b, round)).ok()) {
+            failed.store(true, std::memory_order_relaxed);
+            return;
+          }
+          const auto stop = std::chrono::steady_clock::now();
+          per_client[c].push_back(static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(stop -
+                                                                   start)
+                  .count()));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    ++round;
+    state.PauseTiming();
+    for (const std::vector<uint64_t>& v : per_client) {
+      latencies_ns.insert(latencies_ns.end(), v.begin(), v.end());
+    }
+    state.ResumeTiming();
+  }
+  if (failed.load(std::memory_order_relaxed)) {
+    state.SkipWithError("statement batch failed mid-run");
+    return;
+  }
+  server.Stop();
+
+  const double total_commits =
+      static_cast<double>(state.iterations()) * n_clients *
+      kBatchesPerIteration;
+  state.SetItemsProcessed(static_cast<int64_t>(total_commits));
+  state.counters["clients"] = static_cast<double>(n_clients);
+  state.counters["commits_per_sec"] =
+      benchmark::Counter(total_commits, benchmark::Counter::kIsRate);
+  if (!latencies_ns.empty()) {
+    std::sort(latencies_ns.begin(), latencies_ns.end());
+    state.counters["p50_statement_ns"] = static_cast<double>(
+        latencies_ns[latencies_ns.size() / 2]);
+    state.counters["p99_statement_ns"] = static_cast<double>(
+        latencies_ns[latencies_ns.size() * 99 / 100]);
+  }
+}
+
+BENCHMARK(BM_NetThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace deltamon
+
+DELTAMON_BENCH_MAIN("net_throughput")

@@ -114,19 +114,15 @@ int main() {
       trimmed.pop_back();
     }
     if (trimmed.empty() || trimmed.back() != ';') continue;
-    auto result = session.Execute(buffer);
+    // The shared front-end entry point: deltamond and deltamon-cli run
+    // statements through the same path, so behavior cannot drift.
+    auto result = amosql::ExecuteStatement(session, buffer);
     buffer.clear();
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    if (!result->rows.empty()) {
-      std::printf("%s(%zu rows)\n", result->ToString().c_str(),
-                  result->rows.size());
-    } else if (!result->report.empty()) {
-      // profile / show metrics output without a select.
-      std::printf("%s", result->report.c_str());
-    }
+    std::printf("%s", amosql::FormatResult(*result).c_str());
   }
   return 0;
 }

@@ -28,6 +28,24 @@ std::string QueryResult::ToString() const {
   return out;
 }
 
+Result<QueryResult> ExecuteStatement(Session& session,
+                                     const std::string& source) {
+  return session.Execute(source);
+}
+
+std::string FormatResult(const QueryResult& result) {
+  std::string out;
+  for (const Tuple& t : result.rows) {
+    out += t.ToString();
+    out += "\n";
+  }
+  if (!result.rows.empty()) {
+    out += "(" + std::to_string(result.rows.size()) + " rows)\n";
+  }
+  out += result.report;
+  return out;
+}
+
 Result<Value> Session::GetInterfaceVar(const std::string& name) const {
   auto it = env_.find(name);
   if (it == env_.end()) {

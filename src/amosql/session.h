@@ -107,6 +107,20 @@ class Session : public ExtentProvider {
   int temp_counter_ = 0;
 };
 
+/// The single statement-execution entry point shared by every AMOSQL
+/// front end — the interactive REPL (amosql_shell), the network server
+/// (deltamond), the remote REPL (deltamon-cli via the server), and tests.
+/// Parses and executes the ';'-terminated statements in `source` against
+/// the session, failing fast on the first error. Front ends must not
+/// parse or dispatch statements themselves; route everything through
+/// here so the language has exactly one execution path.
+Result<QueryResult> ExecuteStatement(Session& session,
+                                     const std::string& source);
+
+/// Renders a QueryResult the way the REPL prints it: the rows (one per
+/// line), a "(N rows)" trailer when any, then the session-command report.
+std::string FormatResult(const QueryResult& result);
+
 }  // namespace deltamon::amosql
 
 #endif  // DELTAMON_AMOSQL_SESSION_H_

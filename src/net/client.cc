@@ -1,0 +1,88 @@
+#include "net/client.h"
+
+#include <utility>
+
+#include "net/socket.h"
+
+namespace deltamon::net {
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    parser_ = std::move(other.parser_);
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               size_t max_frame_size) {
+  DELTAMON_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
+  Client client;
+  client.fd_ = fd;
+  client.parser_ = FrameParser(max_frame_size);
+
+  std::string hello;
+  AppendFrame(&hello, FrameType::kHello,
+              std::string(1, static_cast<char>(kProtocolVersion)));
+  if (Status s = WriteAll(fd, hello); !s.ok()) return s;
+  DELTAMON_ASSIGN_OR_RETURN(Frame reply, client.ReadFrame());
+  if (reply.type == FrameType::kError) {
+    return Status::FailedPrecondition("server rejected handshake: " +
+                                      reply.body);
+  }
+  if (reply.type != FrameType::kOk) {
+    return Status::ParseError("unexpected handshake reply frame type");
+  }
+  return client;
+}
+
+Result<Frame> Client::ReadFrame() {
+  Frame frame;
+  char buf[16384];
+  while (true) {
+    switch (parser_.Pop(&frame)) {
+      case FrameParser::Next::kFrame:
+        return frame;
+      case FrameParser::Next::kError:
+        return parser_.error();
+      case FrameParser::Next::kNeedMore:
+        break;
+    }
+    DELTAMON_ASSIGN_OR_RETURN(size_t n, ReadSome(fd_, buf, sizeof(buf)));
+    if (n == 0) {
+      return Status::Internal("server closed the connection mid-reply");
+    }
+    parser_.Feed(buf, n);
+  }
+}
+
+Result<Client::Response> Client::Execute(const std::string& amosql) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  std::string out;
+  AppendFrame(&out, FrameType::kQuery, amosql);
+  if (Status s = WriteAll(fd_, out); !s.ok()) return s;
+  DELTAMON_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  Response response;
+  switch (reply.type) {
+    case FrameType::kOk:
+      response.report = std::move(reply.body);
+      return response;
+    case FrameType::kRows: {
+      DELTAMON_RETURN_IF_ERROR(
+          DecodeRows(reply.body, &response.rows, &response.report));
+      return response;
+    }
+    case FrameType::kError:
+      return Status::FailedPrecondition(reply.body);
+    default:
+      return Status::ParseError("unexpected reply frame type");
+  }
+}
+
+void Client::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+}
+
+}  // namespace deltamon::net

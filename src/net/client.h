@@ -1,0 +1,55 @@
+#ifndef DELTAMON_NET_CLIENT_H_
+#define DELTAMON_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace deltamon::net {
+
+/// Blocking deltamond protocol client: one connection, one in-flight
+/// statement batch at a time. Shared by deltamon-cli, the loopback tests,
+/// and the net_throughput load driver.
+///
+///   auto client = net::Client::Connect("127.0.0.1", 7654);
+///   auto r = client->Execute("select quantity(:a);");
+///   for (const std::string& row : r->rows) ...
+class Client {
+ public:
+  struct Response {
+    std::vector<std::string> rows;  ///< result rows of the last select
+    std::string report;             ///< session-command / rule-action output
+  };
+
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and performs the HELLO handshake (protocol version check).
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                size_t max_frame_size = kDefaultMaxFrameSize);
+
+  /// Sends one AMOSQL statement batch and waits for the single reply
+  /// frame. An ERR frame comes back as a non-OK Status carrying the
+  /// server's message.
+  Result<Response> Execute(const std::string& amosql);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+}  // namespace deltamon::net
+
+#endif  // DELTAMON_NET_CLIENT_H_

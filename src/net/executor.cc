@@ -1,0 +1,25 @@
+#include "net/executor.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace deltamon::net {
+
+Result<amosql::QueryResult> Executor::Execute(amosql::Session& session,
+                                              const std::string& source) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<amosql::QueryResult> result = [&] {
+    std::lock_guard<std::mutex> lock(mu_);
+    return amosql::ExecuteStatement(session, source);
+  }();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  DELTAMON_OBS_COUNT("net.statements_served", 1);
+  if (!result.ok()) DELTAMON_OBS_COUNT("net.statement_errors", 1);
+  DELTAMON_OBS_RECORD(
+      "net.statement_latency_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  return result;
+}
+
+}  // namespace deltamon::net

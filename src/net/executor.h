@@ -1,0 +1,42 @@
+#ifndef DELTAMON_NET_EXECUTOR_H_
+#define DELTAMON_NET_EXECUTOR_H_
+
+#include <mutex>
+#include <string>
+
+#include "amosql/session.h"
+#include "rules/engine.h"
+
+namespace deltamon::net {
+
+/// Serializes all statement execution against the shared engine: one
+/// statement batch runs at a time, whichever connection (or bootstrap
+/// path) submitted it. The engine, the derived-relation registry, and the
+/// rule manager are single-writer structures — sessions own only their
+/// private interpreter state (interface variables, registered procedures),
+/// so funneling every Execute through one mutex is the whole concurrency
+/// story for now. Group commit (ROADMAP item 2) replaces this mutex with
+/// a commit queue that batches Δ-sets; the call site stays the same.
+///
+/// Records net.statements_served / net.statement_errors counters and the
+/// net.statement_latency_ns histogram (queue wait included — that is what
+/// a client observes).
+class Executor {
+ public:
+  explicit Executor(Engine& engine) : engine_(engine) {}
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  Engine& engine() { return engine_; }
+
+  Result<amosql::QueryResult> Execute(amosql::Session& session,
+                                      const std::string& source);
+
+ private:
+  Engine& engine_;
+  std::mutex mu_;
+};
+
+}  // namespace deltamon::net
+
+#endif  // DELTAMON_NET_EXECUTOR_H_

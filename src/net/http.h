@@ -1,0 +1,62 @@
+#ifndef DELTAMON_NET_HTTP_H_
+#define DELTAMON_NET_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/status.h"
+
+namespace deltamon::net {
+
+/// The exact body served at GET /metrics: obs::FormatPrometheus over a
+/// snapshot of the global registry — the same single formatting function
+/// behind AMOSQL's `show metrics prometheus;`, so the two paths cannot
+/// drift (asserted byte-for-byte in metrics_identity_test).
+std::string MetricsBody();
+
+/// Pure request -> response mapping for the admin endpoints (unit-testable
+/// without sockets). `request` is everything up to the end of the header
+/// block; only the request line is examined. Routes:
+///   GET /healthz  -> 200 "ok\n"
+///   GET /metrics  -> 200 Prometheus text exposition (MetricsBody)
+///   anything else -> 404 / 405 / 400
+/// Returns the full HTTP/1.1 response bytes (Connection: close).
+std::string HandleAdminRequest(std::string_view request);
+
+/// Minimal hand-rolled HTTP/1.1 admin listener serving HandleAdminRequest
+/// on its own thread, one request per connection. Admin traffic is a
+/// scraper every few seconds and a liveness probe — serial blocking
+/// handling with short socket timeouts is deliberate.
+class AdminServer {
+ public:
+  AdminServer() = default;
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Binds (port 0 = ephemeral) and starts the serving thread.
+  Status Start(uint16_t port);
+  uint16_t port() const { return port_; }
+
+  /// Async-signal-safe stop trigger (atomic store + eventfd write).
+  void RequestStop();
+  /// Joins the serving thread; idempotent.
+  void Wait();
+
+ private:
+  void Loop();
+  void ServeOne(int client_fd);
+
+  int listen_fd_ = -1;
+  int stop_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace deltamon::net
+
+#endif  // DELTAMON_NET_HTTP_H_

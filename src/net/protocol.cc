@@ -1,0 +1,104 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+namespace deltamon::net {
+
+void AppendFrame(std::string* out, FrameType type, std::string_view body) {
+  const uint32_t len = static_cast<uint32_t>(body.size() + 1);
+  char header[kFrameHeaderSize];
+  header[0] = static_cast<char>((len >> 24) & 0xff);
+  header[1] = static_cast<char>((len >> 16) & 0xff);
+  header[2] = static_cast<char>((len >> 8) & 0xff);
+  header[3] = static_cast<char>(len & 0xff);
+  out->append(header, kFrameHeaderSize);
+  out->push_back(static_cast<char>(type));
+  out->append(body);
+}
+
+std::string EncodeRows(const std::vector<std::string>& rows,
+                       std::string_view report) {
+  std::string body = std::to_string(rows.size());
+  body.push_back('\n');
+  for (const std::string& row : rows) {
+    body.append(row);
+    body.push_back('\n');
+  }
+  body.append(report);
+  return body;
+}
+
+Status DecodeRows(std::string_view body, std::vector<std::string>* rows,
+                  std::string* report) {
+  size_t eol = body.find('\n');
+  if (eol == std::string_view::npos) {
+    return Status::ParseError("ROWS body: missing row-count line");
+  }
+  size_t count = 0;
+  const std::string_view count_text = body.substr(0, eol);
+  if (count_text.empty()) {
+    return Status::ParseError("ROWS body: empty row count");
+  }
+  for (char c : count_text) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError("ROWS body: bad row count '" +
+                                std::string(count_text) + "'");
+    }
+    count = count * 10 + static_cast<size_t>(c - '0');
+  }
+  rows->clear();
+  rows->reserve(count);
+  size_t pos = eol + 1;
+  for (size_t i = 0; i < count; ++i) {
+    size_t end = body.find('\n', pos);
+    if (end == std::string_view::npos) {
+      return Status::ParseError("ROWS body: " + std::to_string(count) +
+                                " rows declared, row " + std::to_string(i) +
+                                " truncated");
+    }
+    rows->emplace_back(body.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  report->assign(body.substr(pos));
+  return Status::OK();
+}
+
+void FrameParser::Feed(const char* data, size_t n) {
+  if (failed_ || n == 0) return;
+  // Reclaim consumed prefix before growing; amortized O(1) per byte.
+  if (consumed_ > 0 && (consumed_ >= 4096 || consumed_ == buffer_.size())) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(data, n);
+}
+
+FrameParser::Next FrameParser::Pop(Frame* out) {
+  if (failed_) return Next::kError;
+  if (buffered() < kFrameHeaderSize) return Next::kNeedMore;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(buffer_.data()) + consumed_;
+  const uint32_t len = (static_cast<uint32_t>(p[0]) << 24) |
+                       (static_cast<uint32_t>(p[1]) << 16) |
+                       (static_cast<uint32_t>(p[2]) << 8) |
+                       static_cast<uint32_t>(p[3]);
+  if (len == 0) {
+    failed_ = true;
+    error_ = Status::ParseError("frame with zero-length payload (no type)");
+    return Next::kError;
+  }
+  if (len > max_frame_size_) {
+    failed_ = true;
+    error_ = Status::OutOfRange(
+        "frame of " + std::to_string(len) + " bytes exceeds max frame size " +
+        std::to_string(max_frame_size_));
+    return Next::kError;
+  }
+  if (buffered() < kFrameHeaderSize + len) return Next::kNeedMore;
+  out->type = static_cast<FrameType>(p[kFrameHeaderSize]);
+  out->body.assign(buffer_, consumed_ + kFrameHeaderSize + 1, len - 1);
+  consumed_ += kFrameHeaderSize + len;
+  return Next::kFrame;
+}
+
+}  // namespace deltamon::net

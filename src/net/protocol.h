@@ -1,0 +1,93 @@
+#ifndef DELTAMON_NET_PROTOCOL_H_
+#define DELTAMON_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace deltamon::net {
+
+/// The deltamond wire protocol, version 1 (spec: docs/server.md).
+///
+/// Every frame is
+///
+///   [u32 big-endian payload length][1 type byte][body]
+///
+/// where the length counts the type byte plus the body. The payload is
+/// text (AMOSQL in, result sets out); the length prefix is the only
+/// binary part, so a frame is self-delimiting regardless of what the
+/// statement or report text contains.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Frames above this payload size are rejected with an ERR frame and the
+/// connection is closed (a torn length prefix cannot be resynchronized).
+inline constexpr size_t kDefaultMaxFrameSize = 4u << 20;
+
+/// Bytes of length prefix preceding every payload.
+inline constexpr size_t kFrameHeaderSize = 4;
+
+enum class FrameType : uint8_t {
+  // client -> server
+  kHello = 'H',  ///< body: [protocol version byte]; must be the first frame
+  kQuery = 'Q',  ///< body: AMOSQL text (one or more ';'-terminated statements)
+  // server -> client
+  kOk = 'O',     ///< body: report text (possibly empty); no result rows
+  kError = 'E',  ///< body: error message
+  kRows = 'R',   ///< body: "<n>\n" + n row lines + report text (see codec)
+};
+
+struct Frame {
+  FrameType type;
+  std::string body;
+};
+
+/// Appends one encoded frame to the output buffer `out`.
+void AppendFrame(std::string* out, FrameType type, std::string_view body);
+
+/// ROWS body codec: decimal row count, '\n', each row on its own line,
+/// then the report text verbatim (which may itself contain newlines —
+/// it is everything after the counted rows).
+std::string EncodeRows(const std::vector<std::string>& rows,
+                       std::string_view report);
+Status DecodeRows(std::string_view body, std::vector<std::string>* rows,
+                  std::string* report);
+
+/// Incremental frame decoder for a byte stream: Feed() whatever arrived
+/// (partial frames, several pipelined frames, a torn length prefix — any
+/// split is fine), then Pop() complete frames until kNeedMore.
+///
+/// A frame whose declared payload length is zero (no type byte) or above
+/// the size limit poisons the parser: Pop() returns kError from then on
+/// and error() says why. There is no resynchronization — the connection
+/// must be closed, since the stream position of the next frame is unknown.
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_frame_size = kDefaultMaxFrameSize)
+      : max_frame_size_(max_frame_size) {}
+
+  void Feed(const char* data, size_t n);
+  void Feed(std::string_view data) { Feed(data.data(), data.size()); }
+
+  enum class Next { kFrame, kNeedMore, kError };
+  Next Pop(Frame* out);
+
+  /// Set iff Pop() returned kError.
+  const Status& error() const { return error_; }
+
+  /// Bytes fed but not yet consumed by popped frames.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_frame_size_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status error_;
+  bool failed_ = false;
+};
+
+}  // namespace deltamon::net
+
+#endif  // DELTAMON_NET_PROTOCOL_H_

@@ -1,0 +1,142 @@
+#ifndef DELTAMON_NET_SERVER_H_
+#define DELTAMON_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/executor.h"
+#include "net/http.h"
+#include "net/protocol.h"
+#include "rules/engine.h"
+
+namespace deltamon::net {
+
+struct ServerOptions {
+  /// TCP port for the AMOSQL protocol; 0 binds an ephemeral port (read it
+  /// back with Server::port()).
+  uint16_t port = 7654;
+  /// Admin HTTP listener (/metrics, /healthz); port 0 = ephemeral.
+  bool enable_admin = true;
+  uint16_t admin_port = 0;
+  /// Worker event loops; connections are assigned round-robin.
+  size_t num_workers = 2;
+  /// Frames above this payload size get an ERR frame and a close.
+  size_t max_frame_size = kDefaultMaxFrameSize;
+  /// Connections with no traffic for this long are closed; 0 disables.
+  int idle_timeout_ms = 0;
+};
+
+/// deltamond: serves AMOSQL sessions to many concurrent clients.
+///
+/// Threading model (DESIGN.md §9):
+///  - one accept thread: non-blocking listener, hands accepted sockets to
+///    workers round-robin via an eventfd-signalled queue;
+///  - `num_workers` worker event loops: epoll with edge-triggered
+///    readiness, non-blocking sockets, per-connection read/write buffers
+///    and FrameParser. A connection lives on exactly one worker, so its
+///    Session is only ever touched by that worker's thread;
+///  - statement execution happens inline on the worker, serialized across
+///    all workers by the Executor (one statement batch at a time). Inline
+///    execution under a global executor mutex has the same throughput as
+///    a dedicated executor thread would — the engine admits one writer —
+///    without a cross-thread response handoff;
+///  - an optional admin HTTP thread (AdminServer).
+///
+/// Sessions that created rules are referenced by those rules' compiled
+/// actions for the engine's lifetime, so closed connections retire their
+/// Session into a server-owned graveyard instead of destroying it
+/// (lifecycle_test covers fire-after-disconnect).
+///
+/// Shutdown: RequestStop() is async-signal-safe (atomic store + eventfd
+/// writes); Stop()/Wait() then close the listener, let each worker finish
+/// the statement it is executing, flush pending write buffers with a
+/// bounded drain, close all connections, and join every thread.
+class Server {
+ public:
+  Server(Engine& engine, ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  Status Start();
+
+  /// Bound ports; valid after Start().
+  uint16_t port() const { return port_; }
+  uint16_t admin_port() const { return admin_.port(); }
+
+  /// Async-signal-safe stop trigger.
+  void RequestStop();
+  /// Drains and joins everything; idempotent. Returns once all threads
+  /// have exited and all sockets are closed.
+  void Wait();
+  /// RequestStop() + Wait().
+  void Stop();
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameParser parser;
+    std::string out;           ///< bytes accepted for write, not yet sent
+    bool want_write = false;   ///< EPOLLOUT currently armed
+    bool handshaken = false;
+    bool closing = false;      ///< close once `out` drains
+    std::chrono::steady_clock::time_point last_active;
+    std::unique_ptr<amosql::Session> session;
+    /// Lines printed by rule actions / procedures during execution; owned
+    /// by shared_ptr because a rule compiled by this session may fire
+    /// after the connection closed.
+    std::shared_ptr<std::string> action_output;
+  };
+
+  struct Worker {
+    int epoll_fd = -1;
+    int wake_fd = -1;
+    std::thread thread;
+    std::mutex mu;
+    std::vector<int> pending;  ///< accepted fds awaiting registration
+    std::unordered_map<int, std::unique_ptr<Conn>> conns;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop(Worker& w);
+  void RegisterPending(Worker& w);
+  /// Returns false when the connection must be closed.
+  bool OnReadable(Worker& w, Conn& c);
+  bool FlushOut(Worker& w, Conn& c);
+  void HandleFrame(Conn& c, Frame frame);
+  void ExecuteQuery(Conn& c, const std::string& text);
+  void CloseConn(Worker& w, int fd);
+  void SweepIdle(Worker& w);
+  void DrainAndCloseAll(Worker& w);
+
+  Engine& engine_;
+  ServerOptions options_;
+  Executor executor_;
+  AdminServer admin_;
+
+  int listen_fd_ = -1;
+  int stop_fd_ = -1;  ///< eventfd waking the accept loop
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<size_t> next_worker_{0};
+  std::atomic<int64_t> active_conns_{0};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool joined_ = false;
+
+  /// Sessions of closed connections (see class comment).
+  std::mutex retired_mu_;
+  std::vector<std::unique_ptr<amosql::Session>> retired_sessions_;
+};
+
+}  // namespace deltamon::net
+
+#endif  // DELTAMON_NET_SERVER_H_

@@ -1,0 +1,368 @@
+// Server lifecycle under adversarial clients: protocol violations over
+// real sockets, idle reaping, rules that outlive their creating
+// connection, admin HTTP endpoints, and clean start/connect/query/stop.
+// This suite is meant to run under ASan and TSan (ctest label "net").
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "rules/engine.h"
+
+namespace deltamon::net {
+namespace {
+
+/// Raw protocol socket for crafting frames the Client class refuses to
+/// send. A receive timeout turns would-be hangs into test failures.
+class RawConn {
+ public:
+  static Result<RawConn> Open(uint16_t port) {
+    DELTAMON_ASSIGN_OR_RETURN(int fd, ConnectTcp("127.0.0.1", port));
+    timeval timeout{5, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    RawConn conn;
+    conn.fd_ = fd;
+    return conn;
+  }
+
+  RawConn() = default;
+  ~RawConn() { CloseFd(fd_); }
+  RawConn(RawConn&& other) noexcept
+      : fd_(other.fd_), parser_(std::move(other.parser_)) {
+    other.fd_ = -1;
+  }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  Status Send(FrameType type, std::string_view body) {
+    std::string wire;
+    AppendFrame(&wire, type, body);
+    return WriteAll(fd_, wire);
+  }
+
+  Status SendBytes(std::string_view bytes) { return WriteAll(fd_, bytes); }
+
+  /// Reads one frame; EOF comes back as a kUnavailable status.
+  Result<Frame> ReadFrame() {
+    Frame frame;
+    char buf[4096];
+    while (true) {
+      switch (parser_.Pop(&frame)) {
+        case FrameParser::Next::kFrame:
+          return frame;
+        case FrameParser::Next::kError:
+          return parser_.error();
+        case FrameParser::Next::kNeedMore:
+          break;
+      }
+      DELTAMON_ASSIGN_OR_RETURN(size_t n, ReadSome(fd_, buf, sizeof(buf)));
+      if (n == 0) return Status::Internal("EOF");
+      parser_.Feed(buf, n);
+    }
+  }
+
+  /// True once the server closes its end.
+  bool ReadUntilEof() {
+    char buf[4096];
+    while (true) {
+      Result<size_t> n = ReadSome(fd_, buf, sizeof(buf));
+      if (!n.ok()) return false;  // timeout, not EOF
+      if (*n == 0) return true;
+      parser_.Feed(buf, *n);
+    }
+  }
+
+  Status Handshake(uint8_t version = kProtocolVersion) {
+    DELTAMON_RETURN_IF_ERROR(
+        Send(FrameType::kHello, std::string(1, static_cast<char>(version))));
+    DELTAMON_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+    if (reply.type != FrameType::kOk) {
+      return Status::FailedPrecondition("handshake rejected: " + reply.body);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+class ServerFixture : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    options.port = 0;
+    server_ = std::make_unique<Server>(engine_, options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  Engine engine_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerFixture, StartQueryStopIsClean) {
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+
+  Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Result<Client::Response> r =
+      client->Execute("create function f(integer) -> integer;"
+                      "set f(1) = 2; commit; select f(1);");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0], "(2)");
+
+  server_->Stop();
+  // Stop is idempotent and the destructor will run it again.
+  server_->Stop();
+  // The client now sees a dead peer.
+  EXPECT_FALSE(client->Execute("select f(1);").ok());
+}
+
+TEST_F(ServerFixture, StopDrainsConnectedClients) {
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+  // A connected, handshaken, idle client must not block shutdown.
+  Result<RawConn> conn = RawConn::Open(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Handshake().ok());
+  server_->Stop();
+  EXPECT_TRUE(conn->ReadUntilEof());
+}
+
+TEST_F(ServerFixture, QueryBeforeHelloIsRejected) {
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+
+  Result<RawConn> conn = RawConn::Open(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Send(FrameType::kQuery, "commit;").ok());
+  Result<Frame> reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->body.find("HELLO"), std::string::npos) << reply->body;
+  EXPECT_TRUE(conn->ReadUntilEof());
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, WrongProtocolVersionIsRejected) {
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+
+  Result<RawConn> conn = RawConn::Open(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(
+      conn->Send(FrameType::kHello, std::string(1, '\x63')).ok());  // v99
+  Result<Frame> reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->body.find("version"), std::string::npos) << reply->body;
+  EXPECT_TRUE(conn->ReadUntilEof());
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, SecondHelloIsAProtocolError) {
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+
+  Result<RawConn> conn = RawConn::Open(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Handshake().ok());
+  ASSERT_TRUE(conn->Send(FrameType::kHello,
+                         std::string(1, static_cast<char>(kProtocolVersion)))
+                  .ok());
+  Result<Frame> reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_TRUE(conn->ReadUntilEof());
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, OversizedFrameGetsErrAndClose) {
+  ServerOptions options;
+  options.enable_admin = false;
+  options.max_frame_size = 256;
+  StartServer(options);
+
+  Result<RawConn> conn = RawConn::Open(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Handshake().ok());
+  ASSERT_TRUE(conn->Send(FrameType::kQuery, std::string(1000, 'x')).ok());
+  Result<Frame> reply = conn->ReadFrame();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->body.find("max frame size"), std::string::npos)
+      << reply->body;
+  EXPECT_TRUE(conn->ReadUntilEof());
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, IdleConnectionsAreReaped) {
+  ServerOptions options;
+  options.enable_admin = false;
+  options.idle_timeout_ms = 200;
+  StartServer(options);
+
+  Result<RawConn> idle = RawConn::Open(server_->port());
+  ASSERT_TRUE(idle.ok());
+  ASSERT_TRUE(idle->Handshake().ok());
+  // Well past the timeout the server must have closed its end; the
+  // blocking read returns EOF (or times out after 5 s → failure).
+  EXPECT_TRUE(idle->ReadUntilEof());
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, RuleFiresAfterItsSessionDisconnected) {
+  // A rule's compiled action references the Session that created it (for
+  // registered procedures like `print`). Closing that connection must not
+  // free state the rule still needs — the server retires the session
+  // instead. Run under ASan this is the use-after-free probe.
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+
+  {
+    Result<Client> creator = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(creator.ok());
+    Result<Client::Response> r = creator->Execute(
+        "create function quantity(integer) -> integer;"
+        "create function threshold(integer) -> integer;"
+        "create rule watch() as"
+        "  when for each integer i where quantity(i) < threshold(i)"
+        "  do print(i);"
+        "activate watch();");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }  // creator disconnects; its session is retired, not destroyed
+
+  Result<Client> writer = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(writer.ok());
+  Result<Client::Response> r = writer->Execute(
+      "set threshold(5) = 10; set quantity(5) = 1; commit;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The server must still be fully responsive after the orphaned rule ran.
+  Result<Client::Response> check = writer->Execute("select quantity(5);");
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->rows.size(), 1u);
+  EXPECT_EQ(check->rows[0], "(1)");
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, PrintOutputReachesTheIssuingConnection) {
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+
+  Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client
+                  ->Execute("create function quantity(integer) -> integer;"
+                            "create function threshold(integer) -> integer;"
+                            "create rule watch() as"
+                            "  when for each integer i"
+                            "  where quantity(i) < threshold(i)"
+                            "  do print(i);"
+                            "activate watch();")
+                  .ok());
+  Result<Client::Response> r = client->Execute(
+      "set threshold(9) = 10; set quantity(9) = 1; commit;");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->report.find("print"), std::string::npos)
+      << "rule-action output missing from report: '" << r->report << "'";
+  server_->Stop();
+}
+
+std::string HttpGet(uint16_t port, const std::string& request) {
+  Result<int> fd = ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(fd.ok());
+  if (!fd.ok()) return "";
+  timeval timeout{5, 0};
+  ::setsockopt(*fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  EXPECT_TRUE(WriteAll(*fd, request).ok());
+  std::string response;
+  char buf[4096];
+  while (true) {
+    Result<size_t> n = ReadSome(*fd, buf, sizeof(buf));
+    if (!n.ok() || *n == 0) break;
+    response.append(buf, *n);
+  }
+  CloseFd(*fd);
+  return response;
+}
+
+TEST_F(ServerFixture, AdminEndpoints) {
+  ServerOptions options;
+  options.enable_admin = true;
+  options.admin_port = 0;
+  StartServer(options);
+  ASSERT_NE(server_->admin_port(), 0);
+
+  // Generate a little protocol traffic so net.* metrics exist.
+  {
+    Result<Client> client = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->Execute("commit;").ok());
+  }
+
+  const std::string health = HttpGet(
+      server_->admin_port(), "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok\n"), std::string::npos) << health;
+
+  const std::string metrics = HttpGet(
+      server_->admin_port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("net_connections_accepted"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("net_statements_served"), std::string::npos);
+
+  const std::string missing = HttpGet(
+      server_->admin_port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+
+  const std::string post = HttpGet(
+      server_->admin_port(), "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos);
+
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, ManyShortLivedConnections) {
+  // Churn: connect/handshake/one statement/disconnect in a loop, across
+  // two threads, against both workers. Catches fd and session leaks.
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+  {
+    Result<Client> boot = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(boot.ok());
+    ASSERT_TRUE(boot->Execute("create function f(integer) -> integer;").ok());
+  }
+  std::thread threads[2];
+  for (std::thread& t : threads) {
+    t = std::thread([&] {
+      for (int i = 0; i < 25; ++i) {
+        Result<Client> c = Client::Connect("127.0.0.1", server_->port());
+        ASSERT_TRUE(c.ok());
+        EXPECT_TRUE(c->Execute("select f(0);").ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace deltamon::net

@@ -1,0 +1,195 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace deltamon::net {
+namespace {
+
+Frame MustPop(FrameParser& parser) {
+  Frame frame;
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kFrame)
+      << parser.error().ToString();
+  return frame;
+}
+
+TEST(Protocol, FrameRoundTrip) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, "select quantity(7);");
+  // Header (4) + type (1) + body.
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + 1 + 19);
+
+  FrameParser parser;
+  parser.Feed(wire);
+  Frame frame = MustPop(parser);
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_EQ(frame.body, "select quantity(7);");
+  EXPECT_EQ(parser.buffered(), 0u);
+  Frame more;
+  EXPECT_EQ(parser.Pop(&more), FrameParser::Next::kNeedMore);
+}
+
+TEST(Protocol, EmptyBodyFrame) {
+  // A frame with an empty body is legal: length 1, just the type byte.
+  std::string wire;
+  AppendFrame(&wire, FrameType::kOk, "");
+  FrameParser parser;
+  parser.Feed(wire);
+  Frame frame = MustPop(parser);
+  EXPECT_EQ(frame.type, FrameType::kOk);
+  EXPECT_TRUE(frame.body.empty());
+}
+
+TEST(Protocol, ByteByBytePartialReads) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, "commit;");
+  AppendFrame(&wire, FrameType::kHello, std::string(1, '\x01'));
+
+  FrameParser parser;
+  std::vector<Frame> frames;
+  for (char byte : wire) {
+    parser.Feed(&byte, 1);
+    Frame frame;
+    while (parser.Pop(&frame) == FrameParser::Next::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kQuery);
+  EXPECT_EQ(frames[0].body, "commit;");
+  EXPECT_EQ(frames[1].type, FrameType::kHello);
+  EXPECT_EQ(frames[1].body, std::string(1, '\x01'));
+}
+
+TEST(Protocol, TornLengthPrefix) {
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, "rollback;");
+
+  FrameParser parser;
+  Frame frame;
+  // Feed only 2 of the 4 header bytes: not even a length yet.
+  parser.Feed(wire.data(), 2);
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kNeedMore);
+  // Complete the header but not the payload.
+  parser.Feed(wire.data() + 2, 3);
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kNeedMore);
+  // The rest arrives.
+  parser.Feed(wire.data() + 5, wire.size() - 5);
+  frame = MustPop(parser);
+  EXPECT_EQ(frame.type, FrameType::kQuery);
+  EXPECT_EQ(frame.body, "rollback;");
+}
+
+TEST(Protocol, PipelinedFramesInOneFeed) {
+  std::string wire;
+  for (int i = 0; i < 100; ++i) {
+    AppendFrame(&wire, FrameType::kQuery,
+                "set f(" + std::to_string(i) + ") = 1;");
+  }
+  FrameParser parser;
+  parser.Feed(wire);
+  for (int i = 0; i < 100; ++i) {
+    Frame frame = MustPop(parser);
+    EXPECT_EQ(frame.body, "set f(" + std::to_string(i) + ") = 1;");
+  }
+  Frame frame;
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kNeedMore);
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(Protocol, OversizedFramePoisonsParser) {
+  FrameParser parser(/*max_frame_size=*/64);
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, std::string(100, 'x'));
+  parser.Feed(wire);
+  Frame frame;
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kError);
+  EXPECT_EQ(parser.error().code(), StatusCode::kOutOfRange);
+  // Poisoned: even a well-formed follow-up frame is never surfaced.
+  std::string good;
+  AppendFrame(&good, FrameType::kQuery, "commit;");
+  parser.Feed(good);
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kError);
+}
+
+TEST(Protocol, OversizedDetectedFromHeaderAlone) {
+  // The length prefix alone condemns the frame — no need to buffer the
+  // (possibly huge) payload first.
+  FrameParser parser(/*max_frame_size=*/64);
+  const char header[4] = {0x00, 0x10, 0x00, 0x00};  // 1 MiB declared
+  parser.Feed(header, 4);
+  Frame frame;
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kError);
+}
+
+TEST(Protocol, ZeroLengthFrameIsAnError) {
+  // Length 0 means no type byte: structurally invalid.
+  FrameParser parser;
+  const char header[4] = {0x00, 0x00, 0x00, 0x00};
+  parser.Feed(header, 4);
+  Frame frame;
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kError);
+  EXPECT_EQ(parser.error().code(), StatusCode::kParseError);
+}
+
+TEST(Protocol, ParserCompactsConsumedPrefix) {
+  // Long-lived connections must not grow the buffer without bound; after
+  // enough consumed bytes the parser reclaims the prefix.
+  FrameParser parser;
+  std::string wire;
+  AppendFrame(&wire, FrameType::kQuery, std::string(1024, 'q'));
+  for (int i = 0; i < 50; ++i) {
+    parser.Feed(wire);
+    Frame frame = MustPop(parser);
+    EXPECT_EQ(frame.body.size(), 1024u);
+    EXPECT_EQ(parser.buffered(), 0u);
+  }
+}
+
+TEST(Protocol, RowsCodecRoundTrip) {
+  const std::vector<std::string> rows = {"(1, 'a')", "(2, 'b')", "(3, 'c')"};
+  const std::string report = "rule monitor fired 2 times\nsecond line\n";
+  const std::string body = EncodeRows(rows, report);
+
+  std::vector<std::string> decoded_rows;
+  std::string decoded_report;
+  ASSERT_TRUE(DecodeRows(body, &decoded_rows, &decoded_report).ok());
+  EXPECT_EQ(decoded_rows, rows);
+  EXPECT_EQ(decoded_report, report);
+}
+
+TEST(Protocol, RowsCodecEmpty) {
+  std::vector<std::string> rows;
+  std::string report;
+  ASSERT_TRUE(DecodeRows(EncodeRows({}, ""), &rows, &report).ok());
+  EXPECT_TRUE(rows.empty());
+  EXPECT_TRUE(report.empty());
+}
+
+TEST(Protocol, RowsCodecMalformed) {
+  std::vector<std::string> rows;
+  std::string report;
+  // No count line at all.
+  EXPECT_FALSE(DecodeRows("no newline here", &rows, &report).ok());
+  // Empty count.
+  EXPECT_FALSE(DecodeRows("\nrow\n", &rows, &report).ok());
+  // Non-numeric count.
+  EXPECT_FALSE(DecodeRows("two\nrow\nrow\n", &rows, &report).ok());
+  // Declared more rows than present.
+  EXPECT_FALSE(DecodeRows("3\nrow1\nrow2\n", &rows, &report).ok());
+}
+
+TEST(Protocol, RowsCodecReportMayContainNewlines) {
+  // Everything after the counted rows is report text, verbatim.
+  std::vector<std::string> rows;
+  std::string report;
+  ASSERT_TRUE(DecodeRows("1\n(42)\nline1\nline2", &rows, &report).ok());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], "(42)");
+  EXPECT_EQ(report, "line1\nline2");
+}
+
+}  // namespace
+}  // namespace deltamon::net

@@ -1,0 +1,114 @@
+// deltamon-cli: remote AMOSQL REPL over the deltamond wire protocol.
+//
+//   $ deltamon-cli --port 7654
+//   deltamon> select quantity(:a);
+//
+// Non-interactive use (scripts, CI): `-e "stmts"` executes one batch and
+// exits; with stdin not a TTY, statements are read to EOF and executed
+// batch-by-batch (';'-terminated), exiting non-zero on the first error.
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "net/client.h"
+
+using namespace deltamon;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host=H] [--port=N] [-e \"statements\"]\n",
+               argv0);
+  return 2;
+}
+
+/// Prints a response the way the local REPL would: rows, "(N rows)",
+/// then any report/action output.
+void PrintResponse(const net::Client::Response& r) {
+  for (const std::string& row : r.rows) std::printf("%s\n", row.c_str());
+  if (!r.rows.empty()) std::printf("(%zu rows)\n", r.rows.size());
+  if (!r.report.empty()) std::printf("%s", r.report.c_str());
+}
+
+/// Executes one batch; returns false on error (printed to stderr).
+bool RunBatch(net::Client& client, const std::string& batch) {
+  Result<net::Client::Response> r = client.Execute(batch);
+  if (!r.ok()) {
+    std::fprintf(stderr, "error: %s\n", r.status().message().c_str());
+    return false;
+  }
+  PrintResponse(*r);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long port = 7654;
+  std::string once;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--host=", 7) == 0) {
+      host = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      char* end = nullptr;
+      port = std::strtol(argv[i] + 7, &end, 10);
+      if (end == argv[i] + 7 || *end != '\0' || port <= 0 || port > 65535) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "-e") == 0 && i + 1 < argc) {
+      once = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  Result<net::Client> client =
+      net::Client::Connect(host, static_cast<uint16_t>(port));
+  if (!client.ok()) {
+    std::fprintf(stderr, "deltamon-cli: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (!once.empty()) {
+    return RunBatch(*client, once) ? 0 : 1;
+  }
+
+  const bool interactive = ::isatty(STDIN_FILENO) != 0;
+  if (interactive) {
+    std::printf("deltamon-cli — connected to %s:%ld (\\q to quit)\n",
+                host.c_str(), port);
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf(buffer.empty() ? "deltamon> " : "     ...> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    if (buffer.empty() && (line == "\\q" || line == "\\quit")) break;
+    buffer += line;
+    buffer += "\n";
+    // Same heuristic as the local shell: execute once the buffered input
+    // ends with ';'.
+    std::string trimmed = buffer;
+    while (!trimmed.empty() &&
+           std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    const bool ok = RunBatch(*client, buffer);
+    buffer.clear();
+    if (!ok && !interactive) return 1;
+    if (!client->connected()) return 1;
+  }
+  return 0;
+}
