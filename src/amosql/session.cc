@@ -500,8 +500,11 @@ Status Session::ExecCreateRule(const CreateRuleStmt& stmt) {
   options.semantics = stmt.nervous ? rules::Semantics::kNervous
                                    : rules::Semantics::kStrict;
   options.num_params = num_params;
-  return engine_.rules.CreateRule(stmt.name, cond, std::move(action), options)
-      .status();
+  DELTAMON_RETURN_IF_ERROR(
+      engine_.rules.CreateRule(stmt.name, cond, std::move(action), options)
+          .status());
+  created_rules_ = true;
+  return Status::OK();
 }
 
 Status Session::ExecCreateInstances(const CreateInstancesStmt& stmt) {

@@ -59,6 +59,13 @@ class Session : public ExtentProvider {
   /// first error. Returns the last select's rows.
   Result<QueryResult> Execute(const std::string& source);
 
+  /// True once this session has successfully executed a `create rule`.
+  /// Compiled rule actions capture a pointer to the creating session (for
+  /// registered procedures), so such a session must outlive its
+  /// connection; the network server uses this to decide whether to retire
+  /// or destroy a session on disconnect.
+  bool created_rules() const { return created_rules_; }
+
   /// Session environment (interface variables, without the ':').
   Result<Value> GetInterfaceVar(const std::string& name) const;
   void SetInterfaceVar(const std::string& name, Value value) {
@@ -105,6 +112,7 @@ class Session : public ExtentProvider {
   /// propagator so check-phase clauses are profiled too.
   obs::Profile* active_profiler_ = nullptr;
   int temp_counter_ = 0;
+  bool created_rules_ = false;
 };
 
 /// The single statement-execution entry point shared by every AMOSQL

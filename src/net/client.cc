@@ -57,12 +57,33 @@ Result<Frame> Client::ReadFrame() {
   }
 }
 
+Result<Frame> Client::ReadReply() {
+  // A large reply arrives as MORE continuation frames followed by the
+  // terminal OK/ROWS/ERR frame; bodies concatenate in order.
+  std::string assembled;
+  while (true) {
+    DELTAMON_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+    if (frame.type != FrameType::kMore) {
+      if (!assembled.empty()) {
+        assembled.append(frame.body);
+        frame.body = std::move(assembled);
+      }
+      return frame;
+    }
+    if (assembled.size() + frame.body.size() > kMaxReplyBytes) {
+      return Status::OutOfRange("reply exceeds " +
+                                std::to_string(kMaxReplyBytes) + " bytes");
+    }
+    assembled.append(frame.body);
+  }
+}
+
 Result<Client::Response> Client::Execute(const std::string& amosql) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   std::string out;
   AppendFrame(&out, FrameType::kQuery, amosql);
   if (Status s = WriteAll(fd_, out); !s.ok()) return s;
-  DELTAMON_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  DELTAMON_ASSIGN_OR_RETURN(Frame reply, ReadReply());
   Response response;
   switch (reply.type) {
     case FrameType::kOk:

@@ -35,9 +35,10 @@ class Client {
   static Result<Client> Connect(const std::string& host, uint16_t port,
                                 size_t max_frame_size = kDefaultMaxFrameSize);
 
-  /// Sends one AMOSQL statement batch and waits for the single reply
-  /// frame. An ERR frame comes back as a non-OK Status carrying the
-  /// server's message.
+  /// Sends one AMOSQL statement batch and waits for the reply —
+  /// reassembling MORE continuation frames when the server chunked a
+  /// large body. An ERR frame comes back as a non-OK Status carrying
+  /// the server's message.
   Result<Response> Execute(const std::string& amosql);
 
   bool connected() const { return fd_ >= 0; }
@@ -45,6 +46,9 @@ class Client {
 
  private:
   Result<Frame> ReadFrame();
+  /// ReadFrame plus MORE-continuation reassembly (capped at
+  /// kMaxReplyBytes); returns the terminal frame with the full body.
+  Result<Frame> ReadReply();
 
   int fd_ = -1;
   FrameParser parser_;

@@ -1,10 +1,22 @@
 #include "net/protocol.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 
 namespace deltamon::net {
 
 void AppendFrame(std::string* out, FrameType type, std::string_view body) {
+  if (body.size() >= std::numeric_limits<uint32_t>::max()) {
+    // A truncated length prefix would desynchronize the stream for every
+    // frame after this one; there is no way to report the error in-band.
+    std::fprintf(stderr,
+                 "deltamon/net: frame body of %zu bytes overflows the u32 "
+                 "length prefix (chunk large replies via AppendReply)\n",
+                 body.size());
+    std::abort();
+  }
   const uint32_t len = static_cast<uint32_t>(body.size() + 1);
   char header[kFrameHeaderSize];
   header[0] = static_cast<char>((len >> 24) & 0xff);
@@ -14,6 +26,18 @@ void AppendFrame(std::string* out, FrameType type, std::string_view body) {
   out->append(header, kFrameHeaderSize);
   out->push_back(static_cast<char>(type));
   out->append(body);
+}
+
+void AppendReply(std::string* out, FrameType type, std::string_view body,
+                 size_t max_frame_size) {
+  // The frame payload is the type byte plus the chunk, so a chunk may
+  // carry at most max_frame_size - 1 body bytes.
+  const size_t chunk = max_frame_size > 1 ? max_frame_size - 1 : 1;
+  while (body.size() > chunk) {
+    AppendFrame(out, FrameType::kMore, body.substr(0, chunk));
+    body.remove_prefix(chunk);
+  }
+  AppendFrame(out, type, body);
 }
 
 std::string EncodeRows(const std::vector<std::string>& rows,
@@ -44,7 +68,19 @@ Status DecodeRows(std::string_view body, std::vector<std::string>* rows,
       return Status::ParseError("ROWS body: bad row count '" +
                                 std::string(count_text) + "'");
     }
-    count = count * 10 + static_cast<size_t>(c - '0');
+    const size_t digit = static_cast<size_t>(c - '0');
+    if (count > (std::numeric_limits<size_t>::max() - digit) / 10) {
+      return Status::ParseError("ROWS body: row count '" +
+                                std::string(count_text) + "' overflows");
+    }
+    count = count * 10 + digit;
+  }
+  // Every declared row costs at least its '\n', so a count beyond the
+  // body size is corrupt; reject it before reserve() can throw.
+  if (count > body.size()) {
+    return Status::ParseError("ROWS body: " + std::to_string(count) +
+                              " rows declared in a " +
+                              std::to_string(body.size()) + "-byte body");
   }
   rows->clear();
   rows->reserve(count);

@@ -37,6 +37,7 @@ enum class FrameType : uint8_t {
   kOk = 'O',     ///< body: report text (possibly empty); no result rows
   kError = 'E',  ///< body: error message
   kRows = 'R',   ///< body: "<n>\n" + n row lines + report text (see codec)
+  kMore = 'M',   ///< continuation: partial reply body, terminal frame follows
 };
 
 struct Frame {
@@ -44,8 +45,25 @@ struct Frame {
   std::string body;
 };
 
-/// Appends one encoded frame to the output buffer `out`.
+/// A reply reassembled from MORE continuations may not exceed this many
+/// body bytes; the client aborts the connection past it rather than
+/// buffering without bound against a corrupt or malicious server.
+inline constexpr size_t kMaxReplyBytes = 1u << 30;
+
+/// Appends one encoded frame to the output buffer `out`. The payload
+/// (type byte + body) must fit the u32 length prefix; a body at or above
+/// 4 GiB aborts the process rather than silently truncating the length
+/// and desynchronizing the stream. Reply paths that can carry large
+/// bodies must go through AppendReply, which never hits the limit.
 void AppendFrame(std::string* out, FrameType type, std::string_view body);
+
+/// Appends one logical reply, split into as many frames as needed so
+/// every frame's payload fits `max_frame_size`: zero or more MORE
+/// continuation frames carrying body chunks, then the terminal frame of
+/// `type` with the final chunk. The receiver concatenates bodies in
+/// order; a body that fits emits exactly one frame (no MORE).
+void AppendReply(std::string* out, FrameType type, std::string_view body,
+                 size_t max_frame_size);
 
 /// ROWS body codec: decimal row count, '\n', each row on its own line,
 /// then the report text verbatim (which may itself contain newlines —

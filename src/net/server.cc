@@ -20,17 +20,20 @@ namespace {
 /// Registered on every connection's session so AMOSQL rule actions can
 /// `do print(...)`; output rides back to the client in the reply frame's
 /// report section. The sink is shared with the Conn (and outlives it if
-/// the session is retired — late firings then print into the void).
+/// the session is retired — late firings then print into the void). The
+/// sink carries its own lock: a rule compiled here can fire during any
+/// connection's statement, on that connection's worker thread.
 void RegisterPrint(amosql::Session& session,
-                   std::shared_ptr<std::string> sink) {
+                   std::shared_ptr<ActionSink> sink) {
   session.RegisterProcedure(
       "print", [sink = std::move(sink)](Database&,
                                         const std::vector<Value>& args) {
-        *sink += "print:";
+        std::string line = "print:";
         for (const Value& v : args) {
-          *sink += " " + v.ToString();
+          line += " " + v.ToString();
         }
-        *sink += "\n";
+        line += "\n";
+        sink->Append(line);
         return Status::OK();
       });
 }
@@ -181,11 +184,12 @@ void Server::RegisterPending(Worker& w) {
     conn->parser = FrameParser(options_.max_frame_size);
     conn->last_active = std::chrono::steady_clock::now();
     conn->session = std::make_unique<amosql::Session>(engine_);
-    conn->action_output = std::make_shared<std::string>();
+    conn->action_output = std::make_shared<ActionSink>();
     RegisterPrint(*conn->session, conn->action_output);
+    conn->interest = EPOLLIN | EPOLLET | EPOLLRDHUP;
 
     epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP;
+    ev.events = conn->interest;
     ev.data.fd = fd;
     if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev) < 0) {
       CloseFd(fd);
@@ -237,65 +241,83 @@ void Server::WorkerLoop(Worker& w) {
 }
 
 bool Server::OnReadable(Worker& w, Conn& c) {
-  char buf[16384];
-  bool saw_eof = false;
-  while (true) {
-    ssize_t n = ::read(c.fd, buf, sizeof(buf));
-    if (n > 0) {
-      DELTAMON_OBS_COUNT("net.bytes_in", n);
-      c.parser.Feed(buf, static_cast<size_t>(n));
-      c.last_active = std::chrono::steady_clock::now();
-      continue;
+  // A paused connection leaves bytes in the kernel buffer so TCP flow
+  // control pushes back on the client; reading resumes once the write
+  // buffer drains (FlushOut).
+  if (!c.paused) {
+    char buf[16384];
+    while (true) {
+      ssize_t n = ::read(c.fd, buf, sizeof(buf));
+      if (n > 0) {
+        DELTAMON_OBS_COUNT("net.bytes_in", n);
+        c.parser.Feed(buf, static_cast<size_t>(n));
+        c.last_active = std::chrono::steady_clock::now();
+        continue;
+      }
+      if (n == 0) {
+        c.peer_eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
     }
-    if (n == 0) {
-      saw_eof = true;
-      break;
-    }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
-    return false;
+    ProcessFrames(c);
   }
+  return FlushOut(w, c);
+}
+
+void Server::ProcessFrames(Conn& c) {
   Frame frame;
   while (!c.closing) {
+    if (options_.write_high_water > 0 &&
+        c.out.size() >= options_.write_high_water) {
+      // Stop executing this connection's statements until the client
+      // consumes what it already has; remaining frames stay buffered.
+      if (!c.paused) {
+        c.paused = true;
+        DELTAMON_OBS_COUNT("net.backpressure_paused", 1);
+      }
+      return;
+    }
     const FrameParser::Next next = c.parser.Pop(&frame);
     if (next == FrameParser::Next::kNeedMore) break;
     if (next == FrameParser::Next::kError) {
       // Oversized or malformed length prefix: tell the client why, then
       // close — the stream cannot be resynchronized.
       DELTAMON_OBS_COUNT("net.frames_rejected", 1);
-      AppendFrame(&c.out, FrameType::kError, c.parser.error().ToString());
+      Reply(c, FrameType::kError, c.parser.error().ToString());
       c.closing = true;
       break;
     }
     DELTAMON_OBS_COUNT("net.frames_in", 1);
     HandleFrame(c, std::move(frame));
   }
-  if (saw_eof && !c.closing) {
+  if (c.peer_eof && !c.closing) {
     // Orderly client shutdown; anything already queued still goes out.
     c.closing = true;
   }
-  return FlushOut(w, c);
 }
 
 void Server::HandleFrame(Conn& c, Frame frame) {
   if (!c.handshaken) {
     if (frame.type != FrameType::kHello) {
-      AppendFrame(&c.out, FrameType::kError,
-                  "protocol error: first frame must be HELLO");
+      Reply(c, FrameType::kError,
+            "protocol error: first frame must be HELLO");
       c.closing = true;
       return;
     }
     if (frame.body.size() != 1 ||
         static_cast<uint8_t>(frame.body[0]) != kProtocolVersion) {
-      AppendFrame(&c.out, FrameType::kError,
-                  "unsupported protocol version (server speaks " +
-                      std::to_string(kProtocolVersion) + ")");
+      Reply(c, FrameType::kError,
+            "unsupported protocol version (server speaks " +
+                std::to_string(kProtocolVersion) + ")");
       c.closing = true;
       return;
     }
     c.handshaken = true;
-    AppendFrame(&c.out, FrameType::kOk,
-                "deltamond protocol " + std::to_string(kProtocolVersion));
+    Reply(c, FrameType::kOk,
+          "deltamond protocol " + std::to_string(kProtocolVersion));
     return;
   }
   switch (frame.type) {
@@ -303,8 +325,7 @@ void Server::HandleFrame(Conn& c, Frame frame) {
       ExecuteQuery(c, frame.body);
       return;
     default:
-      AppendFrame(&c.out, FrameType::kError,
-                  "protocol error: unexpected frame type");
+      Reply(c, FrameType::kError, "protocol error: unexpected frame type");
       c.closing = true;
       return;
   }
@@ -312,45 +333,62 @@ void Server::HandleFrame(Conn& c, Frame frame) {
 
 void Server::ExecuteQuery(Conn& c, const std::string& text) {
   Result<amosql::QueryResult> result = executor_.Execute(*c.session, text);
-  std::string action_output = std::move(*c.action_output);
-  c.action_output->clear();
+  std::string action_output = c.action_output->Drain();
   if (!result.ok()) {
-    AppendFrame(&c.out, FrameType::kError, result.status().ToString());
+    Reply(c, FrameType::kError, result.status().ToString());
     return;
   }
   // Rule-action print output first, then the statement report — the order
   // the REPL shows them in.
   std::string report = std::move(action_output) + result->report;
   if (result->rows.empty()) {
-    AppendFrame(&c.out, FrameType::kOk, report);
+    Reply(c, FrameType::kOk, report);
     return;
   }
   std::vector<std::string> rows;
   rows.reserve(result->rows.size());
   for (const Tuple& t : result->rows) rows.push_back(t.ToString());
-  AppendFrame(&c.out, FrameType::kRows, EncodeRows(rows, report));
+  Reply(c, FrameType::kRows, EncodeRows(rows, report));
+}
+
+void Server::Reply(Conn& c, FrameType type, std::string_view body) {
+  AppendReply(&c.out, type, body, options_.max_frame_size);
 }
 
 bool Server::FlushOut(Worker& w, Conn& c) {
-  while (!c.out.empty()) {
-    ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
-    if (n > 0) {
-      DELTAMON_OBS_COUNT("net.bytes_out", n);
-      c.out.erase(0, static_cast<size_t>(n));
-      continue;
+  while (true) {
+    bool kernel_full = false;
+    while (!c.out.empty()) {
+      ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
+      if (n > 0) {
+        DELTAMON_OBS_COUNT("net.bytes_out", n);
+        c.out.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        kernel_full = true;  // the next EPOLLOUT edge continues the drain
+        break;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // peer went away mid-write
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    if (n < 0 && errno == EINTR) continue;
-    return false;  // peer went away mid-write
+    // Fully drained: resume a paused connection and execute the frames
+    // that were held back. They may refill `out`, so loop to write the
+    // new replies now — no future EPOLLOUT edge is guaranteed here.
+    if (kernel_full || !c.paused || c.closing) break;
+    c.paused = false;
+    ProcessFrames(c);
+    if (c.out.empty() && !c.closing) break;
   }
   const bool need_write = !c.out.empty();
-  if (need_write != c.want_write) {
+  const uint32_t want = EPOLLET | EPOLLRDHUP | (c.paused ? 0u : EPOLLIN) |
+                        (need_write ? EPOLLOUT : 0u);
+  if (want != c.interest) {
     epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLET | EPOLLRDHUP |
-                (need_write ? EPOLLOUT : 0u);
+    ev.events = want;
     ev.data.fd = c.fd;
     if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev) < 0) return false;
-    c.want_write = need_write;
+    c.interest = want;
   }
   return !(c.closing && c.out.empty());
 }
@@ -360,9 +398,10 @@ void Server::CloseConn(Worker& w, int fd) {
   if (it == w.conns.end()) return;
   ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   CloseFd(fd);
-  {
+  if (it->second->session->created_rules()) {
     // Rules compiled by this session hold a pointer to it; keep it alive
-    // for the engine's lifetime (see class comment).
+    // for the engine's lifetime (see class comment). Rule-free sessions
+    // are referenced by nothing and die with the connection.
     std::lock_guard<std::mutex> lock(retired_mu_);
     retired_sessions_.push_back(std::move(it->second->session));
   }

@@ -9,6 +9,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/executor.h"
@@ -28,9 +29,36 @@ struct ServerOptions {
   /// Worker event loops; connections are assigned round-robin.
   size_t num_workers = 2;
   /// Frames above this payload size get an ERR frame and a close.
+  /// Replies larger than this are split into MORE continuation frames.
   size_t max_frame_size = kDefaultMaxFrameSize;
   /// Connections with no traffic for this long are closed; 0 disables.
   int idle_timeout_ms = 0;
+  /// Once a connection's unsent reply bytes reach this mark the server
+  /// stops reading (and thus executing) for it until the buffer drains,
+  /// so a client that pipelines statements without consuming replies
+  /// cannot grow server memory without bound. 0 disables.
+  size_t write_high_water = 8u << 20;
+};
+
+/// Output produced by rule-action `print` calls on behalf of one
+/// session. A rule compiled by session A can fire during *any*
+/// connection's statement — on that connection's worker thread, under
+/// the executor mutex — while A's own worker drains the buffer outside
+/// that mutex, so the string needs its own lock.
+class ActionSink {
+ public:
+  void Append(const std::string& chunk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    text_ += chunk;
+  }
+  std::string Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::exchange(text_, std::string());
+  }
+
+ private:
+  std::mutex mu_;
+  std::string text_;
 };
 
 /// deltamond: serves AMOSQL sessions to many concurrent clients.
@@ -50,9 +78,12 @@ struct ServerOptions {
 ///  - an optional admin HTTP thread (AdminServer).
 ///
 /// Sessions that created rules are referenced by those rules' compiled
-/// actions for the engine's lifetime, so closed connections retire their
-/// Session into a server-owned graveyard instead of destroying it
-/// (lifecycle_test covers fire-after-disconnect).
+/// actions for the engine's lifetime, so closing such a connection
+/// retires its Session into a server-owned graveyard instead of
+/// destroying it (lifecycle_test covers fire-after-disconnect). Sessions
+/// that never created a rule are destroyed with their connection, so the
+/// graveyard grows with rule-creating sessions, not with every
+/// connection ever served.
 ///
 /// Shutdown: RequestStop() is async-signal-safe (atomic store + eventfd
 /// writes); Stop()/Wait() then close the listener, let each worker finish
@@ -79,20 +110,33 @@ class Server {
   /// RequestStop() + Wait().
   void Stop();
 
+  /// Observability for tests: live connections / graveyard size. Only
+  /// sessions that created rules are retired (their compiled actions
+  /// reference the session); rule-free sessions die with the connection.
+  int64_t active_connections() const {
+    return active_conns_.load(std::memory_order_relaxed);
+  }
+  size_t retired_session_count() const {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    return retired_sessions_.size();
+  }
+
  private:
   struct Conn {
     int fd = -1;
     FrameParser parser;
     std::string out;           ///< bytes accepted for write, not yet sent
-    bool want_write = false;   ///< EPOLLOUT currently armed
+    uint32_t interest = 0;     ///< epoll event mask currently armed
     bool handshaken = false;
     bool closing = false;      ///< close once `out` drains
+    bool paused = false;       ///< reads suspended: `out` hit high water
+    bool peer_eof = false;     ///< orderly shutdown seen from the client
     std::chrono::steady_clock::time_point last_active;
     std::unique_ptr<amosql::Session> session;
     /// Lines printed by rule actions / procedures during execution; owned
     /// by shared_ptr because a rule compiled by this session may fire
     /// after the connection closed.
-    std::shared_ptr<std::string> action_output;
+    std::shared_ptr<ActionSink> action_output;
   };
 
   struct Worker {
@@ -109,9 +153,14 @@ class Server {
   void RegisterPending(Worker& w);
   /// Returns false when the connection must be closed.
   bool OnReadable(Worker& w, Conn& c);
+  /// Pops and executes buffered frames until the parser runs dry or the
+  /// write buffer hits the high-water mark (which pauses the connection).
+  void ProcessFrames(Conn& c);
   bool FlushOut(Worker& w, Conn& c);
   void HandleFrame(Conn& c, Frame frame);
   void ExecuteQuery(Conn& c, const std::string& text);
+  /// Queues one logical reply, chunked to fit max_frame_size.
+  void Reply(Conn& c, FrameType type, std::string_view body);
   void CloseConn(Worker& w, int fd);
   void SweepIdle(Worker& w);
   void DrainAndCloseAll(Worker& w);
@@ -133,7 +182,7 @@ class Server {
   bool joined_ = false;
 
   /// Sessions of closed connections (see class comment).
-  std::mutex retired_mu_;
+  mutable std::mutex retired_mu_;
   std::vector<std::unique_ptr<amosql::Session>> retired_sessions_;
 };
 

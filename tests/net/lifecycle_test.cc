@@ -284,6 +284,201 @@ TEST_F(ServerFixture, PrintOutputReachesTheIssuingConnection) {
   server_->Stop();
 }
 
+TEST_F(ServerFixture, ConcurrentRuleFiringAndSinkDrainIsRaceFree) {
+  // The creator's rule can fire during *another* connection's statement
+  // (on that connection's worker, under the executor mutex), appending to
+  // the creator's print sink — while the creator's own worker drains the
+  // sink after its statement returns, outside that mutex. Run under TSan
+  // this is the data-race probe for the ActionSink lock.
+  ServerOptions options;
+  options.enable_admin = false;
+  options.num_workers = 2;
+  StartServer(options);
+
+  Result<Client> creator = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(creator.ok());
+  ASSERT_TRUE(creator
+                  ->Execute("create function quantity(integer) -> integer;"
+                            "create function threshold(integer) -> integer;"
+                            "create rule watch() as"
+                            "  when for each integer i"
+                            "  where quantity(i) < threshold(i)"
+                            "  do print(i);"
+                            "activate watch();")
+                  .ok());
+
+  std::thread firing([&] {
+    Result<Client> writer = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(writer.ok());
+    for (int k = 0; k < 50; ++k) {
+      // Each commit fires the creator's rule → print into creator's sink.
+      Result<Client::Response> r = writer->Execute(
+          "set threshold(" + std::to_string(k) + ") = 10;"
+          "set quantity(" + std::to_string(k) + ") = 1; commit;");
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  });
+  // Meanwhile the creator keeps executing (and draining its sink).
+  for (int i = 0; i < 50; ++i) {
+    Result<Client::Response> r = creator->Execute("select quantity(0);");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  firing.join();
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, LargeReplyIsChunkedIntoMoreFrames) {
+  // A reply bigger than max_frame_size must arrive as MORE continuation
+  // frames plus a terminal frame — never as one oversized frame the
+  // client's parser would reject and poison on.
+  ServerOptions options;
+  options.enable_admin = false;
+  options.max_frame_size = 256;
+  StartServer(options);
+
+  Result<RawConn> conn = RawConn::Open(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Handshake().ok());
+  const char* schema[] = {
+      "create function quantity(integer) -> integer;",
+      "create function threshold(integer) -> integer;",
+      "create rule watch() as when for each integer i"
+      "  where quantity(i) < threshold(i) do print(i);",
+      "activate watch();",
+  };
+  for (const char* stmt : schema) {
+    ASSERT_TRUE(conn->Send(FrameType::kQuery, stmt).ok());
+    Result<Frame> reply = conn->ReadFrame();
+    ASSERT_TRUE(reply.ok()) << stmt;
+    ASSERT_EQ(reply->type, FrameType::kOk) << stmt << ": " << reply->body;
+  }
+  // 100 monitored keys, each set in its own small statement batch (the
+  // *query* frames must fit max_frame_size too), then one commit whose
+  // deferred rule firings produce ~100 print lines — well over 256 bytes.
+  for (int k = 0; k < 100; ++k) {
+    const std::string stmt = "set threshold(" + std::to_string(k) +
+                             ") = 10; set quantity(" + std::to_string(k) +
+                             ") = 1;";
+    ASSERT_TRUE(conn->Send(FrameType::kQuery, stmt).ok());
+    Result<Frame> reply = conn->ReadFrame();
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, FrameType::kOk);
+  }
+  ASSERT_TRUE(conn->Send(FrameType::kQuery, "commit;").ok());
+  std::string assembled;
+  size_t more_frames = 0;
+  while (true) {
+    Result<Frame> frame = conn->ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    // Every individual frame respects the limit (type byte + body).
+    EXPECT_LE(frame->body.size() + 1, options.max_frame_size);
+    assembled += frame->body;
+    if (frame->type != FrameType::kMore) {
+      EXPECT_EQ(frame->type, FrameType::kOk);
+      break;
+    }
+    ++more_frames;
+  }
+  EXPECT_GE(more_frames, 2u) << "reply was not chunked";
+  size_t prints = 0;
+  for (size_t pos = 0; (pos = assembled.find("print:", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++prints;
+  }
+  EXPECT_EQ(prints, 100u) << assembled;
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, BackpressurePausesWithoutLosingReplies) {
+  // A client that pipelines statements without reading replies trips the
+  // write high-water mark: the server pauses executing its statements
+  // until the buffer drains, then resumes — every reply still arrives,
+  // in order, and the connection stays usable.
+  ServerOptions options;
+  options.enable_admin = false;
+  options.write_high_water = 64;  // every `show metrics` reply exceeds this
+  StartServer(options);
+
+  Result<RawConn> conn = RawConn::Open(server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Handshake().ok());
+  // One write carrying 50 pipelined queries, none of whose replies have
+  // been read yet.
+  std::string wire;
+  constexpr int kQueries = 50;
+  for (int i = 0; i < kQueries; ++i) {
+    AppendFrame(&wire, FrameType::kQuery, "show metrics;");
+  }
+  ASSERT_TRUE(conn->SendBytes(wire).ok());
+  for (int i = 0; i < kQueries; ++i) {
+    std::string body;
+    while (true) {
+      Result<Frame> frame = conn->ReadFrame();
+      ASSERT_TRUE(frame.ok()) << "reply " << i << ": "
+                              << frame.status().ToString();
+      body += frame->body;
+      if (frame->type != FrameType::kMore) {
+        ASSERT_EQ(frame->type, FrameType::kOk);
+        break;
+      }
+    }
+    EXPECT_NE(body.find("METRICS"), std::string::npos);
+  }
+  // The final snapshot proves the pause path actually ran.
+  ASSERT_TRUE(conn->Send(FrameType::kQuery, "show metrics;").ok());
+  std::string last;
+  while (true) {
+    Result<Frame> frame = conn->ReadFrame();
+    ASSERT_TRUE(frame.ok());
+    last += frame->body;
+    if (frame->type != FrameType::kMore) break;
+  }
+  EXPECT_NE(last.find("net.backpressure_paused"), std::string::npos) << last;
+  server_->Stop();
+}
+
+TEST_F(ServerFixture, OnlyRuleCreatingSessionsAreRetired) {
+  // The graveyard must grow with rule-creating sessions, not with every
+  // connection ever served.
+  ServerOptions options;
+  options.enable_admin = false;
+  StartServer(options);
+
+  for (int i = 0; i < 5; ++i) {
+    Result<Client> c = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c->Execute("commit;").ok());
+  }
+  // Disconnects are processed asynchronously by the workers.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server_->active_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server_->active_connections(), 0);
+  EXPECT_EQ(server_->retired_session_count(), 0u)
+      << "rule-free sessions must be destroyed, not retired";
+
+  {
+    Result<Client> creator = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(creator.ok());
+    ASSERT_TRUE(creator
+                    ->Execute("create function q(integer) -> integer;"
+                              "create rule keepme() as"
+                              "  when for each integer i where q(i) < 0"
+                              "  do print(i);")
+                    .ok());
+  }
+  while (std::chrono::steady_clock::now() < deadline &&
+         server_->retired_session_count() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->retired_session_count(), 1u);
+  server_->Stop();
+}
+
 std::string HttpGet(uint16_t port, const std::string& request) {
   Result<int> fd = ConnectTcp("127.0.0.1", port);
   EXPECT_TRUE(fd.ok());

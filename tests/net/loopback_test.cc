@@ -198,6 +198,51 @@ TEST(Loopback, PipelinedStatementsOnOneConnection) {
   server.Stop();
 }
 
+TEST(Loopback, LargeResultSetIsReassembledByTheClient) {
+  // A result set far bigger than max_frame_size travels as chunked MORE
+  // frames; Client::Execute reassembles them transparently and the rows
+  // come back complete and in order.
+  Engine engine;
+  ServerOptions options;
+  options.port = 0;
+  options.enable_admin = false;
+  options.max_frame_size = 512;
+  Server server(engine, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(
+      client->Execute("create function f(integer) -> integer;").ok());
+  constexpr int kKeys = 500;
+  // Query frames must respect max_frame_size too: small set batches.
+  for (int k = 0; k < kKeys; k += 20) {
+    std::string batch;
+    for (int i = k; i < k + 20 && i < kKeys; ++i) {
+      batch += "set f(" + std::to_string(i) + ") = " + std::to_string(i) +
+               ";";
+    }
+    ASSERT_TRUE(client->Execute(batch).ok());
+  }
+  ASSERT_TRUE(client->Execute("commit;").ok());
+
+  Result<Client::Response> r = client->Execute(
+      "select i, f(i) for each integer i where f(i) < 1000000;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), static_cast<size_t>(kKeys));
+  // Every key must be present exactly once, none torn by chunking.
+  std::vector<std::string> expected;
+  for (int i = 0; i < kKeys; ++i) {
+    expected.push_back("(" + std::to_string(i) + ", " + std::to_string(i) +
+                       ")");
+  }
+  std::vector<std::string> got = r->rows;
+  std::sort(got.begin(), got.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+  server.Stop();
+}
+
 TEST(Loopback, StatementErrorsAreIsolatedToTheirConnection) {
   Engine engine;
   ServerOptions options;

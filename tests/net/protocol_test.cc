@@ -148,6 +148,61 @@ TEST(Protocol, ParserCompactsConsumedPrefix) {
   }
 }
 
+TEST(Protocol, ReplyThatFitsIsASingleFrame) {
+  std::string wire;
+  AppendReply(&wire, FrameType::kOk, "small report", /*max_frame_size=*/64);
+  FrameParser parser(64);
+  parser.Feed(wire);
+  Frame frame = MustPop(parser);
+  EXPECT_EQ(frame.type, FrameType::kOk);
+  EXPECT_EQ(frame.body, "small report");
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kNeedMore);
+}
+
+TEST(Protocol, OversizedReplyIsChunkedIntoMoreFrames) {
+  // A body above the frame limit splits into MORE continuations plus the
+  // terminal frame; every frame individually fits the limit, and the
+  // receiver reassembles the original body by concatenation.
+  const size_t kMax = 16;
+  std::string body;
+  for (int i = 0; i < 100; ++i) body += static_cast<char>('a' + i % 26);
+  std::string wire;
+  AppendReply(&wire, FrameType::kRows, body, kMax);
+
+  FrameParser parser(kMax);
+  parser.Feed(wire);
+  std::string assembled;
+  size_t more_frames = 0;
+  while (true) {
+    Frame frame = MustPop(parser);
+    assembled += frame.body;
+    if (frame.type != FrameType::kMore) {
+      EXPECT_EQ(frame.type, FrameType::kRows);
+      break;
+    }
+    ++more_frames;
+    EXPECT_EQ(frame.body.size(), kMax - 1);  // full chunks until the tail
+  }
+  EXPECT_EQ(assembled, body);
+  EXPECT_GE(more_frames, body.size() / kMax);
+  Frame frame;
+  EXPECT_EQ(parser.Pop(&frame), FrameParser::Next::kNeedMore);
+}
+
+TEST(Protocol, ChunkBoundaryExactFit) {
+  // A body of exactly the chunk size must not emit an empty terminal
+  // body by accident — it fits in one frame.
+  const size_t kMax = 16;
+  const std::string body(kMax - 1, 'x');
+  std::string wire;
+  AppendReply(&wire, FrameType::kOk, body, kMax);
+  FrameParser parser(kMax);
+  parser.Feed(wire);
+  Frame frame = MustPop(parser);
+  EXPECT_EQ(frame.type, FrameType::kOk);
+  EXPECT_EQ(frame.body, body);
+}
+
 TEST(Protocol, RowsCodecRoundTrip) {
   const std::vector<std::string> rows = {"(1, 'a')", "(2, 'b')", "(3, 'c')"};
   const std::string report = "rule monitor fired 2 times\nsecond line\n";
@@ -179,6 +234,22 @@ TEST(Protocol, RowsCodecMalformed) {
   EXPECT_FALSE(DecodeRows("two\nrow\nrow\n", &rows, &report).ok());
   // Declared more rows than present.
   EXPECT_FALSE(DecodeRows("3\nrow1\nrow2\n", &rows, &report).ok());
+}
+
+TEST(Protocol, RowsCodecRejectsHugeCounts) {
+  // A corrupt or malicious count must be rejected *before* reserve();
+  // otherwise the decoder throws length_error / bad_alloc and kills the
+  // client. Both the overflowing parse and the merely-implausible count
+  // (more rows than bytes) come back as clean parse errors.
+  std::vector<std::string> rows;
+  std::string report;
+  Status overflow =
+      DecodeRows("99999999999999999999999999\nx\n", &rows, &report);
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.code(), StatusCode::kParseError);
+  Status huge = DecodeRows("1000000\nx\n", &rows, &report);
+  EXPECT_FALSE(huge.ok());
+  EXPECT_EQ(huge.code(), StatusCode::kParseError);
 }
 
 TEST(Protocol, RowsCodecReportMayContainNewlines) {

@@ -45,6 +45,8 @@ int Usage(const char* argv0) {
       "  --workers=N          epoll worker event loops (default 2)\n"
       "  --max-frame-bytes=N  reject larger frames with ERR (default %zu)\n"
       "  --idle-timeout-ms=N  close idle connections (default 0 = never)\n"
+      "  --write-high-water=N pause reading from a connection whose unsent\n"
+      "                       reply bytes exceed N (default 8 MiB, 0 = off)\n"
       "  --init=FILE          run AMOSQL from FILE at startup (schema "
       "preload)\n",
       argv0, net::kDefaultMaxFrameSize);
@@ -79,6 +81,8 @@ int main(int argc, char** argv) {
       options.max_frame_size = static_cast<size_t>(value);
     } else if (ParseLong(argv[i], "--idle-timeout-ms=", &value)) {
       options.idle_timeout_ms = static_cast<int>(value);
+    } else if (ParseLong(argv[i], "--write-high-water=", &value)) {
+      options.write_high_water = static_cast<size_t>(value);
     } else if (std::strncmp(argv[i], "--init=", 7) == 0) {
       init_file = argv[i] + 7;
     } else {
