@@ -218,6 +218,11 @@ struct ShowNetworkStmt {
   std::string rule;  // empty → the whole network
 };
 
+/// `show slow;` — prints the server's slow-statement log (statements over
+/// the --slow-statement-ms threshold, with their span trees and literal
+/// profiles). Empty unless a threshold is armed.
+struct ShowSlowStmt {};
+
 /// `reset metrics` — zeroes every counter/gauge/histogram in the global
 /// obs registry and the propagation network's node attribution.
 struct ResetMetricsStmt {};
@@ -234,8 +239,8 @@ struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
                CreateInstancesStmt, UpdateStmt, ActivateStmt, SelectStmt,
                CommitStmt, RollbackStmt, ProfileStmt, ShowMetricsStmt,
-               TraceStmt, ShowNetworkStmt, ResetMetricsStmt, SetThreadsStmt,
-               ExplainAnalyzeStmt, AnalyzeRuleStmt>
+               TraceStmt, ShowNetworkStmt, ShowSlowStmt, ResetMetricsStmt,
+               SetThreadsStmt, ExplainAnalyzeStmt, AnalyzeRuleStmt>
       node;
   int line = 1;
 };

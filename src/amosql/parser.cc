@@ -232,6 +232,11 @@ class Parser {
         stmt.node = std::move(show);
         return stmt;
       }
+      if (MatchKeyword("slow")) {
+        DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+        stmt.node = ShowSlowStmt{};
+        return stmt;
+      }
       DELTAMON_RETURN_IF_ERROR(ExpectKeyword("metrics"));
       ShowMetricsStmt sm;
       if (MatchKeyword("prometheus")) sm.prometheus = true;

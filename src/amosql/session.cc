@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "objectlog/eval.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/span.h"
@@ -30,6 +31,25 @@ std::string QueryResult::ToString() const {
 
 Result<QueryResult> ExecuteStatement(Session& session,
                                      const std::string& source) {
+  return session.Execute(source);
+}
+
+Result<QueryResult> ExecuteStatement(Session& session,
+                                     const std::string& source,
+                                     const StatementOptions& options) {
+  // Root span of everything this statement evaluates; inherits the trace
+  // id the executor installed, so the whole tree links to the request.
+  DELTAMON_OBS_SPAN(stmt_span, "amosql", "statement");
+  if (options.context != nullptr) {
+    stmt_span.AddField("connection",
+                       static_cast<int64_t>(options.context->connection_id));
+    stmt_span.AddField(
+        "statement_ordinal",
+        static_cast<int64_t>(options.context->statement_ordinal));
+  }
+  if (options.profiler != nullptr) {
+    return session.ExecuteProfiled(source, options.profiler);
+  }
   return session.Execute(source);
 }
 
@@ -79,6 +99,21 @@ Result<QueryResult> Session::Execute(const std::string& source) {
   return last;
 }
 
+Result<QueryResult> Session::ExecuteProfiled(const std::string& source,
+                                             obs::Profile* profile) {
+  // Same attachment discipline as ExecExplainAnalyze: session evaluators
+  // pick the profile up through active_profiler_, the rule manager routes
+  // it through the propagator. Restored even on error so a failed slow
+  // statement cannot leak the profiler into the next one.
+  obs::Profile* const saved = active_profiler_;
+  active_profiler_ = profile;
+  engine_.rules.SetProfiler(profile);
+  Result<QueryResult> result = Execute(source);
+  engine_.rules.SetProfiler(nullptr);
+  active_profiler_ = saved;
+  return result;
+}
+
 Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
   return std::visit(
       [this, last](const auto& node) -> Status {
@@ -120,6 +155,8 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           return ExecTrace(node, last);
         } else if constexpr (std::is_same_v<T, ShowNetworkStmt>) {
           return ExecShowNetwork(node, last);
+        } else if constexpr (std::is_same_v<T, ShowSlowStmt>) {
+          return ExecShowSlow(last);
         } else if constexpr (std::is_same_v<T, ResetMetricsStmt>) {
           obs::Registry::Global().Reset();
           // Node attribution belongs to the same observable state; a reset
@@ -292,6 +329,11 @@ Status Session::ExecShowNetwork(const ShowNetworkStmt& stmt,
     last->report += "profile " + catalog.RelationName(rel) + ":\n";
     last->report += net->nodes().at(rel).profile.Format(/*include_time=*/true);
   }
+  return Status::OK();
+}
+
+Status Session::ExecShowSlow(QueryResult* last) {
+  last->report += obs::SlowLog::Global().Format();
   return Status::OK();
 }
 

@@ -10,6 +10,10 @@
 #include "amosql/parser.h"
 #include "rules/engine.h"
 
+namespace deltamon::obs {
+struct RequestContext;
+}  // namespace deltamon::obs
+
 namespace deltamon::amosql {
 
 /// Result of executing AMOSQL source: the rows of the last `select`
@@ -59,6 +63,13 @@ class Session : public ExtentProvider {
   /// first error. Returns the last select's rows.
   Result<QueryResult> Execute(const std::string& source);
 
+  /// Execute with `profile` attached to everything the source evaluates
+  /// (session evaluators and the propagator), exactly as `explain analyze`
+  /// attaches one — used by the network executor's slow-statement capture.
+  /// The previous profiler is restored afterwards.
+  Result<QueryResult> ExecuteProfiled(const std::string& source,
+                                      obs::Profile* profile);
+
   /// True once this session has successfully executed a `create rule`.
   /// Compiled rule actions capture a pointer to the creating session (for
   /// registered procedures), so such a session must outlive its
@@ -86,6 +97,7 @@ class Session : public ExtentProvider {
                          QueryResult* last_select);
   Status ExecTrace(const TraceStmt& stmt, QueryResult* last_select);
   Status ExecShowNetwork(const ShowNetworkStmt& stmt, QueryResult* last_select);
+  Status ExecShowSlow(QueryResult* last_select);
   Status ExecCreateFunction(const CreateFunctionStmt& stmt);
   Status ExecCreateRule(const CreateRuleStmt& stmt);
   Status ExecCreateInstances(const CreateInstancesStmt& stmt);
@@ -124,6 +136,24 @@ class Session : public ExtentProvider {
 /// here so the language has exactly one execution path.
 Result<QueryResult> ExecuteStatement(Session& session,
                                      const std::string& source);
+
+/// Per-request execution knobs for server front ends. `context` (when
+/// non-null) identifies the request: the statement runs under a root
+/// "amosql.statement" span carrying the connection id and ordinal, and —
+/// because the executor installs the context's trace id for the duration —
+/// every span the statement produces links back to it. `profiler` (when
+/// non-null) receives the per-literal profile of everything the statement
+/// evaluates, as `explain analyze` would.
+struct StatementOptions {
+  const obs::RequestContext* context = nullptr;
+  obs::Profile* profiler = nullptr;
+};
+
+/// ExecuteStatement with request identity and optional profiling attached;
+/// the plain overload above is equivalent to passing default options.
+Result<QueryResult> ExecuteStatement(Session& session,
+                                     const std::string& source,
+                                     const StatementOptions& options);
 
 /// Renders a QueryResult the way the REPL prints it: the rows (one per
 /// line), a "(N rows)" trailer when any, then the session-command report.

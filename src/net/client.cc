@@ -16,15 +16,16 @@ Client& Client::operator=(Client&& other) noexcept {
 }
 
 Result<Client> Client::Connect(const std::string& host, uint16_t port,
-                               size_t max_frame_size) {
+                               size_t max_frame_size, bool trace_info) {
   DELTAMON_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
   Client client;
   client.fd_ = fd;
   client.parser_ = FrameParser(max_frame_size);
 
+  std::string body(1, static_cast<char>(kProtocolVersion));
+  if (trace_info) body.push_back(static_cast<char>(kHelloFlagTraceInfo));
   std::string hello;
-  AppendFrame(&hello, FrameType::kHello,
-              std::string(1, static_cast<char>(kProtocolVersion)));
+  AppendFrame(&hello, FrameType::kHello, body);
   if (Status s = WriteAll(fd, hello); !s.ok()) return s;
   DELTAMON_ASSIGN_OR_RETURN(Frame reply, client.ReadFrame());
   if (reply.type == FrameType::kError) {

@@ -32,8 +32,14 @@ class Client {
   Client& operator=(const Client&) = delete;
 
   /// Connects and performs the HELLO handshake (protocol version check).
+  /// `trace_info` opts the connection into server trace reporting via the
+  /// HELLO flags byte: every statement's report then ends with a
+  /// "-- trace <id>: queue ..., exec ..." line identifying the request in
+  /// the server's /debug/requests flight recorder. Off by default — the
+  /// one-byte HELLO and the reply bytes stay identical to older clients.
   static Result<Client> Connect(const std::string& host, uint16_t port,
-                                size_t max_frame_size = kDefaultMaxFrameSize);
+                                size_t max_frame_size = kDefaultMaxFrameSize,
+                                bool trace_info = false);
 
   /// Sends one AMOSQL statement batch and waits for the reply —
   /// reassembling MORE continuation frames when the server chunked a

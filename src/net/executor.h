@@ -5,6 +5,7 @@
 #include <string>
 
 #include "amosql/session.h"
+#include "obs/flight_recorder.h"
 #include "rules/engine.h"
 
 namespace deltamon::net {
@@ -29,8 +30,23 @@ class Executor {
 
   Engine& engine() { return engine_; }
 
+  /// Executes one statement batch. When `record` is non-null the executor
+  /// stamps its dequeue/exec-end phases (feeding net.queue_wait_ns and
+  /// net.exec_ns), installs the record's trace id for span attribution,
+  /// and — when the global SlowLog threshold is armed — captures the full
+  /// span tree + literal profile of over-threshold statements. Callers
+  /// without a request identity (bootstrap, tests) pass nullptr and get
+  /// the plain serialized execution.
   Result<amosql::QueryResult> Execute(amosql::Session& session,
-                                      const std::string& source);
+                                      const std::string& source,
+                                      obs::RequestRecord* record = nullptr);
+
+  /// Stats-annotated Graphviz DOT of the propagation network — the same
+  /// rendering `show network [rule]` produces — for the admin HTTP
+  /// /debug/network endpoint. Runs under the executor mutex: the network
+  /// is rebuilt lazily by statements, so reading it must serialize against
+  /// them. `rule` empty = the whole network.
+  Result<std::string> NetworkDot(const std::string& rule);
 
  private:
   Engine& engine_;

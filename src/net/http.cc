@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "net/socket.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -26,13 +27,39 @@ std::string HttpResponse(int code, const char* reason,
   return out;
 }
 
+/// Value of `key` in an application/x-www-form-urlencoded query string.
+/// No percent-decoding: rule names are plain identifiers.
+std::string QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view()
+                                          : query.substr(amp + 1);
+    size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+  }
+  return std::string();
+}
+
+std::string DebugRequestsBody() {
+  obs::RequestRecorder& recorder = obs::GlobalRequestRecorder();
+  return obs::FlightRecorderJson(recorder.Snapshot(), recorder.capacity(),
+                                 recorder.total_records(),
+                                 recorder.dropped_records())
+      .Dump();
+}
+
 }  // namespace
 
 std::string MetricsBody() {
   return obs::FormatPrometheus(obs::Registry::Global().Snapshot());
 }
 
-std::string HandleAdminRequest(std::string_view request) {
+std::string HandleAdminRequest(std::string_view request,
+                               const AdminHooks* hooks) {
   const size_t eol = request.find("\r\n");
   std::string_view line =
       eol == std::string_view::npos ? request : request.substr(0, eol);
@@ -46,7 +73,9 @@ std::string HandleAdminRequest(std::string_view request) {
   }
   const std::string_view method = line.substr(0, sp1);
   std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view query;
   if (size_t q = path.find('?'); q != std::string_view::npos) {
+    query = path.substr(q + 1);
     path = path.substr(0, q);
   }
   if (method != "GET") {
@@ -60,8 +89,35 @@ std::string HandleAdminRequest(std::string_view request) {
     return HttpResponse(200, "OK", "text/plain; version=0.0.4",
                         MetricsBody());
   }
+  if (path == "/debug/requests") {
+    return HttpResponse(200, "OK", "application/json", DebugRequestsBody());
+  }
+  if (path == "/debug/requests/trace") {
+    return HttpResponse(
+        200, "OK", "application/json",
+        obs::RequestsChromeTraceJson(obs::GlobalRequestRecorder().Snapshot())
+            .Dump());
+  }
+  if (path == "/debug/slow") {
+    return HttpResponse(200, "OK", "application/json",
+                        obs::SlowLog::Global().ToJson().Dump());
+  }
+  if (path == "/debug/network") {
+    if (hooks == nullptr || !hooks->network_dot) {
+      return HttpResponse(404, "Not Found", "text/plain",
+                          "network introspection is not wired up\n");
+    }
+    Result<std::string> dot = hooks->network_dot(QueryParam(query, "rule"));
+    if (!dot.ok()) {
+      return HttpResponse(404, "Not Found", "text/plain",
+                          dot.status().ToString() + "\n");
+    }
+    return HttpResponse(200, "OK", "text/vnd.graphviz", *dot);
+  }
   return HttpResponse(404, "Not Found", "text/plain",
-                      "unknown path; try /metrics or /healthz\n");
+                      "unknown path; try /metrics, /healthz, "
+                      "/debug/requests, /debug/requests/trace, /debug/slow "
+                      "or /debug/network\n");
 }
 
 AdminServer::~AdminServer() {
@@ -144,7 +200,7 @@ void AdminServer::ServeOne(int client_fd) {
   }
   if (request.empty()) return;
   DELTAMON_OBS_COUNT("net.http_requests", 1);
-  const std::string response = HandleAdminRequest(request);
+  const std::string response = HandleAdminRequest(request, &hooks_);
   (void)WriteAll(client_fd, response);
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -17,14 +18,30 @@ namespace deltamon::net {
 /// drift (asserted byte-for-byte in metrics_identity_test).
 std::string MetricsBody();
 
+/// Callbacks the admin endpoints use to reach server state they cannot
+/// read lock-free. Unset hooks make the corresponding endpoint answer 404
+/// — HandleAdminRequest stays a pure function testable without a server.
+struct AdminHooks {
+  /// Stats-annotated DOT of the propagation network, optionally restricted
+  /// to one rule's condition subgraph (empty = whole network). The server
+  /// wires this to Executor::NetworkDot so the read serializes against
+  /// statement execution.
+  std::function<Result<std::string>(const std::string& rule)> network_dot;
+};
+
 /// Pure request -> response mapping for the admin endpoints (unit-testable
 /// without sockets). `request` is everything up to the end of the header
 /// block; only the request line is examined. Routes:
-///   GET /healthz  -> 200 "ok\n"
-///   GET /metrics  -> 200 Prometheus text exposition (MetricsBody)
-///   anything else -> 404 / 405 / 400
+///   GET /healthz               -> 200 "ok\n"
+///   GET /metrics               -> 200 Prometheus text exposition
+///   GET /debug/requests        -> 200 flight-recorder JSON
+///   GET /debug/requests/trace  -> 200 Chrome/Perfetto trace JSON
+///   GET /debug/slow            -> 200 slow-statement log JSON
+///   GET /debug/network[?rule=] -> 200 Graphviz DOT (needs hooks)
+///   anything else              -> 404 / 405 / 400
 /// Returns the full HTTP/1.1 response bytes (Connection: close).
-std::string HandleAdminRequest(std::string_view request);
+std::string HandleAdminRequest(std::string_view request,
+                               const AdminHooks* hooks = nullptr);
 
 /// Minimal hand-rolled HTTP/1.1 admin listener serving HandleAdminRequest
 /// on its own thread, one request per connection. Admin traffic is a
@@ -36,6 +53,10 @@ class AdminServer {
   ~AdminServer();
   AdminServer(const AdminServer&) = delete;
   AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Installs the endpoint hooks; call before Start (the serving thread
+  /// reads them unsynchronized).
+  void SetHooks(AdminHooks hooks) { hooks_ = std::move(hooks); }
 
   /// Binds (port 0 = ephemeral) and starts the serving thread.
   Status Start(uint16_t port);
@@ -50,6 +71,7 @@ class AdminServer {
   void Loop();
   void ServeOne(int client_fd);
 
+  AdminHooks hooks_;
   int listen_fd_ = -1;
   int stop_fd_ = -1;
   uint16_t port_ = 0;

@@ -22,6 +22,13 @@ namespace deltamon::net {
 /// statement or report text contains.
 inline constexpr uint8_t kProtocolVersion = 1;
 
+/// Optional second HELLO body byte: capability flags. A one-byte HELLO
+/// (version only) is the original handshake and stays byte-identical, so
+/// old clients and the loopback identity tests are unaffected; a two-byte
+/// HELLO is [version][flags]. Unknown flag bits are ignored by the server.
+inline constexpr uint8_t kHelloFlagTraceInfo = 0x1;  ///< append "-- trace"
+                                                     ///< lines to reports
+
 /// Frames above this payload size are rejected with an ERR frame and the
 /// connection is closed (a torn length prefix cannot be resynchronized).
 inline constexpr size_t kDefaultMaxFrameSize = 4u << 20;
@@ -31,7 +38,7 @@ inline constexpr size_t kFrameHeaderSize = 4;
 
 enum class FrameType : uint8_t {
   // client -> server
-  kHello = 'H',  ///< body: [protocol version byte]; must be the first frame
+  kHello = 'H',  ///< body: [version byte][optional flags byte]; first frame
   kQuery = 'Q',  ///< body: AMOSQL text (one or more ';'-terminated statements)
   // server -> client
   kOk = 'O',     ///< body: report text (possibly empty); no result rows

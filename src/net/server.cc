@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <poll.h>
+#include <cstdio>
 #include <cstring>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
@@ -42,6 +43,19 @@ void DrainEventFd(int fd) {
   uint64_t buf;
   while (::read(fd, &buf, sizeof(buf)) > 0) {
   }
+}
+
+/// Report trailer for connections that opted into trace info via the
+/// HELLO flags byte: the trace id (findable in /debug/requests) plus the
+/// two server-side phases known when the reply is built.
+std::string TraceInfoLine(const obs::RequestRecord& record) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "-- trace %llu: queue %.1f us, exec %.1f us\n",
+                static_cast<unsigned long long>(record.context.trace_id),
+                static_cast<double>(record.QueueWaitNs()) / 1e3,
+                static_cast<double>(record.ExecNs()) / 1e3);
+  return buf;
 }
 
 }  // namespace
@@ -88,7 +102,17 @@ Status Server::Start() {
     workers_.push_back(std::move(w));
   }
 
+  if (options_.slow_statement_ms > 0) {
+    obs::SlowLog::Global().set_threshold_ns(
+        static_cast<uint64_t>(options_.slow_statement_ms * 1e6));
+  }
+
   if (options_.enable_admin) {
+    AdminHooks hooks;
+    hooks.network_dot = [this](const std::string& rule) {
+      return executor_.NetworkDot(rule);
+    };
+    admin_.SetHooks(std::move(hooks));
     DELTAMON_RETURN_IF_ERROR(admin_.Start(options_.admin_port));
   }
 
@@ -181,6 +205,7 @@ void Server::RegisterPending(Worker& w) {
     }
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
+    conn->conn_id = next_conn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
     conn->parser = FrameParser(options_.max_frame_size);
     conn->last_active = std::chrono::steady_clock::now();
     conn->session = std::make_unique<amosql::Session>(engine_);
@@ -307,13 +332,19 @@ void Server::HandleFrame(Conn& c, Frame frame) {
       c.closing = true;
       return;
     }
-    if (frame.body.size() != 1 ||
+    // Body is [version] or [version][flags]; unknown flag bits are
+    // ignored so future clients degrade gracefully.
+    if (frame.body.empty() || frame.body.size() > 2 ||
         static_cast<uint8_t>(frame.body[0]) != kProtocolVersion) {
       Reply(c, FrameType::kError,
             "unsupported protocol version (server speaks " +
                 std::to_string(kProtocolVersion) + ")");
       c.closing = true;
       return;
+    }
+    if (frame.body.size() == 2) {
+      c.wants_trace_info =
+          (static_cast<uint8_t>(frame.body[1]) & kHelloFlagTraceInfo) != 0;
     }
     c.handshaken = true;
     Reply(c, FrameType::kOk,
@@ -332,27 +363,67 @@ void Server::HandleFrame(Conn& c, Frame frame) {
 }
 
 void Server::ExecuteQuery(Conn& c, const std::string& text) {
-  Result<amosql::QueryResult> result = executor_.Execute(*c.session, text);
+  // Mint the request's identity the moment the QUERY frame is parsed;
+  // the executor stamps the dequeue/exec phases, the flush path stamps
+  // reply_flushed. Under OBS=OFF all of this folds away (kRequestTracing-
+  // Enabled is constexpr false) and the executor sees a null record.
+  obs::RequestRecord record;
+  const uint64_t queued_before = c.bytes_sent_total + c.out.size();
+  if (obs::kRequestTracingEnabled) {
+    record.context.trace_id = obs::NextTraceId();
+    record.context.connection_id = c.conn_id;
+    // Sessions are per-connection today, so they share the connection's
+    // id; a separate field keeps the record schema stable if session
+    // pooling ever decouples them.
+    record.context.session_id = c.conn_id;
+    record.context.statement_ordinal = ++c.next_ordinal;
+    record.statement = obs::StatementPreview(text);
+    record.enqueue_ns = obs::MonotonicNowNs();
+  }
+  Result<amosql::QueryResult> result = executor_.Execute(
+      *c.session, text, obs::kRequestTracingEnabled ? &record : nullptr);
   std::string action_output = c.action_output->Drain();
   if (!result.ok()) {
     Reply(c, FrameType::kError, result.status().ToString());
-    return;
+  } else {
+    // Rule-action print output first, then the statement report — the
+    // order the REPL shows them in.
+    std::string report = std::move(action_output) + result->report;
+    if (obs::kRequestTracingEnabled && c.wants_trace_info) {
+      report += TraceInfoLine(record);
+    }
+    if (result->rows.empty()) {
+      Reply(c, FrameType::kOk, report);
+    } else {
+      std::vector<std::string> rows;
+      rows.reserve(result->rows.size());
+      for (const Tuple& t : result->rows) rows.push_back(t.ToString());
+      Reply(c, FrameType::kRows, EncodeRows(rows, report));
+    }
   }
-  // Rule-action print output first, then the statement report — the order
-  // the REPL shows them in.
-  std::string report = std::move(action_output) + result->report;
-  if (result->rows.empty()) {
-    Reply(c, FrameType::kOk, report);
-    return;
+  if (obs::kRequestTracingEnabled) {
+    record.reply_queued_ns = obs::MonotonicNowNs();
+    const uint64_t reply_end = c.bytes_sent_total + c.out.size();
+    record.reply_bytes = reply_end - queued_before;
+    c.inflight.push_back(PendingReply{std::move(record), reply_end});
   }
-  std::vector<std::string> rows;
-  rows.reserve(result->rows.size());
-  for (const Tuple& t : result->rows) rows.push_back(t.ToString());
-  Reply(c, FrameType::kRows, EncodeRows(rows, report));
 }
 
 void Server::Reply(Conn& c, FrameType type, std::string_view body) {
   AppendReply(&c.out, type, body, options_.max_frame_size);
+}
+
+void Server::CompleteFlushedReplies(Conn& c) {
+  while (!c.inflight.empty() &&
+         c.inflight.front().reply_end <= c.bytes_sent_total) {
+    PendingReply& p = c.inflight.front();
+    p.record.reply_flushed_ns = obs::MonotonicNowNs();
+    p.record.reply_flushed = true;
+    DELTAMON_OBS_RECORD("net.reply_write_ns",
+                        p.record.reply_flushed_ns - p.record.reply_queued_ns);
+    obs::GlobalRequestRecorder().Record(std::move(p.record));
+    c.inflight.pop_front();
+  }
 }
 
 bool Server::FlushOut(Worker& w, Conn& c) {
@@ -362,6 +433,7 @@ bool Server::FlushOut(Worker& w, Conn& c) {
       ssize_t n = ::write(c.fd, c.out.data(), c.out.size());
       if (n > 0) {
         DELTAMON_OBS_COUNT("net.bytes_out", n);
+        c.bytes_sent_total += static_cast<uint64_t>(n);
         c.out.erase(0, static_cast<size_t>(n));
         continue;
       }
@@ -380,6 +452,7 @@ bool Server::FlushOut(Worker& w, Conn& c) {
     ProcessFrames(c);
     if (c.out.empty() && !c.closing) break;
   }
+  CompleteFlushedReplies(c);
   const bool need_write = !c.out.empty();
   const uint32_t want = EPOLLET | EPOLLRDHUP | (c.paused ? 0u : EPOLLIN) |
                         (need_write ? EPOLLOUT : 0u);
@@ -396,6 +469,14 @@ bool Server::FlushOut(Worker& w, Conn& c) {
 void Server::CloseConn(Worker& w, int fd) {
   auto it = w.conns.find(fd);
   if (it == w.conns.end()) return;
+  // Account for whatever did reach the kernel, then record the rest as
+  // aborted (reply_flushed stays false) so the flight recorder doesn't
+  // silently lose requests whose connection died mid-reply.
+  CompleteFlushedReplies(*it->second);
+  for (PendingReply& p : it->second->inflight) {
+    obs::GlobalRequestRecorder().Record(std::move(p.record));
+  }
+  it->second->inflight.clear();
   ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   CloseFd(fd);
   if (it->second->session->created_rules()) {
@@ -436,6 +517,7 @@ void Server::DrainAndCloseAll(Worker& w) {
       ssize_t n = ::write(fd, conn->out.data(), conn->out.size());
       if (n > 0) {
         DELTAMON_OBS_COUNT("net.bytes_out", n);
+        conn->bytes_sent_total += static_cast<uint64_t>(n);
         conn->out.erase(0, static_cast<size_t>(n));
         continue;
       }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -15,6 +16,7 @@
 #include "net/executor.h"
 #include "net/http.h"
 #include "net/protocol.h"
+#include "obs/flight_recorder.h"
 #include "rules/engine.h"
 
 namespace deltamon::net {
@@ -38,6 +40,11 @@ struct ServerOptions {
   /// so a client that pipelines statements without consuming replies
   /// cannot grow server memory without bound. 0 disables.
   size_t write_high_water = 8u << 20;
+  /// Statements whose execution exceeds this threshold are captured with
+  /// their full span tree and literal profile into the global SlowLog
+  /// (GET /debug/slow, AMOSQL `show slow;`). 0 (the default) disables the
+  /// capture and its per-statement instrumentation entirely.
+  double slow_statement_ms = 0;
 };
 
 /// Output produced by rule-action `print` calls on behalf of one
@@ -122,6 +129,17 @@ class Server {
   }
 
  private:
+  /// A request whose reply is queued but not yet flushed to the kernel.
+  /// `reply_end` is the absolute outbound byte offset (bytes_sent_total
+  /// coordinates) one past the reply's last byte: with replies queued and
+  /// sent strictly in order, the request completes exactly when
+  /// bytes_sent_total reaches it — correct under pipelining, MORE
+  /// chunking, and partial writes.
+  struct PendingReply {
+    obs::RequestRecord record;
+    uint64_t reply_end = 0;
+  };
+
   struct Conn {
     int fd = -1;
     FrameParser parser;
@@ -131,12 +149,18 @@ class Server {
     bool closing = false;      ///< close once `out` drains
     bool paused = false;       ///< reads suspended: `out` hit high water
     bool peer_eof = false;     ///< orderly shutdown seen from the client
+    bool wants_trace_info = false;  ///< HELLO kHelloFlagTraceInfo
+    uint64_t conn_id = 0;           ///< process-unique, minted at accept
+    uint64_t next_ordinal = 0;      ///< statements executed so far
+    uint64_t bytes_sent_total = 0;  ///< reply bytes accepted by the kernel
     std::chrono::steady_clock::time_point last_active;
     std::unique_ptr<amosql::Session> session;
     /// Lines printed by rule actions / procedures during execution; owned
     /// by shared_ptr because a rule compiled by this session may fire
     /// after the connection closed.
     std::shared_ptr<ActionSink> action_output;
+    /// Requests awaiting reply flush, oldest first (empty under OBS=OFF).
+    std::deque<PendingReply> inflight;
   };
 
   struct Worker {
@@ -161,6 +185,10 @@ class Server {
   void ExecuteQuery(Conn& c, const std::string& text);
   /// Queues one logical reply, chunked to fit max_frame_size.
   void Reply(Conn& c, FrameType type, std::string_view body);
+  /// Finishes every inflight request whose reply has fully reached the
+  /// kernel: stamps reply_flushed, records net.reply_write_ns, and pushes
+  /// the record into the global flight recorder.
+  void CompleteFlushedReplies(Conn& c);
   void CloseConn(Worker& w, int fd);
   void SweepIdle(Worker& w);
   void DrainAndCloseAll(Worker& w);
@@ -176,6 +204,7 @@ class Server {
   std::thread accept_thread_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<size_t> next_worker_{0};
+  std::atomic<uint64_t> next_conn_id_{0};
   std::atomic<int64_t> active_conns_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;

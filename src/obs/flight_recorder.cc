@@ -1,0 +1,258 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+namespace deltamon::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_trace_id{0};
+
+/// a - b, clamped at 0: phase stamps come from one steady clock but a
+/// record aborted mid-flight leaves later phases at 0.
+uint64_t Since(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+/// One complete ("ph":"X") Chrome trace event.
+Json ChromeEvent(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                 uint64_t min_ns, uint64_t tid) {
+  Json out = Json::Object();
+  out.Set("name", name);
+  out.Set("cat", "net");
+  out.Set("ph", "X");
+  out.Set("ts", static_cast<double>(start_ns - min_ns) / 1000.0);
+  out.Set("dur", static_cast<double>(dur_ns) / 1000.0);
+  out.Set("pid", 1);
+  out.Set("tid", static_cast<int64_t>(tid));
+  return out;
+}
+
+}  // namespace
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t NextTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string StatementPreview(const std::string& statement) {
+  if (statement.size() <= kStatementPreviewBytes) return statement;
+  return statement.substr(0, kStatementPreviewBytes) + "...";
+}
+
+uint64_t RequestRecord::QueueWaitNs() const {
+  return Since(dequeue_ns, enqueue_ns);
+}
+
+uint64_t RequestRecord::ExecNs() const { return Since(exec_end_ns, dequeue_ns); }
+
+uint64_t RequestRecord::ReplyWriteNs() const {
+  return Since(reply_flushed_ns, reply_queued_ns);
+}
+
+uint64_t RequestRecord::TotalNs() const {
+  uint64_t end = reply_flushed_ns;
+  if (end == 0) end = reply_queued_ns;
+  if (end == 0) end = exec_end_ns;
+  if (end == 0) end = dequeue_ns;
+  return Since(end, enqueue_ns);
+}
+
+Json RequestRecord::ToJson() const {
+  Json out = Json::Object();
+  out.Set("trace_id", static_cast<int64_t>(context.trace_id));
+  out.Set("connection_id", static_cast<int64_t>(context.connection_id));
+  out.Set("session_id", static_cast<int64_t>(context.session_id));
+  out.Set("statement_ordinal",
+          static_cast<int64_t>(context.statement_ordinal));
+  out.Set("statement", statement);
+  out.Set("ok", ok);
+  out.Set("reply_flushed", reply_flushed);
+  out.Set("reply_bytes", static_cast<int64_t>(reply_bytes));
+  out.Set("enqueue_ns", static_cast<int64_t>(enqueue_ns));
+  Json phases = Json::Object();
+  phases.Set("queue_wait_ns", static_cast<int64_t>(QueueWaitNs()));
+  phases.Set("exec_ns", static_cast<int64_t>(ExecNs()));
+  phases.Set("reply_write_ns", static_cast<int64_t>(ReplyWriteNs()));
+  phases.Set("total_ns", static_cast<int64_t>(TotalNs()));
+  out.Set("phases", std::move(phases));
+  return out;
+}
+
+void FlightRecorder::Record(RequestRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_records_.fetch_add(1, std::memory_order_relaxed);
+  if (capacity_ == 0) {
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<RequestRecord> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<RequestRecord>(records_.begin(), records_.end());
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+RequestRecorder& GlobalRequestRecorder() {
+  static RequestRecorder* recorder = new RequestRecorder();
+  return *recorder;
+}
+
+Json FlightRecorderJson(const std::vector<RequestRecord>& records,
+                        size_t capacity, uint64_t total, uint64_t dropped) {
+  Json requests = Json::Array();
+  for (const RequestRecord& r : records) requests.Append(r.ToJson());
+  Json out = Json::Object();
+  out.Set("capacity", static_cast<int64_t>(capacity));
+  out.Set("total_records", static_cast<int64_t>(total));
+  out.Set("dropped_records", static_cast<int64_t>(dropped));
+  out.Set("requests", std::move(requests));
+  return out;
+}
+
+Json RequestsChromeTraceJson(const std::vector<RequestRecord>& records) {
+  uint64_t min_ns = 0;
+  bool any = false;
+  for (const RequestRecord& r : records) {
+    if (!any || r.enqueue_ns < min_ns) min_ns = r.enqueue_ns;
+    any = true;
+  }
+  Json events = Json::Array();
+  for (const RequestRecord& r : records) {
+    const uint64_t tid = r.context.connection_id;
+    Json request =
+        ChromeEvent("request", r.enqueue_ns, r.TotalNs(), min_ns, tid);
+    Json args = Json::Object();
+    args.Set("trace_id", static_cast<int64_t>(r.context.trace_id));
+    args.Set("statement_ordinal",
+             static_cast<int64_t>(r.context.statement_ordinal));
+    args.Set("statement", r.statement);
+    request.Set("args", std::move(args));
+    events.Append(std::move(request));
+    if (r.dequeue_ns != 0) {
+      events.Append(ChromeEvent("queue_wait", r.enqueue_ns, r.QueueWaitNs(),
+                                min_ns, tid));
+    }
+    if (r.exec_end_ns != 0) {
+      events.Append(
+          ChromeEvent("execute", r.dequeue_ns, r.ExecNs(), min_ns, tid));
+    }
+    if (r.reply_flushed_ns != 0) {
+      events.Append(ChromeEvent("reply_write", r.reply_queued_ns,
+                                r.ReplyWriteNs(), min_ns, tid));
+    }
+  }
+  Json doc = Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ms");
+  return doc;
+}
+
+Json SlowRecord::ToJson() const {
+  Json out = Json::Object();
+  out.Set("trace_id", static_cast<int64_t>(context.trace_id));
+  out.Set("connection_id", static_cast<int64_t>(context.connection_id));
+  out.Set("session_id", static_cast<int64_t>(context.session_id));
+  out.Set("statement_ordinal",
+          static_cast<int64_t>(context.statement_ordinal));
+  out.Set("statement", statement);
+  out.Set("ok", ok);
+  out.Set("elapsed_ns", static_cast<int64_t>(elapsed_ns));
+  out.Set("span_tree", span_tree);
+  out.Set("chrome_trace", chrome_trace);
+  out.Set("profile_text", profile_text);
+  out.Set("profile", profile_json);
+  return out;
+}
+
+SlowLog& SlowLog::Global() {
+  static SlowLog* log = new SlowLog();
+  return *log;
+}
+
+void SlowLog::Record(SlowRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  total_records_.fetch_add(1, std::memory_order_relaxed);
+  if (records_.size() == capacity_) {
+    records_.pop_front();
+    dropped_records_.fetch_add(1, std::memory_order_relaxed);
+  }
+  records_.push_back(std::move(record));
+}
+
+std::vector<SlowRecord> SlowLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowRecord>(records_.begin(), records_.end());
+}
+
+void SlowLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+Json SlowLog::ToJson() const {
+  Json entries = Json::Array();
+  for (const SlowRecord& r : Snapshot()) entries.Append(r.ToJson());
+  Json out = Json::Object();
+  out.Set("threshold_ns", static_cast<int64_t>(threshold_ns()));
+  out.Set("capacity", static_cast<int64_t>(capacity_));
+  out.Set("total_records", static_cast<int64_t>(total_records()));
+  out.Set("dropped_records", static_cast<int64_t>(dropped_records()));
+  out.Set("slow", std::move(entries));
+  return out;
+}
+
+std::string SlowLog::Format() const {
+  const std::vector<SlowRecord> records = Snapshot();
+  std::string out = "SLOW STATEMENTS (threshold ";
+  out += threshold_ns() == 0 ? std::string("off") : FormatMs(threshold_ns());
+  out += ", " + std::to_string(records.size()) + " recorded";
+  if (dropped_records() > 0) {
+    out += ", " + std::to_string(dropped_records()) + " dropped";
+  }
+  out += ")\n";
+  for (const SlowRecord& r : records) {
+    out += "[trace " + std::to_string(r.context.trace_id) + "] conn " +
+           std::to_string(r.context.connection_id) + " stmt " +
+           std::to_string(r.context.statement_ordinal) + ": " +
+           FormatMs(r.elapsed_ns) + (r.ok ? "" : " (error)") + "\n";
+    out += "  statement: " + StatementPreview(r.statement) + "\n";
+    out += "  spans:\n";
+    // Indent the captured span tree under the entry.
+    size_t pos = 0;
+    while (pos < r.span_tree.size()) {
+      size_t eol = r.span_tree.find('\n', pos);
+      if (eol == std::string::npos) eol = r.span_tree.size();
+      out += "    " + r.span_tree.substr(pos, eol - pos) + "\n";
+      pos = eol + 1;
+    }
+    if (!r.profile_text.empty()) {
+      out += "  profile:\n" + r.profile_text;
+    }
+  }
+  return out;
+}
+
+}  // namespace deltamon::obs

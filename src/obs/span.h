@@ -59,11 +59,45 @@ class Span {
   bool active_ = false;
   uint64_t id_ = 0;
   uint64_t parent_ = 0;
+  uint64_t trace_id_ = 0;  ///< CurrentTraceId() at construction
   uint64_t start_ns_ = 0;
   const char* category_ = "";
   std::string name_;
   std::vector<std::pair<std::string, int64_t>> fields_;
 };
+
+/// --- Request trace-id propagation ------------------------------------------
+///
+/// The trace id of the request currently executing, installed by the
+/// network executor around each statement. Process-global (one relaxed
+/// atomic), not thread-local: the executor serializes statements, but a
+/// statement's propagation wave runs on pool worker threads whose spans
+/// must carry the same id. Active spans read it at construction and attach
+/// it as a `trace_id` field when nonzero, so the whole span tree of a
+/// statement — check phase, waves, clause evaluations — links back to the
+/// request record in the flight recorder. Compiled out (no atomic, no
+/// field) under -DDELTAMON_OBS=OFF.
+#if DELTAMON_OBS_ENABLED
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t trace_id);
+  ~ScopedTraceId();
+  ScopedTraceId(const ScopedTraceId&) = delete;
+  ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+/// 0 when no request is executing.
+uint64_t CurrentTraceId();
+#else
+class ScopedTraceId {
+ public:
+  explicit ScopedTraceId(uint64_t) {}
+};
+inline uint64_t CurrentTraceId() { return 0; }
+#endif
 
 /// No-op stand-in used by DELTAMON_OBS_SPAN when instrumentation is
 /// compiled out; keeps call sites (AddField/SetName/active) compiling.

@@ -126,6 +126,14 @@ TEST(ParserTest, ActivateDeactivate) {
   EXPECT_EQ(d.args[0]->kind, Expr::Kind::kInterfaceVar);
 }
 
+TEST(ParserTest, ShowSlow) {
+  auto program = Parse("show slow;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(std::holds_alternative<ShowSlowStmt>((*program)[0].node));
+  // The keyword form is exact: `show slow` takes no argument.
+  EXPECT_FALSE(Parse("show slow watch_low;").ok());
+}
+
 TEST(ParserTest, SetThreads) {
   auto program = Parse("set threads 4;");
   ASSERT_TRUE(program.ok()) << program.status().ToString();

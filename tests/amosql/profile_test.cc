@@ -11,6 +11,7 @@
 #include <string>
 
 #include "amosql/session.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -160,6 +161,33 @@ TEST_F(ProfileTest, TraceRestoresThePreviousSinkAndPropagatesErrors) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(obs::GetTraceSink(), nullptr)
       << "a failing traced statement must still uninstall its sink";
+}
+
+TEST_F(ProfileTest, ShowSlowRendersTheGlobalSlowLog) {
+  obs::SlowLog::Global().Clear();
+  obs::SlowLog::Global().set_threshold_ns(0);
+  // Empty log: the report still explains itself.
+  std::string report = Report("show slow;");
+  EXPECT_NE(report.find("SLOW STATEMENTS"), std::string::npos) << report;
+  EXPECT_NE(report.find("threshold off, 0 recorded"), std::string::npos)
+      << report;
+
+  // The log is a process global: an entry recorded by the server-side
+  // executor is visible from this (local) session too.
+  obs::SlowRecord slow;
+  slow.context.trace_id = 5;
+  slow.context.connection_id = 2;
+  slow.context.statement_ordinal = 1;
+  slow.statement = "commit;";
+  slow.elapsed_ns = 12'000'000;
+  slow.span_tree = "rules.check_phase 12ms\n";
+  obs::SlowLog::Global().Record(slow);
+  report = Report("show slow;");
+  EXPECT_NE(report.find("[trace 5] conn 2 stmt 1: 12.000 ms"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("rules.check_phase"), std::string::npos) << report;
+  obs::SlowLog::Global().Clear();
 }
 
 TEST_F(ProfileTest, ShowNetworkDumpsTopologyStatsAndDot) {

@@ -6,10 +6,16 @@
 // Non-interactive use (scripts, CI): `-e "stmts"` executes one batch and
 // exits; with stdin not a TTY, statements are read to EOF and executed
 // batch-by-batch (';'-terminated), exiting non-zero on the first error.
+//
+// --timing prints the client-side wall time of every batch and opts the
+// connection into server trace info, so each reply also carries a
+// "-- trace <id>: queue ..., exec ..." line: the id to look up in the
+// server's GET /debug/requests flight recorder.
 
 #include <unistd.h>
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -22,9 +28,11 @@ using namespace deltamon;
 namespace {
 
 int Usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--host=H] [--port=N] [-e \"statements\"]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--host=H] [--port=N] [--timing] [-e \"statements\"]\n"
+      "  --timing  print per-batch wall time and the server's trace line\n",
+      argv0);
   return 2;
 }
 
@@ -37,13 +45,21 @@ void PrintResponse(const net::Client::Response& r) {
 }
 
 /// Executes one batch; returns false on error (printed to stderr).
-bool RunBatch(net::Client& client, const std::string& batch) {
+bool RunBatch(net::Client& client, const std::string& batch, bool timing) {
+  const auto start = std::chrono::steady_clock::now();
   Result<net::Client::Response> r = client.Execute(batch);
+  const double ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
   if (!r.ok()) {
     std::fprintf(stderr, "error: %s\n", r.status().message().c_str());
     return false;
   }
   PrintResponse(*r);
+  // The server's trace line (queue/exec phases) is already in the report;
+  // this adds what only the client can measure — the round trip.
+  if (timing) std::printf("-- time: %.3f ms\n", ms);
   return true;
 }
 
@@ -53,6 +69,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   long port = 7654;
   std::string once;
+  bool timing = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--host=", 7) == 0) {
       host = argv[i] + 7;
@@ -62,6 +79,8 @@ int main(int argc, char** argv) {
       if (end == argv[i] + 7 || *end != '\0' || port <= 0 || port > 65535) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(argv[i], "--timing") == 0) {
+      timing = true;
     } else if (std::strcmp(argv[i], "-e") == 0 && i + 1 < argc) {
       once = argv[++i];
     } else {
@@ -70,7 +89,8 @@ int main(int argc, char** argv) {
   }
 
   Result<net::Client> client =
-      net::Client::Connect(host, static_cast<uint16_t>(port));
+      net::Client::Connect(host, static_cast<uint16_t>(port),
+                           net::kDefaultMaxFrameSize, /*trace_info=*/timing);
   if (!client.ok()) {
     std::fprintf(stderr, "deltamon-cli: %s\n",
                  client.status().ToString().c_str());
@@ -78,7 +98,7 @@ int main(int argc, char** argv) {
   }
 
   if (!once.empty()) {
-    return RunBatch(*client, once) ? 0 : 1;
+    return RunBatch(*client, once, timing) ? 0 : 1;
   }
 
   const bool interactive = ::isatty(STDIN_FILENO) != 0;
@@ -105,7 +125,7 @@ int main(int argc, char** argv) {
       trimmed.pop_back();
     }
     if (trimmed.empty() || trimmed.back() != ';') continue;
-    const bool ok = RunBatch(*client, buffer);
+    const bool ok = RunBatch(*client, buffer, timing);
     buffer.clear();
     if (!ok && !interactive) return 1;
     if (!client->connected()) return 1;

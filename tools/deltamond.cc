@@ -47,6 +47,10 @@ int Usage(const char* argv0) {
       "  --idle-timeout-ms=N  close idle connections (default 0 = never)\n"
       "  --write-high-water=N pause reading from a connection whose unsent\n"
       "                       reply bytes exceed N (default 8 MiB, 0 = off)\n"
+      "  --slow-statement-ms=N capture span tree + profile of statements\n"
+      "                       slower than N ms into the slow log\n"
+      "                       (GET /debug/slow, `show slow;`; default 0 = "
+      "off)\n"
       "  --init=FILE          run AMOSQL from FILE at startup (schema "
       "preload)\n",
       argv0, net::kDefaultMaxFrameSize);
@@ -59,6 +63,47 @@ bool ParseLong(const char* arg, const char* prefix, long* out) {
   char* end = nullptr;
   *out = std::strtol(arg + n, &end, 10);
   return end != arg + n && *end == '\0' && *out >= 0;
+}
+
+/// The final shutdown report: counters and gauges as-is, histograms as a
+/// p50/p99 percentile line (latency histograms in human time units) —
+/// where the time went, not which log2 buckets it landed in. The
+/// percentiles come from Histogram::Percentiles via Registry::Snapshot.
+std::string ShutdownSummary() {
+  const obs::MetricsSnapshot snapshot = obs::Registry::Global().Snapshot();
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "  %-40s %14llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(line, sizeof(line), "  %-40s %14lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    // _ns histograms are durations: print in milliseconds.
+    if (name.size() > 3 && name.rfind("_ns") == name.size() - 3) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s count=%llu p50=%.3fms p99=%.3fms max=%.3fms\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    static_cast<double>(h.p50) / 1e6,
+                    static_cast<double>(h.p99) / 1e6,
+                    static_cast<double>(h.max) / 1e6);
+    } else {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s count=%llu p50=%llu p99=%llu max=%llu\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    static_cast<unsigned long long>(h.p50),
+                    static_cast<unsigned long long>(h.p99),
+                    static_cast<unsigned long long>(h.max));
+    }
+    out += line;
+  }
+  if (out.empty()) out = "  (no metrics recorded)\n";
+  return out;
 }
 
 }  // namespace
@@ -83,6 +128,8 @@ int main(int argc, char** argv) {
       options.idle_timeout_ms = static_cast<int>(value);
     } else if (ParseLong(argv[i], "--write-high-water=", &value)) {
       options.write_high_water = static_cast<size_t>(value);
+    } else if (ParseLong(argv[i], "--slow-statement-ms=", &value)) {
+      options.slow_statement_ms = static_cast<double>(value);
     } else if (std::strncmp(argv[i], "--init=", 7) == 0) {
       init_file = argv[i] + 7;
     } else {
@@ -137,7 +184,6 @@ int main(int argc, char** argv) {
   // Flush metrics: the final state of every net.* (and engine) metric,
   // so a scraped-to-death run still leaves its last numbers in the log.
   std::fprintf(stderr, "deltamond: draining and shutting down\n%s",
-               obs::FormatSnapshot(obs::Registry::Global().Snapshot())
-                   .c_str());
+               ShutdownSummary().c_str());
   return 0;
 }
