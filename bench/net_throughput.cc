@@ -1,9 +1,21 @@
 /// Load driver for deltamond (docs/server.md): N concurrent clients each
-/// looping `set quantity(k) = v; commit;` batches over disjoint keys
-/// against a loopback server with an activated monitor rule. Reports
-/// commits/sec plus p50/p99 per-statement round-trip latency at
-/// N ∈ {1, 4, 16, 64}. The committed baseline gates the CI server-smoke
-/// job through bench_diff.
+/// looping `set quantity(k) = v; commit;` batches against a loopback
+/// server with an activated monitor rule, in two key layouts:
+///
+///   BM_NetThroughput           disjoint keys per client — commits never
+///                              conflict, so the sweep measures raw
+///                              group-commit throughput: as N grows the
+///                              commit queue batches more transactions
+///                              per check-phase wave (txns_per_wave) and
+///                              commits/sec scales past waves/sec.
+///   BM_NetThroughputContended  all clients hammer the same small key
+///                              range — first-committer-wins validation
+///                              aborts the losers, clients retry, and the
+///                              abort_rate column shows the cost.
+///
+/// Reports commits/sec, waves/sec, txns-per-wave, abort rate, and p50/p99
+/// per-statement round-trip latency at N ∈ {1, 4, 16, 64}. The committed
+/// baseline gates the CI server-smoke job through bench_diff.
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +29,7 @@
 #include "bench_util/report.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "rules/engine.h"
 
 namespace deltamon {
@@ -25,18 +38,67 @@ namespace {
 constexpr int kKeysPerClient = 10;
 constexpr int kBatchesPerIteration = 20;
 constexpr int kThreshold = 50;
+/// Key range the contended variant squeezes every client into.
+constexpr int kContendedKeys = 4;
 
 /// One statement batch: a quantity write that every few rounds dips below
 /// the threshold so the monitor rule actually fires during the run.
-std::string Batch(int client, int b, int64_t round) {
-  const int key = client * 1000 + b % kKeysPerClient;
+std::string Batch(int key, int b, int64_t round) {
   const int value =
       ((b + round) % 5 == 0) ? kThreshold / 2 : kThreshold * 2;
   return "set quantity(" + std::to_string(key) + ") = " +
          std::to_string(value) + "; commit;";
 }
 
-void BM_NetThroughput(benchmark::State& state) {
+/// Starts a loopback server over a fresh engine and installs the monitor
+/// schema plus thresholds for every key in `keys`. Returns false (with
+/// the benchmark errored) on any setup failure.
+bool SetUpServer(benchmark::State& state, net::Server& server,
+                 const std::vector<int>& keys) {
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return false;
+  }
+  Result<net::Client> boot = net::Client::Connect("127.0.0.1", server.port());
+  if (!boot.ok()) {
+    state.SkipWithError("bootstrap connect failed");
+    return false;
+  }
+  const char* schema[] = {
+      "create function quantity(integer) -> integer;",
+      "create function threshold(integer) -> integer;",
+      "create function reorder(integer) -> integer;",
+      "create rule monitor() as"
+      "  when for each integer i where quantity(i) < threshold(i)"
+      "  do set reorder(i) = 1;",
+      "activate monitor();",
+  };
+  for (const char* stmt : schema) {
+    if (!boot->Execute(stmt).ok()) {
+      state.SkipWithError("bootstrap schema failed");
+      return false;
+    }
+  }
+  std::string batch;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    batch += "set threshold(" + std::to_string(keys[i]) + ") = " +
+             std::to_string(kThreshold) + ";";
+    if (i % 64 == 63 || i == keys.size() - 1) {
+      batch += "commit;";
+      if (!boot->Execute(batch).ok()) {
+        state.SkipWithError("bootstrap thresholds failed");
+        return false;
+      }
+      batch.clear();
+    }
+  }
+  return true;
+}
+
+/// The shared driver. `contended` selects the key layout; conflicted
+/// commits are retried (they only occur in the contended layout) and
+/// counted so the abort rate lands in the report.
+void RunThroughput(benchmark::State& state, bool contended) {
   const int n_clients = static_cast<int>(state.range(0));
 
   Engine engine;
@@ -45,47 +107,15 @@ void BM_NetThroughput(benchmark::State& state) {
   options.enable_admin = false;
   options.num_workers = 4;
   net::Server server(engine, options);
-  if (!server.Start().ok()) {
-    state.SkipWithError("server failed to start");
-    return;
-  }
-
-  {
-    Result<net::Client> boot = net::Client::Connect("127.0.0.1", server.port());
-    if (!boot.ok()) {
-      state.SkipWithError("bootstrap connect failed");
-      return;
-    }
-    const char* schema[] = {
-        "create function quantity(integer) -> integer;",
-        "create function threshold(integer) -> integer;",
-        "create function reorder(integer) -> integer;",
-        "create rule monitor() as"
-        "  when for each integer i where quantity(i) < threshold(i)"
-        "  do set reorder(i) = 1;",
-        "activate monitor();",
-    };
-    for (const char* stmt : schema) {
-      if (!boot->Execute(stmt).ok()) {
-        state.SkipWithError("bootstrap schema failed");
-        return;
-      }
-    }
-    // Thresholds for every key any client will touch, one commit per
-    // client's key range.
+  std::vector<int> keys;
+  if (contended) {
+    for (int k = 0; k < kContendedKeys; ++k) keys.push_back(k);
+  } else {
     for (int c = 0; c < n_clients; ++c) {
-      std::string batch;
-      for (int k = 0; k < kKeysPerClient; ++k) {
-        batch += "set threshold(" + std::to_string(c * 1000 + k) + ") = " +
-                 std::to_string(kThreshold) + ";";
-      }
-      batch += "commit;";
-      if (!boot->Execute(batch).ok()) {
-        state.SkipWithError("bootstrap thresholds failed");
-        return;
-      }
+      for (int k = 0; k < kKeysPerClient; ++k) keys.push_back(c * 1000 + k);
     }
   }
+  if (!SetUpServer(state, server, keys)) return;
 
   // Persistent connections, one per simulated client.
   std::vector<net::Client> clients;
@@ -102,7 +132,9 @@ void BM_NetThroughput(benchmark::State& state) {
 
   std::vector<uint64_t> latencies_ns;
   std::atomic<bool> failed{false};
+  std::atomic<uint64_t> aborts{0};
   int64_t round = 0;
+  const obs::MetricsSnapshot before = obs::Registry::Global().Snapshot();
   for (auto _ : state) {
     std::vector<std::vector<uint64_t>> per_client(n_clients);
     std::vector<std::thread> threads;
@@ -111,10 +143,20 @@ void BM_NetThroughput(benchmark::State& state) {
       threads.emplace_back([&, c] {
         per_client[c].reserve(kBatchesPerIteration);
         for (int b = 0; b < kBatchesPerIteration; ++b) {
+          const int key = contended ? b % kContendedKeys
+                                    : c * 1000 + b % kKeysPerClient;
+          const std::string batch = Batch(key, b, round);
           const auto start = std::chrono::steady_clock::now();
-          if (!clients[c].Execute(Batch(c, b, round)).ok()) {
-            failed.store(true, std::memory_order_relaxed);
-            return;
+          // Retry aborted commits, as a real client would; every retry
+          // re-sends the whole transaction.
+          for (;;) {
+            Result<net::Client::Response> r = clients[c].Execute(batch);
+            if (r.ok()) break;
+            if (r.status().code() != StatusCode::kTxnConflict) {
+              failed.store(true, std::memory_order_relaxed);
+              return;
+            }
+            aborts.fetch_add(1, std::memory_order_relaxed);
           }
           const auto stop = std::chrono::steady_clock::now();
           per_client[c].push_back(static_cast<uint64_t>(
@@ -132,6 +174,8 @@ void BM_NetThroughput(benchmark::State& state) {
     }
     state.ResumeTiming();
   }
+  const obs::MetricsSnapshot diff =
+      obs::Registry::Global().Snapshot().DiffSince(before);
   if (failed.load(std::memory_order_relaxed)) {
     state.SkipWithError("statement batch failed mid-run");
     return;
@@ -145,6 +189,20 @@ void BM_NetThroughput(benchmark::State& state) {
   state.counters["clients"] = static_cast<double>(n_clients);
   state.counters["commits_per_sec"] =
       benchmark::Counter(total_commits, benchmark::Counter::kIsRate);
+  // Group-commit shape: how many check-phase waves carried those commits
+  // (in-process server, so the global registry is ours), and what share
+  // of commit attempts lost validation. txn.batches counts waves the
+  // commit queue ran; propagator waves match it 1:1 here because the
+  // monitor's action cascade settles within the check phase.
+  const double waves = static_cast<double>(diff.CounterOr("txn.batches", 0));
+  if (waves > 0) {
+    state.counters["waves_per_sec"] =
+        benchmark::Counter(waves, benchmark::Counter::kIsRate);
+    state.counters["txns_per_wave"] = total_commits / waves;
+  }
+  const double aborted = static_cast<double>(aborts.load());
+  state.counters["abort_rate"] =
+      aborted / (total_commits + aborted);
   if (!latencies_ns.empty()) {
     std::sort(latencies_ns.begin(), latencies_ns.end());
     state.counters["p50_statement_ns"] = static_cast<double>(
@@ -154,7 +212,23 @@ void BM_NetThroughput(benchmark::State& state) {
   }
 }
 
+void BM_NetThroughput(benchmark::State& state) {
+  RunThroughput(state, /*contended=*/false);
+}
+
+void BM_NetThroughputContended(benchmark::State& state) {
+  RunThroughput(state, /*contended=*/true);
+}
+
 BENCHMARK(BM_NetThroughput)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_NetThroughputContended)
     ->Arg(1)
     ->Arg(4)
     ->Arg(16)

@@ -167,7 +167,14 @@ struct SelectStmt {
   SelectQuery query;
 };
 
+/// `begin;` — starts an explicit transaction: the session stops refreshing
+/// its snapshot per statement and accumulates reads and buffered writes
+/// until `commit;` or `abort;`. A no-op without an attached transaction
+/// manager (the embedded single-session mode is always in a transaction).
+struct BeginStmt {};
 struct CommitStmt {};
+/// `rollback;` / `abort;` — discards the transaction's buffered writes
+/// (abort is the retry-friendly spelling used by network clients).
 struct RollbackStmt {};
 
 struct Statement;
@@ -238,7 +245,8 @@ struct SetThreadsStmt {
 struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
                CreateInstancesStmt, UpdateStmt, ActivateStmt, SelectStmt,
-               CommitStmt, RollbackStmt, ProfileStmt, ShowMetricsStmt,
+               BeginStmt, CommitStmt, RollbackStmt, ProfileStmt,
+               ShowMetricsStmt,
                TraceStmt, ShowNetworkStmt, ShowSlowStmt, ResetMetricsStmt,
                SetThreadsStmt, ExplainAnalyzeStmt, AnalyzeRuleStmt>
       node;

@@ -172,12 +172,17 @@ class Parser {
       stmt.node = std::move(act);
       return stmt;
     }
+    if (MatchKeyword("begin")) {
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = BeginStmt{};
+      return stmt;
+    }
     if (MatchKeyword("commit")) {
       DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
       stmt.node = CommitStmt{};
       return stmt;
     }
-    if (MatchKeyword("rollback")) {
+    if (MatchKeyword("rollback") || MatchKeyword("abort")) {
       DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
       stmt.node = RollbackStmt{};
       return stmt;

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 
 #include "objectlog/eval.h"
 #include "obs/flight_recorder.h"
@@ -18,6 +20,30 @@ using objectlog::Clause;
 using objectlog::EvalState;
 using objectlog::Evaluator;
 using objectlog::StateContext;
+
+namespace {
+
+/// Scoped engine-gate acquisition for one leaf statement: shared for
+/// reads and buffered DML, exclusive for DDL/admin statements that mutate
+/// the catalog, rule set, or propagation network. A no-op in legacy mode
+/// (no transaction manager attached). Wrapper statements (profile, trace,
+/// explain analyze) take no lock themselves — their inner statement
+/// re-dispatches and locks — so `profile commit;` cannot self-deadlock on
+/// the non-reentrant gate.
+struct GateLock {
+  GateLock(txn::TransactionManager* mgr, bool exclusive) {
+    if (mgr == nullptr) return;
+    if (exclusive) {
+      excl = std::unique_lock<std::shared_mutex>(mgr->engine_mutex());
+    } else {
+      shared = std::shared_lock<std::shared_mutex>(mgr->engine_mutex());
+    }
+  }
+  std::shared_lock<std::shared_mutex> shared;
+  std::unique_lock<std::shared_mutex> excl;
+};
+
+}  // namespace
 
 std::string QueryResult::ToString() const {
   std::string out;
@@ -104,36 +130,56 @@ Result<QueryResult> Session::ExecuteProfiled(const std::string& source,
   // Same attachment discipline as ExecExplainAnalyze: session evaluators
   // pick the profile up through active_profiler_, the rule manager routes
   // it through the propagator. Restored even on error so a failed slow
-  // statement cannot leak the profiler into the next one.
+  // statement cannot leak the profiler into the next one. In concurrent-
+  // transaction mode the rule manager is shared, so the profiler is not
+  // installed globally here; commit passes it to the transaction manager,
+  // which attaches it for this transaction's (solo) wave only.
   obs::Profile* const saved = active_profiler_;
   active_profiler_ = profile;
-  engine_.rules.SetProfiler(profile);
+  if (txn_mgr_ == nullptr) engine_.rules.SetProfiler(profile);
   Result<QueryResult> result = Execute(source);
-  engine_.rules.SetProfiler(nullptr);
+  if (txn_mgr_ == nullptr) engine_.rules.SetProfiler(nullptr);
   active_profiler_ = saved;
   return result;
 }
 
 Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
+  // Locking happens here, at leaf statement dispatch: reads and buffered
+  // DML share the engine gate, DDL/admin statements that mutate shared
+  // engine state take it exclusively, and transaction-boundary statements
+  // (begin/commit/abort) do their own locking — commit in particular must
+  // enter the group-commit queue without the gate held, since the commit
+  // leader takes it exclusively for the wave.
   return std::visit(
       [this, last](const auto& node) -> Status {
         using T = std::decay_t<decltype(node)>;
         if constexpr (std::is_same_v<T, CreateTypeStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           return engine_.db.catalog().CreateType(node.name).status();
         } else if constexpr (std::is_same_v<T, CreateFunctionStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           return ExecCreateFunction(node);
         } else if constexpr (std::is_same_v<T, CreateRuleStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           return ExecCreateRule(node);
         } else if constexpr (std::is_same_v<T, CreateInstancesStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           return ExecCreateInstances(node);
         } else if constexpr (std::is_same_v<T, UpdateStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/false);
+          RefreshSnapshotLocked();
           return ExecUpdate(node);
         } else if constexpr (std::is_same_v<T, ActivateStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           return ExecActivate(node);
         } else if constexpr (std::is_same_v<T, SelectStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/false);
+          RefreshSnapshotLocked();
           return ExecSelect(node, last);
+        } else if constexpr (std::is_same_v<T, BeginStmt>) {
+          return ExecBegin();
         } else if constexpr (std::is_same_v<T, CommitStmt>) {
-          return engine_.db.Commit();
+          return ExecCommit();
         } else if constexpr (std::is_same_v<T, ProfileStmt>) {
           return ExecProfile(node, last);
         } else if constexpr (std::is_same_v<T, ShowMetricsStmt>) {
@@ -150,14 +196,18 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
         } else if constexpr (std::is_same_v<T, ExplainAnalyzeStmt>) {
           return ExecExplainAnalyze(node, last);
         } else if constexpr (std::is_same_v<T, AnalyzeRuleStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           return ExecAnalyzeRule(node, last);
         } else if constexpr (std::is_same_v<T, TraceStmt>) {
           return ExecTrace(node, last);
         } else if constexpr (std::is_same_v<T, ShowNetworkStmt>) {
+          // Exclusive: network() rebuilds the propagation network lazily.
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           return ExecShowNetwork(node, last);
         } else if constexpr (std::is_same_v<T, ShowSlowStmt>) {
           return ExecShowSlow(last);
         } else if constexpr (std::is_same_v<T, ResetMetricsStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           obs::Registry::Global().Reset();
           // Node attribution belongs to the same observable state; a reset
           // gives the next measurement a clean slate for both.
@@ -166,6 +216,7 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           last->report += "METRICS RESET\n";
           return Status::OK();
         } else if constexpr (std::is_same_v<T, SetThreadsStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
           engine_.rules.SetNumThreads(
               static_cast<size_t>(node.num_threads));
           last->report += "THREADS " +
@@ -173,10 +224,80 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           return Status::OK();
         } else {
           static_assert(std::is_same_v<T, RollbackStmt>);
-          return engine_.db.Rollback();
+          return ExecRollback();
         }
       },
       stmt.node);
+}
+
+void Session::RefreshSnapshotLocked() {
+  if (txn_mgr_ == nullptr) return;
+  if (!txn_started_) {
+    txn_mgr_->Begin(txn_);
+    txn_started_ = true;
+    return;
+  }
+  // Autocommit refresh: outside an explicit transaction, a statement that
+  // follows only reads re-snapshots at the current version (dropping the
+  // previous statements' footprints — each read-only statement validates
+  // on its own). Once anything is buffered, the snapshot is pinned until
+  // commit or abort.
+  if (!txn_.explicit_begin() && !txn_.HasWrites() && !ddl_dirty_) {
+    txn_mgr_->Begin(txn_);
+  }
+}
+
+StateContext Session::EvalContext() {
+  StateContext ctx;
+  if (txn_mgr_ != nullptr) ctx.txn = &txn_;
+  return ctx;
+}
+
+Status Session::ExecBegin() {
+  if (txn_mgr_ == nullptr) return Status::OK();  // always in a transaction
+  GateLock lock(txn_mgr_, /*exclusive=*/false);
+  if (txn_started_ && txn_.HasWrites()) {
+    return Status::FailedPrecondition(
+        "begin: transaction has buffered changes; commit or abort first");
+  }
+  txn_mgr_->Begin(txn_);
+  txn_started_ = true;
+  txn_.set_explicit_begin(true);
+  return Status::OK();
+}
+
+Status Session::ExecCommit() {
+  if (txn_mgr_ == nullptr) return engine_.db.Commit();
+  if (!txn_started_ || (!txn_.HasWrites() && !ddl_dirty_)) {
+    // Read-only commit: nothing to validate or propagate. Restart the
+    // snapshot at the current version without a queue round trip.
+    GateLock lock(txn_mgr_, /*exclusive=*/false);
+    txn_mgr_->Begin(txn_);
+    txn_started_ = true;
+    return Status::OK();
+  }
+  // Group commit; a non-null profiler (explain analyze / slow capture)
+  // forces a batch-of-one so the profile describes only this transaction.
+  Status s = txn_mgr_->Commit(txn_, active_profiler_);
+  txn_started_ = true;  // the manager re-registered the snapshot
+  if (s.code() != StatusCode::kTxnConflict) {
+    // Direct DDL writes either committed with the wave or (on a check
+    // failure) were rolled back with it; on a conflict the wave may not
+    // have run at all, so keep the flag and flush on the next commit.
+    ddl_dirty_ = false;
+  }
+  return s;
+}
+
+Status Session::ExecRollback() {
+  if (txn_mgr_ == nullptr) return engine_.db.Rollback();
+  // Abort: discard the buffered overlay and read footprint and restart at
+  // the current version. Direct DDL writes are not transactional and stay
+  // applied (they ride the next commit wave).
+  GateLock lock(txn_mgr_, /*exclusive=*/false);
+  txn_mgr_->Begin(txn_);
+  txn_started_ = true;
+  return Status::OK();
 }
 
 Status Session::ExecProfile(const ProfileStmt& stmt, QueryResult* last) {
@@ -197,6 +318,10 @@ Status Session::ExecProfile(const ProfileStmt& stmt, QueryResult* last) {
   // If the statement ran a propagation wave (commit, or any update under
   // immediate rule processing), show which partial differentials executed
   // — the paper's §8 "which influents caused the rule to trigger" answer.
+  // Under concurrency the trace belongs to the rule manager's most recent
+  // wave, which may include (or be) another session's work — read it under
+  // the shared gate so it is at least a consistent wave.
+  GateLock lock(txn_mgr_, /*exclusive=*/false);
   const std::vector<core::TraceEntry>& trace = engine_.rules.last_trace();
   if (!trace.empty() && diff.counters.contains("propagator.waves")) {
     last->report += "differentials:\n";
@@ -231,15 +356,22 @@ Status Session::ExecExplainAnalyze(const ExplainAnalyzeStmt& stmt,
   obs::Profile profile;
   obs::Profile* const saved = active_profiler_;
   active_profiler_ = &profile;
-  engine_.rules.SetProfiler(&profile);
+  // In concurrent-transaction mode the shared rule manager's profiler is
+  // not touched here: an inner commit hands active_profiler_ to the
+  // transaction manager, which profiles that transaction's solo wave.
+  if (txn_mgr_ == nullptr) engine_.rules.SetProfiler(&profile);
   Status status = ExecStatement(*stmt.inner, last);
-  engine_.rules.SetProfiler(nullptr);
+  if (txn_mgr_ == nullptr) engine_.rules.SetProfiler(nullptr);
   active_profiler_ = saved;
   DELTAMON_RETURN_IF_ERROR(status);
 
   // Feed observed selectivities back so the next ordering decision (and
-  // the estimates of the next explain analyze) can use them.
-  RecordObservedStats(profile);
+  // the estimates of the next explain analyze) can use them. The stats
+  // store hangs off the shared catalog — exclusive gate.
+  {
+    GateLock lock(txn_mgr_, /*exclusive=*/true);
+    RecordObservedStats(profile);
+  }
 
   last->report += "EXPLAIN ANALYZE\n";
   last->report += profile.Format(/*include_time=*/true);
@@ -496,8 +628,12 @@ Status Session::ExecCreateRule(const CreateRuleStmt& stmt) {
        kind = stmt.action.kind](Database& db, const Tuple& params,
                                 const std::vector<Tuple>& instances)
       -> Status {
+    // Actions run inside the deferred check phase, possibly on the commit
+    // leader's thread on behalf of a whole wave — the profiler (if any) is
+    // whichever one the rule manager has armed for this wave, not this
+    // session's. (Single-threaded mode sets both to the same profile.)
     Evaluator evaluator(db, session->engine_.registry, StateContext{});
-    evaluator.SetProfiler(session->active_profiler_);
+    evaluator.SetProfiler(session->engine_.rules.profiler());
     for (const Tuple& instance : instances) {
       std::vector<std::pair<int, Value>> bindings;
       for (size_t i = 0; i < num_params; ++i) {
@@ -556,8 +692,13 @@ Status Session::ExecCreateInstances(const CreateInstancesStmt& stmt) {
   for (const std::string& name : stmt.interface_vars) {
     DELTAMON_ASSIGN_OR_RETURN(Oid oid, catalog.CreateObject(type));
     env_[name] = Value(oid);
+    // DDL writes directly (under the exclusive gate), not through the
+    // overlay: extent tuples must be visible to the statements that follow
+    // in this same batch of source, in every session. The logged events
+    // ride the next commit wave.
     DELTAMON_RETURN_IF_ERROR(engine_.db.Insert(extent, Tuple{Value(oid)}));
   }
+  if (txn_mgr_ != nullptr) ddl_dirty_ = true;
   return Status::OK();
 }
 
@@ -575,7 +716,7 @@ Result<Value> Session::EvalGroundExpr(const Expr& expr) {
   DELTAMON_ASSIGN_OR_RETURN(Clause clause,
                             compiler.CompileScalarExprs({&expr}, {}, 0));
   clause.profile_label = "expr@" + std::to_string(expr.line);
-  Evaluator evaluator(engine_.db, engine_.registry, StateContext{});
+  Evaluator evaluator(engine_.db, engine_.registry, EvalContext());
   evaluator.SetProfiler(active_profiler_);
   TupleSet out;
   DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(clause, &out));
@@ -620,6 +761,23 @@ Status Session::ExecUpdate(const UpdateStmt& stmt) {
                             EvalGroundExprs(target.args));
   DELTAMON_ASSIGN_OR_RETURN(Value value, EvalGroundExpr(*stmt.value));
   Tuple arg_tuple{std::move(args)};
+  if (txn_mgr_ != nullptr) {
+    // Concurrent-transaction mode: DML folds into the session's private
+    // overlay (view-aware, footprint-recorded) and reaches the shared
+    // store only when a commit wave applies it.
+    switch (stmt.kind) {
+      case UpdateStmt::Kind::kSet:
+        return txn_.BufferSet(catalog, rel, arg_tuple,
+                              Tuple{std::move(value)});
+      case UpdateStmt::Kind::kAdd:
+        return txn_.BufferInsert(catalog, rel,
+                                 arg_tuple.Concat(Tuple{std::move(value)}));
+      case UpdateStmt::Kind::kRemove:
+        return txn_.BufferDelete(catalog, rel,
+                                 arg_tuple.Concat(Tuple{std::move(value)}));
+    }
+    return Status::Internal("unknown update kind");
+  }
   switch (stmt.kind) {
     case UpdateStmt::Kind::kSet:
       return engine_.db.Set(rel, arg_tuple, Tuple{std::move(value)});
@@ -651,7 +809,7 @@ Status Session::ExecSelect(const SelectStmt& stmt, QueryResult* out) {
                             stmt.query.for_each,
                             /*include_for_each_in_head=*/false,
                             stmt.query.results, stmt.query.where.get()));
-  Evaluator evaluator(engine_.db, engine_.registry, StateContext{});
+  Evaluator evaluator(engine_.db, engine_.registry, EvalContext());
   evaluator.SetProfiler(active_profiler_);
   TupleSet rows;
   for (size_t i = 0; i < query.clauses.size(); ++i) {

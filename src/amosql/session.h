@@ -8,6 +8,7 @@
 
 #include "amosql/compiler.h"
 #include "amosql/parser.h"
+#include "objectlog/eval.h"
 #include "rules/engine.h"
 
 namespace deltamon::obs {
@@ -52,8 +53,30 @@ class Session : public ExtentProvider {
   explicit Session(Engine& engine) : engine_(engine) {}
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
+  ~Session() override {
+    if (txn_mgr_ != nullptr) txn_mgr_->Release(txn_);
+  }
 
   Engine& engine() { return engine_; }
+
+  /// Switches the session into concurrent-transaction mode: statements
+  /// take the manager's engine gate (shared for reads/DML, exclusive for
+  /// DDL and admin commands), DML buffers into a private snapshot overlay
+  /// instead of writing the shared store, and `commit` goes through the
+  /// group-commit queue with first-committer-wins validation — a
+  /// kTxnConflict result means the transaction was aborted and can be
+  /// retried. Without this call the session keeps the single-threaded
+  /// behavior: direct database writes and Database::Commit(). The manager
+  /// must outlive the session. The network server attaches every
+  /// connection's session to its engine's manager.
+  void AttachTransactionManager(txn::TransactionManager* mgr) {
+    txn_mgr_ = mgr;
+  }
+  txn::TransactionManager* transaction_manager() const { return txn_mgr_; }
+
+  /// This session's transaction snapshot; last_commit describes the most
+  /// recent group-commit wave that committed it (for tests and metrics).
+  const TxnSnapshot& txn_snapshot() const { return txn_; }
 
   void RegisterProcedure(const std::string& name, Procedure proc) {
     procedures_[name] = std::move(proc);
@@ -105,10 +128,25 @@ class Session : public ExtentProvider {
   Status ExecActivate(const ActivateStmt& stmt);
   Status ExecSelect(const SelectStmt& stmt, QueryResult* out);
 
+  Status ExecBegin();
+  Status ExecCommit();
+  Status ExecRollback();
+
   /// Evaluates a ground expression (no query variables) to a single Value.
   Result<Value> EvalGroundExpr(const Expr& expr);
   /// Evaluates several ground expressions.
   Result<std::vector<Value>> EvalGroundExprs(const std::vector<ExprPtr>& es);
+
+  /// StateContext for session-level evaluators: routes stored-relation
+  /// reads through the transaction snapshot (overlay view + footprint
+  /// recording) when a manager is attached; plain otherwise.
+  objectlog::StateContext EvalContext();
+
+  /// Lazily registers the snapshot and — outside an explicit transaction,
+  /// while nothing is buffered — re-snapshots it at the current version,
+  /// so autocommit statements each get a fresh consistent read point.
+  /// Caller must hold the engine gate.
+  void RefreshSnapshotLocked();
 
   /// Feeds the profile's observed scan/probe selectivities into the
   /// catalog's StatsStore so subsequent literal orderings learn from them.
@@ -125,6 +163,16 @@ class Session : public ExtentProvider {
   obs::Profile* active_profiler_ = nullptr;
   int temp_counter_ = 0;
   bool created_rules_ = false;
+
+  /// Concurrent-transaction mode (null = legacy single-threaded mode).
+  txn::TransactionManager* txn_mgr_ = nullptr;
+  TxnSnapshot txn_;
+  /// Whether txn_ has been registered with the manager yet (lazy begin).
+  bool txn_started_ = false;
+  /// Set by DDL that writes tuples directly (create instances): those
+  /// events bypass the overlay and ride the next commit wave, so commit
+  /// must go through the queue even when the overlay is empty.
+  bool ddl_dirty_ = false;
 };
 
 /// The single statement-execution entry point shared by every AMOSQL

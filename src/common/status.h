@@ -22,6 +22,11 @@ enum class StatusCode {
   kParseError,
   kUnimplemented,
   kInternal,
+  /// First-committer-wins validation rejected the transaction: something
+  /// it read or wrote was committed by a concurrent transaction after its
+  /// snapshot. Retryable — re-running the same statements in a fresh
+  /// transaction is expected to succeed.
+  kTxnConflict,
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -63,6 +68,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status TxnConflict(std::string msg) {
+    return Status(StatusCode::kTxnConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

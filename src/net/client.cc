@@ -97,6 +97,10 @@ Result<Client::Response> Client::Execute(const std::string& amosql) {
     }
     case FrameType::kError:
       return Status::FailedPrecondition(reply.body);
+    case FrameType::kAborted:
+      // Retryable: the server aborted the transaction at commit validation;
+      // the caller re-sends the whole transaction.
+      return Status::TxnConflict(reply.body);
     default:
       return Status::ParseError("unexpected reply frame type");
   }

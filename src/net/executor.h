@@ -10,14 +10,16 @@
 
 namespace deltamon::net {
 
-/// Serializes all statement execution against the shared engine: one
-/// statement batch runs at a time, whichever connection (or bootstrap
-/// path) submitted it. The engine, the derived-relation registry, and the
-/// rule manager are single-writer structures — sessions own only their
-/// private interpreter state (interface variables, registered procedures),
-/// so funneling every Execute through one mutex is the whole concurrency
-/// story for now. Group commit (ROADMAP item 2) replaces this mutex with
-/// a commit queue that batches Δ-sets; the call site stays the same.
+/// Statement-execution entry point for the server. Sessions attached to
+/// the engine's transaction manager (every connection) run concurrently:
+/// they synchronize at the engine gate — shared for reads and buffered
+/// DML, exclusive for DDL — and at the group-commit queue, which batches
+/// the Δ-sets of ready transactions into one deferred check phase. The
+/// executor mutex remains for two cases that still need full
+/// serialization: legacy sessions with no transaction manager (direct
+/// database writes, single-writer engine), and statements run while the
+/// slow-statement threshold is armed — capture swaps the process-global
+/// trace sink, so only one statement may emit spans at a time.
 ///
 /// Records net.statements_served / net.statement_errors counters and the
 /// net.statement_latency_ns histogram (queue wait included — that is what
@@ -43,9 +45,10 @@ class Executor {
 
   /// Stats-annotated Graphviz DOT of the propagation network — the same
   /// rendering `show network [rule]` produces — for the admin HTTP
-  /// /debug/network endpoint. Runs under the executor mutex: the network
-  /// is rebuilt lazily by statements, so reading it must serialize against
-  /// them. `rule` empty = the whole network.
+  /// /debug/network endpoint. Takes the executor mutex and then the engine
+  /// gate exclusively: the network is rebuilt lazily by statements (legacy
+  /// sessions hold the mutex, attached sessions the gate), so reading it
+  /// must serialize against both. `rule` empty = the whole network.
   Result<std::string> NetworkDot(const std::string& rule);
 
  private:

@@ -45,6 +45,10 @@ enum class FrameType : uint8_t {
   kError = 'E',  ///< body: error message
   kRows = 'R',   ///< body: "<n>\n" + n row lines + report text (see codec)
   kMore = 'M',   ///< continuation: partial reply body, terminal frame follows
+  kAborted = 'A',  ///< body: conflict message; the transaction was aborted
+                   ///< by first-committer-wins validation and is retryable:
+                   ///< re-send the whole transaction (its writes were
+                   ///< discarded, the session is back in autocommit state)
 };
 
 struct Frame {

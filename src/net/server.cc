@@ -209,6 +209,11 @@ void Server::RegisterPending(Worker& w) {
     conn->parser = FrameParser(options_.max_frame_size);
     conn->last_active = std::chrono::steady_clock::now();
     conn->session = std::make_unique<amosql::Session>(engine_);
+    // Every connection runs as an optimistic transaction: snapshot reads,
+    // buffered writes, and group-committed check phases. Statements from
+    // different connections synchronize at the engine gate and the commit
+    // queue instead of the executor mutex.
+    conn->session->AttachTransactionManager(&engine_.txn);
     conn->action_output = std::make_shared<ActionSink>();
     RegisterPrint(*conn->session, conn->action_output);
     conn->interest = EPOLLIN | EPOLLET | EPOLLRDHUP;
@@ -384,7 +389,13 @@ void Server::ExecuteQuery(Conn& c, const std::string& text) {
       *c.session, text, obs::kRequestTracingEnabled ? &record : nullptr);
   std::string action_output = c.action_output->Drain();
   if (!result.ok()) {
-    Reply(c, FrameType::kError, result.status().ToString());
+    // A commit that lost first-committer-wins validation gets its own
+    // frame type: the transaction was rolled back and can be re-sent
+    // verbatim, unlike a genuine error.
+    const FrameType type =
+        result.status().code() == StatusCode::kTxnConflict ? FrameType::kAborted
+                                                           : FrameType::kError;
+    Reply(c, type, result.status().ToString());
   } else {
     // Rule-action print output first, then the statement report — the
     // order the REPL shows them in.

@@ -337,10 +337,37 @@ Status Evaluator::ScanRelation(RelationId rel, EvalState state,
                                const ScanPattern& pattern,
                                const std::function<bool(const Tuple&)>& fn) {
   ++stats_.literal_probes;
-  const BaseRelation* base = db_.catalog().GetBaseRelation(rel);
+  const BaseRelation* stored = db_.catalog().GetBaseRelation(rel);
+  const BaseRelation* base = stored;
   if (base == nullptr) base = ctx_.ViewFor(rel);  // materialized view
   if (base != nullptr) {
     if (state == EvalState::kNew) {
+      // Transactional read of a stored relation: the overlay shadows the
+      // shared store (buffered deletes hidden, buffered inserts appended)
+      // and the probe pattern joins the read footprint. Materialized views
+      // are propagation-internal and never transactional.
+      const DeltaSet* overlay = nullptr;
+      if (ctx_.txn != nullptr && stored != nullptr) {
+        ctx_.txn->RecordScan(rel, pattern);
+        overlay = ctx_.txn->OverlayFor(rel);
+      }
+      if (overlay != nullptr && !overlay->empty()) {
+        bool keep_going = true;
+        base->Scan(pattern, [&](const Tuple& t) {
+          if (overlay->minus().contains(t)) return true;  // buffered delete
+          ++stats_.tuples_examined;
+          keep_going = fn(t);
+          return keep_going;
+        });
+        if (keep_going) {
+          for (const Tuple& t : overlay->plus()) {
+            if (!TupleMatchesPattern(t, pattern)) continue;
+            ++stats_.tuples_examined;
+            if (!fn(t)) break;
+          }
+        }
+        return Status::OK();
+      }
       base->Scan(pattern, [&](const Tuple& t) {
         ++stats_.tuples_examined;
         return fn(t);
@@ -530,10 +557,17 @@ Status Evaluator::ScanRelation(RelationId rel, EvalState state,
 
 Result<bool> Evaluator::Contains(RelationId rel, EvalState state,
                                  const Tuple& t) {
-  const BaseRelation* base = db_.catalog().GetBaseRelation(rel);
+  const BaseRelation* stored = db_.catalog().GetBaseRelation(rel);
+  const BaseRelation* base = stored;
   if (base == nullptr) base = ctx_.ViewFor(rel);
   if (base != nullptr) {
-    if (state == EvalState::kNew) return base->Contains(t);
+    if (state == EvalState::kNew) {
+      if (ctx_.txn != nullptr && stored != nullptr) {
+        ctx_.txn->RecordPointRead(rel, t);
+        return ctx_.txn->ViewContains(*stored, rel, t);
+      }
+      return base->Contains(t);
+    }
     const DeltaSet* delta = ctx_.DeltaFor(rel);
     if (delta == nullptr || delta->empty()) return base->Contains(t);
     if (delta->minus().contains(t)) return true;

@@ -12,6 +12,7 @@
 #include "objectlog/registry.h"
 #include "obs/profile.h"
 #include "storage/database.h"
+#include "storage/snapshot.h"
 #include "storage/stats_store.h"
 
 namespace deltamon::objectlog {
@@ -47,6 +48,14 @@ struct StateContext {
   /// still the pre-wave state. Same thread-safety motivation as the
   /// overlay: hiding via context beats extracting from the shared map.
   RelationId hidden_view = kInvalidRelationId;
+
+  /// Non-null while a session statement evaluates inside an open
+  /// transaction: every NEW-state read of a *stored* relation sees the
+  /// transaction's view (store − overlay.minus ∪ overlay.plus) and is
+  /// recorded into the snapshot's read footprint for commit-time
+  /// validation. Propagation contexts never set this — the check phase
+  /// runs after overlays are applied, against the shared store.
+  TxnSnapshot* txn = nullptr;
 
   const DeltaSet* DeltaFor(RelationId rel) const {
     if (rel == overlay_rel && overlay_delta != nullptr) return overlay_delta;

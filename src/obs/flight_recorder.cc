@@ -88,6 +88,15 @@ Json RequestRecord::ToJson() const {
   phases.Set("reply_write_ns", static_cast<int64_t>(ReplyWriteNs()));
   phases.Set("total_ns", static_cast<int64_t>(TotalNs()));
   out.Set("phases", std::move(phases));
+  if (commit_batch != 0) {
+    Json commit = Json::Object();
+    commit.Set("version", static_cast<int64_t>(commit_version));
+    commit.Set("batch", static_cast<int64_t>(commit_batch));
+    commit.Set("batch_size", static_cast<int64_t>(commit_batch_size));
+    commit.Set("queue_wait_ns", static_cast<int64_t>(commit_queue_wait_ns));
+    commit.Set("check_ns", static_cast<int64_t>(commit_check_ns));
+    out.Set("commit", std::move(commit));
+  }
   return out;
 }
 

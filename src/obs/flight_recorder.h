@@ -71,6 +71,17 @@ struct RequestRecord {
   uint64_t reply_flushed_ns = 0;  ///< last reply byte accepted by the kernel
   uint64_t reply_bytes = 0;
 
+  /// Group-commit phase, stamped only when the statement committed a
+  /// transaction (commit_batch != 0): the commit version it received, the
+  /// wave it was grouped into and how many transactions shared that wave,
+  /// plus how long it waited in the commit queue and how long the wave's
+  /// single check phase took.
+  uint64_t commit_version = 0;
+  uint64_t commit_batch = 0;
+  uint64_t commit_batch_size = 0;
+  uint64_t commit_queue_wait_ns = 0;
+  uint64_t commit_check_ns = 0;
+
   /// Phase durations; saturate to 0 rather than underflow on skew.
   uint64_t QueueWaitNs() const;
   uint64_t ExecNs() const;

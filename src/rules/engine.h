@@ -4,12 +4,13 @@
 #include "objectlog/registry.h"
 #include "rules/rule_manager.h"
 #include "storage/database.h"
+#include "txn/manager.h"
 
 namespace deltamon {
 
 /// Convenience aggregate wiring a database, the derived-relation registry,
-/// and the rule manager together — the full active-DBMS stack. Most
-/// programs (and the AMOSQL session) build on this.
+/// the rule manager, and the transaction manager together — the full
+/// active-DBMS stack. Most programs (and the AMOSQL session) build on this.
 ///
 ///   Engine engine;
 ///   engine.db.catalog().CreateType("item");
@@ -17,14 +18,20 @@ namespace deltamon {
 ///   engine.rules.CreateRule(...); engine.rules.Activate(...);
 ///   ... updates ...
 ///   engine.db.Commit();   // deferred check phase runs here
+///
+/// Single-threaded programs can keep using the database directly, exactly
+/// as above; `txn` only participates when sessions attach to it (the
+/// network server does), giving each session an optimistic transaction
+/// with snapshot reads and group-committed check phases.
 struct Engine {
-  Engine() : rules(db, registry) {}
+  Engine() : rules(db, registry), txn(db, rules) {}
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   Database db;
   objectlog::DerivedRegistry registry;
   rules::RuleManager rules;
+  txn::TransactionManager txn;
 };
 
 }  // namespace deltamon

@@ -138,6 +138,13 @@ class RuleManager {
   /// their evaluator directly. Owned by the caller; nullptr detaches.
   void SetProfiler(obs::Profile* profiler) { profiler_ = profiler; }
 
+  /// The profiler attached for the current check phase (null when
+  /// detached). Rule actions read this instead of caching session state:
+  /// under group commit the check phase — and thus any action — may run on
+  /// the commit leader's thread on behalf of another session, and only the
+  /// manager knows whose profile (if any) is armed for this wave.
+  obs::Profile* profiler() const { return profiler_; }
+
   /// PF-style evaluation (paper §2 contrast): keep every derived network
   /// node's extent materialized and incrementally maintained, so partial
   /// differentials read stored (indexed) views instead of re-deriving

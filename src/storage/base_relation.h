@@ -114,6 +114,14 @@ class BaseRelation {
     return column < num_columns_ && Index(column) != nullptr;
   }
 
+  /// Commit version of the last committed transaction that wrote this
+  /// relation (0 = never written by a versioned commit). Stamped by the
+  /// transaction manager's commit leader under the exclusive engine lock
+  /// and read by validation under the same lock, so a plain field
+  /// suffices; legacy single-session paths never touch it.
+  uint64_t last_commit_version() const { return last_commit_version_; }
+  void set_last_commit_version(uint64_t v) { last_commit_version_ = v; }
+
  private:
   /// Maps column values to dense positions in rows_ (TupleSet stores its
   /// elements contiguously). Positions are append-only stable; Delete's
@@ -136,6 +144,7 @@ class BaseRelation {
   /// Owned: freed in the dtor.
   mutable std::unique_ptr<std::atomic<ColumnIndex*>[]> indexes_;
   mutable std::mutex index_build_mu_;
+  uint64_t last_commit_version_ = 0;
 };
 
 }  // namespace deltamon

@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace deltamon {
@@ -96,6 +98,34 @@ Status Database::InjectForeignDelta(RelationId rel, const DeltaSet& delta) {
     pending_deltas_[rel].DeltaUnion(delta);
     DELTAMON_RETURN_IF_ERROR(MaybeImmediateCheck());
   }
+  return Status::OK();
+}
+
+Status Database::ApplyOverlay(
+    const std::unordered_map<RelationId, DeltaSet>& writes) {
+  std::vector<RelationId> rels;
+  rels.reserve(writes.size());
+  for (const auto& [rel, overlay] : writes) rels.push_back(rel);
+  std::sort(rels.begin(), rels.end());
+  for (RelationId rel : rels) {
+    const DeltaSet& overlay = writes.at(rel);
+    for (const Tuple& t : SortedTuples(overlay.minus())) {
+      DELTAMON_RETURN_IF_ERROR(ApplyAndLog(rel, UpdateEvent::Op::kDelete, t));
+    }
+    for (const Tuple& t : SortedTuples(overlay.plus())) {
+      DELTAMON_RETURN_IF_ERROR(ApplyAndLog(rel, UpdateEvent::Op::kInsert, t));
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::CommitWithoutCheck() {
+  DELTAMON_OBS_RECORD("db.tx_events", undo_log_.size());
+  DELTAMON_OBS_GAUGE_SET("db.undo_log_size", 0);
+  undo_log_.clear();
+  pending_deltas_.clear();
+  ++stats_.commits;
+  DELTAMON_OBS_COUNT("db.commits", 1);
   return Status::OK();
 }
 

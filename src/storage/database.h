@@ -75,6 +75,20 @@ class Database {
   /// phase fails the transaction stays open.
   Status Commit();
 
+  /// Applies one transaction's buffered write overlay (per-relation net
+  /// <Δ+, Δ−>) to storage: deletions then insertions, in sorted relation
+  /// and tuple order so replay is deterministic. Each event goes through
+  /// the normal apply-and-log path — undo logged, folded into the pending
+  /// Δ-sets of monitored relations — but never triggers an immediate
+  /// check: the group-commit leader batches several overlays into one
+  /// check-phase wave (∪Δ before propagation, paper §4.5).
+  Status ApplyOverlay(const std::unordered_map<RelationId, DeltaSet>& writes);
+
+  /// Commit for callers that already ran the check phase themselves (the
+  /// transaction manager's commit leader): clears the undo log and pending
+  /// Δ-sets and counts the commit, without re-entering the check phase.
+  Status CommitWithoutCheck();
+
   /// Physically undoes every logged event in reverse order and clears the
   /// log and pending Δ-sets.
   Status Rollback();

@@ -16,13 +16,18 @@
 /// Every assertion message carries the seed, so a failure reproduces with
 /// a one-line filter.
 
+#include <algorithm>
+#include <mutex>
 #include <random>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "amosql/session.h"
 #include "common/thread_pool.h"
 #include "core/materialized_views.h"
 #include "core/network.h"
@@ -416,6 +421,194 @@ TEST_P(ThreadDeterminismTest, TraceAndStatsAreBitIdenticalAcrossThreadCounts) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadDeterminismTest,
                          ::testing::Range(0u, 50u));
+
+/// ---------------------------------------------------------------------
+/// Concurrency fuzz (ROADMAP item 2 certification): N sessions on their
+/// own threads fire random transactions through the group-commit queue,
+/// retrying on first-committer-wins aborts. The committed history —
+/// replayed serially, in commit order, batch-faithfully (one deferred
+/// check phase per wave, as the group leader ran it) — must reproduce the
+/// concurrent engine exactly: bit-identical sorted dumps of every base
+/// relation and the same multiset of rule firings.
+///
+/// OCC validation is what makes statement-level replay sound: a committed
+/// transaction's every read (including the point reads its buffered
+/// folding depended on) is certified untouched by concurrent commits, so
+/// re-executing its statements against the commit-order state computes
+/// the same effects it computed against its snapshot.
+
+constexpr const char* kConcSchema =
+    "create function stock(integer) -> integer;"
+    "create function audit(integer) -> integer;"
+    "create rule low_stock() as"
+    "  when for each integer k where stock(k) < 3"
+    "  do note(k, stock(k));"
+    "activate low_stock();";
+
+/// One engine + bootstrap session with a thread-safe firing log. The
+/// bootstrap session stays legacy (direct writes), like deltamond's
+/// --init path; worker sessions attach to the engine's manager.
+class ConcHarness {
+ public:
+  ConcHarness() {
+    boot_.RegisterProcedure(
+        "note", [this](Database&, const std::vector<Value>& args) {
+          std::lock_guard<std::mutex> lock(mu_);
+          firings_.emplace_back(args[0].AsInt(), args[1].AsInt());
+          return Status::OK();
+        });
+    std::string src = kConcSchema;
+    for (int k = 0; k < 8; ++k) {
+      src += "set stock(" + std::to_string(k) + ") = 10;";
+    }
+    src += "commit;";
+    auto r = boot_.Execute(src);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  std::vector<std::pair<int64_t, int64_t>> SortedFirings() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<int64_t, int64_t>> out = firings_;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Sorted per-relation dump of every base relation — the canonical
+  /// store state two engines are compared by.
+  std::vector<std::string> Dump() {
+    std::vector<std::string> out;
+    const Catalog& catalog = engine_.db.catalog();
+    for (RelationId id : catalog.AllRelationIds()) {
+      const BaseRelation* rel = catalog.GetBaseRelation(id);
+      if (rel == nullptr) continue;
+      std::vector<std::string> rows;
+      for (const Tuple& t : rel->rows()) rows.push_back(t.ToString());
+      std::sort(rows.begin(), rows.end());
+      for (std::string& row : rows) {
+        out.push_back(catalog.RelationName(id) + " " + std::move(row));
+      }
+    }
+    return out;
+  }
+
+  Engine engine_;
+  amosql::Session boot_{engine_};
+
+ private:
+  std::mutex mu_;
+  std::vector<std::pair<int64_t, int64_t>> firings_;
+};
+
+/// A transaction that survived validation, with the statements to replay.
+struct CommittedTxn {
+  uint64_t version;
+  uint64_t batch;
+  std::string ops;
+};
+
+struct ConcFuzzConfig {
+  uint32_t seed;
+  size_t threads;
+};
+
+class ConcurrentTxnFuzzTest : public ::testing::TestWithParam<ConcFuzzConfig> {
+};
+
+TEST_P(ConcurrentTxnFuzzTest, CommittedHistoryEqualsSerialReplay) {
+  const ConcFuzzConfig& config = GetParam();
+  ConcHarness live;
+
+  std::mutex log_mu;
+  std::vector<CommittedTxn> committed;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < config.threads; ++t) {
+    workers.emplace_back([&, t] {
+      std::mt19937 rng(config.seed * 131 + static_cast<uint32_t>(t));
+      amosql::Session session(live.engine_);
+      session.AttachTransactionManager(&live.engine_.txn);
+      for (int tx = 0; tx < 6; ++tx) {
+        std::string ops;
+        const int n = 1 + static_cast<int>(rng() % 4);
+        for (int i = 0; i < n; ++i) {
+          const char* fn = rng() % 2 == 0 ? "stock" : "audit";
+          ops += std::string("set ") + fn + "(" +
+                 std::to_string(rng() % 12) + ") = " +
+                 std::to_string(rng() % 12) + ";";
+        }
+        const std::string src = "begin;" + ops + "commit;";
+        bool done = false;
+        for (int attempt = 0; attempt < 100 && !done; ++attempt) {
+          const uint64_t batch_before =
+              session.txn_snapshot().last_commit.batch_id;
+          auto r = session.Execute(src);
+          if (r.ok()) {
+            const auto& info = session.txn_snapshot().last_commit;
+            // A transaction whose sets folded to a net no-op overlay
+            // commits via the read-only fast path without a wave stamp;
+            // it changed nothing, so it has no place in the history.
+            if (info.batch_id != batch_before) {
+              std::lock_guard<std::mutex> lock(log_mu);
+              committed.push_back({info.version, info.batch_id, ops});
+            }
+            done = true;
+          } else {
+            // Only first-committer-wins aborts are expected; anything
+            // else is a real failure.
+            ASSERT_EQ(r.status().code(), StatusCode::kTxnConflict)
+                << r.status().ToString();
+          }
+        }
+        EXPECT_TRUE(done) << "transaction starved after 100 retries";
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // Every committed transaction received a distinct commit version.
+  std::sort(committed.begin(), committed.end(),
+            [](const CommittedTxn& a, const CommittedTxn& b) {
+              return a.version < b.version;
+            });
+  for (size_t i = 1; i < committed.size(); ++i) {
+    ASSERT_NE(committed[i].version, committed[i - 1].version);
+  }
+
+  // Batch-faithful serial replay: transactions in commit order, one
+  // legacy commit (= one deferred check phase) per commit wave — exactly
+  // the Δ-union the group leader propagated.
+  ConcHarness replay;
+  for (size_t i = 0; i < committed.size();) {
+    std::string batch_src;
+    const uint64_t batch = committed[i].batch;
+    for (; i < committed.size() && committed[i].batch == batch; ++i) {
+      batch_src += committed[i].ops;
+    }
+    batch_src += "commit;";
+    auto r = replay.boot_.Execute(batch_src);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+
+  EXPECT_EQ(live.Dump(), replay.Dump());
+  // Firing order within a wave follows the Δ-union's iteration order,
+  // which replay need not reproduce tuple-for-tuple; the multiset must
+  // match (per-wave sets are compared implicitly through the dumps).
+  EXPECT_EQ(live.SortedFirings(), replay.SortedFirings());
+}
+
+std::vector<ConcFuzzConfig> ConcFuzzConfigs() {
+  std::vector<ConcFuzzConfig> out;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    for (uint32_t seed = 0; seed < 4; ++seed) out.push_back({seed, threads});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ConcurrentTxnFuzzTest, ::testing::ValuesIn(ConcFuzzConfigs()),
+    [](const ::testing::TestParamInfo<ConcFuzzConfig>& info) {
+      return "Seed" + std::to_string(info.param.seed) + "Threads" +
+             std::to_string(info.param.threads);
+    });
 
 }  // namespace
 }  // namespace deltamon
