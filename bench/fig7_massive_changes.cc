@@ -48,12 +48,13 @@ void RunMassiveTransaction(Engine& engine, const InventorySchema& schema,
 }
 
 template <MonitorMode kMode>
-void BM_Fig7(benchmark::State& state) {
+void BM_Fig7(benchmark::State& state, bool kernels = true) {
   auto setup = SetupMonitorItems(static_cast<size_t>(state.range(0)), kMode);
   if (!setup.ok()) {
     state.SkipWithError(setup.status().ToString().c_str());
     return;
   }
+  (*setup)->engine->rules.SetKernelsEnabled(kernels);
   if (bench::ThreadsArg() > 0) {
     (*setup)->engine->rules.SetNumThreads(
         static_cast<size_t>(bench::ThreadsArg()));
@@ -71,7 +72,7 @@ void BM_Fig7(benchmark::State& state) {
 /// `rules`-wide level of root nodes). Sweep args: (items, rules, threads);
 /// the threads=1 row is the serial baseline for the speedup claim in
 /// docs/parallelism.md. `--threads=N` pins every row to N.
-void BM_Fig7_ParallelFleet(benchmark::State& state) {
+void BM_Fig7_Fleet(benchmark::State& state, bool kernels) {
   const auto items = static_cast<size_t>(state.range(0));
   const auto num_rules = static_cast<size_t>(state.range(1));
   size_t threads = static_cast<size_t>(state.range(2));
@@ -83,6 +84,7 @@ void BM_Fig7_ParallelFleet(benchmark::State& state) {
     state.SkipWithError(setup.status().ToString().c_str());
     return;
   }
+  (*setup)->engine->rules.SetKernelsEnabled(kernels);
   (*setup)->engine->rules.SetNumThreads(threads);
   int64_t round = 0;
   for (auto _ : state) {
@@ -97,6 +99,12 @@ void BM_Fig7_ParallelFleet(benchmark::State& state) {
 void BM_Fig7_Incremental(benchmark::State& state) {
   BM_Fig7<MonitorMode::kIncremental>(state);
 }
+/// Ablation for the batch kernels: the same Δ-heavy waves forced through
+/// the tuple-at-a-time interpreter. The gap to BM_Fig7_Incremental is the
+/// kernel speedup end to end.
+void BM_Fig7_IncrementalNoKernels(benchmark::State& state) {
+  BM_Fig7<MonitorMode::kIncremental>(state, /*kernels=*/false);
+}
 void BM_Fig7_Naive(benchmark::State& state) {
   BM_Fig7<MonitorMode::kNaive>(state);
 }
@@ -104,11 +112,24 @@ void BM_Fig7_Hybrid(benchmark::State& state) {
   // §8 extension: the hybrid monitor should pick the naive path here.
   BM_Fig7<MonitorMode::kHybrid>(state);
 }
+/// Kernels ablation for the fleet: 8 rules × 1000-item Δs is the most
+/// Δ-heavy shape in the suite, so the interpreter-vs-kernel gap is widest
+/// here.
+void BM_Fig7_ParallelFleet(benchmark::State& state) {
+  BM_Fig7_Fleet(state, /*kernels=*/true);
+}
+void BM_Fig7_ParallelFleetNoKernels(benchmark::State& state) {
+  BM_Fig7_Fleet(state, /*kernels=*/false);
+}
 
 }  // namespace
 }  // namespace deltamon
 
 BENCHMARK(deltamon::BM_Fig7_Incremental)
+    ->RangeMultiplier(10)
+    ->Range(10, 10000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(deltamon::BM_Fig7_IncrementalNoKernels)
     ->RangeMultiplier(10)
     ->Range(10, 10000)
     ->Unit(benchmark::kMillisecond);
@@ -125,6 +146,11 @@ BENCHMARK(deltamon::BM_Fig7_ParallelFleet)
     ->Args({1000, 8, 1})
     ->Args({1000, 8, 2})
     ->Args({1000, 8, 4})
+    ->Args({1000, 8, 8})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(deltamon::BM_Fig7_ParallelFleetNoKernels)
+    ->ArgNames({"items", "rules", "threads"})
+    ->Args({1000, 8, 1})
     ->Args({1000, 8, 8})
     ->Unit(benchmark::kMillisecond);
 

@@ -241,6 +241,19 @@ struct SetThreadsStmt {
   int64_t num_threads = 1;
 };
 
+/// `set kernels on|off` — routes eligible partial differentials through the
+/// batch evaluation kernels (columnar Δ-tables, build–probe hash joins,
+/// semi-join pre-filters; docs/kernels.md). On by default; results are
+/// identical either way, only the execution strategy (and the per-literal
+/// `access` labels in profiles) changes.
+struct SetKernelsStmt {
+  bool on = true;
+};
+
+/// `show settings;` — prints the session-visible execution knobs
+/// (threads, kernels) and their current values.
+struct ShowSettingsStmt {};
+
 /// A parsed statement (tagged union via variant).
 struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
@@ -248,7 +261,8 @@ struct Statement {
                BeginStmt, CommitStmt, RollbackStmt, ProfileStmt,
                ShowMetricsStmt,
                TraceStmt, ShowNetworkStmt, ShowSlowStmt, ResetMetricsStmt,
-               SetThreadsStmt, ExplainAnalyzeStmt, AnalyzeRuleStmt>
+               SetThreadsStmt, SetKernelsStmt, ShowSettingsStmt,
+               ExplainAnalyzeStmt, AnalyzeRuleStmt>
       node;
   int line = 1;
 };

@@ -128,6 +128,23 @@ class Parser {
       stmt.node = st;
       return stmt;
     }
+    // `set kernels on|off;` — batch-kernel toggle, same shape as threads.
+    // The Peek(2) guard keeps `set kernels(:a) = ...` an ordinary update
+    // of a function that happens to be named "kernels".
+    if (AtKeyword("set") && Peek(1).IsKeyword("kernels") &&
+        (Peek(2).IsKeyword("on") || Peek(2).IsKeyword("off"))) {
+      Take();  // set
+      Take();  // kernels
+      SetKernelsStmt sk;
+      sk.on = Take().IsKeyword("on");
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = sk;
+      return stmt;
+    }
+    if (AtKeyword("set") && Peek(1).IsKeyword("kernels") &&
+        Peek(2).kind != TokenKind::kLParen) {
+      return ErrorHere("expected 'on' or 'off' after 'set kernels'");
+    }
     if (AtKeyword("set") || AtKeyword("add") || AtKeyword("remove")) {
       UpdateStmt upd;
       upd.line = Peek().line;
@@ -240,6 +257,11 @@ class Parser {
       if (MatchKeyword("slow")) {
         DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
         stmt.node = ShowSlowStmt{};
+        return stmt;
+      }
+      if (MatchKeyword("settings")) {
+        DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+        stmt.node = ShowSettingsStmt{};
         return stmt;
       }
       DELTAMON_RETURN_IF_ERROR(ExpectKeyword("metrics"));

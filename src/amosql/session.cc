@@ -222,6 +222,21 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           last->report += "THREADS " +
                           std::to_string(engine_.rules.num_threads()) + "\n";
           return Status::OK();
+        } else if constexpr (std::is_same_v<T, SetKernelsStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
+          engine_.rules.SetKernelsEnabled(node.on);
+          last->report +=
+              std::string("KERNELS ") + (node.on ? "on" : "off") + "\n";
+          return Status::OK();
+        } else if constexpr (std::is_same_v<T, ShowSettingsStmt>) {
+          GateLock lock(txn_mgr_, /*exclusive=*/false);
+          last->report += "SETTINGS\n";
+          last->report += "  threads " +
+                          std::to_string(engine_.rules.num_threads()) + "\n";
+          last->report += std::string("  kernels ") +
+                          (engine_.rules.kernels_enabled() ? "on" : "off") +
+                          "\n";
+          return Status::OK();
         } else {
           static_assert(std::is_same_v<T, RollbackStmt>);
           return ExecRollback();
@@ -337,8 +352,12 @@ void Session::RecordObservedStats(const obs::Profile& profile) {
   for (const auto& [label, cp] : profile.clauses()) {
     for (const obs::LiteralProfile& slot : cp.slots) {
       // Only extent accesses carry a (relation, role, nbound) key the
-      // ordering optimizer can look up; filters and binders don't.
-      if (slot.access != "scan" && slot.access.rfind("probe", 0) != 0) {
+      // ordering optimizer can look up; filters and binders don't. The
+      // batch kernels relabel extent accesses with their join strategy
+      // but keep the same key and counter semantics.
+      if (slot.access != "scan" && slot.access.rfind("probe", 0) != 0 &&
+          slot.access.rfind("hash-join", 0) != 0 &&
+          slot.access != "semijoin-filtered") {
         continue;
       }
       stats.Record(slot.relation, slot.role, slot.nbound,

@@ -1,0 +1,268 @@
+#include "common/column_table.h"
+
+#include <bit>
+
+namespace deltamon {
+
+void ColumnTable::Column::Reserve(size_t rows) {
+  switch (rep_) {
+    case Rep::kUnset:
+    case Rep::kInt64:
+      ints_.reserve(rows);
+      break;
+    case Rep::kSymbol:
+      syms_.reserve(rows);
+      break;
+    case Rep::kObject:
+      oids_.reserve(rows);
+      break;
+    case Rep::kGeneric:
+      generic_.reserve(rows);
+      break;
+  }
+}
+
+void ColumnTable::Column::Degrade(size_t rows_so_far) {
+  // Convert the typed vector built so far into Values; subsequent appends
+  // stay generic. rows_so_far is the column's current length.
+  generic_.reserve(rows_so_far + 1);
+  switch (rep_) {
+    case Rep::kInt64:
+      for (int64_t v : ints_) generic_.emplace_back(v);
+      ints_.clear();
+      ints_.shrink_to_fit();
+      break;
+    case Rep::kSymbol:
+      for (SymbolId s : syms_) generic_.emplace_back(InternedString{s});
+      syms_.clear();
+      syms_.shrink_to_fit();
+      break;
+    case Rep::kObject:
+      for (Oid o : oids_) generic_.emplace_back(o);
+      oids_.clear();
+      oids_.shrink_to_fit();
+      break;
+    case Rep::kUnset:
+    case Rep::kGeneric:
+      break;
+  }
+  rep_ = Rep::kGeneric;
+}
+
+void ColumnTable::Column::Append(const Value& v) {
+  if (rep_ == Rep::kUnset) {
+    switch (v.kind()) {
+      case ValueKind::kInt:
+        rep_ = Rep::kInt64;
+        break;
+      case ValueKind::kString:
+        rep_ = Rep::kSymbol;
+        break;
+      case ValueKind::kObject:
+        rep_ = Rep::kObject;
+        break;
+      default:
+        rep_ = Rep::kGeneric;
+        break;
+    }
+  }
+  switch (rep_) {
+    case Rep::kInt64:
+      if (v.is_int()) {
+        ints_.push_back(v.AsInt());
+        return;
+      }
+      Degrade(ints_.size());
+      break;
+    case Rep::kSymbol:
+      if (v.is_string()) {
+        syms_.push_back(v.string_id());
+        return;
+      }
+      Degrade(syms_.size());
+      break;
+    case Rep::kObject:
+      if (v.is_object()) {
+        oids_.push_back(v.AsObject());
+        return;
+      }
+      Degrade(oids_.size());
+      break;
+    case Rep::kUnset:
+    case Rep::kGeneric:
+      break;
+  }
+  generic_.push_back(v);
+}
+
+void ColumnTable::Column::AppendFrom(const Column& src, size_t src_row) {
+  // Fast path: identical typed reps copy raw payloads.
+  if (rep_ == src.rep_ || rep_ == Rep::kUnset) {
+    switch (src.rep_) {
+      case Rep::kInt64:
+        rep_ = Rep::kInt64;
+        ints_.push_back(src.ints_[src_row]);
+        return;
+      case Rep::kSymbol:
+        rep_ = Rep::kSymbol;
+        syms_.push_back(src.syms_[src_row]);
+        return;
+      case Rep::kObject:
+        rep_ = Rep::kObject;
+        oids_.push_back(src.oids_[src_row]);
+        return;
+      default:
+        break;
+    }
+  }
+  Append(src.Get(src_row));
+}
+
+Value ColumnTable::Column::Get(size_t row) const {
+  switch (rep_) {
+    case Rep::kInt64:
+      return Value(ints_[row]);
+    case Rep::kSymbol:
+      return Value(InternedString{syms_[row]});
+    case Rep::kObject:
+      return Value(oids_[row]);
+    case Rep::kGeneric:
+      return generic_[row];
+    case Rep::kUnset:
+      break;
+  }
+  return Value();
+}
+
+size_t ColumnTable::Column::Hash(size_t row) const {
+  switch (rep_) {
+    case Rep::kInt64:
+      return CellHashInt(ints_[row]);
+    case Rep::kSymbol:
+      return CellHashSymbol(syms_[row]);
+    case Rep::kObject:
+      return CellHashObject(oids_[row].id);
+    case Rep::kGeneric:
+      return generic_[row].Hash();
+    case Rep::kUnset:
+      break;
+  }
+  return Value().Hash();
+}
+
+bool ColumnTable::Column::Equals(size_t row, const Value& v) const {
+  switch (rep_) {
+    case Rep::kInt64:
+      return v.is_int() && v.AsInt() == ints_[row];
+    case Rep::kSymbol:
+      return v.is_string() && v.string_id() == syms_[row];
+    case Rep::kObject:
+      return v.is_object() && v.AsObject() == oids_[row];
+    case Rep::kGeneric:
+      return generic_[row] == v;
+    case Rep::kUnset:
+      break;
+  }
+  return v.is_null();
+}
+
+bool ColumnTable::Column::EqualsCell(size_t row, const Column& other,
+                                     size_t other_row) const {
+  if (rep_ == other.rep_) {
+    switch (rep_) {
+      case Rep::kInt64:
+        return ints_[row] == other.ints_[other_row];
+      case Rep::kSymbol:
+        return syms_[row] == other.syms_[other_row];
+      case Rep::kObject:
+        return oids_[row] == other.oids_[other_row];
+      default:
+        break;
+    }
+  }
+  return Equals(row, other.Get(other_row));
+}
+
+void ColumnTable::Reserve(size_t rows) {
+  for (Column& c : cols_) c.Reserve(rows);
+}
+
+size_t ColumnTable::KeyHash(size_t row,
+                            const std::vector<size_t>& key_cols) const {
+  // Same chained recipe as Tuple::Hash so single-column keys of kernels and
+  // any future Tuple-keyed consumers agree on bucket spread; the absolute
+  // seed differs from Tuple's (not required to match — only build and probe
+  // sides of one join must agree, and both come through here or through
+  // Value::Hash for pattern constants on single columns).
+  size_t seed = 0x9e3779b97f4a7c15ULL;
+  for (size_t col : key_cols) seed = HashCombine(seed, CellHash(row, col));
+  return seed;
+}
+
+bool ColumnTable::KeyEquals(size_t row, const std::vector<size_t>& key_cols,
+                            const ColumnTable& other, size_t other_row,
+                            const std::vector<size_t>& other_cols) const {
+  for (size_t i = 0; i < key_cols.size(); ++i) {
+    if (!CellEqualsCell(row, key_cols[i], other, other_row, other_cols[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ColumnTable::HashIndex ColumnTable::BuildIndex(
+    std::vector<size_t> key_cols) const {
+  HashIndex idx;
+  idx.key_cols = std::move(key_cols);
+  if (num_rows_ == 0) return idx;
+  size_t buckets = std::bit_ceil(num_rows_ + num_rows_ / 2);
+  idx.heads.assign(buckets, HashIndex::kNoRow);
+  idx.mask = static_cast<uint32_t>(buckets - 1);
+  idx.next.resize(num_rows_);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    size_t h = KeyHash(row, idx.key_cols);
+    uint32_t& head = idx.heads[h & idx.mask];
+    idx.next[row] = head;
+    head = static_cast<uint32_t>(row);
+  }
+  return idx;
+}
+
+ColumnTable::Grouping ColumnTable::GroupByKey(
+    const std::vector<size_t>& key_cols) const {
+  Grouping g;
+  if (num_rows_ == 0) return g;
+  // Open-addressing directory of group representatives: rows are visited in
+  // order, so the first row of each distinct key becomes its group's
+  // representative and group ids ascend by first occurrence.
+  size_t buckets = std::bit_ceil(num_rows_ + num_rows_ / 2);
+  size_t mask = buckets - 1;
+  struct Slot {
+    uint32_t group = HashIndex::kNoRow;
+    size_t hash = 0;
+  };
+  std::vector<Slot> slots(buckets);
+  for (size_t row = 0; row < num_rows_; ++row) {
+    size_t h = KeyHash(row, key_cols);
+    size_t b = h & mask;
+    uint32_t group = HashIndex::kNoRow;
+    while (slots[b].group != HashIndex::kNoRow) {
+      if (slots[b].hash == h &&
+          KeyEquals(g.reps[slots[b].group], key_cols, *this, row, key_cols)) {
+        group = slots[b].group;
+        break;
+      }
+      b = (b + 1) & mask;
+    }
+    if (group == HashIndex::kNoRow) {
+      group = static_cast<uint32_t>(g.reps.size());
+      slots[b] = Slot{group, h};
+      g.reps.push_back(static_cast<uint32_t>(row));
+      g.rows.emplace_back();
+    }
+    g.rows[group].push_back(static_cast<uint32_t>(row));
+  }
+  return g;
+}
+
+}  // namespace deltamon

@@ -1,0 +1,151 @@
+#ifndef DELTAMON_COMMON_COLUMN_TABLE_H_
+#define DELTAMON_COMMON_COLUMN_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace deltamon {
+
+/// Cell hash helpers for the typed column representations. Each must equal
+/// Value::Hash() of the corresponding Value exactly — the hash-join kernels
+/// mix hashes computed from typed columns with hashes computed from Values
+/// (constants in probe patterns), and the two sides of a build–probe join
+/// must land in the same bucket. column_table_test pins the equivalence.
+inline size_t CellHashInt(int64_t v) {
+  return HashCombine(static_cast<size_t>(ValueKind::kInt),
+                     std::hash<int64_t>{}(v));
+}
+inline size_t CellHashSymbol(SymbolId s) {
+  return HashCombine(static_cast<size_t>(ValueKind::kString),
+                     std::hash<uint32_t>{}(s));
+}
+inline size_t CellHashObject(uint64_t oid) {
+  return HashCombine(static_cast<size_t>(ValueKind::kObject),
+                     std::hash<uint64_t>{}(oid));
+}
+
+/// A columnar (struct-of-arrays) table: the wave-front Δ-table of the batch
+/// evaluation kernels. Each column starts untyped and specializes to a
+/// dense int64 / SymbolId / Oid vector on first append, falling back to a
+/// generic Value vector the moment a mixed kind arrives — so the common
+/// all-int and all-string columns of monitoring workloads scan as flat
+/// arrays, while arbitrary Values (bools, doubles, nulls) still work.
+///
+/// The table grows append-only; rows are addressed by dense index. A
+/// build–probe HashIndex over any column subset supports the join kernels,
+/// and GroupByKey clusters rows by distinct key in first-occurrence order
+/// for probe batching and semi-join filtering.
+class ColumnTable {
+ public:
+  ColumnTable() = default;
+  explicit ColumnTable(size_t num_cols) : cols_(num_cols) {}
+
+  size_t num_cols() const { return cols_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  void Reserve(size_t rows);
+
+  /// Appends one cell to column `col`. A row is complete once every column
+  /// has received its cell; callers append whole rows (each column exactly
+  /// once, then FinishRow).
+  void AppendCell(size_t col, const Value& v) { cols_[col].Append(v); }
+  /// Appends a cell copied from another table's cell — preserves the typed
+  /// representation without materializing a Value when reps match.
+  void AppendCellFrom(size_t col, const ColumnTable& src, size_t src_col,
+                      size_t src_row) {
+    cols_[col].AppendFrom(src.cols_[src_col], src_row);
+  }
+  void FinishRow() { ++num_rows_; }
+
+  /// Materializes the cell as a Value (O(1); symbol cells reuse the
+  /// interned id).
+  Value Get(size_t row, size_t col) const { return cols_[col].Get(row); }
+
+  /// Hash of the cell, equal to Get(row, col).Hash().
+  size_t CellHash(size_t row, size_t col) const {
+    return cols_[col].Hash(row);
+  }
+
+  bool CellEquals(size_t row, size_t col, const Value& v) const {
+    return cols_[col].Equals(row, v);
+  }
+  bool CellEqualsCell(size_t row, size_t col, const ColumnTable& other,
+                      size_t other_row, size_t other_col) const {
+    return cols_[col].EqualsCell(row, other.cols_[other_col], other_row);
+  }
+
+  /// Combined hash of the row restricted to `key_cols` (HashCombine chain,
+  /// same recipe as Tuple's incremental hash but over the key columns).
+  size_t KeyHash(size_t row, const std::vector<size_t>& key_cols) const;
+
+  /// Row-key equality against another table's row (columns paired
+  /// position-wise: key_cols[i] here vs other_cols[i] there).
+  bool KeyEquals(size_t row, const std::vector<size_t>& key_cols,
+                 const ColumnTable& other, size_t other_row,
+                 const std::vector<size_t>& other_cols) const;
+
+  /// Chained-bucket hash index over `key_cols`, for the build side of a
+  /// hash join: heads[h & mask] starts a next[]-linked chain of row ids
+  /// sharing the bucket (not necessarily the key — probers re-verify with
+  /// KeyEquals). kNoRow terminates chains.
+  struct HashIndex {
+    static constexpr uint32_t kNoRow = 0xffffffffu;
+    std::vector<uint32_t> heads;
+    std::vector<uint32_t> next;
+    uint32_t mask = 0;
+    std::vector<size_t> key_cols;
+
+    uint32_t First(size_t hash) const {
+      return heads.empty() ? kNoRow : heads[hash & mask];
+    }
+    uint32_t Next(uint32_t row) const { return next[row]; }
+  };
+  HashIndex BuildIndex(std::vector<size_t> key_cols) const;
+
+  /// Rows clustered by distinct key over `key_cols`. Groups are numbered in
+  /// first-occurrence row order and each group's member rows ascend — the
+  /// deterministic iteration order the probe kernel batches scans by.
+  struct Grouping {
+    /// Representative (first) row per group, ascending.
+    std::vector<uint32_t> reps;
+    /// Member rows per group, each ascending.
+    std::vector<std::vector<uint32_t>> rows;
+  };
+  Grouping GroupByKey(const std::vector<size_t>& key_cols) const;
+
+ private:
+  /// One column: unset until the first append picks a typed representation;
+  /// a mismatching later kind converts the column to kGeneric in place.
+  class Column {
+   public:
+    enum class Rep : uint8_t { kUnset, kInt64, kSymbol, kObject, kGeneric };
+
+    void Reserve(size_t rows);
+    void Append(const Value& v);
+    void AppendFrom(const Column& src, size_t src_row);
+    Value Get(size_t row) const;
+    size_t Hash(size_t row) const;
+    bool Equals(size_t row, const Value& v) const;
+    bool EqualsCell(size_t row, const Column& other, size_t other_row) const;
+
+   private:
+    void Degrade(size_t rows_so_far);
+
+    Rep rep_ = Rep::kUnset;
+    std::vector<int64_t> ints_;
+    std::vector<SymbolId> syms_;
+    std::vector<Oid> oids_;
+    std::vector<Value> generic_;
+  };
+
+  std::vector<Column> cols_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace deltamon
+
+#endif  // DELTAMON_COMMON_COLUMN_TABLE_H_

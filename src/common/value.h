@@ -67,6 +67,9 @@ class Value {
   explicit Value(const std::string& s) : Value(std::string_view(s)) {}
   explicit Value(const char* s) : Value(std::string_view(s)) {}
   explicit Value(Oid oid) : data_(oid) {}
+  /// Rebuilds a string value from an already-interned id (the columnar
+  /// Δ-table stores SymbolIds; reconstruction must not re-hash content).
+  explicit Value(InternedString s) : data_(s) {}
 
   ValueKind kind() const { return static_cast<ValueKind>(data_.index()); }
   bool is_null() const { return kind() == ValueKind::kNull; }

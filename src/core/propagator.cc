@@ -4,6 +4,7 @@
 #include <chrono>
 #include <memory>
 #include <thread>
+#include <unordered_set>
 
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -86,6 +87,7 @@ Status Propagator::ProcessNode(
   ctx.overlay_rel = rel;
   ctx.overlay_delta = &overlay_slot;
   objectlog::Evaluator evaluator(db_, registry_, ctx, cache);
+  evaluator.EnableKernels(options_.kernels);
   if (options_.profiler != nullptr) evaluator.SetProfiler(&out->profile);
 
   DeltaSet acc;
@@ -440,7 +442,54 @@ Result<PropagationResult> Propagator::Propagate(
     local_pool = std::make_unique<common::ThreadPool>(num_workers);
     pool = local_pool.get();
   }
-  std::vector<objectlog::EvalCache> caches(num_workers);
+  // Evaluation caches: by default one fresh EvalCache per worker; a caller
+  // that passes PropagationOptions::caches keeps them across waves, so
+  // indexed recursive-fixpoint materializations survive when nothing they
+  // were computed from changed. The drop predicate is conservative: kOld
+  // extents always go (their logical rollback read this wave's Δ-sets),
+  // kNew extents go when the relation's dependency closure touches a
+  // changed base relation — or a foreign function, whose extent may drift
+  // between waves without a recorded delta.
+  std::vector<objectlog::EvalCache> local_caches;
+  std::vector<objectlog::EvalCache>* caches = options_.caches;
+  if (caches == nullptr || caches->size() < num_workers) {
+    local_caches.resize(num_workers);
+    caches = &local_caches;
+  } else {
+    std::unordered_set<RelationId> changed;
+    for (const auto& [rel, delta] : base_deltas) {
+      if (!delta.empty()) changed.insert(rel);
+    }
+    auto inputs_changed = [&](RelationId rel) {
+      std::unordered_set<RelationId> visited;
+      std::vector<RelationId> frontier{rel};
+      while (!frontier.empty()) {
+        RelationId cur = frontier.back();
+        frontier.pop_back();
+        if (!visited.insert(cur).second) continue;
+        if (changed.contains(cur)) return true;
+        if (registry_.GetForeign(cur) != nullptr) return true;
+        if (const objectlog::AggregateDef* agg =
+                registry_.GetAggregate(cur)) {
+          frontier.push_back(agg->source);
+          continue;
+        }
+        if (const std::vector<objectlog::Clause>* clauses =
+                registry_.GetClauses(cur)) {
+          for (RelationId dep :
+               objectlog::DerivedRegistry::DirectDependencies(*clauses)) {
+            frontier.push_back(dep);
+          }
+        }
+      }
+      return false;
+    };
+    for (objectlog::EvalCache& cache : *caches) {
+      cache.BeginWave([&](RelationId rel, objectlog::EvalState state) {
+        return state == objectlog::EvalState::kOld || inputs_changed(rel);
+      });
+    }
+  }
 
   size_t wavefront = 0;  // tuples held in intermediate (derived) Δ-sets
   const auto& levels = network_.levels();
@@ -452,7 +501,7 @@ Result<PropagationResult> Propagator::Propagate(
       for (RelationId rel : level_nodes) {
         NodeOutput out;
         out.status =
-            ProcessNode(rel, lvl, wave, view_map, &caches[0], &out);
+            ProcessNode(rel, lvl, wave, view_map, &(*caches)[0], &out);
         DELTAMON_RETURN_IF_ERROR(MergeNode(rel, &out, &result, &wave,
                                            &wavefront, &pending_parents));
       }
@@ -464,7 +513,7 @@ Result<PropagationResult> Propagator::Propagate(
       outputs.resize(level_nodes.size());
       pool->Run(level_nodes.size(), [&](size_t i, size_t worker) {
         outputs[i].status = ProcessNode(level_nodes[i], lvl, wave, view_map,
-                                        &caches[worker], &outputs[i]);
+                                        &(*caches)[worker], &outputs[i]);
       });
       for (size_t i = 0; i < level_nodes.size(); ++i) {
         DELTAMON_RETURN_IF_ERROR(MergeNode(level_nodes[i], &outputs[i],

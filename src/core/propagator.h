@@ -94,6 +94,19 @@ struct PropagationOptions {
   /// bit-identical at any thread count. Null (the default) keeps the
   /// evaluator's profiling branches dormant.
   obs::Profile* profiler = nullptr;
+  /// Per-worker evaluation caches that outlive the wave. When non-null
+  /// (and sized >= the effective worker count), Propagate calls
+  /// BeginWave() on each — dropping wave-scoped extents but retaining
+  /// indexed recursive-fixpoint materializations whose inputs did not
+  /// change — instead of constructing fresh caches. Long-lived callers
+  /// (RuleManager) pass their own vector; null keeps the old
+  /// fresh-caches-per-wave behavior.
+  std::vector<objectlog::EvalCache>* caches = nullptr;
+  /// Route eligible partial differentials through the batch evaluation
+  /// kernels (columnar Δ-tables, build–probe hash joins, semi-join
+  /// pre-filters; docs/kernels.md). Results are identical either way;
+  /// per-literal `access` labels in profiles reflect the chosen strategy.
+  bool kernels = true;
 };
 
 /// Executes the breadth-first bottom-up propagation algorithm (paper §5)

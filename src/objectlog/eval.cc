@@ -42,13 +42,32 @@ TupleSet* EvalCache::Insert(RelationId rel, EvalState state, TupleSet extent) {
 
 BaseRelation* EvalCache::FindIndexed(RelationId rel, EvalState state) {
   auto it = indexed_.find(Key(rel, state));
-  return it == indexed_.end() ? nullptr : it->second.get();
+  if (it == indexed_.end()) return nullptr;
+  ++indexed_reuses_;
+  return it->second.extent.get();
 }
 
 BaseRelation* EvalCache::InsertIndexed(RelationId rel, EvalState state,
-                                       std::unique_ptr<BaseRelation> extent) {
-  auto [it, _] = indexed_.insert_or_assign(Key(rel, state), std::move(extent));
-  return it->second.get();
+                                       std::unique_ptr<BaseRelation> extent,
+                                       bool retainable) {
+  ++indexed_inserts_;
+  auto [it, _] = indexed_.insert_or_assign(
+      Key(rel, state), IndexedEntry{std::move(extent), retainable});
+  return it->second.extent.get();
+}
+
+void EvalCache::BeginWave(
+    const std::function<bool(RelationId, EvalState)>& drop) {
+  extents_.clear();
+  for (auto it = indexed_.begin(); it != indexed_.end();) {
+    auto rel = static_cast<RelationId>(it->first >> 32);
+    auto state = static_cast<EvalState>(it->first & 0xffffffffu);
+    if (!it->second.retainable || drop(rel, state)) {
+      it = indexed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Evaluator::Evaluator(const Database& db, const DerivedRegistry& registry,
@@ -824,6 +843,11 @@ Status Evaluator::EvalBodyImpl(const Clause& clause,
 }
 
 Status Evaluator::EvaluateClause(const Clause& clause, TupleSet* out) {
+  if (kernels_) {
+    DELTAMON_ASSIGN_OR_RETURN(bool handled,
+                              TryEvaluateClauseKernel(clause, out));
+    if (handled) return Status::OK();
+  }
   return EvaluateClauseWithBindings(clause, {}, out);
 }
 
@@ -977,6 +1001,39 @@ Result<bool> Evaluator::Derivable(RelationId rel, EvalState state,
   return false;
 }
 
+bool Evaluator::CacheRetainSafe(RelationId rel) const {
+  // Transactional reads see the snapshot's private overlay — never shared.
+  if (ctx_.txn != nullptr) return false;
+  // Walk the dependency closure of `rel`; an extent whose derivation read
+  // the node-local overlay Δ or the hidden view would leak per-node state
+  // into a cache shared across waves (and, via PropagationOptions::caches,
+  // across Propagate calls).
+  bool overlay_active =
+      ctx_.overlay_delta != nullptr && ctx_.overlay_rel != kInvalidRelationId;
+  if (!overlay_active && ctx_.hidden_view == kInvalidRelationId) return true;
+  std::unordered_set<RelationId> visited;
+  std::vector<RelationId> frontier{rel};
+  while (!frontier.empty()) {
+    RelationId cur = frontier.back();
+    frontier.pop_back();
+    if (!visited.insert(cur).second) continue;
+    if ((overlay_active && cur == ctx_.overlay_rel) ||
+        cur == ctx_.hidden_view) {
+      return false;
+    }
+    if (const AggregateDef* agg = registry_.GetAggregate(cur)) {
+      frontier.push_back(agg->source);
+      continue;
+    }
+    if (const std::vector<Clause>* clauses = registry_.GetClauses(cur)) {
+      for (RelationId dep : DerivedRegistry::DirectDependencies(*clauses)) {
+        frontier.push_back(dep);
+      }
+    }
+  }
+  return true;
+}
+
 Result<const BaseRelation*> Evaluator::FixpointMaterialize(RelationId rel,
                                                            EvalState state) {
   if (BaseRelation* cached = cache_->FindIndexed(rel, state)) return cached;
@@ -1006,7 +1063,8 @@ Result<const BaseRelation*> Evaluator::FixpointMaterialize(RelationId rel,
   BaseRelation* extent = cache_->InsertIndexed(
       rel, state,
       std::make_unique<BaseRelation>(rel, db_.catalog().RelationName(rel),
-                                     sig->ToSchema()));
+                                     sig->ToSchema()),
+      CacheRetainSafe(rel));
   std::optional<EvalState> override_state;
   if (state == EvalState::kOld) override_state = EvalState::kOld;
   constexpr int kMaxRounds = 100000;

@@ -1,6 +1,7 @@
 #ifndef DELTAMON_OBJECTLOG_EVAL_H_
 #define DELTAMON_OBJECTLOG_EVAL_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -81,14 +82,31 @@ class EvalCache {
 
   /// Indexed extents (used for recursive relations, whose materializations
   /// are probed many times with bound columns during fixpoint evaluation).
+  /// `retainable` marks an entry as safe to survive BeginWave: the extent
+  /// was computed from shared state only (no node-local overlay, hidden
+  /// view, or transaction snapshot leaked into it).
   BaseRelation* FindIndexed(RelationId rel, EvalState state);
   BaseRelation* InsertIndexed(RelationId rel, EvalState state,
-                              std::unique_ptr<BaseRelation> extent);
+                              std::unique_ptr<BaseRelation> extent,
+                              bool retainable = false);
 
   void Clear() {
     extents_.clear();
     indexed_.clear();
   }
+
+  /// Opens a new propagation wave. Positional extents are always dropped
+  /// (wave-scoped memoization, cheap to rebuild); indexed extents — the
+  /// expensive recursive-fixpoint materializations — persist across waves
+  /// unless they are non-retainable or `drop(rel, state)` reports that the
+  /// extent's inputs may have changed since it was built.
+  void BeginWave(const std::function<bool(RelationId, EvalState)>& drop);
+
+  /// Lifetime counters for the retention regression tests: indexed extents
+  /// built vs. served from a previous insert (hits within one wave and
+  /// across retained waves both count as reuses).
+  uint64_t indexed_inserts() const { return indexed_inserts_; }
+  uint64_t indexed_reuses() const { return indexed_reuses_; }
 
  private:
   /// (relation, state) packed into one word: hot lookups hash a uint64_t
@@ -100,8 +118,15 @@ class EvalCache {
            static_cast<uint32_t>(static_cast<int>(state));
   }
 
+  struct IndexedEntry {
+    std::unique_ptr<BaseRelation> extent;
+    bool retainable = false;
+  };
+
   std::unordered_map<uint64_t, TupleSet> extents_;
-  std::unordered_map<uint64_t, std::unique_ptr<BaseRelation>> indexed_;
+  std::unordered_map<uint64_t, IndexedEntry> indexed_;
+  uint64_t indexed_inserts_ = 0;
+  uint64_t indexed_reuses_ = 0;
 };
 
 /// Evaluates ObjectLog clauses against a database, honoring per-literal
@@ -159,6 +184,16 @@ class Evaluator {
   /// profile per evaluator — the propagator gives each worker its own and
   /// merges them serially, exactly like EvalCache.
   void SetProfiler(obs::Profile* profile) { profiler_ = profile; }
+
+  /// Enables the batch (set-at-a-time) execution path for EvaluateClause:
+  /// eligible partial differentials evaluate through columnar Δ-tables and
+  /// build–probe hash-join kernels (see docs/kernels.md) instead of the
+  /// tuple-at-a-time interpreter; ineligible clauses (aggregates, foreign
+  /// or recursive literals, non-equi bindings, transactional contexts)
+  /// silently fall back. Off by default — the propagator switches it on
+  /// per PropagationOptions::kernels.
+  void EnableKernels(bool on) { kernels_ = on; }
+  bool kernels_enabled() const { return kernels_; }
 
   /// Chooses an execution order for `body` (indexes into it): the Δ-role
   /// generator first, then greedily by boundness — filters and binders as
@@ -243,6 +278,18 @@ class Evaluator {
 
   Result<Value> TermValue(const Term& term, const Env& env) const;
 
+  /// Batch kernel entry point (eval_kernel.cc): attempts to evaluate the
+  /// whole clause set-at-a-time over a columnar Δ-table. Returns true if it
+  /// handled the clause (out filled), false to fall back to the
+  /// tuple-at-a-time interpreter (ineligible shape).
+  Result<bool> TryEvaluateClauseKernel(const Clause& clause, TupleSet* out);
+
+  /// True when a materialized extent of `rel` depends only on shared state:
+  /// no transaction snapshot, and no relation in its dependency closure is
+  /// shadowed by this context's overlay or hidden view. Such extents may be
+  /// retained in the cache across waves (EvalCache::BeginWave).
+  bool CacheRetainSafe(RelationId rel) const;
+
   const Database& db_;
   const DerivedRegistry& registry_;
   StateContext ctx_;
@@ -250,6 +297,7 @@ class Evaluator {
   EvalCache own_cache_;
   Stats stats_;
   obs::Profile* profiler_ = nullptr;
+  bool kernels_ = false;
 };
 
 }  // namespace deltamon::objectlog

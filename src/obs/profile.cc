@@ -99,13 +99,13 @@ std::string Profile::Format(bool include_time) const {
     AppendF(&out, "clause %s: %s\n", label.c_str(), cp.clause_text.c_str());
     AppendF(&out, "  invocations: %llu\n",
             static_cast<unsigned long long>(cp.invocations));
-    AppendF(&out, "  %4s  %-36s %-10s %12s %10s %8s %10s%s  %s\n", "rank",
+    AppendF(&out, "  %4s  %-36s %-18s %12s %10s %8s %10s%s  %s\n", "rank",
             "literal", "access", "est.rows", "actual", "sel", "tried",
             include_time ? "         time" : "", "flag");
     for (size_t i : DisplayOrder(cp)) {
       const LiteralProfile& s = cp.slots[i];
       double est_total = s.est_rows * static_cast<double>(cp.invocations);
-      AppendF(&out, "  %4d  %-36s %-10s %12.1f %10llu %8.3f %10llu",
+      AppendF(&out, "  %4d  %-36s %-18s %12.1f %10llu %8.3f %10llu",
               s.display_rank + 1, s.text.c_str(), s.access.c_str(), est_total,
               static_cast<unsigned long long>(s.rows_out), s.Selectivity(),
               static_cast<unsigned long long>(s.bindings_tried));

@@ -251,11 +251,16 @@ void RuleManager::SetNumThreads(size_t num_threads) {
   pool_ = num_threads_ > 1
               ? std::make_unique<common::ThreadPool>(num_threads_)
               : nullptr;
+  // Resizing invalidates the per-worker cache identity; start fresh.
+  eval_caches_.clear();
 }
 
 Status RuleManager::RebuildNetwork() {
   network_dirty_ = false;
   network_.reset();
+  // Retained cache entries may reference relations of the old network's
+  // definitions; drop everything on a rebuild.
+  eval_caches_.clear();
   if (activations_.empty()) return Status::OK();
   std::vector<core::RootSpec> roots;
   for (const Activation& act : activations_) {
@@ -338,6 +343,18 @@ Status RuleManager::RunIncrementalRound(
   popts.num_threads = num_threads_;
   popts.pool = pool_.get();
   popts.profiler = profiler_;
+  popts.kernels = kernels_enabled_;
+  // Persist per-worker caches across waves so retained indexed extents
+  // (recursive-fixpoint materializations over unchanged inputs) are
+  // reused instead of recomputed. Propagate() resolves its effective
+  // worker count the same way as below, so the vector size always
+  // suffices.
+  size_t workers = pool_ != nullptr ? pool_->num_workers() : 1;
+  if (eval_caches_.size() != workers) {
+    eval_caches_.clear();
+    eval_caches_.resize(workers);
+  }
+  popts.caches = &eval_caches_;
   core::Propagator propagator(db, registry_, *net, store, popts);
   DELTAMON_ASSIGN_OR_RETURN(core::PropagationResult result,
                             propagator.Propagate(deltas));

@@ -131,6 +131,21 @@ class RuleManager {
   void SetNumThreads(size_t num_threads);
   size_t num_threads() const { return num_threads_; }
 
+  /// Batch evaluation kernels for incremental waves (columnar Δ-tables,
+  /// build–probe hash joins, semi-join pre-filters; docs/kernels.md).
+  /// On by default; results are identical either way — only execution
+  /// strategy (and the per-literal `access` labels in profiles) changes.
+  /// Exposed in AMOSQL as `set kernels on|off`.
+  void SetKernelsEnabled(bool on) { kernels_enabled_ = on; }
+  bool kernels_enabled() const { return kernels_enabled_; }
+
+  /// The per-worker evaluation caches persisted across incremental waves
+  /// (retained indexed extents; see EvalCache::BeginWave). Exposed for the
+  /// retention regression tests.
+  const std::vector<objectlog::EvalCache>& eval_caches() const {
+    return eval_caches_;
+  }
+
   /// Attaches a per-literal profiler for subsequent check-phase work:
   /// incremental waves pass it through PropagationOptions (per-worker
   /// profiles, serial merge — bit-identical at any thread count); naive
@@ -228,6 +243,12 @@ class RuleManager {
   size_t num_threads_ = 1;
   /// Sized to num_threads_; null while serial.
   std::unique_ptr<common::ThreadPool> pool_;
+  bool kernels_enabled_ = true;
+  /// Per-worker EvalCaches handed to every incremental wave via
+  /// PropagationOptions::caches; retained entries survive across waves
+  /// (and check phases) until their inputs change. Resized with the
+  /// thread setting and cleared on network rebuilds.
+  std::vector<objectlog::EvalCache> eval_caches_;
 
   RuleId next_rule_id_ = 1;
   uint32_t next_activation_id_ = 1;

@@ -155,6 +155,34 @@ TEST(ParserTest, SetThreadsRejectsMalformedCounts) {
   EXPECT_FALSE(Parse("set threads 2").ok());
 }
 
+TEST(ParserTest, SetKernels) {
+  auto program = Parse("set kernels on;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(As<SetKernelsStmt>((*program)[0]).on);
+  program = Parse("SET KERNELS OFF;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_FALSE(As<SetKernelsStmt>((*program)[0]).on);
+}
+
+TEST(ParserTest, SetOfAFunctionNamedKernelsIsStillAnUpdate) {
+  auto program = Parse("set kernels(:a) = 2;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(As<UpdateStmt>((*program)[0]).kind, UpdateStmt::Kind::kSet);
+}
+
+TEST(ParserTest, SetKernelsRejectsMalformedArguments) {
+  EXPECT_FALSE(Parse("set kernels maybe;").ok());
+  EXPECT_FALSE(Parse("set kernels;").ok());
+  EXPECT_FALSE(Parse("set kernels on").ok());
+}
+
+TEST(ParserTest, ShowSettings) {
+  auto program = Parse("show settings;");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(std::holds_alternative<ShowSettingsStmt>((*program)[0].node));
+  EXPECT_FALSE(Parse("show settings verbose;").ok());
+}
+
 TEST(ParserTest, CommitRollback) {
   auto program = Parse("commit; rollback;");
   ASSERT_TRUE(program.ok());

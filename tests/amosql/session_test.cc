@@ -191,6 +191,47 @@ TEST_F(SessionTest, SetThreadsControlsRuleManagerParallelism) {
   EXPECT_NE(r->report.find("THREADS 2"), std::string::npos);
 }
 
+TEST_F(SessionTest, SetKernelsControlsRuleManagerKernels) {
+  // On by default.
+  EXPECT_TRUE(engine_.rules.kernels_enabled());
+  auto r = session_.Execute("set kernels off;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->report.find("KERNELS off"), std::string::npos);
+  EXPECT_FALSE(engine_.rules.kernels_enabled());
+  r = session_.Execute("set kernels on;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->report.find("KERNELS on"), std::string::npos);
+  EXPECT_TRUE(engine_.rules.kernels_enabled());
+}
+
+TEST_F(SessionTest, ShowSettingsReportsThreadsAndKernels) {
+  ASSERT_TRUE(Exec("set threads 4; set kernels off;").ok());
+  auto r = session_.Execute("show settings;");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->report.find("SETTINGS"), std::string::npos);
+  EXPECT_NE(r->report.find("threads 4"), std::string::npos);
+  EXPECT_NE(r->report.find("kernels off"), std::string::npos);
+}
+
+TEST_F(SessionTest, RuleFiresTheSameWithKernelsOff) {
+  ASSERT_TRUE(Exec("set kernels off;"
+                   "create type tank;"
+                   "create function level(tank) -> integer;"
+                   "create function refill_to(tank) -> integer;"
+                   "create rule auto_refill() as"
+                   "  when for each tank t where level(t) < 10"
+                   "  do set level(t) = refill_to(t);"
+                   "create tank instances :t1;"
+                   "set level(:t1) = 50; set refill_to(:t1) = 90;"
+                   "activate auto_refill();"
+                   "commit;"
+                   "set level(:t1) = 5; commit;")
+                  .ok());
+  auto rows = Query("select level(:t1);");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value(90));
+}
+
 TEST_F(SessionTest, RuleFiresIdenticallyUnderParallelPropagation) {
   std::vector<std::vector<Value>> calls;
   session_.RegisterProcedure(

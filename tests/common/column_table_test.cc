@@ -1,0 +1,182 @@
+/// ColumnTable: the columnar wave-front Δ-table behind the batch
+/// evaluation kernels. The load-bearing invariant is hash compatibility —
+/// every typed cell representation must hash exactly like the Value it
+/// stands for, because the two sides of a build–probe hash join mix hashes
+/// computed from typed columns with hashes computed from probe-pattern
+/// Values. The rest pins representation promotion (typed → generic),
+/// cross-table cell copies, the chained-bucket index, and the
+/// deterministic grouping order the probe kernel batches by.
+
+#include "common/column_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/tuple.h"
+#include "common/value.h"
+
+namespace deltamon {
+namespace {
+
+TEST(CellHashTest, TypedHelpersMatchValueHash) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{1} << 40, int64_t{-7} * 1000003}) {
+    EXPECT_EQ(CellHashInt(v), Value(v).Hash()) << v;
+  }
+  for (const char* s : {"", "a", "supplier", "a longer interned string"}) {
+    Value v(s);
+    EXPECT_EQ(CellHashSymbol(v.string_id()), v.Hash()) << s;
+  }
+  for (uint64_t id : {uint64_t{1}, uint64_t{99}, uint64_t{1} << 33}) {
+    Oid oid{id, /*type=*/7};
+    EXPECT_EQ(CellHashObject(id), Value(oid).Hash()) << id;
+  }
+}
+
+TEST(ColumnTableTest, CellHashMatchesValueHashAcrossReps) {
+  // Column 0 stays int-typed, column 1 symbol-typed, column 2 object-typed,
+  // column 3 degrades to generic on the second row (int then double).
+  ColumnTable t(4);
+  t.AppendCell(0, Value(10));
+  t.AppendCell(1, Value("x"));
+  t.AppendCell(2, Value(Oid{5, 1}));
+  t.AppendCell(3, Value(1));
+  t.FinishRow();
+  t.AppendCell(0, Value(-3));
+  t.AppendCell(1, Value("y"));
+  t.AppendCell(2, Value(Oid{6, 1}));
+  t.AppendCell(3, Value(2.5));
+  t.FinishRow();
+  ASSERT_EQ(t.num_rows(), 2u);
+  for (size_t row = 0; row < t.num_rows(); ++row) {
+    for (size_t col = 0; col < t.num_cols(); ++col) {
+      Value v = t.Get(row, col);
+      EXPECT_EQ(t.CellHash(row, col), v.Hash()) << row << "," << col;
+      EXPECT_TRUE(t.CellEquals(row, col, v));
+    }
+  }
+  // Degrading must not corrupt earlier rows.
+  EXPECT_EQ(t.Get(0, 3), Value(1));
+  EXPECT_EQ(t.Get(1, 3), Value(2.5));
+}
+
+TEST(ColumnTableTest, KeyHashMatchesBetweenTypedAndGenericTables) {
+  // Same logical rows, one table typed, one forced generic by a leading
+  // null append — KeyHash must agree (a build side may be typed while the
+  // probe side degraded, or vice versa).
+  ColumnTable typed(2);
+  typed.AppendCell(0, Value(7));
+  typed.AppendCell(1, Value("k"));
+  typed.FinishRow();
+
+  ColumnTable generic(2);
+  generic.AppendCell(0, Value());  // null → generic rep
+  generic.AppendCell(1, Value());
+  generic.FinishRow();
+  generic.AppendCell(0, Value(7));
+  generic.AppendCell(1, Value("k"));
+  generic.FinishRow();
+
+  std::vector<size_t> keys = {0, 1};
+  EXPECT_EQ(typed.KeyHash(0, keys), generic.KeyHash(1, keys));
+  EXPECT_TRUE(typed.KeyEquals(0, keys, generic, 1, keys));
+  EXPECT_FALSE(typed.KeyEquals(0, keys, generic, 0, keys));
+}
+
+TEST(ColumnTableTest, AppendCellFromPreservesValues) {
+  ColumnTable src(2);
+  src.AppendCell(0, Value(1));
+  src.AppendCell(1, Value("a"));
+  src.FinishRow();
+  src.AppendCell(0, Value(2));
+  src.AppendCell(1, Value("b"));
+  src.FinishRow();
+
+  // dst column 0 copies from src column 1 and vice versa (column
+  // remapping, as the join kernel's RowCopier does).
+  ColumnTable dst(2);
+  for (size_t row = 0; row < src.num_rows(); ++row) {
+    dst.AppendCellFrom(0, src, 1, row);
+    dst.AppendCellFrom(1, src, 0, row);
+    dst.FinishRow();
+  }
+  EXPECT_EQ(dst.Get(0, 0), Value("a"));
+  EXPECT_EQ(dst.Get(1, 1), Value(2));
+  EXPECT_TRUE(dst.CellEqualsCell(0, 1, src, 0, 0));
+}
+
+TEST(ColumnTableTest, AppendCellFromAcrossMismatchedRepsDegrades) {
+  ColumnTable src(1);
+  src.AppendCell(0, Value("sym"));
+  src.FinishRow();
+  ColumnTable dst(1);
+  dst.AppendCell(0, Value(1));  // int-typed
+  dst.FinishRow();
+  dst.AppendCellFrom(0, src, 0, 0);  // symbol into int column → generic
+  dst.FinishRow();
+  EXPECT_EQ(dst.Get(0, 0), Value(1));
+  EXPECT_EQ(dst.Get(1, 0), Value("sym"));
+  EXPECT_EQ(dst.CellHash(1, 0), Value("sym").Hash());
+}
+
+TEST(ColumnTableTest, BuildIndexFindsAllAndOnlyMatchingRows) {
+  ColumnTable t(2);
+  const int kRows = 100;
+  for (int i = 0; i < kRows; ++i) {
+    t.AppendCell(0, Value(i % 7));  // key with duplicates
+    t.AppendCell(1, Value(i));
+    t.FinishRow();
+  }
+  ColumnTable::HashIndex idx = t.BuildIndex({0});
+  for (int key = 0; key < 9; ++key) {
+    ColumnTable probe(1);
+    probe.AppendCell(0, Value(key));
+    probe.FinishRow();
+    std::vector<int> hits;
+    for (uint32_t row = idx.First(probe.KeyHash(0, {0}));
+         row != ColumnTable::HashIndex::kNoRow; row = idx.Next(row)) {
+      if (t.KeyEquals(row, idx.key_cols, probe, 0, {0})) {
+        hits.push_back(static_cast<int>(t.Get(row, 1).AsInt()));
+      }
+    }
+    std::vector<int> expected;
+    for (int i = 0; i < kRows; ++i) {
+      if (i % 7 == key) expected.push_back(i);
+    }
+    std::sort(hits.begin(), hits.end());
+    EXPECT_EQ(hits, expected) << "key=" << key;
+  }
+}
+
+TEST(ColumnTableTest, EmptyTableIndexAndGrouping) {
+  ColumnTable t(1);
+  ColumnTable::HashIndex idx = t.BuildIndex({0});
+  EXPECT_EQ(idx.First(12345u), ColumnTable::HashIndex::kNoRow);
+  ColumnTable::Grouping g = t.GroupByKey({0});
+  EXPECT_TRUE(g.reps.empty());
+  EXPECT_TRUE(g.rows.empty());
+}
+
+TEST(ColumnTableTest, GroupByKeyIsFirstOccurrenceOrderedWithAscendingRows) {
+  ColumnTable t(2);
+  // Keys appear as b, a, b, c, a → groups in order b, a, c.
+  const char* keys[] = {"b", "a", "b", "c", "a"};
+  for (int i = 0; i < 5; ++i) {
+    t.AppendCell(0, Value(keys[i]));
+    t.AppendCell(1, Value(i));
+    t.FinishRow();
+  }
+  ColumnTable::Grouping g = t.GroupByKey({0});
+  ASSERT_EQ(g.reps.size(), 3u);
+  EXPECT_EQ(t.Get(g.reps[0], 0), Value("b"));
+  EXPECT_EQ(t.Get(g.reps[1], 0), Value("a"));
+  EXPECT_EQ(t.Get(g.reps[2], 0), Value("c"));
+  EXPECT_EQ(g.rows[0], (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(g.rows[1], (std::vector<uint32_t>{1, 4}));
+  EXPECT_EQ(g.rows[2], (std::vector<uint32_t>{3}));
+}
+
+}  // namespace
+}  // namespace deltamon

@@ -422,6 +422,102 @@ TEST_P(ThreadDeterminismTest, TraceAndStatsAreBitIdenticalAcrossThreadCounts) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadDeterminismTest,
                          ::testing::Range(0u, 50u));
 
+class KernelEquivalenceTest : public ::testing::TestWithParam<FuzzConfig> {};
+
+/// The batch-kernel axis: kernels-on and kernels-off runs must produce
+/// identical root Δ-sets, TraceEntry sequences, and Stats — at every
+/// thread count, with rollbacks mixed in, and (on the Mat configs) with
+/// materialized intermediate views, whose stored extents are exactly what
+/// the build side of the hash-join kernel scans. Within one mode the
+/// execution profile must additionally be byte-identical across thread
+/// counts; across modes only the counters' semantics differ (the kernels
+/// relabel extent accesses with their join strategy), so profiles are
+/// deliberately not compared mode-to-mode.
+TEST_P(KernelEquivalenceTest, KernelsOnOffAgreeAcrossThreadCounts) {
+  const FuzzConfig& config = GetParam();
+  FuzzScenario scenario(config.seed);
+  Database& db = scenario.engine_.db;
+
+  core::RootSpec root;
+  root.relation = scenario.root_;
+  root.needs_minus = true;
+  root.strict = true;
+  core::BuildOptions options;
+  for (RelationId v : scenario.views_) options.keep.insert(v);
+  auto net = core::PropagationNetwork::Build(
+      {root}, scenario.engine_.registry, db.catalog(), options);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+
+  common::ThreadPool pool2(2);
+  common::ThreadPool pool4(4);
+  common::ThreadPool pool8(8);
+  common::ThreadPool* pools[] = {nullptr, &pool2, &pool4, &pool8};
+
+  for (int tx = 0; tx < 6; ++tx) {
+    SCOPED_TRACE("seed " + std::to_string(config.seed) + " tx " +
+                 std::to_string(tx));
+    scenario.RandomTransaction();
+    if (scenario.CoinFlip(4)) {
+      ASSERT_TRUE(db.Rollback().ok());
+      continue;
+    }
+    auto deltas = db.TakePendingDeltas();
+
+    core::PropagationResult reference;  // kernels off, serial
+    bool have_reference = false;
+    for (bool kernels : {false, true}) {
+      std::string mode_profile;
+      for (common::ThreadPool* pool : pools) {
+        core::MaterializedViewStore store;
+        if (config.materialize) {
+          ASSERT_TRUE(store
+                          .Initialize(*net, db, scenario.engine_.registry,
+                                      &deltas)
+                          .ok());
+        }
+        obs::Profile profile;
+        core::PropagationOptions popts;
+        popts.pool = pool;
+        popts.profiler = &profile;
+        popts.kernels = kernels;
+        core::Propagator propagator(db, scenario.engine_.registry, *net,
+                                    config.materialize ? &store : nullptr,
+                                    popts);
+        auto result = propagator.Propagate(deltas);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        const std::string what = std::string("kernels ") +
+                                 (kernels ? "on" : "off") + ", " +
+                                 (pool ? std::to_string(pool->num_workers())
+                                       : "1") +
+                                 " threads";
+        if (!have_reference) {
+          reference = std::move(*result);
+          have_reference = true;
+        } else {
+          EXPECT_EQ(result->root_deltas, reference.root_deltas) << what;
+          EXPECT_TRUE(SameTrace(result->trace, reference.trace)) << what;
+          EXPECT_TRUE(SameStats(result->stats, reference.stats)) << what;
+        }
+        std::string formatted = profile.Format(/*include_time=*/false);
+        if (pool == nullptr) {
+          mode_profile = std::move(formatted);
+        } else {
+          EXPECT_EQ(formatted, mode_profile)
+              << what << " changes the execution profile within its mode";
+        }
+      }
+    }
+    ASSERT_TRUE(db.Commit().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, KernelEquivalenceTest, ::testing::ValuesIn(FuzzConfigs()),
+    [](const ::testing::TestParamInfo<FuzzConfig>& info) {
+      return "Seed" + std::to_string(info.param.seed) +
+             (info.param.materialize ? "Mat" : "");
+    });
+
 /// ---------------------------------------------------------------------
 /// Concurrency fuzz (ROADMAP item 2 certification): N sessions on their
 /// own threads fire random transactions through the group-commit queue,
@@ -609,6 +705,48 @@ INSTANTIATE_TEST_SUITE_P(
       return "Seed" + std::to_string(info.param.seed) + "Threads" +
              std::to_string(info.param.threads);
     });
+
+/// Session-level kernel equivalence: the same seeded AMOSQL workload —
+/// updates, deletions via re-sets, commits, and a rule that fires through
+/// the check phase — run once with kernels on (the default) and once with
+/// `set kernels off;`, must leave bit-identical sorted store dumps and the
+/// same multiset of rule firings, at several thread settings.
+class KernelSessionFuzzTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KernelSessionFuzzTest, DumpsAndFiringsMatchWithKernelsOff) {
+  const uint32_t seed = GetParam();
+  auto run = [&](const std::string& prelude) {
+    ConcHarness harness;
+    auto setup = harness.boot_.Execute(prelude);
+    EXPECT_TRUE(setup.ok()) << setup.status().ToString();
+    std::mt19937 rng(seed);
+    for (int tx = 0; tx < 10; ++tx) {
+      std::string ops;
+      const int n = 1 + static_cast<int>(rng() % 5);
+      for (int i = 0; i < n; ++i) {
+        const char* fn = rng() % 2 == 0 ? "stock" : "audit";
+        ops += std::string("set ") + fn + "(" + std::to_string(rng() % 12) +
+               ") = " + std::to_string(rng() % 12) + ";";
+      }
+      ops += "commit;";
+      auto r = harness.boot_.Execute(ops);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+    }
+    return std::make_pair(harness.Dump(), harness.SortedFirings());
+  };
+
+  for (const char* threads : {"1", "4"}) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " threads " + threads);
+    const std::string set_threads = std::string("set threads ") + threads + ";";
+    auto on = run(set_threads);
+    auto off = run(set_threads + "set kernels off;");
+    EXPECT_EQ(on.first, off.first) << "store dumps diverge";
+    EXPECT_EQ(on.second, off.second) << "rule firings diverge";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelSessionFuzzTest,
+                         ::testing::Range(0u, 10u));
 
 }  // namespace
 }  // namespace deltamon

@@ -1,0 +1,209 @@
+/// EvalCache retention across propagation waves: the expensive indexed
+/// extents of recursive fixpoints survive BeginWave unless their inputs
+/// changed (or they were built against node-local overlay / hidden-view /
+/// transaction state). Regression coverage for the wave-lifecycle bug
+/// where per-wave fresh caches silently discarded every materialization —
+/// and, conversely, for the staleness hazard retention introduces: a
+/// retained extent must never be served after its inputs changed.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "objectlog/eval.h"
+#include "rules/engine.h"
+#include "rules/rule_manager.h"
+#include "storage/base_relation.h"
+
+namespace deltamon {
+namespace {
+
+using objectlog::Clause;
+using objectlog::EvalCache;
+using objectlog::EvalState;
+using objectlog::Literal;
+using objectlog::Term;
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+Tuple T1(int64_t a) { return Tuple{Value(a)}; }
+Tuple T2(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+std::unique_ptr<BaseRelation> MakeExtent(RelationId rel) {
+  return std::make_unique<BaseRelation>(rel, "extent",
+                                        Schema({IntCol(), IntCol()}));
+}
+
+TEST(EvalCacheWaveTest, BeginWaveDropsPositionalKeepsRetainableIndexed) {
+  EvalCache cache;
+  cache.Insert(1, EvalState::kNew, TupleSet{T2(1, 2)});
+  cache.InsertIndexed(2, EvalState::kNew, MakeExtent(2),
+                      /*retainable=*/true);
+  cache.InsertIndexed(3, EvalState::kNew, MakeExtent(3),
+                      /*retainable=*/false);
+  cache.InsertIndexed(4, EvalState::kOld, MakeExtent(4),
+                      /*retainable=*/true);
+  EXPECT_EQ(cache.indexed_inserts(), 3u);
+
+  // Drop pred: kOld always, kNew only for relation 9 (inputs unchanged
+  // for 2 and 3).
+  cache.BeginWave([](RelationId rel, EvalState state) {
+    return state == EvalState::kOld || rel == 9;
+  });
+
+  // Positional extents are wave-scoped: always gone.
+  EXPECT_EQ(cache.Find(1, EvalState::kNew), nullptr);
+  // Retainable + inputs unchanged → survives.
+  EXPECT_NE(cache.FindIndexed(2, EvalState::kNew), nullptr);
+  // Non-retainable → dropped even though the drop pred spared it.
+  EXPECT_EQ(cache.FindIndexed(3, EvalState::kNew), nullptr);
+  // kOld extents never survive (the next wave has a different old state).
+  EXPECT_EQ(cache.FindIndexed(4, EvalState::kOld), nullptr);
+  // The surviving hit counted as a reuse.
+  EXPECT_EQ(cache.indexed_reuses(), 1u);
+
+  // A second wave whose drop pred flags relation 2 evicts it.
+  cache.BeginWave(
+      [](RelationId rel, EvalState) { return rel == 2; });
+  EXPECT_EQ(cache.FindIndexed(2, EvalState::kNew), nullptr);
+}
+
+/// End-to-end retention through the rule manager: edge/tc transitive
+/// closure scanned from a rule condition that also reads a separately
+/// changing base relation. Waves that change only the unrelated base must
+/// reuse the retained tc materialization; a wave that changes edge must
+/// rebuild it (and the rule must keep firing correctly on the fresh
+/// closure — the staleness check).
+class RetentionRuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog& cat = engine_.db.catalog();
+    edge_ = *cat.CreateStoredFunction(
+        "edge", FunctionSignature{{IntCol()}, {IntCol()}});
+    noise_ = *cat.CreateStoredFunction("noise",
+                                       FunctionSignature{{IntCol()}, {}});
+    tc_ = *cat.CreateDerivedFunction(
+        "tc", FunctionSignature{{}, {IntCol(), IntCol()}});
+    {
+      Clause base;
+      base.head_relation = tc_;
+      base.num_vars = 2;
+      base.head_args = {Term::Var(0), Term::Var(1)};
+      base.body = {Literal::Relation(edge_, {Term::Var(0), Term::Var(1)})};
+      ASSERT_TRUE(engine_.registry.Define(tc_, std::move(base), cat).ok());
+    }
+    {
+      Clause step;
+      step.head_relation = tc_;
+      step.num_vars = 3;
+      step.head_args = {Term::Var(0), Term::Var(2)};
+      step.body = {Literal::Relation(edge_, {Term::Var(0), Term::Var(1)}),
+                   Literal::Relation(tc_, {Term::Var(1), Term::Var(2)})};
+      ASSERT_TRUE(engine_.registry.Define(tc_, std::move(step), cat).ok());
+    }
+    // cnd(X) <- noise(X), tc(0, X): the differential over Δnoise scans the
+    // recursive tc — the FixpointMaterialize the cache retains.
+    cond_ = *cat.CreateDerivedFunction("cnd_reach",
+                                       FunctionSignature{{}, {IntCol()}});
+    Clause c;
+    c.head_relation = cond_;
+    c.num_vars = 1;
+    c.head_args = {Term::Var(0)};
+    c.body = {Literal::Relation(noise_, {Term::Var(0)}),
+              Literal::Relation(tc_, {Term::Const(Value(0)), Term::Var(0)})};
+    ASSERT_TRUE(engine_.registry.Define(cond_, std::move(c), cat).ok());
+
+    engine_.db.MarkMonitored(edge_);
+    engine_.db.MarkMonitored(noise_);
+
+    auto rule = engine_.rules.CreateRule(
+        "reach", cond_,
+        [this](Database&, const Tuple&, const std::vector<Tuple>& xs) {
+          for (const Tuple& x : xs) fired_.push_back(x[0].AsInt());
+          return Status::OK();
+        });
+    ASSERT_TRUE(rule.ok());
+    ASSERT_TRUE(engine_.rules.Activate(*rule).ok());
+
+    // Base graph 0->1->2, committed before the measured waves.
+    ASSERT_TRUE(engine_.db.Insert(edge_, T2(0, 1)).ok());
+    ASSERT_TRUE(engine_.db.Insert(edge_, T2(1, 2)).ok());
+    ASSERT_TRUE(engine_.db.Commit().ok());
+    fired_.clear();
+  }
+
+  const EvalCache& Cache() {
+    const auto& caches = engine_.rules.eval_caches();
+    EXPECT_EQ(caches.size(), 1u);  // single-threaded
+    return caches[0];
+  }
+
+  Engine engine_;
+  RelationId edge_ = kInvalidRelationId;
+  RelationId noise_ = kInvalidRelationId;
+  RelationId tc_ = kInvalidRelationId;
+  RelationId cond_ = kInvalidRelationId;
+  std::vector<int64_t> fired_;
+};
+
+TEST_F(RetentionRuleTest, TcMaterializationIsReusedAcrossNoiseOnlyWaves) {
+  // Wave 1: noise-only change; tc(0,·) is materialized and cached.
+  ASSERT_TRUE(engine_.db.Insert(noise_, T1(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{1}));
+  const uint64_t inserts1 = Cache().indexed_inserts();
+  const uint64_t reuses1 = Cache().indexed_reuses();
+  EXPECT_GE(inserts1, 1u);
+
+  // Wave 2: another noise-only change. Edge did not change, so the tc
+  // extent is served from the retained cache — reuses grow, inserts don't.
+  ASSERT_TRUE(engine_.db.Insert(noise_, T1(2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(Cache().indexed_inserts(), inserts1);
+  EXPECT_GT(Cache().indexed_reuses(), reuses1);
+
+  // Wave 3: edge changes too — the retained tc extent must be evicted and
+  // rebuilt, and the rule must see the *new* closure (3 is now reachable).
+  ASSERT_TRUE(engine_.db.Insert(edge_, T2(2, 3)).ok());
+  ASSERT_TRUE(engine_.db.Insert(noise_, T1(3)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_GT(Cache().indexed_inserts(), inserts1);
+}
+
+TEST_F(RetentionRuleTest, StaleExtentIsNeverServedAfterEdgeDeletion) {
+  ASSERT_TRUE(engine_.db.Insert(noise_, T1(2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{2}));  // 2 reachable via 0->1->2
+
+  // Cut 1->2: with a stale retained closure, noise(1) would still report
+  // 2... but re-deriving must not. (noise(2) is deleted and re-inserted
+  // so the condition's Δ re-examines X=2 against the new closure.)
+  ASSERT_TRUE(engine_.db.Delete(edge_, T2(1, 2)).ok());
+  ASSERT_TRUE(engine_.db.Delete(noise_, T1(2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  ASSERT_TRUE(engine_.db.Insert(noise_, T1(2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  // 2 is no longer reachable from 0, so the rule must not fire again.
+  EXPECT_EQ(fired_, (std::vector<int64_t>{2}));
+}
+
+TEST_F(RetentionRuleTest, ThreadResizeAndRebuildClearTheCaches) {
+  ASSERT_TRUE(engine_.db.Insert(noise_, T1(1)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_GE(Cache().indexed_inserts(), 1u);
+
+  // Resizing the pool invalidates the per-worker cache vector.
+  engine_.rules.SetNumThreads(2);
+  EXPECT_TRUE(engine_.rules.eval_caches().empty());
+
+  // The next wave re-populates per-worker caches and still fires right.
+  ASSERT_TRUE(engine_.db.Insert(noise_, T1(2)).ok());
+  ASSERT_TRUE(engine_.db.Commit().ok());
+  EXPECT_EQ(fired_, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(engine_.rules.eval_caches().size(), 2u);
+}
+
+}  // namespace
+}  // namespace deltamon
