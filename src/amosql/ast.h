@@ -254,6 +254,52 @@ struct SetKernelsStmt {
 /// (threads, kernels) and their current values.
 struct ShowSettingsStmt {};
 
+/// `set slow_ms N` — slow-statement log threshold in milliseconds
+/// (0 disarms capture), updating the same relaxed-atomic threshold the
+/// deltamond --slow-statement-ms flag seeds.
+struct SetSlowMsStmt {
+  int64_t slow_ms = 0;
+};
+
+/// `set provenance on|off` — row-level firing provenance: propagation
+/// waves capture delta lineage and every firing records its instances'
+/// lineage trees (see `explain firing`). Off by default (lineage capture
+/// evaluates differentials once per influent row; docs/observability.md
+/// gives the cost model). Errors when observability is compiled out.
+struct SetProvenanceStmt {
+  bool on = false;
+};
+
+/// `set wave_capture on|off` — black-box recorder of check-phase waves
+/// (influent Δ-sets, settings, root Δ-sets, firings), dumped with `dump
+/// waves` and replayed by deltamon-replay. Errors when observability is
+/// compiled out.
+struct SetWaveCaptureStmt {
+  bool on = false;
+};
+
+/// `dump waves "path";` — writes the captured waves as a
+/// `deltamon.wave.v1` JSON file for deltamon-replay.
+struct DumpWavesStmt {
+  std::string path;
+};
+
+/// `explain firing <rule> [n];` — prints the lineage trees of the last
+/// (or n-th most recent) recorded firing of `rule`: which base-relation
+/// Δ-rows each condition instance was derived from, through which partial
+/// differentials, stamped with the trace id and commit version.
+/// An optional leading string literal (mirroring `trace` / `explain
+/// analyze`) additionally writes the firing record as a JSON artifact.
+struct ExplainFiringStmt {
+  std::string path;  ///< empty → no JSON artifact
+  std::string rule;
+  int64_t nth = 1;  ///< 1 = most recent recorded firing of the rule
+};
+
+/// `show provenance;` — summarizes the firing-provenance ring (one line
+/// per recorded firing).
+struct ShowProvenanceStmt {};
+
 /// A parsed statement (tagged union via variant).
 struct Statement {
   std::variant<CreateTypeStmt, CreateFunctionStmt, CreateRuleStmt,
@@ -262,6 +308,8 @@ struct Statement {
                ShowMetricsStmt,
                TraceStmt, ShowNetworkStmt, ShowSlowStmt, ResetMetricsStmt,
                SetThreadsStmt, SetKernelsStmt, ShowSettingsStmt,
+               SetSlowMsStmt, SetProvenanceStmt, SetWaveCaptureStmt,
+               DumpWavesStmt, ExplainFiringStmt, ShowProvenanceStmt,
                ExplainAnalyzeStmt, AnalyzeRuleStmt>
       node;
   int line = 1;

@@ -128,6 +128,45 @@ class Parser {
       stmt.node = st;
       return stmt;
     }
+    // `set slow_ms N;` — slow-statement log threshold, same shape as
+    // threads (the integer guard keeps `set slow_ms(:x) = ...` an update).
+    if (AtKeyword("set") && Peek(1).IsKeyword("slow_ms") &&
+        Peek(2).kind == TokenKind::kInteger) {
+      Take();  // set
+      Take();  // slow_ms
+      SetSlowMsStmt ss;
+      ss.slow_ms = Take().int_value;
+      if (ss.slow_ms < 0) {
+        return Status::ParseError("slow_ms must be >= 0, at line " +
+                                  std::to_string(stmt.line));
+      }
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = ss;
+      return stmt;
+    }
+    // `set provenance on|off;` / `set wave_capture on|off;` — the
+    // observability toggles, same shape as kernels.
+    if (AtKeyword("set") &&
+        (Peek(1).IsKeyword("provenance") || Peek(1).IsKeyword("wave_capture")) &&
+        (Peek(2).IsKeyword("on") || Peek(2).IsKeyword("off"))) {
+      Take();  // set
+      const bool provenance = Take().IsKeyword("provenance");
+      const bool on = Take().IsKeyword("on");
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      if (provenance) {
+        stmt.node = SetProvenanceStmt{on};
+      } else {
+        stmt.node = SetWaveCaptureStmt{on};
+      }
+      return stmt;
+    }
+    if (AtKeyword("set") &&
+        (Peek(1).IsKeyword("provenance") ||
+         Peek(1).IsKeyword("wave_capture")) &&
+        Peek(2).kind != TokenKind::kLParen) {
+      return ErrorHere("expected 'on' or 'off' after 'set " +
+                       Peek(1).text + "'");
+    }
     // `set kernels on|off;` — batch-kernel toggle, same shape as threads.
     // The Peek(2) guard keeps `set kernels(:a) = ...` an ordinary update
     // of a function that happens to be named "kernels".
@@ -224,6 +263,37 @@ class Parser {
       stmt.node = std::move(trace);
       return stmt;
     }
+    if (AtKeyword("dump")) {
+      Take();
+      DELTAMON_RETURN_IF_ERROR(ExpectKeyword("waves"));
+      DumpWavesStmt dump;
+      if (!At(TokenKind::kString)) {
+        return ErrorHere("expected output path string after 'dump waves'");
+      }
+      dump.path = Take().text;
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = std::move(dump);
+      return stmt;
+    }
+    if (AtKeyword("explain") && Peek(1).IsKeyword("firing")) {
+      Take();  // explain
+      Take();  // firing
+      ExplainFiringStmt ef;
+      // Optional JSON artifact path before the rule (mirrors `trace`).
+      if (At(TokenKind::kString)) ef.path = Take().text;
+      DELTAMON_ASSIGN_OR_RETURN(ef.rule, ExpectIdentifier("rule name"));
+      if (At(TokenKind::kInteger)) {
+        ef.nth = Take().int_value;
+        if (ef.nth < 1) {
+          return Status::ParseError(
+              "firing index must be >= 1, at line " +
+              std::to_string(stmt.line));
+        }
+      }
+      DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+      stmt.node = std::move(ef);
+      return stmt;
+    }
     if (AtKeyword("explain")) {
       Take();
       DELTAMON_RETURN_IF_ERROR(ExpectKeyword("analyze"));
@@ -262,6 +332,11 @@ class Parser {
       if (MatchKeyword("settings")) {
         DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
         stmt.node = ShowSettingsStmt{};
+        return stmt;
+      }
+      if (MatchKeyword("provenance")) {
+        DELTAMON_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon, "';'"));
+        stmt.node = ShowProvenanceStmt{};
         return stmt;
       }
       DELTAMON_RETURN_IF_ERROR(ExpectKeyword("metrics"));

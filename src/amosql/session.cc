@@ -10,9 +10,11 @@
 #include "objectlog/eval.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/report.h"
 #include "obs/span.h"
 #include "obs/trace.h"
+#include "obs/wave_recorder.h"
 
 namespace deltamon::amosql {
 
@@ -42,6 +44,41 @@ struct GateLock {
   std::shared_lock<std::shared_mutex> shared;
   std::unique_lock<std::shared_mutex> excl;
 };
+
+/// Uniform refusal for provenance/wave statements in OBS=OFF builds: the
+/// Null twins would silently record nothing, which reads as "no firings"
+/// — an explicit error is the honest answer.
+Status ObsDisabled(const char* what) {
+  return Status::FailedPrecondition(
+      std::string(what) +
+      ": observability disabled (built with DELTAMON_OBS=OFF)");
+}
+
+/// Renders one WaveLineage::Export node as indented text:
+///   Δ+cnd_monitor(...)  [via Δcnd/Δ+quantity]
+///     Δ+quantity(...)  (base)
+void RenderLineageNode(const obs::Json& node, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  const obs::Json* polarity = node.Get("polarity");
+  const obs::Json* relation = node.Get("relation");
+  const obs::Json* row = node.Get("row");
+  *out += "Δ";
+  if (polarity != nullptr) *out += polarity->as_string();
+  if (relation != nullptr) *out += relation->as_string();
+  if (row != nullptr) *out += " " + row->as_string();
+  if (const obs::Json* via = node.Get("via")) {
+    *out += "  [via " + via->as_string() + "]";
+  }
+  if (node.contains("base")) *out += "  (base)";
+  if (node.contains("unknown")) *out += "  (unknown)";
+  if (node.contains("truncated")) *out += "  (truncated)";
+  *out += "\n";
+  if (const obs::Json* inputs = node.Get("inputs")) {
+    for (const obs::Json& child : inputs->array_items()) {
+      RenderLineageNode(child, indent + 1, out);
+    }
+  }
+}
 
 }  // namespace
 
@@ -236,7 +273,46 @@ Status Session::ExecStatement(const Statement& stmt, QueryResult* last) {
           last->report += std::string("  kernels ") +
                           (engine_.rules.kernels_enabled() ? "on" : "off") +
                           "\n";
+          last->report +=
+              "  slow_ms " +
+              std::to_string(obs::SlowLog::Global().threshold_ns() /
+                             1000000) +
+              "\n";
+          last->report += std::string("  provenance ") +
+                          (engine_.rules.provenance_enabled() ? "on" : "off") +
+                          "\n";
+          last->report +=
+              std::string("  wave_capture ") +
+              (engine_.rules.wave_capture_enabled() ? "on" : "off") + "\n";
           return Status::OK();
+        } else if constexpr (std::is_same_v<T, SetSlowMsStmt>) {
+          // Works in OBS=OFF builds too: the slow log is server plumbing,
+          // not a metrics-layer twin.
+          obs::SlowLog::Global().set_threshold_ns(
+              static_cast<uint64_t>(node.slow_ms) * 1000000ull);
+          last->report += "SLOW_MS " + std::to_string(node.slow_ms) + "\n";
+          return Status::OK();
+        } else if constexpr (std::is_same_v<T, SetProvenanceStmt>) {
+          if (!DELTAMON_OBS_ENABLED) return ObsDisabled("set provenance");
+          // Exclusive: flips what concurrent commit waves capture.
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
+          engine_.rules.SetProvenanceEnabled(node.on);
+          last->report +=
+              std::string("PROVENANCE ") + (node.on ? "on" : "off") + "\n";
+          return Status::OK();
+        } else if constexpr (std::is_same_v<T, SetWaveCaptureStmt>) {
+          if (!DELTAMON_OBS_ENABLED) return ObsDisabled("set wave_capture");
+          GateLock lock(txn_mgr_, /*exclusive=*/true);
+          engine_.rules.SetWaveCaptureEnabled(node.on);
+          last->report +=
+              std::string("WAVE_CAPTURE ") + (node.on ? "on" : "off") + "\n";
+          return Status::OK();
+        } else if constexpr (std::is_same_v<T, DumpWavesStmt>) {
+          return ExecDumpWaves(node, last);
+        } else if constexpr (std::is_same_v<T, ExplainFiringStmt>) {
+          return ExecExplainFiring(node, last);
+        } else if constexpr (std::is_same_v<T, ShowProvenanceStmt>) {
+          return ExecShowProvenance(last);
         } else {
           static_assert(std::is_same_v<T, RollbackStmt>);
           return ExecRollback();
@@ -485,6 +561,84 @@ Status Session::ExecShowNetwork(const ShowNetworkStmt& stmt,
 
 Status Session::ExecShowSlow(QueryResult* last) {
   last->report += obs::SlowLog::Global().Format();
+  return Status::OK();
+}
+
+Status Session::ExecShowProvenance(QueryResult* last) {
+  if (!DELTAMON_OBS_ENABLED) return ObsDisabled("show provenance");
+  const auto& log = obs::GlobalProvenanceLog();
+  last->report += obs::FormatProvenance(log.Snapshot(), log.enabled(),
+                                        log.total_records(),
+                                        log.dropped_records());
+  return Status::OK();
+}
+
+Status Session::ExecExplainFiring(const ExplainFiringStmt& stmt,
+                                  QueryResult* last) {
+  if (!DELTAMON_OBS_ENABLED) return ObsDisabled("explain firing");
+  {
+    // A typo'd rule name should error as such, not as "no recorded
+    // firing". Shared gate: FindRule only reads the rule table.
+    GateLock lock(txn_mgr_, /*exclusive=*/false);
+    DELTAMON_RETURN_IF_ERROR(engine_.rules.FindRule(stmt.rule).status());
+  }
+  const auto& log = obs::GlobalProvenanceLog();
+  const std::vector<obs::FiringRecord> records = log.Snapshot();
+  const obs::FiringRecord* hit = nullptr;
+  int64_t remaining = stmt.nth;
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->rule != stmt.rule) continue;
+    if (--remaining == 0) {
+      hit = &*it;
+      break;
+    }
+  }
+  if (hit == nullptr) {
+    std::string msg = "no recorded firing of rule '" + stmt.rule + "'";
+    if (stmt.nth > 1) msg += " at depth " + std::to_string(stmt.nth);
+    if (!log.enabled()) {
+      msg += " (provenance is off; `set provenance on;` first)";
+    }
+    return Status::NotFound(std::move(msg));
+  }
+
+  last->report += "EXPLAIN FIRING " + hit->rule + " [" +
+                  std::to_string(hit->seq) + "]\n";
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "  trace %016llx  version %llu  round %llu\n",
+                static_cast<unsigned long long>(hit->trace_id),
+                static_cast<unsigned long long>(hit->version),
+                static_cast<unsigned long long>(hit->round));
+  last->report += line;
+  last->report += "  instances " + std::to_string(hit->total_instances);
+  if (hit->captured_instances < hit->total_instances) {
+    last->report += " (lineage captured for first " +
+                    std::to_string(hit->captured_instances) + ")";
+  }
+  last->report += "\n";
+  for (size_t i = 0; i < hit->lineage.size(); ++i) {
+    last->report += "  instance " + hit->instances[i] + ":\n";
+    RenderLineageNode(hit->lineage.at(i), /*indent=*/2, &last->report);
+  }
+  if (!stmt.path.empty()) {
+    DELTAMON_RETURN_IF_ERROR(
+        obs::WriteTextFile(stmt.path, hit->ToJson().Dump()));
+    last->report += "FIRING JSON " + stmt.path + "\n";
+  }
+  return Status::OK();
+}
+
+Status Session::ExecDumpWaves(const DumpWavesStmt& stmt, QueryResult* last) {
+  if (!DELTAMON_OBS_ENABLED) return ObsDisabled("dump waves");
+  const auto& recorder = obs::GlobalWaveRecorder();
+  const std::vector<obs::WaveRecord> waves = recorder.Snapshot();
+  const obs::Json doc = obs::WaveFileJson(
+      waves, recorder.enabled(), recorder.capacity(),
+      recorder.total_records(), recorder.dropped_records());
+  DELTAMON_RETURN_IF_ERROR(obs::WriteTextFile(stmt.path, doc.Dump()));
+  last->report += "WAVES " + stmt.path + " (" +
+                  std::to_string(waves.size()) + " waves)\n";
   return Status::OK();
 }
 

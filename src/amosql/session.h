@@ -121,6 +121,10 @@ class Session : public ExtentProvider {
   Status ExecTrace(const TraceStmt& stmt, QueryResult* last_select);
   Status ExecShowNetwork(const ShowNetworkStmt& stmt, QueryResult* last_select);
   Status ExecShowSlow(QueryResult* last_select);
+  Status ExecShowProvenance(QueryResult* last_select);
+  Status ExecExplainFiring(const ExplainFiringStmt& stmt,
+                           QueryResult* last_select);
+  Status ExecDumpWaves(const DumpWavesStmt& stmt, QueryResult* last_select);
   Status ExecCreateFunction(const CreateFunctionStmt& stmt);
   Status ExecCreateRule(const CreateRuleStmt& stmt);
   Status ExecCreateInstances(const CreateInstancesStmt& stmt);

@@ -1,0 +1,102 @@
+#include "core/lineage.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace deltamon::core {
+
+void WaveLineage::AddBase(RelationId rel, bool plus, const Tuple& row) {
+  entries_[Key{rel, plus, row}].base = true;
+}
+
+void WaveLineage::AddParent(RelationId rel, bool plus, const Tuple& row,
+                            Parent parent) {
+  Entry& entry = entries_[Key{rel, plus, row}];
+  for (const Parent& p : entry.parents) {
+    if (p == parent) return;
+  }
+  entry.parents.push_back(std::move(parent));
+}
+
+const WaveLineage::Entry* WaveLineage::Find(RelationId rel, bool plus,
+                                            const Tuple& row) const {
+  auto it = entries_.find(Key{rel, plus, row});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void WaveLineage::Merge(WaveLineage&& other) {
+  for (auto& [key, entry] : other.entries_) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      entries_.emplace(key, std::move(entry));
+      continue;
+    }
+    it->second.base = it->second.base || entry.base;
+    for (Parent& p : entry.parents) {
+      AddParent(key.relation, key.plus, key.row, std::move(p));
+    }
+  }
+}
+
+obs::Json WaveLineage::Export(RelationId rel, bool plus, const Tuple& row,
+                              const Catalog& catalog,
+                              size_t max_depth) const {
+  std::unordered_set<Key, KeyHash> path;
+  return ExportNode(Key{rel, plus, row}, catalog, 0, max_depth, &path);
+}
+
+obs::Json WaveLineage::ExportNode(const Key& key, const Catalog& catalog,
+                                  size_t depth, size_t max_depth,
+                                  std::unordered_set<Key, KeyHash>* path)
+    const {
+  obs::Json out = obs::Json::Object();
+  out.Set("relation", catalog.RelationName(key.relation));
+  out.Set("polarity", key.plus ? "+" : "-");
+  out.Set("row", key.row.ToString());
+
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    // Produced outside this wave's capture (e.g. lineage switched on
+    // mid-stream, or a §7.2-filtered sibling): a truthful dead end.
+    out.Set("unknown", true);
+    return out;
+  }
+  const Entry& entry = it->second;
+  if (entry.base) out.Set("base", true);
+  if (entry.parents.empty()) return out;
+  if (depth >= max_depth || !path->insert(key).second) {
+    // Depth cap / self-edge cycle (recursive rules re-derive their own
+    // rows): cut here rather than recurse forever.
+    out.Set("truncated", true);
+    return out;
+  }
+
+  // Deterministic child order: the entry map iterates in hash order, and
+  // parallel merges may interleave AddParent differently per thread count,
+  // so sort by a stable rendering before descending.
+  std::vector<const Parent*> parents;
+  parents.reserve(entry.parents.size());
+  for (const Parent& p : entry.parents) parents.push_back(&p);
+  std::sort(parents.begin(), parents.end(),
+            [&catalog](const Parent* a, const Parent* b) {
+              if (a->via != b->via) return a->via < b->via;
+              const std::string an = catalog.RelationName(a->relation);
+              const std::string bn = catalog.RelationName(b->relation);
+              if (an != bn) return an < bn;
+              if (a->plus != b->plus) return a->plus;
+              return a->row.ToString() < b->row.ToString();
+            });
+
+  obs::Json inputs = obs::Json::Array();
+  for (const Parent* p : parents) {
+    obs::Json child = ExportNode(Key{p->relation, p->plus, p->row}, catalog,
+                                 depth + 1, max_depth, path);
+    child.Set("via", p->via);
+    inputs.Append(std::move(child));
+  }
+  out.Set("inputs", std::move(inputs));
+  path->erase(key);
+  return out;
+}
+
+}  // namespace deltamon::core

@@ -1,0 +1,105 @@
+#ifndef DELTAMON_CORE_LINEAGE_H_
+#define DELTAMON_CORE_LINEAGE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/tuple.h"
+#include "obs/json.h"
+#include "storage/catalog.h"
+
+namespace deltamon::core {
+
+/// Delta lineage of one propagation wave: for every derived Δ-tuple the
+/// wave produced, which influent Δ-rows it was derived from, and through
+/// which partial differential. Keys are (relation, polarity, row) — the
+/// identity of a Δ-tuple — so a firing instance at a network root can be
+/// walked back edge by edge to the originating base-relation updates
+/// (paper §1/§8: "which influents actually caused a rule to trigger",
+/// extended from differential granularity to row granularity).
+///
+/// Built per node by the lineage-capturing ProcessNode path and folded
+/// serially in level order by MergeNode — the same discipline that makes
+/// traces, stats and profiles bit-identical at any thread count.
+class WaveLineage {
+ public:
+  /// One derivation edge: the produced row came from this influent Δ-row
+  /// via the named partial differential.
+  struct Parent {
+    RelationId relation = kInvalidRelationId;
+    bool plus = true;
+    Tuple row;
+    /// PartialDifferential::Name(catalog), e.g. "Δcnd/Δ+quantity".
+    std::string via;
+
+    bool operator==(const Parent& other) const {
+      return relation == other.relation && plus == other.plus &&
+             row == other.row && via == other.via;
+    }
+  };
+
+  struct Entry {
+    /// True for wave seeds: rows of the base-relation Δ-sets themselves.
+    bool base = false;
+    std::vector<Parent> parents;
+  };
+
+  /// Marks (rel, plus, row) as a base influent row (a lineage leaf).
+  void AddBase(RelationId rel, bool plus, const Tuple& row);
+
+  /// Records one derivation edge; exact duplicates (same parent row via
+  /// the same differential) are dropped so re-derivations during the
+  /// fixpoint rounds don't bloat entries.
+  void AddParent(RelationId rel, bool plus, const Tuple& row, Parent parent);
+
+  /// Null when the wave never produced (rel, plus, row).
+  const Entry* Find(RelationId rel, bool plus, const Tuple& row) const;
+
+  /// Folds `other` into this lineage (entry union, parent dedupe, base
+  /// flag OR). Called serially in level order.
+  void Merge(WaveLineage&& other);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// The lineage tree of (rel, plus, row) as JSON:
+  ///   {relation, polarity: "+"|"-", row, base?, inputs: [{via, ...}...]}
+  /// Children are sorted (by via, relation name, polarity, row rendering)
+  /// and the walk carries a visited set plus a depth cap, so the export is
+  /// byte-identical across thread counts and terminates on any input.
+  /// Rows not produced by the wave render as {..., "unknown": true}.
+  obs::Json Export(RelationId rel, bool plus, const Tuple& row,
+                   const Catalog& catalog, size_t max_depth = 64) const;
+
+ private:
+  struct Key {
+    RelationId relation = kInvalidRelationId;
+    bool plus = true;
+    Tuple row;
+
+    bool operator==(const Key& other) const {
+      return relation == other.relation && plus == other.plus &&
+             row == other.row;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = TupleHash{}(k.row);
+      h ^= (static_cast<size_t>(k.relation) * 0x9e3779b97f4a7c15ULL) +
+           (k.plus ? 0x2545f4914f6cdd1dULL : 0) + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+
+  obs::Json ExportNode(const Key& key, const Catalog& catalog, size_t depth,
+                       size_t max_depth,
+                       std::unordered_set<Key, KeyHash>* path) const;
+
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+};
+
+}  // namespace deltamon::core
+
+#endif  // DELTAMON_CORE_LINEAGE_H_

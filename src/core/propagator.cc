@@ -86,6 +86,13 @@ Status Propagator::ProcessNode(
   DeltaSet overlay_slot;
   ctx.overlay_rel = rel;
   ctx.overlay_delta = &overlay_slot;
+  // Lineage capture re-runs each differential once per influent Δ-row,
+  // restricted to that row (same pointer-indirection contract as the
+  // overlay: the evaluator copies ctx by value, we mutate the pointee).
+  // With row == nullptr the restriction is dormant and every other
+  // evaluation — filters, fixpoint probes — behaves exactly as before.
+  objectlog::StateContext::RowRestriction restriction;
+  if (options_.lineage) ctx.restrict_delta = &restriction;
   objectlog::Evaluator evaluator(db_, registry_, ctx, cache);
   evaluator.EnableKernels(options_.kernels);
   if (options_.profiler != nullptr) evaluator.SetProfiler(&out->profile);
@@ -131,6 +138,25 @@ Status Propagator::ProcessNode(
         DELTAMON_RETURN_IF_ERROR(evaluator.Probe(
             rel, objectlog::EvalState::kNew, pattern, &new_rows));
         DeltaSet group_delta = DiffStates(old_rows, new_rows);
+        if (options_.lineage && !group_delta.empty()) {
+          // A changed group's Δ rows descend from every source Δ-row of
+          // that group — the re-aggregation read them all.
+          const std::string via = diff.Name(db_.catalog());
+          for (bool src_plus : {true, false}) {
+            const TupleSet& side =
+                src_plus ? src->second.plus() : src->second.minus();
+            for (const Tuple& t : side) {
+              if (!(t.Project(def.group_by) == key)) continue;
+              WaveLineage::Parent parent{diff.influent, src_plus, t, via};
+              for (const Tuple& o : group_delta.plus()) {
+                out->lineage.AddParent(rel, true, o, parent);
+              }
+              for (const Tuple& o : group_delta.minus()) {
+                out->lineage.AddParent(rel, false, o, parent);
+              }
+            }
+          }
+        }
         produced_total += group_delta.size();
         acc.DeltaUnion(group_delta);
       }
@@ -155,8 +181,31 @@ Status Propagator::ProcessNode(
     TupleSet produced;
     DELTAMON_OBS_SPAN(diff_span, "propagation", "differential");
     if (diff_span.active()) diff_span.SetName(diff.Name(db_.catalog()));
-    DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(diff.clause,
-                                                      &produced));
+    if (options_.lineage) {
+      // One restricted evaluation per influent row: each row's emissions
+      // are exactly its contribution, and the union over rows equals the
+      // one-shot result — so acc, traces and stats are unchanged.
+      const std::string via = diff.Name(db_.catalog());
+      restriction.relation = diff.influent;
+      restriction.plus = diff.reads_plus;
+      TupleSet row_out;
+      for (const Tuple& t : *side) {
+        restriction.row = &t;
+        row_out.clear();
+        Status s = evaluator.EvaluateClause(diff.clause, &row_out);
+        restriction.row = nullptr;
+        DELTAMON_RETURN_IF_ERROR(s);
+        for (const Tuple& o : row_out) {
+          out->lineage.AddParent(
+              rel, diff.produces_plus, o,
+              WaveLineage::Parent{diff.influent, diff.reads_plus, t, via});
+          produced.insert(o);
+        }
+      }
+    } else {
+      DELTAMON_RETURN_IF_ERROR(evaluator.EvaluateClause(diff.clause,
+                                                        &produced));
+    }
     diff_span.AddField("tuples_consumed",
                        static_cast<int64_t>(side->size()));
     diff_span.AddField("tuples_produced",
@@ -215,8 +264,32 @@ Status Propagator::ProcessNode(
           continue;
         }
         TupleSet produced;
-        DELTAMON_RETURN_IF_ERROR(
-            evaluator.EvaluateClause(diff.clause, &produced));
+        if (options_.lineage) {
+          // Same per-row restriction as above; the restricted Δ-role path
+          // bypasses the overlay lookup, so the frontier rows resolve
+          // identically whether read via overlay or via restriction.
+          const std::string via = diff.Name(db_.catalog());
+          restriction.relation = diff.influent;
+          restriction.plus = diff.reads_plus;
+          TupleSet row_out;
+          for (const Tuple& t : side) {
+            restriction.row = &t;
+            row_out.clear();
+            Status s = evaluator.EvaluateClause(diff.clause, &row_out);
+            restriction.row = nullptr;
+            DELTAMON_RETURN_IF_ERROR(s);
+            for (const Tuple& o : row_out) {
+              out->lineage.AddParent(
+                  rel, diff.produces_plus, o,
+                  WaveLineage::Parent{diff.influent, diff.reads_plus, t,
+                                      via});
+              produced.insert(o);
+            }
+          }
+        } else {
+          DELTAMON_RETURN_IF_ERROR(
+              evaluator.EvaluateClause(diff.clause, &produced));
+        }
         ++stats.differentials_executed;
         stats.tuples_propagated += produced.size();
         out->trace.push_back(
@@ -349,6 +422,13 @@ Status Propagator::MergeNode(
     options_.profiler->Merge(out->profile);
   }
 
+  if (options_.lineage && !out->lineage.empty()) {
+    // Same serial level-order fold as the profiles: parent vectors are
+    // appended deterministically, and Export sorts anyway, so lineage is
+    // bit-identical at any thread count.
+    result->lineage.Merge(std::move(out->lineage));
+  }
+
   DeltaSet& acc = out->acc;
   if (views_ != nullptr && !acc.empty()) {
     DELTAMON_RETURN_IF_ERROR(views_->Apply(rel, acc));
@@ -401,6 +481,14 @@ Result<PropagationResult> Propagator::Propagate(
   for (const auto& [rel, delta] : base_deltas) {
     const NetworkNode* node = network_.node(rel);
     if (node != nullptr && node->is_base && !delta.empty()) {
+      if (options_.lineage) {
+        for (const Tuple& t : delta.plus()) {
+          result.lineage.AddBase(rel, true, t);
+        }
+        for (const Tuple& t : delta.minus()) {
+          result.lineage.AddBase(rel, false, t);
+        }
+      }
       wave.emplace(rel, delta);
     }
   }

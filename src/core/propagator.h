@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/lineage.h"
 #include "core/materialized_views.h"
 #include "core/network.h"
 #include "delta/delta_set.h"
@@ -38,6 +39,12 @@ struct PropagationResult {
   std::unordered_map<RelationId, DeltaSet> root_deltas;
   /// Executed differentials, in execution order.
   std::vector<TraceEntry> trace;
+
+  /// Row-level delta lineage of the wave; empty unless
+  /// PropagationOptions::lineage was set. Folded serially in level order
+  /// (like trace/stats/profiles), so it is bit-identical at any thread
+  /// count and with kernels on or off.
+  WaveLineage lineage;
 
   /// Per-wave counters. This struct is a *snapshot view*: the canonical
   /// cross-wave accounting lives in the global obs registry (the
@@ -107,6 +114,14 @@ struct PropagationOptions {
   /// pre-filters; docs/kernels.md). Results are identical either way;
   /// per-literal `access` labels in profiles reflect the chosen strategy.
   bool kernels = true;
+  /// Capture row-level delta lineage into PropagationResult::lineage:
+  /// every differential evaluates once per influent Δ-row (restricted via
+  /// StateContext::RowRestriction) so each produced tuple is attributed to
+  /// the exact rows it was derived from. Root Δ-sets, traces and stats are
+  /// unchanged — the per-row union equals the one-shot result — but the
+  /// per-row evaluation costs more (see docs/observability.md for the
+  /// model); off (the default) adds zero work to the hot path.
+  bool lineage = false;
 };
 
 /// Executes the breadth-first bottom-up propagation algorithm (paper §5)
@@ -162,6 +177,9 @@ class Propagator {
     /// Per-literal clause profiles from this node's evaluation; empty
     /// unless PropagationOptions::profiler is set.
     obs::Profile profile;
+    /// Row-level lineage fragment; empty unless PropagationOptions::lineage
+    /// is set. Folded into the result serially by MergeNode.
+    WaveLineage lineage;
   };
 
   /// Evaluates one node against the frozen lower-level state: runs its

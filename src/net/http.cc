@@ -11,18 +11,21 @@
 #include "net/socket.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/report.h"
+#include "obs/wave_recorder.h"
 
 namespace deltamon::net {
 
 namespace {
 
 std::string HttpResponse(int code, const char* reason,
-                         const char* content_type, std::string_view body) {
+                         const char* content_type, std::string_view body,
+                         const std::string& extra_headers = std::string()) {
   std::string out = "HTTP/1.1 " + std::to_string(code) + " " + reason +
                     "\r\nContent-Type: " + content_type +
                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                    "\r\nConnection: close\r\n\r\n";
+                    "\r\n" + extra_headers + "Connection: close\r\n\r\n";
   out.append(body);
   return out;
 }
@@ -90,7 +93,36 @@ std::string HandleAdminRequest(std::string_view request,
                         MetricsBody());
   }
   if (path == "/debug/requests") {
-    return HttpResponse(200, "OK", "application/json", DebugRequestsBody());
+    // Ring health in headers so a `curl -I` (or a scraper that only wants
+    // the counters) need not parse the body.
+    obs::RequestRecorder& recorder = obs::GlobalRequestRecorder();
+    const std::string headers =
+        "X-Deltamon-Flight-Capacity: " + std::to_string(recorder.capacity()) +
+        "\r\nX-Deltamon-Flight-Total: " +
+        std::to_string(recorder.total_records()) +
+        "\r\nX-Deltamon-Flight-Dropped: " +
+        std::to_string(recorder.dropped_records()) + "\r\n";
+    return HttpResponse(200, "OK", "application/json", DebugRequestsBody(),
+                        headers);
+  }
+  if (path == "/debug/provenance") {
+    const auto& log = obs::GlobalProvenanceLog();
+    return HttpResponse(200, "OK", "application/json",
+                        obs::ProvenanceJson(log.Snapshot(), log.enabled(),
+                                            log.capacity(),
+                                            log.total_records(),
+                                            log.dropped_records())
+                            .Dump());
+  }
+  if (path == "/debug/waves") {
+    const auto& recorder = obs::GlobalWaveRecorder();
+    return HttpResponse(200, "OK", "application/json",
+                        obs::WaveFileJson(recorder.Snapshot(),
+                                          recorder.enabled(),
+                                          recorder.capacity(),
+                                          recorder.total_records(),
+                                          recorder.dropped_records())
+                            .Dump());
   }
   if (path == "/debug/requests/trace") {
     return HttpResponse(
@@ -116,8 +148,8 @@ std::string HandleAdminRequest(std::string_view request,
   }
   return HttpResponse(404, "Not Found", "text/plain",
                       "unknown path; try /metrics, /healthz, "
-                      "/debug/requests, /debug/requests/trace, /debug/slow "
-                      "or /debug/network\n");
+                      "/debug/requests, /debug/requests/trace, /debug/slow, "
+                      "/debug/provenance, /debug/waves or /debug/network\n");
 }
 
 AdminServer::~AdminServer() {

@@ -34,9 +34,12 @@ struct AdminHooks {
 /// block; only the request line is examined. Routes:
 ///   GET /healthz               -> 200 "ok\n"
 ///   GET /metrics               -> 200 Prometheus text exposition
-///   GET /debug/requests        -> 200 flight-recorder JSON
+///   GET /debug/requests        -> 200 flight-recorder JSON (ring health
+///                                  in X-Deltamon-Flight-* headers)
 ///   GET /debug/requests/trace  -> 200 Chrome/Perfetto trace JSON
 ///   GET /debug/slow            -> 200 slow-statement log JSON
+///   GET /debug/provenance      -> 200 firing-provenance JSON
+///   GET /debug/waves           -> 200 deltamon.wave.v1 JSON
 ///   GET /debug/network[?rule=] -> 200 Graphviz DOT (needs hooks)
 ///   anything else              -> 404 / 405 / 400
 /// Returns the full HTTP/1.1 response bytes (Connection: close).

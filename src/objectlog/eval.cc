@@ -734,6 +734,39 @@ Status Evaluator::EvalBodyImpl(const Clause& clause,
 
       // Δ-role literal: generate from one side of the influent's Δ-set.
       if (l.role != RelationRole::kExtent) {
+        // Lineage capture restricts the generator to one influent row: the
+        // emitted tuples are exactly that row's contribution (a clause has
+        // one Δ-role literal, so this is the only generator affected).
+        const StateContext::RowRestriction* only = ctx_.restrict_delta;
+        if (only != nullptr && only->row != nullptr &&
+            only->relation == l.relation &&
+            only->plus == (l.role == RelationRole::kDeltaPlus)) {
+          const Tuple& t = *only->row;
+          ++stats_.tuples_examined;
+          DELTAMON_PROF(++slot->bindings_tried);
+          std::vector<int> bound_here;
+          bool match = true;
+          for (size_t i = 0; i < l.args.size() && match; ++i) {
+            const Term& a = l.args[i];
+            if (a.is_const()) {
+              match = a.constant == t[i];
+            } else if (env[a.var].has_value()) {
+              match = *env[a.var] == t[i];
+            } else {
+              env[a.var] = t[i];
+              bound_here.push_back(a.var);
+            }
+          }
+          Status status = Status::OK();
+          if (match) {
+            stats_.bindings_produced += bound_here.size();
+            DELTAMON_PROF(++slot->rows_out);
+            status = EvalBodyImpl<kProfiled>(clause, order, step + 1, env,
+                                             state_override, emit, stop, prof);
+          }
+          for (int v : bound_here) env[v].reset();
+          return status;
+        }
         const DeltaSet* delta = ctx_.DeltaFor(l.relation);
         if (delta == nullptr) return Status::OK();
         const TupleSet& side = l.role == RelationRole::kDeltaPlus

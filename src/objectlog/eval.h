@@ -58,6 +58,23 @@ struct StateContext {
   /// runs after overlays are applied, against the shared store.
   TxnSnapshot* txn = nullptr;
 
+  /// Restricts the Δ-role generator of a partial differential to a single
+  /// influent row. A differential clause has exactly one Δ-role literal
+  /// (the differenced one, placed first by OrderBody); when `restrict_delta`
+  /// is armed and matches that literal's (relation, polarity), the
+  /// generator iterates only `*row` instead of the whole Δ-side — so the
+  /// emitted head tuples are exactly the ones this row contributes, and
+  /// the union over all rows equals the unrestricted result. Used by the
+  /// lineage-capturing propagator; OLD-state rollback reads are unaffected.
+  /// Pointer indirection (like overlay_delta) because the evaluator copies
+  /// its context by value: the caller mutates the pointee between calls.
+  struct RowRestriction {
+    RelationId relation = kInvalidRelationId;
+    bool plus = true;
+    const Tuple* row = nullptr;
+  };
+  const RowRestriction* restrict_delta = nullptr;
+
   const DeltaSet* DeltaFor(RelationId rel) const {
     if (rel == overlay_rel && overlay_delta != nullptr) return overlay_delta;
     if (deltas == nullptr) return nullptr;

@@ -298,22 +298,38 @@ Result<bool> Evaluator::TryEvaluateClauseKernel(const Clause& clause,
     obs::LiteralProfile* slot = cp ? &cp->slots[order[0]] : nullptr;
     StepTimer timer(slot);
     if (slot != nullptr) ++slot->rows_in;
-    const DeltaSet* delta = ctx_.DeltaFor(dl.relation);
-    if (delta == nullptr) return true;  // no change set: empty result
-    const TupleSet& side = dl.role == RelationRole::kDeltaPlus
-                               ? delta->plus()
-                               : delta->minus();
+    // Lineage capture restricts the generator to one influent row — the
+    // kernel then computes exactly that row's contribution, matching the
+    // interpreter's restricted path tuple for tuple.
+    const StateContext::RowRestriction* only = ctx_.restrict_delta;
+    const bool restricted =
+        only != nullptr && only->row != nullptr &&
+        only->relation == dl.relation &&
+        only->plus == (dl.role == RelationRole::kDeltaPlus);
+    const DeltaSet* delta = restricted ? nullptr : ctx_.DeltaFor(dl.relation);
+    if (!restricted && delta == nullptr) {
+      return true;  // no change set: empty result
+    }
     batch = MakeLayout(nvars, bound_after[0], needed_in[1]);
-    batch.table.Reserve(side.size());
     LiteralShape shape(dl, nvars);
-    for (const Tuple& t : side) {
+    auto append_row = [&](const Tuple& t) {
       ++stats_.tuples_examined;
       if (slot != nullptr) ++slot->bindings_tried;
-      if (!shape.Matches(t)) continue;
+      if (!shape.Matches(t)) return;
       for (size_t c = 0; c < batch.var_of_col.size(); ++c) {
         batch.table.AppendCell(c, t[shape.first_pos[batch.var_of_col[c]]]);
       }
       batch.table.FinishRow();
+    };
+    if (restricted) {
+      batch.table.Reserve(1);
+      append_row(*only->row);
+    } else {
+      const TupleSet& side = dl.role == RelationRole::kDeltaPlus
+                                 ? delta->plus()
+                                 : delta->minus();
+      batch.table.Reserve(side.size());
+      for (const Tuple& t : side) append_row(t);
     }
     stats_.bindings_produced +=
         batch.table.num_rows() * shape.distinct_vars.size();

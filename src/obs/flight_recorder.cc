@@ -124,8 +124,17 @@ void FlightRecorder::Clear() {
   records_.clear();
 }
 
+namespace {
+std::atomic<size_t> g_flight_capacity{256};
+}  // namespace
+
+void SetGlobalFlightRecorderCapacity(size_t capacity) {
+  g_flight_capacity.store(capacity, std::memory_order_relaxed);
+}
+
 RequestRecorder& GlobalRequestRecorder() {
-  static RequestRecorder* recorder = new RequestRecorder();
+  static RequestRecorder* recorder =
+      new RequestRecorder(g_flight_capacity.load(std::memory_order_relaxed));
   return *recorder;
 }
 

@@ -128,6 +128,8 @@ class FlightRecorder {
 /// ring, take no locks, and read no clocks — while /debug/requests still
 /// serves a valid empty document.
 struct NullFlightRecorder {
+  NullFlightRecorder() = default;
+  explicit NullFlightRecorder(size_t) {}
   void Record(const RequestRecord&) {}
   std::vector<RequestRecord> Snapshot() const { return {}; }
   uint64_t dropped_records() const { return 0; }
@@ -141,6 +143,12 @@ using RequestRecorder = FlightRecorder;
 #else
 using RequestRecorder = NullFlightRecorder;
 #endif
+
+/// Sets the capacity the process-wide recorder is constructed with
+/// (deltamond --flight-records). Effective only if called before the
+/// first GlobalRequestRecorder() use — the server does so during startup,
+/// before any connection is accepted; later calls are ignored.
+void SetGlobalFlightRecorderCapacity(size_t capacity);
 
 /// The process-wide recorder behind /debug/requests.
 RequestRecorder& GlobalRequestRecorder();

@@ -59,6 +59,11 @@ Status ExpectInt(const Json& obj, const char* key) {
   return ExpectMember(obj, key, &Json::is_int, "an integer");
 }
 
+/// Stamped at static initialization, close enough to process start for the
+/// restart-detection gauge.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
 }  // namespace
 
 Json SnapshotToJson(const MetricsSnapshot& snapshot) {
@@ -146,7 +151,27 @@ std::string FormatPrometheus(const MetricsSnapshot& snapshot) {
                   static_cast<unsigned long long>(h.count));
     out += line;
   }
-  if (out.empty()) out = "# (no metrics recorded)\n";
+  // Exporter identity, present even over an empty registry: build_info is
+  // the standard constant 1-valued gauge carrying build labels (mixed-build
+  // fleets show up as multiple label sets), and uptime lets dashboards
+  // detect restarts. Uptime is the one time-varying line in the document;
+  // byte-identity comparisons strip it (tests/net/metrics_identity_test.cc).
+#ifdef DELTAMON_VERSION
+  const char* version = DELTAMON_VERSION;
+#else
+  const char* version = "unknown";
+#endif
+  out += "# TYPE deltamon_build_info gauge\n";
+  out += "deltamon_build_info{version=\"" + std::string(version) +
+         "\",git_sha=\"" + GitSha() + "\",obs=\"" +
+         (DELTAMON_OBS_ENABLED ? "on" : "off") + "\"} 1\n";
+  const double uptime =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - g_process_start)
+          .count();
+  out += "# TYPE process_uptime_seconds gauge\n";
+  std::snprintf(line, sizeof(line), "process_uptime_seconds %.3f\n", uptime);
+  out += line;
   return out;
 }
 

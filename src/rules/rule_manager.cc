@@ -62,6 +62,40 @@ Status CollectBaseInfluents(RelationId rel,
   return Status::OK();
 }
 
+/// Lineage trees are exported for at most this many instances per firing
+/// (the FiringRecord's captured/total counts announce the truncation): a
+/// bulk firing over thousands of instances must not render thousands of
+/// trees into the bounded provenance ring.
+constexpr size_t kMaxLineageInstances = 16;
+
+/// A Δ-set as a wave-file fragment: rows sorted, so capture is
+/// byte-deterministic at any thread count.
+obs::WaveRelationDelta RenderWaveDelta(const std::string& name,
+                                       const DeltaSet& delta) {
+  obs::WaveRelationDelta out;
+  out.relation = name;
+  out.plus = SortedTuples(delta.plus());
+  out.minus = SortedTuples(delta.minus());
+  return out;
+}
+
+/// Non-empty Δ-sets of `deltas`, rendered and sorted by relation name.
+std::vector<obs::WaveRelationDelta> RenderWaveDeltas(
+    const std::unordered_map<RelationId, DeltaSet>& deltas,
+    const Catalog& catalog) {
+  std::vector<obs::WaveRelationDelta> out;
+  for (const auto& [rel, delta] : deltas) {
+    if (delta.empty()) continue;
+    out.push_back(RenderWaveDelta(catalog.RelationName(rel), delta));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const obs::WaveRelationDelta& a,
+               const obs::WaveRelationDelta& b) {
+              return a.relation < b.relation;
+            });
+  return out;
+}
+
 }  // namespace
 
 RuleManager::RuleManager(Database& db, objectlog::DerivedRegistry& registry)
@@ -344,6 +378,7 @@ Status RuleManager::RunIncrementalRound(
   popts.pool = pool_.get();
   popts.profiler = profiler_;
   popts.kernels = kernels_enabled_;
+  popts.lineage = provenance_enabled_;
   // Persist per-worker caches across waves so retained indexed extents
   // (recursive-fixpoint materializations over unchanged inputs) are
   // reused instead of recomputed. Propagate() resolves its effective
@@ -381,6 +416,10 @@ Status RuleManager::RunIncrementalRound(
     if (mode_ == MonitorMode::kHybrid && act.naive_extent_valid) {
       act.naive_extent = ApplyDelta(act.naive_extent, it->second);
     }
+  }
+  if (provenance_enabled_) lineage_.Merge(std::move(result.lineage));
+  if (wave_capture_enabled_) {
+    last_round_roots_ = std::move(result.root_deltas);
   }
   return Status::OK();
 }
@@ -433,7 +472,14 @@ Status RuleManager::CheckPhase(Database& db) {
   DELTAMON_OBS_SPAN(check_span, "rules", "check_phase");
   last_check_.Reset();
   last_trace_.clear();
+  lineage_ = core::WaveLineage();
+  last_round_roots_.clear();
   if (activations_.empty()) return Status::OK();
+
+  // Wave capture: one record per incremental round, opened after the
+  // propagation and flushed once the round's firings are known. Naive
+  // recomputation rounds are not waves and are not captured.
+  std::optional<obs::WaveRecord> open_wave;
 
   while (db.HasPendingChanges()) {
     if (last_check_.rounds >= max_rounds_) {
@@ -472,6 +518,16 @@ Status RuleManager::CheckPhase(Database& db) {
     }
     DELTAMON_RETURN_IF_ERROR(incremental ? RunIncrementalRound(db, deltas)
                                          : RunNaiveRound(db, deltas));
+    if (incremental && wave_capture_enabled_) {
+      open_wave.emplace();
+      open_wave->trace_id = obs::CurrentTraceId();
+      open_wave->version = commit_version_;
+      open_wave->round = last_check_.rounds;
+      open_wave->threads = num_threads_;
+      open_wave->kernels = kernels_enabled_;
+      open_wave->influents = RenderWaveDeltas(deltas, db.catalog());
+      open_wave->roots = RenderWaveDeltas(last_round_roots_, db.catalog());
+    }
 
     // Fire triggered rules one at a time (conflict resolution) until the
     // action of some rule changes the database again — then propagate
@@ -483,6 +539,28 @@ Status RuleManager::CheckPhase(Database& db) {
       act->pending.Clear();
       ++last_check_.rule_firings;
       const Rule& rule = rules_.at(act->rule);
+      if (open_wave.has_value()) {
+        for (const Tuple& t : instances) {
+          open_wave->firings.push_back(rule.name + " " + t.ToString());
+        }
+      }
+      if (provenance_enabled_) {
+        obs::FiringRecord rec;
+        rec.trace_id = obs::CurrentTraceId();
+        rec.version = commit_version_;
+        rec.rule = rule.name;
+        rec.round = last_check_.rounds;
+        rec.total_instances = instances.size();
+        rec.captured_instances =
+            std::min(instances.size(), kMaxLineageInstances);
+        rec.instances.reserve(instances.size());
+        for (const Tuple& t : instances) rec.instances.push_back(t.ToString());
+        for (size_t i = 0; i < rec.captured_instances; ++i) {
+          rec.lineage.Append(lineage_.Export(act->condition, /*plus=*/true,
+                                             instances[i], db.catalog()));
+        }
+        obs::GlobalProvenanceLog().Record(std::move(rec));
+      }
       DELTAMON_OBS_COUNT("rules.firings", 1);
       DELTAMON_OBS_SPAN(fire_span, "rules", "fire");
       if (fire_span.active()) {
@@ -510,6 +588,12 @@ Status RuleManager::CheckPhase(Database& db) {
       if (rule.action != nullptr) {
         DELTAMON_RETURN_IF_ERROR(rule.action(db, act->params, instances));
       }
+    }
+    if (open_wave.has_value()) {
+      // The round is complete: every firing it could trigger either ran
+      // (recorded above) or waits on changes that open the next round.
+      obs::GlobalWaveRecorder().Record(std::move(*open_wave));
+      open_wave.reset();
     }
   }
   // Net deletions that fired nothing are dropped at the end of the phase.

@@ -12,6 +12,8 @@
 #include "core/network.h"
 #include "core/propagator.h"
 #include "objectlog/registry.h"
+#include "obs/provenance.h"
+#include "obs/wave_recorder.h"
 #include "storage/database.h"
 
 namespace deltamon::rules {
@@ -160,6 +162,43 @@ class RuleManager {
   /// manager knows whose profile (if any) is armed for this wave.
   obs::Profile* profiler() const { return profiler_; }
 
+  /// Row-level firing provenance (`set provenance on|off`): incremental
+  /// waves capture delta lineage (PropagationOptions::lineage) and every
+  /// firing records its instances' lineage trees — stamped with the
+  /// current trace id and commit version — into the global ProvenanceLog
+  /// behind `explain firing` / /debug/provenance. Forced off when
+  /// observability is compiled out (the session layer reports the error);
+  /// off (the default) adds zero work to the check phase.
+  void SetProvenanceEnabled(bool on) {
+    provenance_enabled_ = on && DELTAMON_OBS_ENABLED != 0;
+    obs::GlobalProvenanceLog().set_enabled(provenance_enabled_);
+  }
+  bool provenance_enabled() const { return provenance_enabled_; }
+
+  /// Wave capture (`set wave_capture on|off`): every incremental round is
+  /// snapshotted — influent Δ-sets, settings, net root Δ-sets, firings —
+  /// into the global WaveRecorder behind `dump waves` / /debug/waves,
+  /// replayable by tools/deltamon-replay. Forced off when observability is
+  /// compiled out.
+  void SetWaveCaptureEnabled(bool on) {
+    wave_capture_enabled_ = on && DELTAMON_OBS_ENABLED != 0;
+    obs::GlobalWaveRecorder().set_enabled(wave_capture_enabled_);
+  }
+  bool wave_capture_enabled() const { return wave_capture_enabled_; }
+
+  /// Commit version the current check phase runs on behalf of. Like the
+  /// profiler, this is attach/detach state owned by the commit leader: the
+  /// txn manager pre-assigns versions during validation, stamps the wave's
+  /// version here before CheckPhase and clears it (0) after, so provenance
+  /// and wave records carry the exact version a firing became visible at.
+  void SetCommitVersion(uint64_t version) { commit_version_ = version; }
+
+  /// Delta lineage accumulated over the last check phase's incremental
+  /// waves (empty unless provenance is enabled). Exposed for the
+  /// determinism tests; `explain firing` reads the pre-rendered trees in
+  /// the ProvenanceLog instead.
+  const core::WaveLineage& last_lineage() const { return lineage_; }
+
   /// PF-style evaluation (paper §2 contrast): keep every derived network
   /// node's extent materialized and incrementally maintained, so partial
   /// differentials read stored (indexed) views instead of re-deriving
@@ -263,8 +302,15 @@ class RuleManager {
   obs::Profile* profiler_ = nullptr;
   core::MaterializedViewStore view_store_;
   bool view_store_ready_ = false;
+  bool provenance_enabled_ = false;
+  bool wave_capture_enabled_ = false;
+  uint64_t commit_version_ = 0;
   CheckStats last_check_;
   std::vector<core::TraceEntry> last_trace_;
+  /// Merged lineage of the current/last check phase (see last_lineage()).
+  core::WaveLineage lineage_;
+  /// Net root Δ-sets of the last incremental round, kept for wave capture.
+  std::unordered_map<RelationId, DeltaSet> last_round_roots_;
 };
 
 }  // namespace deltamon::rules

@@ -1,0 +1,46 @@
+#ifndef DELTAMON_RULES_WAVE_REPLAY_H_
+#define DELTAMON_RULES_WAVE_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/wave_recorder.h"
+#include "rules/rule_manager.h"
+#include "storage/database.h"
+
+namespace deltamon::rules {
+
+/// Result of replaying a captured wave file against a rebuilt engine.
+struct WaveReplayReport {
+  size_t waves_checked = 0;  ///< captured records compared
+  size_t commits = 0;        ///< check phases driven (round-1 groups)
+  /// One rendered diff per divergent record; empty means the replay was
+  /// bit-identical.
+  std::vector<std::string> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  std::string ToString() const;
+};
+
+/// Replays `recorded` (a parsed `deltamon.wave.v1` file, oldest first)
+/// against a database + rule manager already holding the schema, rules and
+/// pre-wave state the file was captured from, and compares outcomes.
+///
+/// Mechanics: records are grouped into check phases at every `round == 1`
+/// record; only that first record's influent Δ-sets are applied (raw
+/// Insert/Delete on the base relations, resolved by name), then one
+/// Commit() drives the deferred check phase — later rounds are produced by
+/// the replayed rule actions themselves, so applying their influents too
+/// would double them. The global wave recorder is cleared, force-enabled,
+/// and re-captures the replay; record `i` is compared to recorded record
+/// `i` by WaveRecord::OutcomeJson (round, influents, roots, firings —
+/// settings and identity stamps excluded), byte-for-byte. The caller may
+/// override threads/kernels on the rule manager first; outcomes must not
+/// change (the determinism contract this tool certifies).
+Result<WaveReplayReport> ReplayWaves(
+    Database& db, RuleManager& rules,
+    const std::vector<obs::WaveRecord>& recorded);
+
+}  // namespace deltamon::rules
+
+#endif  // DELTAMON_RULES_WAVE_REPLAY_H_

@@ -119,9 +119,15 @@ void TransactionManager::CommitBatch(const std::vector<Waiter*>& batch) {
       obs::Profile* profiler =
           batch.size() == 1 ? batch.front()->profiler : nullptr;
       if (profiler != nullptr) rules_.SetProfiler(profiler);
+      // Versions were pre-assigned during validation, so the wave's last
+      // version is already known: stamp it on the rule manager (same
+      // attach/detach discipline as the profiler) so firing provenance
+      // and wave capture record the version their changes commit at.
+      rules_.SetCommitVersion(next_version);
       const uint64_t c0 = NowNs();
       wave = rules_.CheckPhase(db_);
       check_ns = NowNs() - c0;
+      rules_.SetCommitVersion(0);
       if (profiler != nullptr) rules_.SetProfiler(nullptr);
     }
 

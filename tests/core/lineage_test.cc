@@ -1,0 +1,173 @@
+#include "core/lineage.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+
+namespace deltamon::core {
+namespace {
+
+ColumnType IntCol() { return ColumnType{ValueKind::kInt, kInvalidTypeId}; }
+
+Tuple T(int64_t a) { return Tuple{Value(a)}; }
+Tuple T(int64_t a, int64_t b) { return Tuple{Value(a), Value(b)}; }
+
+/// Two base relations feeding one derived relation — enough topology to
+/// exercise every Export shape.
+class LineageTest : public ::testing::Test {
+ protected:
+  LineageTest() {
+    q_ = *catalog_.CreateStoredFunction(
+        "q", FunctionSignature{{IntCol()}, {IntCol()}});
+    r_ = *catalog_.CreateStoredFunction(
+        "r", FunctionSignature{{IntCol()}, {IntCol()}});
+    cnd_ = *catalog_.CreateDerivedFunction(
+        "cnd", FunctionSignature{{}, {IntCol()}});
+  }
+
+  Catalog catalog_;
+  RelationId q_ = kInvalidRelationId;
+  RelationId r_ = kInvalidRelationId;
+  RelationId cnd_ = kInvalidRelationId;
+};
+
+TEST_F(LineageTest, FindReturnsNullUntilRecorded) {
+  WaveLineage lineage;
+  EXPECT_TRUE(lineage.empty());
+  EXPECT_EQ(lineage.Find(q_, true, T(1, 2)), nullptr);
+  lineage.AddBase(q_, true, T(1, 2));
+  ASSERT_NE(lineage.Find(q_, true, T(1, 2)), nullptr);
+  EXPECT_TRUE(lineage.Find(q_, true, T(1, 2))->base);
+  // The polarity is part of the key: Δ− of the same row is a different
+  // Δ-tuple.
+  EXPECT_EQ(lineage.Find(q_, false, T(1, 2)), nullptr);
+}
+
+TEST_F(LineageTest, AddParentDropsExactDuplicates) {
+  WaveLineage lineage;
+  WaveLineage::Parent parent{q_, true, T(1, 2), "Δcnd/Δ+q"};
+  lineage.AddParent(cnd_, true, T(1), parent);
+  lineage.AddParent(cnd_, true, T(1), parent);
+  ASSERT_NE(lineage.Find(cnd_, true, T(1)), nullptr);
+  EXPECT_EQ(lineage.Find(cnd_, true, T(1))->parents.size(), 1u);
+  // Same row via a different differential is a distinct derivation edge.
+  lineage.AddParent(cnd_, true, T(1),
+                    WaveLineage::Parent{q_, true, T(1, 2), "Δcnd/Δ+r"});
+  EXPECT_EQ(lineage.Find(cnd_, true, T(1))->parents.size(), 2u);
+}
+
+TEST_F(LineageTest, MergeUnionsEntriesAndDedupesParents) {
+  WaveLineage a;
+  a.AddParent(cnd_, true, T(1),
+              WaveLineage::Parent{q_, true, T(1, 2), "Δcnd/Δ+q"});
+  WaveLineage b;
+  b.AddParent(cnd_, true, T(1),
+              WaveLineage::Parent{q_, true, T(1, 2), "Δcnd/Δ+q"});
+  b.AddParent(cnd_, true, T(1),
+              WaveLineage::Parent{r_, true, T(1, 3), "Δcnd/Δ+r"});
+  b.AddBase(q_, true, T(1, 2));
+  a.Merge(std::move(b));
+  ASSERT_NE(a.Find(cnd_, true, T(1)), nullptr);
+  EXPECT_EQ(a.Find(cnd_, true, T(1))->parents.size(), 2u);
+  ASSERT_NE(a.Find(q_, true, T(1, 2)), nullptr);
+  EXPECT_TRUE(a.Find(q_, true, T(1, 2))->base);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST_F(LineageTest, MergePreservesBaseFlagOfExistingEntry) {
+  WaveLineage a;
+  a.AddBase(q_, true, T(1, 2));
+  WaveLineage b;
+  b.AddParent(q_, true, T(1, 2),
+              WaveLineage::Parent{r_, true, T(9, 9), "Δq/Δ+r"});
+  a.Merge(std::move(b));
+  ASSERT_NE(a.Find(q_, true, T(1, 2)), nullptr);
+  EXPECT_TRUE(a.Find(q_, true, T(1, 2))->base);
+  EXPECT_EQ(a.Find(q_, true, T(1, 2))->parents.size(), 1u);
+}
+
+TEST_F(LineageTest, ExportRendersBaseLeafAndSortsChildren) {
+  WaveLineage lineage;
+  lineage.AddBase(q_, true, T(1, 2));
+  lineage.AddBase(r_, false, T(1, 3));
+  // Insert children in anti-sorted order; Export must reorder by
+  // (via, relation name, polarity, row rendering).
+  lineage.AddParent(cnd_, true, T(1),
+                    WaveLineage::Parent{r_, false, T(1, 3), "Δcnd/Δ-r"});
+  lineage.AddParent(cnd_, true, T(1),
+                    WaveLineage::Parent{q_, true, T(1, 2), "Δcnd/Δ+q"});
+
+  obs::Json tree = lineage.Export(cnd_, true, T(1), catalog_);
+  EXPECT_EQ(tree.Get("relation")->as_string(), "cnd");
+  EXPECT_EQ(tree.Get("polarity")->as_string(), "+");
+  EXPECT_EQ(tree.Get("row")->as_string(), T(1).ToString());
+  EXPECT_FALSE(tree.contains("base"));
+  const obs::Json* inputs = tree.Get("inputs");
+  ASSERT_NE(inputs, nullptr);
+  ASSERT_EQ(inputs->array_items().size(), 2u);
+  const obs::Json& first = inputs->at(0);
+  const obs::Json& second = inputs->at(1);
+  EXPECT_EQ(first.Get("via")->as_string(), "Δcnd/Δ+q");
+  EXPECT_EQ(first.Get("relation")->as_string(), "q");
+  EXPECT_TRUE(first.Get("base")->as_bool());
+  EXPECT_FALSE(first.contains("inputs"));
+  EXPECT_EQ(second.Get("via")->as_string(), "Δcnd/Δ-r");
+  EXPECT_EQ(second.Get("polarity")->as_string(), "-");
+  EXPECT_TRUE(second.Get("base")->as_bool());
+}
+
+TEST_F(LineageTest, ExportMarksRowsOutsideTheCaptureAsUnknown) {
+  WaveLineage lineage;
+  lineage.AddParent(cnd_, true, T(1),
+                    WaveLineage::Parent{q_, true, T(1, 2), "Δcnd/Δ+q"});
+  obs::Json tree = lineage.Export(cnd_, true, T(1), catalog_);
+  const obs::Json* inputs = tree.Get("inputs");
+  ASSERT_NE(inputs, nullptr);
+  ASSERT_EQ(inputs->array_items().size(), 1u);
+  // q's Δ-row was never recorded (capture switched on mid-stream): the
+  // child is a truthful dead end, not a fabricated leaf.
+  EXPECT_TRUE(inputs->at(0).Get("unknown")->as_bool());
+  EXPECT_FALSE(inputs->at(0).contains("base"));
+
+  obs::Json miss = lineage.Export(cnd_, false, T(1), catalog_);
+  EXPECT_TRUE(miss.Get("unknown")->as_bool());
+}
+
+TEST_F(LineageTest, ExportCutsSelfEdgeCycles) {
+  // Recursive rules re-derive their own rows: cnd(1) via cnd(1).
+  WaveLineage lineage;
+  lineage.AddParent(cnd_, true, T(1),
+                    WaveLineage::Parent{cnd_, true, T(1), "Δcnd/Δ+cnd"});
+  obs::Json tree = lineage.Export(cnd_, true, T(1), catalog_);
+  const obs::Json* inputs = tree.Get("inputs");
+  ASSERT_NE(inputs, nullptr);
+  ASSERT_EQ(inputs->array_items().size(), 1u);
+  EXPECT_TRUE(inputs->at(0).Get("truncated")->as_bool());
+  EXPECT_FALSE(inputs->at(0).contains("inputs"));
+}
+
+TEST_F(LineageTest, ExportHonoursTheDepthCap) {
+  // A chain cnd(0) <- cnd(1) <- ... <- cnd(9), exported with max_depth 3.
+  WaveLineage lineage;
+  for (int i = 0; i < 9; ++i) {
+    lineage.AddParent(
+        cnd_, true, T(i),
+        WaveLineage::Parent{cnd_, true, T(i + 1), "Δcnd/Δ+cnd"});
+  }
+  obs::Json tree = lineage.Export(cnd_, true, T(0), catalog_, 3);
+  int depth = 0;
+  const obs::Json* node = &tree;
+  while (node->contains("inputs")) {
+    node = &node->Get("inputs")->at(0);
+    ++depth;
+  }
+  EXPECT_EQ(depth, 3);
+  EXPECT_TRUE(node->Get("truncated")->as_bool());
+}
+
+}  // namespace
+}  // namespace deltamon::core

@@ -21,6 +21,19 @@
 namespace deltamon::net {
 namespace {
 
+/// process_uptime_seconds is the one time-varying line in the Prometheus
+/// document; byte-identity comparisons between two renders taken at
+/// different instants must strip it (and assert it was there).
+std::string StripUptime(const std::string& body) {
+  const std::string key = "\nprocess_uptime_seconds ";
+  const size_t pos = body.find(key);
+  EXPECT_NE(pos, std::string::npos) << body;
+  if (pos == std::string::npos) return body;
+  size_t eol = body.find('\n', pos + 1);
+  if (eol == std::string::npos) eol = body.size();
+  return body.substr(0, pos) + body.substr(eol);
+}
+
 TEST(MetricsIdentity, SessionAndHttpRenderIdenticalBytes) {
   // Seed the global registry with every metric kind so the comparison is
   // over a non-trivial document.
@@ -39,10 +52,13 @@ TEST(MetricsIdentity, SessionAndHttpRenderIdenticalBytes) {
   EXPECT_TRUE(shown->rows.empty());
 
   // No metric is touched between the two renderings, so the snapshots —
-  // and therefore the bytes — must match exactly.
+  // and therefore the bytes, minus the uptime stamp — must match exactly.
   const std::string via_http = MetricsBody();
-  EXPECT_EQ(shown->report, via_http);
+  EXPECT_EQ(StripUptime(shown->report), StripUptime(via_http));
   EXPECT_NE(via_http.find("net_connections_accepted 3"), std::string::npos)
+      << via_http;
+  EXPECT_NE(via_http.find("deltamon_build_info{version=\""),
+            std::string::npos)
       << via_http;
   EXPECT_NE(via_http.find("net_connections_active 2"), std::string::npos);
   EXPECT_NE(via_http.find("net_statement_latency_ns_bucket"),
@@ -57,7 +73,8 @@ TEST(MetricsIdentity, HttpHandlerServesTheSharedBody) {
   // The response body after the blank line is exactly MetricsBody().
   const size_t split = response.find("\r\n\r\n");
   ASSERT_NE(split, std::string::npos);
-  EXPECT_EQ(response.substr(split + 4), MetricsBody());
+  EXPECT_EQ(StripUptime(response.substr(split + 4)),
+            StripUptime(MetricsBody()));
   EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
 }
 

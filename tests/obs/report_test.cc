@@ -170,7 +170,18 @@ TEST(PrometheusTest, RendersCountersGaugesAndCumulativeHistograms) {
       << text;
   EXPECT_NE(text.find("propagator_wave_ns_count 2"), std::string::npos)
       << text;
-  EXPECT_EQ(FormatPrometheus(MetricsSnapshot{}), "# (no metrics recorded)\n");
+  // Build identity rides along on every render — even an empty snapshot
+  // produces the build_info and uptime gauges.
+  std::string empty = FormatPrometheus(MetricsSnapshot{});
+  EXPECT_NE(empty.find("# TYPE deltamon_build_info gauge"),
+            std::string::npos)
+      << empty;
+  EXPECT_NE(empty.find("deltamon_build_info{version=\""), std::string::npos)
+      << empty;
+  EXPECT_NE(empty.find("git_sha=\""), std::string::npos) << empty;
+  EXPECT_NE(empty.find("obs=\""), std::string::npos) << empty;
+  EXPECT_NE(empty.find("process_uptime_seconds "), std::string::npos)
+      << empty;
 }
 
 TEST(PrometheusTest, BucketCountsAreCumulativeAndOrdered) {

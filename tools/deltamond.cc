@@ -20,6 +20,7 @@
 
 #include "amosql/session.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -51,6 +52,8 @@ int Usage(const char* argv0) {
       "                       slower than N ms into the slow log\n"
       "                       (GET /debug/slow, `show slow;`; default 0 = "
       "off)\n"
+      "  --flight-records=N   flight-recorder ring capacity in requests\n"
+      "                       (GET /debug/requests; default 256)\n"
       "  --init=FILE          run AMOSQL from FILE at startup (schema "
       "preload)\n",
       argv0, net::kDefaultMaxFrameSize);
@@ -130,6 +133,10 @@ int main(int argc, char** argv) {
       options.write_high_water = static_cast<size_t>(value);
     } else if (ParseLong(argv[i], "--slow-statement-ms=", &value)) {
       options.slow_statement_ms = static_cast<double>(value);
+    } else if (ParseLong(argv[i], "--flight-records=", &value) && value > 0) {
+      // Must precede the first GlobalRequestRecorder() use; nothing in
+      // main touches the recorder before the server starts.
+      obs::SetGlobalFlightRecorderCapacity(static_cast<size_t>(value));
     } else if (std::strncmp(argv[i], "--init=", 7) == 0) {
       init_file = argv[i] + 7;
     } else {
